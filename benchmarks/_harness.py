@@ -1,0 +1,11 @@
+"""Shared helper for the benchmark harness."""
+
+from __future__ import annotations
+
+
+def run_and_report(benchmark, driver, ctx):
+    """Benchmark one experiment driver and print its report."""
+    result = benchmark.pedantic(driver, args=(ctx,), rounds=1, iterations=1)
+    print()
+    print(result)
+    return result

@@ -1,0 +1,34 @@
+"""Ablation A1: deep-trench eDRAM decap and the first-droop shift.
+
+The paper (§V-A): deep-trench technology raised the on-chip capacitance
+~40x, moving the 'first droop' from the traditional 30-100 MHz band to
+~2 MHz and killing oscillatory behavior above 5 MHz.  Dividing the
+on-chip capacitances back out must move the droop back up.
+"""
+
+from repro.pdn.impedance import impedance_profile
+from repro.pdn.topology import build_chip_netlist
+from repro.pdn.zec12 import reference_chip_parameters
+
+
+def _first_droop_shift():
+    base = reference_chip_parameters()
+    thin = base.without_deep_trench(40.0)
+    base_peak = impedance_profile(
+        build_chip_netlist(base), "load_core0", "core0", 1e5, 1e9
+    ).peak()
+    thin_peak = impedance_profile(
+        build_chip_netlist(thin), "load_core0", "core0", 1e5, 1e9
+    ).peak()
+    return base_peak, thin_peak
+
+
+def test_edram_ablation(benchmark):
+    (base_f, base_z), (thin_f, thin_z) = benchmark.pedantic(
+        _first_droop_shift, rounds=1, iterations=1
+    )
+    print(f"\nfirst droop with deep trench:    {base_f/1e6:8.2f} MHz ({base_z*1e3:.2f} mOhm)")
+    print(f"first droop without deep trench: {thin_f/1e6:8.2f} MHz ({thin_z*1e3:.2f} mOhm)")
+    assert 1e6 < base_f < 5e6
+    assert thin_f > 8e6        # back toward the traditional band
+    assert thin_f > 4 * base_f

@@ -1,0 +1,36 @@
+"""Ablation A4: does the IPC filter earn its place in the pipeline?
+
+"It is well-known that IPC is directly related to power" — the
+IPC-filtered pool should contain markedly more powerful sequences than
+a random sample of the microarchitecturally valid pool.
+"""
+
+import numpy as np
+
+from repro.core.filters import ipc_filter, microarch_filter
+from repro.core.sequences import enumerate_sequences
+from repro.uarch.power import estimate_loop_power
+
+
+def _compare(ctx):
+    target = ctx.generator.target
+    candidates = ctx.generator.max_power_result.candidates
+    survivors, _ = microarch_filter(
+        enumerate_sequences(candidates), target.core
+    )
+    top, _ = ipc_filter(survivors, target.core, keep=200)
+    rng = np.random.default_rng(7)
+    sample = [survivors[int(i)] for i in rng.choice(len(survivors), 200, replace=False)]
+    model = target.energy_model
+    power_top = np.mean([estimate_loop_power(list(s), model).watts for s in top])
+    power_rand = np.mean([estimate_loop_power(list(s), model).watts for s in sample])
+    return power_top, power_rand
+
+
+def test_ipc_filter_effectiveness(benchmark, ctx):
+    power_top, power_rand = benchmark.pedantic(
+        _compare, args=(ctx,), rounds=1, iterations=1
+    )
+    print(f"\nmean power of IPC-filtered pool: {power_top:.2f} W")
+    print(f"mean power of random valid pool: {power_rand:.2f} W")
+    assert power_top > power_rand + 1.0

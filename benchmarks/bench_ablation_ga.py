@@ -1,0 +1,31 @@
+"""Ablation A3: white-box search pipeline vs the GA baseline.
+
+The paper contrasts its systematic methodology with GA-based stressmark
+search (the AUDIT line of work).  The comparison: final sequence power
+and the number of hardware power evaluations each approach needs.
+"""
+
+from repro.core.genetic import genetic_max_power_search
+from repro.measure.powermeter import PowerMeter
+
+
+def _compare(ctx):
+    whitebox = ctx.generator.max_power_result
+    ga = genetic_max_power_search(
+        ctx.generator.target,
+        whitebox.candidates,
+        meter=PowerMeter(ctx.generator.target, seed=303),
+        population=40,
+        generations=25,
+        seed=11,
+    )
+    return whitebox, ga
+
+
+def test_whitebox_vs_ga(benchmark, ctx):
+    whitebox, ga = benchmark.pedantic(_compare, args=(ctx,), rounds=1, iterations=1)
+    print(f"\nwhite-box: {whitebox.power_w:.2f} W after {whitebox.evaluated} "
+          f"power evaluations ({' '.join(whitebox.mnemonics)})")
+    print(f"GA:        {ga.power_w:.2f} W after {ga.evaluations} "
+          f"power evaluations ({' '.join(ga.mnemonics)})")
+    assert whitebox.power_w >= ga.power_w * 0.97

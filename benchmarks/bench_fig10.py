@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 10 (noise vs maximum misalignment)."""
+
+from repro.experiments.registry import get_experiment
+
+from _harness import run_and_report
+
+
+def test_fig10(benchmark, ctx):
+    result = run_and_report(benchmark, get_experiment("fig10"), ctx)
+    assert result.data["one_step_max"] < result.data["aligned_max"]
+    assert result.data["one_step_drop"] >= 3.0

@@ -1,0 +1,10 @@
+"""Bench: regenerate Figure 11a (noise vs % of maximum ΔI)."""
+
+from repro.experiments.registry import get_experiment
+
+from _harness import run_and_report
+
+
+def test_fig11a(benchmark, ctx):
+    result = run_and_report(benchmark, get_experiment("fig11a"), ctx)
+    assert result.data["noise_rises_with_delta_i"]

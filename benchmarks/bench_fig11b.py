@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 11b (noise vs workload distribution)."""
+
+from repro.experiments.registry import get_experiment
+
+from _harness import run_and_report
+
+
+def test_fig11b(benchmark, ctx):
+    result = run_and_report(benchmark, get_experiment("fig11b"), ctx)
+    effect = result.data["distribution_effect"]
+    assert effect is not None and abs(effect) < 10.0  # weak trend

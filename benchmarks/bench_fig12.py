@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 12 (Vmin margins grid)."""
+
+from repro.experiments.registry import get_experiment
+
+from _harness import run_and_report
+
+
+def test_fig12(benchmark, ctx):
+    result = run_and_report(benchmark, get_experiment("fig12"), ctx)
+    low, high = result.data["sync_band"]
+    assert high <= 0.05 and high - low <= 0.03
+    assert result.data["unsync_more_than_doubles"]

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 13a (inter-core noise correlation)."""
+
+from repro.experiments.registry import get_experiment
+
+from _harness import run_and_report
+
+
+def test_fig13a(benchmark, ctx):
+    result = run_and_report(benchmark, get_experiment("fig13a"), ctx)
+    assert result.data["min_correlation"] > 0.8
+    assert result.data["row_clusters_detected"]

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 13b (ΔI step propagation from core 0)."""
+
+from repro.experiments.registry import get_experiment
+
+from _harness import run_and_report
+
+
+def test_fig13b(benchmark, ctx):
+    result = run_and_report(benchmark, get_experiment("fig13b"), ctx)
+    assert result.data["same_row_stronger"]
+    assert result.data["same_row_faster"]

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 14 (two mappings of three stressmarks)."""
+
+from repro.experiments.registry import get_experiment
+
+from _harness import run_and_report
+
+
+def test_fig14(benchmark, ctx):
+    result = run_and_report(benchmark, get_experiment("fig14"), ctx)
+    assert result.data["same_cluster_is_noisier"]
+    assert 0.0 < result.data["penalty"] <= 15.0

@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 15 (noise-aware mapping opportunity)."""
+
+from repro.experiments.registry import get_experiment
+
+from _harness import run_and_report
+
+
+def test_fig15(benchmark, ctx):
+    result = run_and_report(benchmark, get_experiment("fig15"), ctx)
+    assert result.data["extremes_have_no_freedom"]
+    assert result.data["mid_count_reduction"] > 0.0

@@ -1,0 +1,12 @@
+"""Bench: regenerate Figure 7a (noise vs stimulus frequency, unsync)."""
+
+from repro.experiments.registry import get_experiment
+
+from _harness import run_and_report
+
+
+def test_fig7a(benchmark, ctx):
+    result = run_and_report(benchmark, get_experiment("fig7a"), ctx)
+    # Paper: resonant band ~2 MHz, max ~41 %p2p.
+    assert 8e5 < result.data["peak_freq_hz"] < 6e6
+    assert 30.0 <= result.data["peak_p2p"] <= 52.0

@@ -1,0 +1,13 @@
+"""Bench: regenerate Figure 7b (PDN impedance profile)."""
+
+from repro.experiments.registry import get_experiment
+
+from _harness import run_and_report
+
+
+def test_fig7b(benchmark, ctx):
+    result = run_and_report(benchmark, get_experiment("fig7b"), ctx)
+    freqs = [f for f, _ in result.data["resonances"]]
+    assert any(1e6 < f < 5e6 for f in freqs)   # first droop band
+    assert any(2e4 < f < 8e4 for f in freqs)   # board band
+    assert result.data["no_peak_above_5mhz"]

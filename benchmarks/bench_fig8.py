@@ -1,0 +1,11 @@
+"""Bench: regenerate Figure 8 (oscilloscope shot at resonance)."""
+
+from repro.experiments.registry import get_experiment
+
+from _harness import run_and_report
+
+
+def test_fig8(benchmark, ctx):
+    result = run_and_report(benchmark, get_experiment("fig8"), ctx)
+    assert result.data["period_match"]
+    assert result.data["p2p_volts"] > 0.05

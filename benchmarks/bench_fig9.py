@@ -1,0 +1,14 @@
+"""Bench: regenerate Figure 9 (noise vs stimulus frequency, sync)."""
+
+from repro.experiments.registry import get_experiment
+
+from _harness import run_and_report
+
+
+def test_fig9(benchmark, ctx):
+    result = run_and_report(benchmark, get_experiment("fig9"), ctx)
+    # Paper: ~61 %p2p peak, ~+20 point uplift, and synchronized
+    # non-resonant stimulation beats unsynchronized resonant.
+    assert 52.0 <= result.data["peak_sync_p2p"] <= 72.0
+    assert result.data["mean_uplift"] > 5.0
+    assert result.data["nonresonant_sync_beats_resonant_unsync"]

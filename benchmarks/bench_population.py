@@ -1,0 +1,31 @@
+"""Bench A8: chip-population reproducibility.
+
+"Experiments have been run on different processors multiple times to
+check their reproducibility" — the same metric across a seeded chip
+population must cluster tightly (process variation moves it by
+percents, not factors).
+"""
+
+from repro.analysis.population import run_population_study
+from repro.machine.runner import ChipRunner, RunOptions
+
+
+def _population(ctx):
+    program = ctx.generator.max_didt(
+        freq_hz=ctx.resonant_freq_hz, synchronize=True
+    ).current_program()
+
+    def worst_noise(chip) -> float:
+        result = ChipRunner(chip).run(
+            [program] * 6, RunOptions(segments=4), run_tag="population"
+        )
+        return result.max_p2p
+
+    return run_population_study(worst_noise, "worst-case %p2p", n_chips=6)
+
+
+def test_population_reproducibility(benchmark, ctx):
+    stat = benchmark.pedantic(_population, args=(ctx,), rounds=1, iterations=1)
+    print("\n" + stat.summary())
+    assert stat.spread_pct < 30.0
+    assert 50.0 < stat.mean < 75.0

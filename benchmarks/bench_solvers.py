@@ -1,0 +1,47 @@
+"""Bench A6: solver cross-validation on the reference chip.
+
+The exact modal engine and the trapezoidal MNA engine must tell the
+same story about the chip's step response — and the modal path is the
+one fast enough to power the experiment suite.
+"""
+
+import time
+
+import numpy as np
+
+from repro.pdn.mna import simulate_transient
+from repro.pdn.state_space import ModalSystem, build_state_space
+from repro.pdn.topology import build_chip_netlist
+from repro.pdn.zec12 import reference_chip_parameters
+
+
+def _cross_validate():
+    net = build_chip_netlist(reference_chip_parameters())
+    t0 = time.perf_counter()
+    modal = ModalSystem(build_state_space(net))
+    t_modal_build = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    mna = simulate_transient(
+        net, {"vrm": 0.0, "load_core0": 1.0},
+        t_end=2e-6, dt=0.5e-9, observe=["core0"],
+    )
+    t_mna = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    exact = modal.step_response("load_core0", ["core0"], mna.times)[0]
+    t_modal_eval = time.perf_counter() - t0
+
+    scale = np.abs(exact).max()
+    err = np.abs(mna.voltages["core0"][1:] - exact[1:]).max() / scale
+    return err, t_modal_build, t_modal_eval, t_mna
+
+
+def test_solver_agreement(benchmark):
+    err, t_build, t_eval, t_mna = benchmark.pedantic(
+        _cross_validate, rounds=1, iterations=1
+    )
+    print(f"\nmax relative disagreement: {err*100:.2f}%")
+    print(f"modal build {t_build*1e3:.0f} ms, modal eval {t_eval*1e3:.1f} ms, "
+          f"MNA transient {t_mna*1e3:.0f} ms")
+    assert err < 0.05

@@ -1,0 +1,11 @@
+"""Bench: regenerate Table I (EPI profile extremes)."""
+
+from repro.experiments.registry import get_experiment
+
+from _harness import run_and_report
+
+
+def test_table1(benchmark, ctx):
+    result = run_and_report(benchmark, get_experiment("table1"), ctx)
+    assert result.data["top5_set_match"]
+    assert result.data["bottom5_set_match"]

@@ -1,0 +1,22 @@
+"""Benchmark harness fixtures.
+
+Each bench regenerates one of the paper's tables/figures at full
+fidelity and prints the same rows/series the paper reports.  The
+context (EPI profile, max-power search, chip solver artifacts, the
+shared ΔI mapping dataset) is built once per session.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import default_context
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return default_context()

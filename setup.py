@@ -1,0 +1,7 @@
+"""Setup shim for offline legacy editable installs (pip --no-use-pep517).
+
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

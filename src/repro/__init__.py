@@ -1,0 +1,62 @@
+"""repro — reproduction of *Voltage Noise in Multi-core Processors:
+Empirical Characterization and Optimization Opportunities* (MICRO 2014).
+
+The library rebuilds, in simulation, the full system behind the paper's
+measurement study:
+
+* :mod:`repro.pdn` — lumped RLC power-delivery-network solvers
+  (state-space/modal, trapezoidal MNA, impedance profiles, LTI
+  superposition) and the calibrated six-core reference chip topology;
+* :mod:`repro.isa` / :mod:`repro.uarch` — a synthetic 1301-instruction
+  mainframe-class CISC ISA and the core model (dispatch groups,
+  functional units, throughput and energy);
+* :mod:`repro.mbench` — the Microprobe-role microbenchmark generator;
+* :mod:`repro.machine` / :mod:`repro.measure` — the modeled machine
+  (TOD facility, process variation, run engine) and its measurement
+  substrates (skitter macros, power meter, counters, oscilloscope,
+  R-Unit, Vmin protocol);
+* :mod:`repro.core` — the paper's contribution: the white-box dI/dt
+  stressmark generation methodology, plus a GA baseline;
+* :mod:`repro.analysis` / :mod:`repro.experiments` — sensitivity
+  studies, propagation/correlation analyses, workload-mapping and
+  guard-banding optimizations, and one driver per paper table/figure.
+
+Quickstart::
+
+    from repro import StressmarkGenerator, reference_chip, ChipRunner
+
+    generator = StressmarkGenerator()
+    mark = generator.max_didt(freq_hz=2e6, synchronize=True)
+    chip = reference_chip()
+    result = ChipRunner(chip).run([mark.current_program()] * 6)
+    print(result.max_p2p)
+"""
+
+from .core.generator import StressmarkGenerator
+from .core.stressmark import DidtStressmark, StressmarkSpec
+from .machine.chip import Chip, ChipConfig, reference_chip
+from .machine.runner import ChipRunner, RunOptions, RunResult
+from .machine.workload import CurrentProgram, SyncSpec, idle_program
+from .mbench.target import Target, default_target
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StressmarkGenerator",
+    "DidtStressmark",
+    "StressmarkSpec",
+    "Chip",
+    "ChipConfig",
+    "reference_chip",
+    "ChipRunner",
+    "RunOptions",
+    "RunResult",
+    "CurrentProgram",
+    "SyncSpec",
+    "idle_program",
+    "Target",
+    "default_target",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Noise characterization analyses built on the run engine.
+
+* :mod:`.sensitivity` — sweep drivers for the four noise parameters the
+  paper studies (stimulus frequency, alignment, ΔI, consecutive-event
+  count);
+* :mod:`.correlation` — inter-core noise correlation and cluster
+  detection (paper Figure 13a);
+* :mod:`.propagation` — step-injection propagation traces (Figure 13b);
+* :mod:`.mapping` — noise-aware workload mapping enumeration and
+  optimization (Figures 14/15, §VII-A);
+* :mod:`.guardband` — utilization-based dynamic guard-banding model
+  (§VII-B);
+* :mod:`.margins` — customer-code worst-case margin extrapolation
+  (the reference line of Figure 12);
+* :mod:`.report` — plain-text table/series rendering shared by the
+  experiment drivers.
+"""
+
+from .sensitivity import (
+    FrequencySweepPoint,
+    sweep_stimulus_frequency,
+    sweep_misalignment,
+    sweep_delta_i_mappings,
+)
+from .correlation import correlation_matrix, detect_clusters
+from .propagation import propagation_traces
+from .mapping import MappingStudy, enumerate_mappings, mapping_extremes
+from .guardband import GuardbandPolicy, build_policy, guardband_savings
+from .margins import customer_margin_line
+from .report import render_series, render_table
+
+__all__ = [
+    "FrequencySweepPoint",
+    "sweep_stimulus_frequency",
+    "sweep_misalignment",
+    "sweep_delta_i_mappings",
+    "correlation_matrix",
+    "detect_clusters",
+    "propagation_traces",
+    "MappingStudy",
+    "enumerate_mappings",
+    "mapping_extremes",
+    "GuardbandPolicy",
+    "build_policy",
+    "guardband_savings",
+    "customer_margin_line",
+    "render_series",
+    "render_table",
+]

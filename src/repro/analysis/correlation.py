@@ -1,0 +1,58 @@
+"""Inter-core noise correlation and cluster detection (Figure 13a).
+
+"We compute the correlation factor between the noise seen in all the
+possible mappings for each pair of cores ... we detect two clusters of
+cores: cores 0,2,4 and cores 1,3,5."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ExperimentError
+from .sensitivity import DeltaIMappingPoint
+
+__all__ = ["correlation_matrix", "detect_clusters"]
+
+
+def correlation_matrix(points: list[DeltaIMappingPoint]) -> np.ndarray:
+    """Pearson correlation of per-core noise across workload mappings.
+
+    Each mapping contributes one observation of the six per-core noise
+    readings; the matrix is 6×6 and symmetric with a unit diagonal.
+    """
+    if len(points) < 3:
+        raise ExperimentError("need at least three mappings for correlations")
+    data = np.array([point.p2p_by_core for point in points])  # runs × cores
+    # Discard all-idle style rows with no spread to keep Pearson defined.
+    if np.allclose(data.std(axis=0), 0.0):
+        raise ExperimentError("noise readings show no variance across mappings")
+    return np.corrcoef(data.T)
+
+
+def detect_clusters(matrix: np.ndarray) -> list[list[int]]:
+    """Split the cores into two clusters by correlation affinity.
+
+    Greedy agglomeration: seed the two clusters with the pair of cores
+    whose correlation is *lowest* (they must be in different clusters),
+    then assign every other core to the seed it correlates with more.
+    Returns the two clusters, each sorted, lowest-core-first.
+    """
+    n = matrix.shape[0]
+    if matrix.shape != (n, n) or n < 2:
+        raise ExperimentError("correlation matrix must be square (n >= 2)")
+    off_diag = matrix.copy()
+    np.fill_diagonal(off_diag, np.inf)
+    seed_a, seed_b = np.unravel_index(np.argmin(off_diag), off_diag.shape)
+    clusters: dict[int, list[int]] = {seed_a: [seed_a], seed_b: [seed_b]}
+    for core in range(n):
+        if core in (seed_a, seed_b):
+            continue
+        home = seed_a if matrix[core, seed_a] >= matrix[core, seed_b] else seed_b
+        clusters[home].append(core)
+    result = [
+        sorted(int(core) for core in clusters[seed_a]),
+        sorted(int(core) for core in clusters[seed_b]),
+    ]
+    result.sort(key=lambda cluster: cluster[0])
+    return result

@@ -1,0 +1,103 @@
+"""Utilization-based dynamic guard-banding (paper §VII-B).
+
+"The amount of ΔI that can be generated is bounded by the number of
+cores that are executing a workload.  If the hardware ... is aware of
+the number of cores that can execute a workload, then it could safely
+adapt the available margin accordingly."
+
+The policy: for each possible active-core count k, determine the
+worst-case noise any workload on k cores can generate (from the ΔI
+study's regions), convert it to a required voltage margin, and run the
+supply at nominal minus the *unused* part of the static worst-case
+margin whenever fewer cores are active.  Energy savings follow from
+P ∝ V² at a given utilization profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+from .sensitivity import DeltaIMappingPoint
+
+__all__ = ["GuardbandPolicy", "guardband_savings"]
+
+
+@dataclass
+class GuardbandPolicy:
+    """Margin schedule indexed by active-core count.
+
+    ``margin_by_active_cores[k]`` is the voltage margin (fraction of
+    nominal) that must be reserved when at most *k* cores may execute.
+    """
+
+    margin_by_active_cores: dict[int, float]
+    static_margin: float
+
+    def margin_for(self, active_cores: int) -> float:
+        if active_cores not in self.margin_by_active_cores:
+            raise ExperimentError(f"no margin entry for {active_cores} active cores")
+        return self.margin_by_active_cores[active_cores]
+
+    def voltage_scale(self, active_cores: int) -> float:
+        """Supply scale vs. the statically guard-banded voltage.
+
+        The static design reserves ``static_margin``; with k active
+        cores only ``margin_for(k)`` is needed, so the supply can drop
+        by the difference.
+        """
+        return 1.0 - (self.static_margin - self.margin_for(active_cores))
+
+    def power_scale(self, active_cores: int) -> float:
+        """Dynamic power scale (V² law) at *active_cores*."""
+        return self.voltage_scale(active_cores) ** 2
+
+
+def build_policy(
+    points: list[DeltaIMappingPoint],
+    volts_per_p2p_point: float = 0.0016,
+    headroom: float = 0.005,
+) -> GuardbandPolicy:
+    """Derive the margin schedule from the ΔI mapping study.
+
+    ``volts_per_p2p_point`` converts worst-case %p2p readings into
+    required margin (the skitter calibration line); ``headroom`` adds a
+    fixed safety term.
+    """
+    if not points:
+        raise ExperimentError("need ΔI study data to build a policy")
+    worst_by_count: dict[int, float] = {}
+    for point in points:
+        count = point.active_cores
+        worst_by_count[count] = max(worst_by_count.get(count, 0.0), point.max_p2p)
+    max_cores = max(worst_by_count)
+    # Margin must be monotone in the core count: a schedule entry covers
+    # "up to k cores active".
+    margins: dict[int, float] = {}
+    running = 0.0
+    for count in range(0, max_cores + 1):
+        noise = worst_by_count.get(count, 0.0)
+        running = max(running, noise * volts_per_p2p_point + headroom)
+        margins[count] = running
+    return GuardbandPolicy(
+        margin_by_active_cores=margins, static_margin=margins[max_cores]
+    )
+
+
+def guardband_savings(
+    policy: GuardbandPolicy, utilization_profile: dict[int, float]
+) -> float:
+    """Average dynamic-power saving of the policy (fraction).
+
+    ``utilization_profile[k]`` is the fraction of time at most *k* cores
+    are active; fractions must sum to 1.
+    """
+    total = sum(utilization_profile.values())
+    if abs(total - 1.0) > 1e-6:
+        raise ExperimentError("utilization profile fractions must sum to 1")
+    baseline = 1.0
+    scaled = sum(
+        share * policy.power_scale(cores)
+        for cores, share in utilization_profile.items()
+    )
+    return baseline - scaled

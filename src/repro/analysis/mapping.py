@@ -1,0 +1,99 @@
+"""Noise-aware workload mapping (paper Figures 14/15, §VII-A).
+
+The worst-case noise of running k identical stressmarks depends on
+*which* cores they land on: packing them into one noise cluster is
+worse than spreading them across the clusters.  A noise-aware mapper
+can therefore shave worst-case noise — and with it, guard-band — by
+choosing placements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..errors import ExperimentError
+from ..machine.chip import N_CORES, Chip
+from ..machine.runner import ChipRunner, RunOptions
+from ..machine.workload import CurrentProgram
+
+__all__ = ["MappingOutcome", "MappingStudy", "enumerate_mappings", "mapping_extremes"]
+
+
+@dataclass
+class MappingOutcome:
+    """One placement of k workloads and its worst-case noise."""
+
+    cores: tuple[int, ...]
+    p2p_by_core: list[float]
+
+    @property
+    def worst_noise(self) -> float:
+        return max(self.p2p_by_core)
+
+    @property
+    def worst_core(self) -> int:
+        return self.p2p_by_core.index(max(self.p2p_by_core))
+
+
+@dataclass
+class MappingStudy:
+    """All placements of k identical workloads on the chip."""
+
+    n_workloads: int
+    outcomes: list[MappingOutcome]
+
+    @property
+    def best(self) -> MappingOutcome:
+        """The placement minimizing worst-case noise (noise-aware pick)."""
+        return min(self.outcomes, key=lambda o: (o.worst_noise, o.cores))
+
+    @property
+    def worst(self) -> MappingOutcome:
+        """The placement maximizing worst-case noise (adversarial pick)."""
+        return max(self.outcomes, key=lambda o: (o.worst_noise, o.cores))
+
+    @property
+    def reduction_opportunity(self) -> float:
+        """%p2p points a noise-aware mapper saves over the worst pick."""
+        return self.worst.worst_noise - self.best.worst_noise
+
+
+def enumerate_mappings(
+    chip: Chip,
+    program: CurrentProgram,
+    n_workloads: int,
+    options: RunOptions | None = None,
+    idle_current: float | None = None,
+) -> MappingStudy:
+    """Run every placement of *n_workloads* copies of *program*.
+
+    ``idle_current`` feeds the unoccupied cores; defaults to the chip's
+    static current.
+    """
+    if not 0 <= n_workloads <= N_CORES:
+        raise ExperimentError(f"cannot place {n_workloads} workloads on {N_CORES} cores")
+    runner = ChipRunner(chip)
+    if idle_current is None:
+        idle_current = chip.config.core.static_power_w / chip.vnom
+    from ..machine.workload import idle_program
+
+    idle = idle_program(idle_current)
+    outcomes: list[MappingOutcome] = []
+    for cores in itertools.combinations(range(N_CORES), n_workloads):
+        mapping = [program if i in cores else idle for i in range(N_CORES)]
+        result = runner.run(mapping, options, run_tag=("mapping", cores))
+        outcomes.append(MappingOutcome(cores=cores, p2p_by_core=result.p2p_by_core))
+    return MappingStudy(n_workloads=n_workloads, outcomes=outcomes)
+
+
+def mapping_extremes(
+    chip: Chip,
+    program: CurrentProgram,
+    workload_counts: list[int],
+    options: RunOptions | None = None,
+) -> dict[int, MappingStudy]:
+    """Best/worst mapping study per workload count (Figure 15)."""
+    return {
+        k: enumerate_mappings(chip, program, k, options) for k in workload_counts
+    }

@@ -1,0 +1,50 @@
+"""Customer-code margin extrapolation (the reference line of Fig. 12).
+
+"The extrapolation assumes: (a) ΔI events are not synchronized ...
+and (b) the magnitude of the ΔI events generated on each core is
+around ~80% of the maximum possible ΔI.  This is based on the fact
+that, historically, maximum power stressmarks showed ~20% higher than
+worst case regular user codes."
+"""
+
+from __future__ import annotations
+
+from ..errors import ExperimentError
+from ..machine.chip import Chip
+from ..machine.runner import ChipRunner, RunOptions
+from ..machine.workload import CurrentProgram
+from ..measure.runit import RUnitConfig
+from ..measure.vmin import VminResult, run_vmin_experiment
+
+__all__ = ["customer_margin_line"]
+
+
+def customer_margin_line(
+    chip: Chip,
+    max_stressmark: CurrentProgram,
+    delta_i_fraction: float = 0.8,
+    options: RunOptions | None = None,
+    runit: RUnitConfig | None = None,
+) -> VminResult:
+    """Available margin for the worst-case *customer* code.
+
+    Derives the customer workload from the maximum stressmark by
+    scaling its ΔI to ``delta_i_fraction`` and removing the
+    synchronization (real programs do not align their power swings),
+    then runs the Vmin protocol on six copies.
+    """
+    if not 0.0 < delta_i_fraction <= 1.0:
+        raise ExperimentError("delta_i_fraction must be in (0, 1]")
+    scaled_high = max_stressmark.i_low + delta_i_fraction * max_stressmark.delta_i
+    customer = CurrentProgram(
+        name=f"customer-{int(delta_i_fraction * 100)}pct",
+        i_low=max_stressmark.i_low,
+        i_high=scaled_high,
+        freq_hz=max_stressmark.freq_hz,
+        duty=max_stressmark.duty,
+        rise_time=max_stressmark.rise_time,
+        sync=None,
+    )
+    return run_vmin_experiment(
+        chip, [customer] * 6, runit_config=runit, options=options
+    )

@@ -1,0 +1,73 @@
+"""Noise propagation traces (paper Figure 13b).
+
+"We evaluate the effects of a large ΔI event on Core 0, while the other
+cores are idling ... the noise in the cores 0, 2, 4 on one side of the
+chip is larger than the noise in the cores on the opposite side ...
+the noise from core 0 is transferred faster to cores 2 and 4."
+
+The paper ran this on its in-house PDN design tool; here the same
+engine that drives the measurements answers directly with exact step
+responses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExperimentError
+from ..machine.chip import N_CORES, Chip
+
+__all__ = ["PropagationTrace", "propagation_traces"]
+
+
+@dataclass
+class PropagationTrace:
+    """Per-core voltage response to a ΔI step on a source core.
+
+    ``times`` is shared; ``volts_by_core[i]`` is core *i*'s deviation
+    waveform (V).  ``peak_droop_by_core`` and ``time_to_10pct_by_core``
+    quantify strength and speed of the propagation.
+    """
+
+    source_core: int
+    delta_i: float
+    times: np.ndarray
+    volts_by_core: list[np.ndarray]
+    peak_droop_by_core: list[float]
+    time_to_10pct_by_core: list[float]
+
+
+def propagation_traces(
+    chip: Chip,
+    source_core: int = 0,
+    delta_i: float = 18.0,
+    horizon: float = 3e-6,
+    samples: int = 3000,
+) -> PropagationTrace:
+    """Inject a ΔI step at *source_core* and record every core."""
+    if not 0 <= source_core < N_CORES:
+        raise ExperimentError(f"no core {source_core}")
+    if delta_i <= 0 or horizon <= 0:
+        raise ExperimentError("delta_i and horizon must be positive")
+    times = np.linspace(0.0, horizon, samples)
+    port = chip.core_ports[source_core]
+    responses = chip.modal.step_response(port, chip.core_nodes, times)
+    volts = [delta_i * responses[i] for i in range(N_CORES)]
+
+    peaks = [float(-wave.min()) for wave in volts]
+    times_to_10pct: list[float] = []
+    for core, wave in enumerate(volts):
+        threshold = 0.10 * peaks[source_core]
+        below = np.nonzero(-wave >= threshold)[0]
+        times_to_10pct.append(float(times[below[0]]) if below.size else float("inf"))
+
+    return PropagationTrace(
+        source_core=source_core,
+        delta_i=delta_i,
+        times=times,
+        volts_by_core=volts,
+        peak_droop_by_core=peaks,
+        time_to_10pct_by_core=times_to_10pct,
+    )

@@ -1,0 +1,64 @@
+"""Plain-text rendering helpers shared by the experiment drivers.
+
+Experiments print the same rows/series the paper's figures plot; these
+helpers keep the formatting uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ExperimentError
+from ..units import format_freq
+
+__all__ = ["render_table", "render_series", "format_freq"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a fixed-width text table."""
+    if not headers:
+        raise ExperimentError("table needs headers")
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ExperimentError("row width does not match headers")
+    widths = [
+        max([len(h)] + [len(row[col]) for row in str_rows])
+        for col, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    fmt: str = "{:.1f}",
+) -> str:
+    """Render one or more y-series against a shared x-axis as a table."""
+    headers = [x_label] + list(series)
+    rows = []
+    for index, x in enumerate(xs):
+        row: list[object] = [x]
+        for values in series.values():
+            if len(values) != len(xs):
+                raise ExperimentError("series length does not match x-axis")
+            row.append(fmt.format(values[index]))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

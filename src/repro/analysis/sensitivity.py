@@ -1,0 +1,222 @@
+"""Sweep drivers for the paper's §V sensitivity studies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.generator import StressmarkGenerator
+from ..core.sync import offset_assignments, spread_offsets
+from ..errors import ExperimentError
+from ..machine.chip import N_CORES, Chip
+from ..machine.runner import ChipRunner, RunOptions, RunResult
+from ..machine.workload import CurrentProgram, idle_program
+
+__all__ = [
+    "FrequencySweepPoint",
+    "default_frequency_grid",
+    "sweep_stimulus_frequency",
+    "sweep_misalignment",
+    "sweep_delta_i_mappings",
+    "DeltaIMappingPoint",
+]
+
+
+@dataclass
+class FrequencySweepPoint:
+    """One stimulus frequency of a sweep: requested/achieved frequency
+    and the per-core noise readings."""
+
+    freq_hz: float
+    achieved_freq_hz: float
+    p2p_by_core: list[float]
+
+    @property
+    def max_p2p(self) -> float:
+        return max(self.p2p_by_core)
+
+
+def default_frequency_grid(
+    f_min: float = 3e3, f_max: float = 1e8, points_per_decade: int = 6
+) -> list[float]:
+    """Log-spaced stimulus frequency grid covering both resonant bands."""
+    if f_min <= 0 or f_max <= f_min:
+        raise ExperimentError("bad frequency grid bounds")
+    decades = np.log10(f_max / f_min)
+    n = max(int(round(decades * points_per_decade)) + 1, 2)
+    return [float(f) for f in np.logspace(np.log10(f_min), np.log10(f_max), n)]
+
+
+def sweep_stimulus_frequency(
+    generator: StressmarkGenerator,
+    chip: Chip,
+    frequencies: list[float],
+    synchronize: bool,
+    options: RunOptions | None = None,
+    n_events: int = 1000,
+) -> list[FrequencySweepPoint]:
+    """Run one copy of the max dI/dt stressmark per core at each
+    stimulus frequency (paper Figures 7a and 9)."""
+    runner = ChipRunner(chip)
+    points: list[FrequencySweepPoint] = []
+    for freq in frequencies:
+        mark = generator.max_didt(
+            freq_hz=freq, synchronize=synchronize, n_events=n_events
+        )
+        program = mark.current_program()
+        result = runner.run(
+            [program] * N_CORES, options, run_tag=("fsweep", synchronize, freq)
+        )
+        points.append(
+            FrequencySweepPoint(
+                freq_hz=freq,
+                achieved_freq_hz=mark.achieved_freq_hz,
+                p2p_by_core=result.p2p_by_core,
+            )
+        )
+    return points
+
+
+def sweep_misalignment(
+    generator: StressmarkGenerator,
+    chip: Chip,
+    max_misalignments: list[float],
+    freq_hz: float = 2.6e6,
+    options: RunOptions | None = None,
+    assignments_sample: int = 6,
+    n_events: int = 1000,
+) -> dict[float, list[float]]:
+    """Noise versus maximum allowed misalignment (paper Figure 10).
+
+    For each maximum misalignment, stressmarks are spread evenly over
+    the 62.5 ns-gridded offsets and every sampled offset→core assignment
+    is executed; returns, per misalignment, the per-core noise averaged
+    over assignments.
+    """
+    runner = ChipRunner(chip)
+    results: dict[float, list[float]] = {}
+    for max_mis in max_misalignments:
+        offsets = spread_offsets(N_CORES, max_mis)
+        marks = {
+            offset: generator.max_didt(
+                freq_hz=freq_hz,
+                synchronize=True,
+                misalignment=offset,
+                n_events=n_events,
+            ).current_program()
+            for offset in set(offsets)
+        }
+        accumulator = np.zeros(N_CORES)
+        count = 0
+        for assignment in offset_assignments(
+            offsets, sample=assignments_sample, seed=generator.seed
+        ):
+            mapping = [marks[offset] for offset in assignment]
+            result = runner.run(
+                mapping, options, run_tag=("missweep", max_mis, count)
+            )
+            accumulator += np.array(result.p2p_by_core)
+            count += 1
+        results[max_mis] = list(accumulator / count)
+    return results
+
+
+@dataclass
+class DeltaIMappingPoint:
+    """One workload mapping of the ΔI study (paper Figure 11).
+
+    ``placement[core]`` is the workload level on that core (``"max"``,
+    ``"medium"`` or ``"idle"``); ``distribution`` is the (#max, #medium)
+    pair; ``delta_i_pct`` the percentage of the maximum chip ΔI this
+    mapping can generate.
+    """
+
+    mapping_id: int
+    placement: tuple[str, ...]
+    distribution: tuple[int, int]
+    delta_i_pct: float
+    p2p_by_core: list[float]
+    active_cores: int
+
+    @property
+    def max_p2p(self) -> float:
+        return max(self.p2p_by_core)
+
+
+def _distinct_placements(
+    n_max: int, n_med: int, cap: int, seed: int
+) -> list[tuple[str, ...]]:
+    """Distinct workload placements of a (max, medium) distribution on
+    the six cores; capped by a deterministic sample when there are many."""
+    import itertools
+
+    base = ["max"] * n_max + ["medium"] * n_med + ["idle"] * (
+        N_CORES - n_max - n_med
+    )
+    distinct = sorted(set(itertools.permutations(base)))
+    if len(distinct) <= cap:
+        return distinct
+    rng = np.random.default_rng(seed)
+    indices = sorted(rng.choice(len(distinct), size=cap, replace=False))
+    return [distinct[int(i)] for i in indices]
+
+
+def sweep_delta_i_mappings(
+    generator: StressmarkGenerator,
+    chip: Chip,
+    freq_hz: float = 2.6e6,
+    options: RunOptions | None = None,
+    workload_filter: Callable[[tuple[int, int]], bool] | None = None,
+    placements_per_distribution: int = 4,
+) -> list[DeltaIMappingPoint]:
+    """Run workload→core mappings of {idle, medium, max} dI/dt.
+
+    Following §V-D: the medium stressmark generates half the ΔI of the
+    maximum one and everything is synchronized to maximize noise.  For
+    each (#max, #medium) distribution, up to
+    ``placements_per_distribution`` distinct core placements are
+    executed (the paper runs all of them; the deterministic sample keeps
+    the dataset rich enough for the correlation and mapping studies at a
+    fraction of the runs).
+    """
+    runner = ChipRunner(chip)
+    max_prog = generator.max_didt(freq_hz=freq_hz, synchronize=True).current_program()
+    med_prog = generator.medium_didt(
+        freq_hz=freq_hz, synchronize=True
+    ).current_program()
+    idle = idle_program(generator.target.idle_current)
+    by_level = {"max": max_prog, "medium": med_prog, "idle": idle}
+    full_delta = N_CORES * max_prog.delta_i
+
+    points: list[DeltaIMappingPoint] = []
+    mapping_id = 0
+    for n_max in range(0, N_CORES + 1):
+        for n_med in range(0, N_CORES + 1 - n_max):
+            distribution = (n_max, n_med)
+            if workload_filter is not None and not workload_filter(distribution):
+                continue
+            placements = _distinct_placements(
+                n_max, n_med, placements_per_distribution, generator.seed
+            )
+            delta = n_max * max_prog.delta_i + n_med * med_prog.delta_i
+            for placement in placements:
+                programs: list[CurrentProgram] = [
+                    by_level[level] for level in placement
+                ]
+                result = runner.run(
+                    programs, options, run_tag=("disweep", placement)
+                )
+                points.append(
+                    DeltaIMappingPoint(
+                        mapping_id=mapping_id,
+                        placement=placement,
+                        distribution=distribution,
+                        delta_i_pct=100.0 * delta / full_delta,
+                        p2p_by_core=result.p2p_by_core,
+                        active_cores=n_max + n_med,
+                    )
+                )
+                mapping_id += 1
+    return points

@@ -1,0 +1,101 @@
+"""Command-line interface: ``repro-noise`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``list`` — show the available experiments;
+* ``run <id> [...]`` — run experiments and print their rows/series
+  (``run all`` runs the whole suite);
+* ``table1 .. fig15`` — shorthand for ``run <id>``.
+
+``--quick`` swaps in the reduced-cost context (shorter EPI loops, fewer
+sweep points) for smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .errors import ReproError
+from .experiments import (
+    all_experiments,
+    default_context,
+    get_experiment,
+    quick_context,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-noise",
+        description=(
+            "Reproduction of 'Voltage Noise in Multi-core Processors' "
+            "(MICRO 2014): run the paper's experiments on the simulated "
+            "platform."
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use the reduced-cost context (smoke runs)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (e.g. table1 fig7a), or 'all'",
+    )
+    run.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help="also export text+JSON artifacts per experiment into DIR",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for experiment_id, title in all_experiments().items():
+            print(f"{experiment_id:<8} {title}")
+        return 0
+
+    requested = args.experiments
+    if requested == ["all"]:
+        requested = list(all_experiments())
+    try:
+        drivers = [(eid, get_experiment(eid)) for eid in requested]
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    context = quick_context() if args.quick else default_context()
+    status = 0
+    results = []
+    for experiment_id, driver in drivers:
+        try:
+            result = driver(context)
+        except ReproError as error:
+            print(f"error in {experiment_id}: {error}", file=sys.stderr)
+            status = 1
+            continue
+        results.append(result)
+        print(result)
+        print()
+    if args.output and results:
+        from .experiments.exporter import export_results
+
+        index = export_results(results, args.output)
+        print(f"exported {len(results)} experiment artifact(s); index: {index}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Instruction candidate selection (paper Figure 5, step 1).
+
+"We use the EPI profile to categorize the instructions by their
+functional unit usage and issue class.  From each category, we select
+the top most power-consuming instructions.  Categories with low power
+or low IPC are discarded to reduce the number of instruction candidates
+to nine, avoiding a design space explosion problem."
+"""
+
+from __future__ import annotations
+
+from ..errors import GenerationError
+from ..isa.instruction import InstructionDef
+from .epi import EpiProfile
+
+__all__ = ["select_candidates"]
+
+
+def select_candidates(
+    profile: EpiProfile,
+    max_candidates: int = 9,
+    min_power_ratio: float = 1.30,
+    min_ipc: float = 0.5,
+) -> list[InstructionDef]:
+    """Pick the stressmark candidate pool from the EPI profile.
+
+    One instruction per issue class (its most power-hungry member);
+    classes whose best member is low power (normalized power below
+    *min_power_ratio*) or low IPC (below *min_ipc* µops/cycle) are
+    discarded; the surviving class champions are ranked by power and
+    capped at *max_candidates*.
+    """
+    if max_candidates < 2:
+        raise GenerationError("need at least two candidates to build sequences")
+    champion_by_class: dict[str, object] = {}
+    for entry in profile.entries:  # already sorted by descending power
+        issue_class = entry.instruction.issue_class
+        champion_by_class.setdefault(issue_class, entry)
+
+    kept = [
+        entry
+        for entry in champion_by_class.values()
+        if entry.normalized_power >= min_power_ratio and entry.ipc >= min_ipc
+    ]
+    kept.sort(key=lambda e: -e.power_w)
+    candidates = [entry.instruction for entry in kept[:max_candidates]]
+    if len(candidates) < 2:
+        raise GenerationError(
+            "candidate selection discarded everything; relax the thresholds"
+        )
+    return candidates

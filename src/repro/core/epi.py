@@ -1,0 +1,133 @@
+"""Energy-per-instruction (EPI) profiling.
+
+"The first step required to produce dI/dt stressmarks is the generation
+of an energy-per-instruction profile ... a micro-benchmark for each and
+every instruction in the ISA.  The micro-benchmark skeleton is an
+endless loop with 4000 repetitions of the instruction, without
+dependencies.  Micro-benchmarks are run for a few seconds and power and
+performance metrics are gathered."  (paper §IV-A)
+
+Profiling every instruction is what surfaces the non-intuitive
+candidates (a compare-immediate in the top five) that an expert-driven
+selection would miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GenerationError
+from ..isa.instruction import InstructionDef
+from ..mbench.loops import EPI_REPETITIONS, build_epi_loop
+from ..mbench.target import Target
+from ..measure.counters import read_counters
+from ..measure.powermeter import PowerMeter
+
+__all__ = ["EpiEntry", "EpiProfile", "generate_epi_profile"]
+
+
+@dataclass(frozen=True)
+class EpiEntry:
+    """One row of the EPI profile.
+
+    ``normalized_power`` is the measured loop power relative to the
+    cheapest instruction's (Table I semantics).
+    """
+
+    rank: int
+    instruction: InstructionDef
+    power_w: float
+    normalized_power: float
+    ipc: float
+
+    @property
+    def mnemonic(self) -> str:
+        return self.instruction.mnemonic
+
+
+class EpiProfile:
+    """The ranked EPI profile of a target's full ISA."""
+
+    def __init__(self, entries: list[EpiEntry]):
+        if not entries:
+            raise GenerationError("empty EPI profile")
+        self.entries = sorted(entries, key=lambda e: -e.power_w)
+        self.entries = [
+            EpiEntry(
+                rank=i + 1,
+                instruction=e.instruction,
+                power_w=e.power_w,
+                normalized_power=e.normalized_power,
+                ipc=e.ipc,
+            )
+            for i, e in enumerate(self.entries)
+        ]
+        self._by_mnemonic = {e.mnemonic: e for e in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, mnemonic: str) -> EpiEntry:
+        try:
+            return self._by_mnemonic[mnemonic]
+        except KeyError:
+            raise GenerationError(f"{mnemonic!r} not in EPI profile") from None
+
+    def top(self, n: int) -> list[EpiEntry]:
+        """The *n* most power-hungry instructions."""
+        return self.entries[:n]
+
+    def bottom(self, n: int) -> list[EpiEntry]:
+        """The *n* cheapest instructions (ranking tail)."""
+        return self.entries[-n:]
+
+    @property
+    def last(self) -> EpiEntry:
+        """The cheapest instruction — the min-power sequence candidate."""
+        return self.entries[-1]
+
+
+def generate_epi_profile(
+    target: Target,
+    meter: PowerMeter | None = None,
+    repetitions: int = EPI_REPETITIONS,
+    instructions: list[InstructionDef] | None = None,
+) -> EpiProfile:
+    """Profile every instruction of *target*'s ISA (or a subset).
+
+    Parameters
+    ----------
+    target:
+        The bound evaluation target.
+    meter:
+        Power meter to use; defaults to a fresh one on the target
+        (including its measurement noise, as on hardware).
+    repetitions:
+        Loop-body repetitions of the profiled instruction; the paper's
+        skeleton uses 4000.  Tests may lower this.
+    instructions:
+        Restrict profiling to a subset (for fast unit tests); the
+        normalization point is then the subset's cheapest instruction.
+    """
+    meter = meter or PowerMeter(target)
+    rows: list[tuple[InstructionDef, float, float]] = []
+    pool = instructions if instructions is not None else list(target.isa)
+    if not pool:
+        raise GenerationError("no instructions to profile")
+    for inst in pool:
+        program = build_epi_loop(target.isa, inst, repetitions=repetitions)
+        power = meter.measure(program)
+        counters = read_counters(program, target)
+        rows.append((inst, power, counters.ipc))
+    floor = min(power for _, power, _ in rows)
+    entries = [
+        EpiEntry(
+            rank=0,
+            instruction=inst,
+            power_w=power,
+            normalized_power=power / floor,
+            ipc=ipc,
+        )
+        for inst, power, ipc in rows
+    ]
+    return EpiProfile(entries)

@@ -1,0 +1,140 @@
+"""Microarchitectural and IPC filtering (paper Figure 5, steps 3-4).
+
+The combination space (531 441 sequences for nine candidates) is far
+too large to measure.  Two cheap model-based filters cut it down:
+
+* **microarchitectural filtering** — discard sequences that provably
+  cannot sustain the maximum dispatch rate: average dispatch-group size
+  must be exactly the machine width (the paper: "sequences that are
+  known to not have an average dispatch group size of 3 are filtered
+  out"), plus structural constraints (branch budget, per-issue-class
+  multiplicity, non-pipelined-op budget);
+* **IPC filtering** — rank the survivors with the analytic throughput
+  model and keep the top N (the paper keeps the thousand highest-IPC
+  sequences; IPC evaluation is cheap and parallel, power evaluation is
+  not).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..errors import GenerationError
+from ..isa.instruction import InstructionDef
+from ..uarch.grouping import form_groups
+from ..uarch.resources import CoreConfig
+from ..uarch.throughput import analyze_loop
+
+__all__ = ["FilterConstraints", "FilterStats", "microarch_filter", "ipc_filter"]
+
+
+@dataclass(frozen=True)
+class FilterConstraints:
+    """Knobs of the microarchitectural filter."""
+
+    #: Required average dispatch-group size (machine width).
+    required_group_size: float = 3.0
+    #: Maximum branch-like instructions per sequence.
+    max_branches: int = 2
+    #: Maximum occurrences of any single issue class per sequence
+    #: (beyond the unit's capacity, repeats waste dispatch slots).
+    max_per_issue_class: int = 2
+    #: Maximum non-pipelined (unit-blocking) operations per sequence.
+    max_nonpipelined: int = 0
+    #: Maximum memory operations per sequence (load/store port budget
+    #: over two groups).
+    max_memory: int = 3
+
+
+@dataclass
+class FilterStats:
+    """Bookkeeping of a filtering stage (for the Figure 5 funnel)."""
+
+    examined: int = 0
+    accepted: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return self.examined - self.accepted
+
+
+def microarch_filter(
+    sequences: Iterable[tuple[InstructionDef, ...]],
+    config: CoreConfig,
+    constraints: FilterConstraints | None = None,
+) -> tuple[list[tuple[InstructionDef, ...]], FilterStats]:
+    """Apply the structural constraints; returns (survivors, stats)."""
+    constraints = constraints or FilterConstraints()
+    stats = FilterStats()
+    survivors: list[tuple[InstructionDef, ...]] = []
+    for sequence in sequences:
+        stats.examined += 1
+        if _passes(sequence, config, constraints):
+            survivors.append(sequence)
+            stats.accepted += 1
+    return survivors, stats
+
+
+def _passes(
+    sequence: tuple[InstructionDef, ...],
+    config: CoreConfig,
+    constraints: FilterConstraints,
+) -> bool:
+    branches = 0
+    memory = 0
+    nonpipelined = 0
+    class_counts: Counter[str] = Counter()
+    for inst in sequence:
+        if inst.is_branch:
+            branches += 1
+            if branches > constraints.max_branches:
+                return False
+        if inst.memory:
+            memory += 1
+            if memory > constraints.max_memory:
+                return False
+        if not inst.pipelined:
+            nonpipelined += 1
+            if nonpipelined > constraints.max_nonpipelined:
+                return False
+        class_counts[inst.issue_class] += 1
+        if class_counts[inst.issue_class] > constraints.max_per_issue_class:
+            return False
+    groups = form_groups(sequence, config)
+    return len(sequence) / len(groups) >= constraints.required_group_size
+
+
+def ipc_filter(
+    sequences: Sequence[tuple[InstructionDef, ...]],
+    config: CoreConfig,
+    keep: int = 1000,
+    epi_weights: dict[str, float] | None = None,
+) -> tuple[list[tuple[InstructionDef, ...]], FilterStats]:
+    """Keep the *keep* highest-IPC sequences.
+
+    Many structurally valid sequences saturate the dispatch width and
+    tie at the maximum IPC; breaking those ties by enumeration order
+    throws away the heavy mixes the power evaluation is hunting for.
+    When *epi_weights* (mnemonic → measured normalized power, i.e. the
+    EPI profile — data the methodology already has) is supplied, ties
+    prefer the sequences whose members measured hottest; the final
+    ordering stays deterministic via the enumeration index.
+    """
+    if keep < 1:
+        raise GenerationError("must keep at least one sequence")
+    stats = FilterStats(examined=len(sequences))
+    weights = epi_weights or {}
+
+    def weight_sum(sequence: tuple[InstructionDef, ...]) -> float:
+        return sum(weights.get(inst.mnemonic, 0.0) for inst in sequence)
+
+    scored = [
+        (analyze_loop(sequence, config).ipc, weight_sum(sequence), index)
+        for index, sequence in enumerate(sequences)
+    ]
+    scored.sort(key=lambda row: (-row[0], -row[1], row[2]))
+    selected = [sequences[index] for _, _, index in scored[:keep]]
+    stats.accepted = len(selected)
+    return selected, stats

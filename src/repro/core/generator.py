@@ -1,0 +1,150 @@
+"""End-to-end stressmark generation façade.
+
+Wraps the full methodology (EPI profile → max/min/medium power
+sequences → stressmark builder) behind one object with caching, so
+experiments can ask for "the maximum dI/dt stressmark at 2 MHz,
+synchronized, misaligned by 125 ns" in one call.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+from ..errors import GenerationError
+from ..mbench.target import Target, default_target
+from ..measure.powermeter import PowerMeter
+from .epi import EpiProfile, generate_epi_profile
+from .mediumpower import DilutedSequence, medium_power_sequence
+from .minpower import min_power_sequence
+from .search import MaxPowerSearchResult, search_max_power_sequence
+from .stressmark import DidtStressmark, StressmarkBuilder, StressmarkSpec
+
+__all__ = ["StressmarkGenerator"]
+
+
+class StressmarkGenerator:
+    """One-stop generator for the reference target.
+
+    All expensive artifacts (EPI profile, search result, builders) are
+    computed once and cached on the instance.
+
+    Parameters
+    ----------
+    target:
+        Bound evaluation target; defaults to the reference platform.
+    epi_repetitions:
+        Loop repetitions for EPI profiling (paper skeleton: 4000).
+        Tests lower this for speed; the ranking is unaffected.
+    ipc_keep:
+        Sequences surviving the IPC filter into power evaluation.
+    """
+
+    def __init__(
+        self,
+        target: Target | None = None,
+        seed: int = 0,
+        epi_repetitions: int = 400,
+        ipc_keep: int = 1000,
+    ):
+        self.target = target or default_target()
+        self.seed = seed
+        self.epi_repetitions = epi_repetitions
+        self.ipc_keep = ipc_keep
+
+    @cached_property
+    def meter(self) -> PowerMeter:
+        return PowerMeter(self.target, seed=self.seed)
+
+    @cached_property
+    def epi_profile(self) -> EpiProfile:
+        """The full-ISA EPI profile (Table I source)."""
+        return generate_epi_profile(
+            self.target, meter=self.meter, repetitions=self.epi_repetitions
+        )
+
+    @cached_property
+    def max_power_result(self) -> MaxPowerSearchResult:
+        """The Figure 5 search outcome."""
+        return search_max_power_sequence(
+            self.target, self.epi_profile, meter=self.meter, ipc_keep=self.ipc_keep
+        )
+
+    @property
+    def max_sequence(self):
+        return self.max_power_result.sequence
+
+    @cached_property
+    def min_sequence(self):
+        return min_power_sequence(self.epi_profile)
+
+    @cached_property
+    def max_builder(self) -> StressmarkBuilder:
+        return StressmarkBuilder(
+            self.target, self.max_sequence, self.min_sequence, name="didt-max"
+        )
+
+    @cached_property
+    def medium_dilution(self) -> DilutedSequence:
+        """High phase of the medium dI/dt stressmark."""
+        builder = self.max_builder
+        return medium_power_sequence(
+            self.target,
+            self.max_sequence,
+            self.min_sequence,
+            max_power_w=builder._high_estimate.watts,
+            min_power_w=builder._low_estimate.watts,
+        )
+
+    @cached_property
+    def medium_builder(self) -> StressmarkBuilder:
+        return StressmarkBuilder(
+            self.target,
+            self.medium_dilution.body,
+            self.min_sequence,
+            name="didt-med",
+        )
+
+    # ------------------------------------------------------------------
+    def build(self, spec: StressmarkSpec, level: str = "max") -> DidtStressmark:
+        """Build a stressmark at intensity *level* ('max' or 'medium')."""
+        if level == "max":
+            return self.max_builder.build(spec)
+        if level == "medium":
+            return self.medium_builder.build(spec)
+        raise GenerationError(f"unknown stressmark level {level!r}")
+
+    def max_didt(
+        self,
+        freq_hz: float,
+        synchronize: bool = False,
+        misalignment: float = 0.0,
+        n_events: int = 1000,
+    ) -> DidtStressmark:
+        """Convenience: maximum dI/dt stressmark."""
+        return self.build(
+            StressmarkSpec(
+                stimulus_freq_hz=freq_hz,
+                synchronize=synchronize,
+                misalignment=misalignment,
+                n_events=n_events,
+            ),
+            level="max",
+        )
+
+    def medium_didt(
+        self,
+        freq_hz: float,
+        synchronize: bool = False,
+        misalignment: float = 0.0,
+        n_events: int = 1000,
+    ) -> DidtStressmark:
+        """Convenience: medium dI/dt stressmark (half the maximum ΔI)."""
+        return self.build(
+            StressmarkSpec(
+                stimulus_freq_hz=freq_hz,
+                synchronize=synchronize,
+                misalignment=misalignment,
+                n_events=n_events,
+            ),
+            level="medium",
+        )

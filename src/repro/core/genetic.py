@@ -1,0 +1,123 @@
+"""Genetic-algorithm stressmark search — the black-box baseline.
+
+The paper positions its white-box methodology against GA-based
+automatic stressmark generation (the AUDIT line of work: "it would be
+possible to implement optimization algorithms — such as the genetic
+algorithms employed in previous works — on top of the presented
+solution").  This module implements that baseline so the two approaches
+can be compared on equal footing (ablation bench A3): a GA over
+length-6 instruction sequences with measured power as fitness.
+
+The comparison the bench makes: the white-box pipeline reaches the
+winner with a bounded, explainable budget (model-filtered enumeration +
+1000 measurements), while the GA needs measured fitness for every
+individual of every generation and provides no insight into *why* the
+winner wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GenerationError
+from ..isa.instruction import InstructionDef
+from ..mbench.loops import build_sequence_loop
+from ..mbench.target import Target
+from ..measure.powermeter import PowerMeter
+from ..rng import stream
+from .sequences import DEFAULT_SEQUENCE_LENGTH
+
+__all__ = ["GeneticSearchResult", "genetic_max_power_search"]
+
+
+@dataclass
+class GeneticSearchResult:
+    """Outcome of the GA baseline."""
+
+    sequence: tuple[InstructionDef, ...]
+    power_w: float
+    generations: int
+    evaluations: int
+    history: list[float]  # best fitness per generation
+
+    @property
+    def mnemonics(self) -> list[str]:
+        return [inst.mnemonic for inst in self.sequence]
+
+
+def genetic_max_power_search(
+    target: Target,
+    candidates: list[InstructionDef],
+    meter: PowerMeter | None = None,
+    population: int = 40,
+    generations: int = 25,
+    elite: int = 4,
+    mutation_rate: float = 0.15,
+    tournament: int = 3,
+    length: int = DEFAULT_SEQUENCE_LENGTH,
+    seed: int = 0,
+) -> GeneticSearchResult:
+    """GA over length-*length* sequences of *candidates*, maximizing
+    measured loop power.
+
+    Classic generational GA: tournament selection, single-point
+    crossover, per-gene mutation, elitism.  Fitness evaluations are
+    power-meter measurements (with their noise), and each one costs the
+    meter's dwell time — which is the budget the comparison bench
+    reports.
+    """
+    if not candidates:
+        raise GenerationError("empty candidate pool")
+    if population < 4 or elite >= population:
+        raise GenerationError("population/elite sizes are inconsistent")
+    meter = meter or PowerMeter(target)
+    rng = stream(seed, "ga", "search")
+    evaluations = 0
+    cache: dict[tuple[str, ...], float] = {}
+
+    def fitness(sequence: tuple[InstructionDef, ...]) -> float:
+        nonlocal evaluations
+        key = tuple(inst.mnemonic for inst in sequence)
+        if key not in cache:
+            program = build_sequence_loop(
+                target.isa, sequence, unroll=21, name="ga-eval"
+            )
+            cache[key] = meter.measure(program, reading_tag=("ga", evaluations))
+            evaluations += 1
+        return cache[key]
+
+    def random_individual() -> tuple[InstructionDef, ...]:
+        picks = rng.integers(0, len(candidates), size=length)
+        return tuple(candidates[int(i)] for i in picks)
+
+    def tournament_pick(scored) -> tuple[InstructionDef, ...]:
+        picks = rng.integers(0, len(scored), size=tournament)
+        best = max((scored[int(i)] for i in picks), key=lambda pair: pair[1])
+        return best[0]
+
+    current = [random_individual() for _ in range(population)]
+    history: list[float] = []
+    for _ in range(generations):
+        scored = [(individual, fitness(individual)) for individual in current]
+        scored.sort(key=lambda pair: -pair[1])
+        history.append(scored[0][1])
+        next_generation = [individual for individual, _ in scored[:elite]]
+        while len(next_generation) < population:
+            mother = tournament_pick(scored)
+            father = tournament_pick(scored)
+            cut = int(rng.integers(1, length))
+            child = list(mother[:cut] + father[cut:])
+            for gene in range(length):
+                if rng.random() < mutation_rate:
+                    child[gene] = candidates[int(rng.integers(0, len(candidates)))]
+            next_generation.append(tuple(child))
+        current = next_generation
+
+    final = max(((ind, fitness(ind)) for ind in current), key=lambda p: p[1])
+    return GeneticSearchResult(
+        sequence=final[0],
+        power_w=final[1],
+        generations=generations,
+        evaluations=evaluations,
+        history=history,
+    )

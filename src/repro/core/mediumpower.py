@@ -1,0 +1,94 @@
+"""Medium-power (target-power) sequence construction.
+
+The paper's ΔI sensitivity study (Figure 11) needs a stressmark whose
+high phase "consumes exactly the average between the maximum and the
+minimum power sequence", so that two medium stressmarks generate the
+same ΔI as one maximum stressmark.
+
+Power does not mix linearly when sequences are concatenated (the
+bottleneck shifts), so the builder searches dilution ratios: loop
+bodies made of ``a`` copies of the max-power sequence followed by ``b``
+copies of the min-power instruction, picking the (a, b) whose modeled
+power is closest to the target.  The same machinery produces sequences
+for *any* intermediate power target, which the utilization/guard-band
+analysis reuses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import GenerationError
+from ..isa.instruction import InstructionDef
+from ..mbench.target import Target
+from ..uarch.power import estimate_loop_power
+
+__all__ = ["DilutedSequence", "medium_power_sequence", "target_power_sequence"]
+
+
+@dataclass
+class DilutedSequence:
+    """A dilution of the max-power sequence hitting a power target.
+
+    ``body`` is the loop body; ``power_w`` its modeled power;
+    ``target_w`` what was asked for.
+    """
+
+    body: tuple[InstructionDef, ...]
+    high_copies: int
+    low_copies: int
+    power_w: float
+    target_w: float
+
+    @property
+    def error_w(self) -> float:
+        return abs(self.power_w - self.target_w)
+
+
+def target_power_sequence(
+    target: Target,
+    max_sequence: tuple[InstructionDef, ...],
+    min_sequence: tuple[InstructionDef, ...],
+    target_power_w: float,
+    max_high_copies: int = 24,
+    max_low_copies: int = 12,
+) -> DilutedSequence:
+    """Find the dilution of *max_sequence* with *min_sequence* whose
+    steady-state power is closest to *target_power_w*."""
+    if max_high_copies < 1 or max_low_copies < 0:
+        raise GenerationError("bad dilution search bounds")
+    model = target.energy_model
+    best: DilutedSequence | None = None
+    for high in range(1, max_high_copies + 1):
+        for low in range(0, max_low_copies + 1):
+            body = tuple(max_sequence) * high + tuple(min_sequence) * low
+            power = estimate_loop_power(body, model).watts
+            candidate = DilutedSequence(
+                body=body,
+                high_copies=high,
+                low_copies=low,
+                power_w=power,
+                target_w=target_power_w,
+            )
+            if best is None or candidate.error_w < best.error_w:
+                best = candidate
+    assert best is not None
+    return best
+
+
+def medium_power_sequence(
+    target: Target,
+    max_sequence: tuple[InstructionDef, ...],
+    min_sequence: tuple[InstructionDef, ...],
+    max_power_w: float,
+    min_power_w: float,
+) -> DilutedSequence:
+    """The paper's medium dI/dt high phase: the average of max and min."""
+    if max_power_w <= min_power_w:
+        raise GenerationError("max power must exceed min power")
+    return target_power_sequence(
+        target,
+        max_sequence,
+        min_sequence,
+        target_power_w=0.5 * (max_power_w + min_power_w),
+    )

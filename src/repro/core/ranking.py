@@ -1,0 +1,33 @@
+"""Rendering of the EPI ranking (paper Table I)."""
+
+from __future__ import annotations
+
+from .epi import EpiProfile
+
+__all__ = ["render_epi_table"]
+
+
+def render_epi_table(profile: EpiProfile, n: int = 5) -> str:
+    """Render the first and last *n* instructions of the ranking in the
+    shape of the paper's Table I."""
+    width_mn = max(
+        [len(e.mnemonic) for e in profile.top(n) + profile.bottom(n)] + [6]
+    )
+    lines = [
+        f"{'Rank':>5}  {'# Instr.':<{width_mn}}  {'Description':<44}  Power",
+        "-" * (5 + 2 + width_mn + 2 + 44 + 7),
+    ]
+
+    def row(entry) -> str:
+        desc = entry.instruction.description[:44]
+        return (
+            f"{entry.rank:>5}  {entry.mnemonic:<{width_mn}}  {desc:<44}  "
+            f"{entry.normalized_power:.2f}"
+        )
+
+    for entry in profile.top(n):
+        lines.append(row(entry))
+    lines.append("  ...")
+    for entry in profile.bottom(n):
+        lines.append(row(entry))
+    return "\n".join(lines)

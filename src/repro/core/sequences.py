@@ -1,0 +1,41 @@
+"""Sequence candidate generation (paper Figure 5, step 2).
+
+"We generate all possible combinations of length six of these nine
+instructions (9^6 = 531 441).  Length six is selected because it is
+twice the dispatch group size ... the best trade-off between
+combinations explored and experimental time."
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from ..errors import GenerationError
+from ..isa.instruction import InstructionDef
+
+__all__ = ["enumerate_sequences", "sequence_space_size", "DEFAULT_SEQUENCE_LENGTH"]
+
+#: Twice the dispatch group size of the modeled core.
+DEFAULT_SEQUENCE_LENGTH = 6
+
+
+def sequence_space_size(n_candidates: int, length: int = DEFAULT_SEQUENCE_LENGTH) -> int:
+    """Size of the combination space (with repetition)."""
+    if n_candidates < 1 or length < 1:
+        raise GenerationError("need at least one candidate and positive length")
+    return n_candidates ** length
+
+
+def enumerate_sequences(
+    candidates: Sequence[InstructionDef],
+    length: int = DEFAULT_SEQUENCE_LENGTH,
+) -> Iterator[tuple[InstructionDef, ...]]:
+    """Yield every length-*length* combination (with repetition,
+    position significant) of the candidate pool, in deterministic
+    lexicographic order."""
+    if not candidates:
+        raise GenerationError("empty candidate pool")
+    if length < 1:
+        raise GenerationError("sequence length must be positive")
+    yield from itertools.product(candidates, repeat=length)

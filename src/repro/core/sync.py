@@ -1,0 +1,67 @@
+"""Synchronization and misalignment planning (paper §V-B/V-C).
+
+For the misalignment sensitivity study the stressmarks are "distributed
+evenly within the misalignment range": for a maximum misalignment of
+125 ns, two stressmarks synchronize at t = 0, two at 62.5 ns and two at
+125 ns.  Because multiple stressmark→core assignments realize the same
+offset multiset, the paper executes all of them and averages; the
+helpers here produce the offset plan and (a deterministic sample of)
+the assignments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..errors import GenerationError
+from ..machine.tod import TOD_STEP
+from ..rng import stream
+
+__all__ = ["spread_offsets", "offset_assignments"]
+
+
+def spread_offsets(
+    n_workloads: int, max_misalignment: float, step: float = TOD_STEP
+) -> list[float]:
+    """Evenly distribute *n_workloads* offsets over ``[0, max]``.
+
+    Offsets land on the TOD grid; workloads are spread round-robin over
+    the available slots (0, 62.5 ns, ..., max), matching the paper's
+    construction.
+    """
+    if n_workloads < 1:
+        raise GenerationError("need at least one workload")
+    if max_misalignment < 0:
+        raise GenerationError("misalignment cannot be negative")
+    steps = max_misalignment / step
+    if abs(steps - round(steps)) > 1e-6:
+        raise GenerationError("max misalignment must sit on the TOD grid")
+    n_slots = int(round(steps)) + 1
+    return [(i % n_slots) * step for i in range(n_workloads)]
+
+
+def offset_assignments(
+    offsets: list[float],
+    n_cores: int = 6,
+    sample: int | None = None,
+    seed: int = 0,
+) -> Iterator[tuple[float, ...]]:
+    """Distinct assignments of the offset multiset to cores.
+
+    Yields tuples ``assignment[core] = offset``.  With ``sample`` set,
+    a deterministic subset of that size is yielded instead of all
+    permutations (the full multiset permutation count grows as 6!/...).
+    """
+    if len(offsets) != n_cores:
+        raise GenerationError("need exactly one offset per core")
+    distinct = sorted(set(itertools.permutations(offsets)))
+    if sample is None or sample >= len(distinct):
+        yield from distinct
+        return
+    if sample < 1:
+        raise GenerationError("sample size must be positive")
+    rng = stream(seed, "offset-assignments", tuple(offsets))
+    indices = rng.choice(len(distinct), size=sample, replace=False)
+    for index in sorted(int(i) for i in indices):
+        yield distinct[index]

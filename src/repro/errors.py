@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate the failing subsystem.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "NetlistError",
+    "SolverError",
+    "IsaError",
+    "UarchError",
+    "GenerationError",
+    "MeasurementError",
+    "ExperimentError",
+    "ConfigError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""
+
+
+class NetlistError(ReproError):
+    """The PDN netlist is malformed (unknown node, invalid element value,
+    disconnected graph, missing capacitor on an internal node, ...)."""
+
+
+class SolverError(ReproError):
+    """A PDN solver failed (singular system, non-finite solution,
+    unsupported time base, ...)."""
+
+
+class IsaError(ReproError):
+    """An ISA definition problem: duplicate mnemonic, unknown instruction,
+    invalid operand specification, ..."""
+
+
+class UarchError(ReproError):
+    """A microarchitecture-model problem: unknown functional unit, invalid
+    dispatch configuration, sequence that cannot be scheduled, ..."""
+
+
+class GenerationError(ReproError):
+    """Stressmark or microbenchmark generation failed (empty candidate
+    pool, infeasible stimulus frequency, inconsistent knob settings)."""
+
+
+class MeasurementError(ReproError):
+    """A measurement substrate was misused (skitter window empty,
+    Vmin search exhausted its bias range, ...)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver failed or was queried for an unknown id."""

@@ -1,0 +1,24 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each driver regenerates the rows/series of its table or figure on the
+simulated platform and renders them as text; the benchmark harness
+(``benchmarks/``) wraps these drivers one-to-one, and EXPERIMENTS.md
+records paper-vs-measured for each.
+
+Use :func:`repro.experiments.registry.get_experiment` /
+:func:`repro.experiments.registry.all_experiments` for programmatic
+access, or the ``repro-noise`` CLI.
+"""
+
+from .registry import ExperimentResult, all_experiments, get_experiment, run_experiment
+from .common import ExperimentContext, default_context, quick_context
+
+__all__ = [
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+    "run_experiment",
+    "ExperimentContext",
+    "default_context",
+    "quick_context",
+]

@@ -1,0 +1,74 @@
+"""Durable export of experiment results.
+
+Experiment drivers return structured :class:`ExperimentResult` payloads;
+this module persists them so a characterization campaign leaves
+artifacts behind (as the paper's lab campaigns do): one text report and
+one JSON payload per experiment, plus an index.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import ExperimentError
+from .registry import ExperimentResult
+
+__all__ = ["export_result", "export_results", "jsonable"]
+
+
+def jsonable(value):
+    """Recursively convert an experiment payload into JSON-encodable
+    data.  Numpy scalars/arrays become Python numbers/lists; dataclasses
+    become dicts; tuples become lists; unknown objects fall back to
+    ``repr`` (payloads sometimes carry rich analysis objects)."""
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [jsonable(item) for item in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if is_dataclass(value) and not isinstance(value, type):
+        return jsonable(asdict(value))
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def export_result(result: ExperimentResult, directory: Path | str) -> Path:
+    """Write one experiment's text + JSON artifacts; returns the JSON
+    path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    text_path = directory / f"{result.experiment_id}.txt"
+    json_path = directory / f"{result.experiment_id}.json"
+    text_path.write_text(str(result) + "\n")
+    payload = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "data": jsonable(result.data),
+    }
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return json_path
+
+
+def export_results(
+    results: list[ExperimentResult], directory: Path | str
+) -> Path:
+    """Export a batch and write an ``index.json``; returns its path."""
+    if not results:
+        raise ExperimentError("nothing to export")
+    directory = Path(directory)
+    for result in results:
+        export_result(result, directory)
+    index = {
+        result.experiment_id: result.title for result in results
+    }
+    index_path = directory / "index.json"
+    index_path.write_text(json.dumps(index, indent=2, sort_keys=True) + "\n")
+    return index_path

@@ -1,0 +1,85 @@
+"""Figure 12 — available Vmin margin vs. consecutive ΔI events and
+stimulus frequency.
+
+For each (consecutive-event count, stimulus frequency) pair a Vmin
+experiment undervolts to first failure.  Findings to reproduce:
+
+* synchronized cases sit in a narrow low-margin band regardless of the
+  event count and frequency — a single synchronized ΔI event already
+  generates most of the worst-case noise;
+* disabling synchronization (∞ events, free-running phases) more than
+  doubles the margin;
+* the 1 Hz and very-high-frequency points show extra margin (bursts
+  land on different sync intervals / the ΔI collapses);
+* the worst-case *customer* line (80 % ΔI, no sync) has margin above
+  all of these — the optimization headroom the paper's §VII targets.
+"""
+
+from __future__ import annotations
+
+from ..analysis.margins import customer_margin_line
+from ..analysis.report import render_table
+from ..measure.vmin import run_vmin_experiment
+from ..units import format_freq
+from .common import ExperimentContext
+from .registry import ExperimentResult, register
+
+EVENT_COUNTS = [1, 2, 10, 1000]
+FREQS = [1.0, 3.7e4, 2.6e6, 1e7, 1e8]
+
+
+@register("fig12", "Available margin vs. consecutive ΔI events and frequency")
+def run(context: ExperimentContext) -> ExperimentResult:
+    generator = context.generator
+    chip = context.chip
+    rows = []
+    margins: dict[tuple[object, float], float] = {}
+
+    for freq in FREQS:
+        for count in EVENT_COUNTS:
+            mark = generator.max_didt(
+                freq_hz=freq, synchronize=True, n_events=count
+            )
+            result = run_vmin_experiment(
+                chip, [mark.current_program()] * 6, options=context.options
+            )
+            margins[(count, freq)] = result.margin_frac
+            rows.append(
+                [str(count), format_freq(freq), f"{result.margin_frac * 100:.1f}%"]
+            )
+        # The unsynchronized (∞ events) case.
+        mark = generator.max_didt(freq_hz=freq, synchronize=False)
+        result = run_vmin_experiment(
+            chip, [mark.current_program()] * 6, options=context.options
+        )
+        margins[("inf", freq)] = result.margin_frac
+        rows.append(["inf/nosync", format_freq(freq), f"{result.margin_frac * 100:.1f}%"])
+
+    customer = customer_margin_line(
+        chip,
+        generator.max_didt(
+            freq_hz=context.resonant_freq_hz, synchronize=False
+        ).current_program(),
+        options=context.options,
+    )
+    rows.append(["customer-80%", "worst-case", f"{customer.margin_frac * 100:.1f}%"])
+
+    text = render_table(
+        ["consecutive ΔI events", "stimulus", "available margin"], rows,
+        title="Vmin margins (paper Fig. 12; margin = bias removed before first failure)",
+    )
+
+    sync_res = [
+        margins[(c, f)] for c in EVENT_COUNTS for f in FREQS if 1e4 <= f <= 5e6
+    ]
+    unsync_res = [margins[("inf", f)] for f in FREQS if 1e4 <= f <= 5e6]
+    data = {
+        "margins": {f"{c}@{f:g}": m for (c, f), m in margins.items()},
+        "sync_band": (min(sync_res), max(sync_res)),
+        "unsync_band": (min(unsync_res), max(unsync_res)),
+        "unsync_more_than_doubles": min(unsync_res) >= 2 * max(sync_res) - 1e-9,
+        "margin_1hz": margins[(1000, 1.0)],
+        "margin_100mhz": margins[(1000, 1e8)],
+        "customer_margin": customer.margin_frac,
+    }
+    return ExperimentResult("fig12", "Vmin margin study", text, data)

@@ -1,0 +1,93 @@
+"""Experiment registry and the shared result record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ExperimentError
+from .common import ExperimentContext, default_context
+
+__all__ = [
+    "ExperimentResult",
+    "register",
+    "get_experiment",
+    "all_experiments",
+    "run_experiment",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment driver.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper reference (``table1``, ``fig7a`` ...).
+    title:
+        Human-readable description.
+    text:
+        Rendered rows/series, printable as-is.
+    data:
+        Structured payload for programmatic checks (tests, EXPERIMENTS
+        bookkeeping); contents are experiment specific.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        return f"== {self.experiment_id}: {self.title} ==\n{self.text}"
+
+
+ExperimentFn = Callable[[ExperimentContext], ExperimentResult]
+
+_REGISTRY: dict[str, tuple[str, ExperimentFn]] = {}
+
+
+def register(experiment_id: str, title: str):
+    """Decorator registering an experiment driver under *experiment_id*."""
+
+    def wrap(fn: ExperimentFn) -> ExperimentFn:
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = (title, fn)
+        return fn
+
+    return wrap
+
+
+def _ensure_loaded() -> None:
+    # Import the driver modules for their registration side effects.
+    from . import (  # noqa: F401
+        table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15,
+    )
+
+
+def all_experiments() -> dict[str, str]:
+    """Mapping of experiment id → title."""
+    _ensure_loaded()
+    return {eid: title for eid, (title, _) in sorted(_REGISTRY.items())}
+
+
+def get_experiment(experiment_id: str) -> ExperimentFn:
+    """The driver function for *experiment_id*."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[experiment_id][1]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, context: ExperimentContext | None = None
+) -> ExperimentResult:
+    """Run one experiment (building the default context if needed)."""
+    driver = get_experiment(experiment_id)
+    return driver(context or default_context())

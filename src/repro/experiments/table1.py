@@ -1,0 +1,34 @@
+"""Table I — the EPI profile's first and last five instructions."""
+
+from __future__ import annotations
+
+from ..core.ranking import render_epi_table
+from .common import ExperimentContext
+from .registry import ExperimentResult, register
+
+#: The paper's published rows (mnemonic, power normalized to SRNM).
+PAPER_TOP = [("CIB", 1.58), ("CRB", 1.57), ("BXHG", 1.57), ("CGIB", 1.55), ("CHHSI", 1.55)]
+PAPER_BOTTOM = [("DDTRA", 1.01), ("MXTRA", 1.01), ("MDTRA", 1.0), ("STCK", 1.0), ("SRNM", 1.0)]
+
+
+@register("table1", "EPI profile: first/last five instructions")
+def run(context: ExperimentContext) -> ExperimentResult:
+    profile = context.generator.epi_profile
+    text = render_epi_table(profile, n=5)
+    top = [(e.mnemonic, round(e.normalized_power, 3)) for e in profile.top(5)]
+    bottom = [(e.mnemonic, round(e.normalized_power, 3)) for e in profile.bottom(5)]
+    data = {
+        "total_instructions": len(profile),
+        "top5": top,
+        "bottom5": bottom,
+        "paper_top5": PAPER_TOP,
+        "paper_bottom5": PAPER_BOTTOM,
+        "top5_set_match": {m for m, _ in top} == {m for m, _ in PAPER_TOP},
+        "bottom5_set_match": {m for m, _ in bottom} == {m for m, _ in PAPER_BOTTOM},
+    }
+    return ExperimentResult(
+        experiment_id="table1",
+        title="EPI profile (first/last five of the ranking)",
+        text=text,
+        data=data,
+    )

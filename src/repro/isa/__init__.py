@@ -1,0 +1,35 @@
+"""Synthetic mainframe-class CISC instruction set architecture.
+
+The paper profiles every instruction of the evaluation platform's ISA
+(~1300 instructions) to build an energy-per-instruction (EPI) ranking
+(its Table I).  The real ISA is not reproducible here, so this package
+generates a **synthetic CISC ISA** with the same structure:
+
+* ~1300 instructions across realistic families (fixed point, loads and
+  stores, branches, compare-and-branch, binary/hex floating point,
+  decimal floating point, vector, system/control, crypto, string);
+* per-instruction microarchitectural attributes (functional unit, µop
+  count, latency, pipelining, dispatch-group behavior) consumed by
+  :mod:`repro.uarch`;
+* a relative sustained-power weight per instruction.  The ten
+  instructions the paper publishes in Table I (CIB, CRB, BXHG, CGIB,
+  CHHSI at the top; DDTRA, MXTRA, MDTRA, STCK, SRNM at the bottom) are
+  pinned by name to the paper's values; the rest are generated
+  procedurally with family-specific distributions, deterministically
+  from the ISA seed.
+"""
+
+from .operands import Operand, OperandKind
+from .instruction import InstructionDef
+from .isa import Isa
+from .zmainframe import build_zmainframe_isa, PINNED_TOP, PINNED_BOTTOM
+
+__all__ = [
+    "Operand",
+    "OperandKind",
+    "InstructionDef",
+    "Isa",
+    "build_zmainframe_isa",
+    "PINNED_TOP",
+    "PINNED_BOTTOM",
+]

@@ -1,0 +1,486 @@
+"""Procedural instruction-family generators.
+
+Each :class:`FamilySpec` describes one slice of the synthetic ISA: a
+functional unit, dispatch behavior, power/latency ranges, and mnemonic
+material (operation roots and form suffixes, in the flavor of mainframe
+assembler mnemonics).  :func:`generate_family` expands a spec into an
+exact number of :class:`~repro.isa.instruction.InstructionDef` records.
+
+Generation is fully deterministic: every per-instruction draw (power
+weight, latency, µop count) is keyed on the ISA seed plus the mnemonic,
+so the profile is stable across runs and machines regardless of
+generation order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..errors import IsaError
+from ..rng import stream
+from .instruction import InstructionDef
+from .operands import (
+    BRANCH_ONLY,
+    CMP_BRANCH,
+    CMP_IMM_BRANCH,
+    FPR_FPR_FPR,
+    MEM_REG,
+    NO_OPERANDS,
+    REG_IMM,
+    REG_MEM,
+    REG_REG,
+    REG_REG_REG,
+    VR_VR_VR,
+    Operand,
+)
+
+__all__ = ["FamilySpec", "generate_family", "DEFAULT_FAMILIES"]
+
+
+@dataclass
+class FamilySpec:
+    """Blueprint for one instruction family.
+
+    ``roots`` × ``forms`` provides the mnemonic material; when the
+    product is exhausted before ``count`` instructions exist, numbered
+    variants are appended (mirroring the many addressing-mode/length
+    variants of a real CISC ISA).
+    """
+
+    name: str
+    unit: str
+    issue_class: str
+    count: int
+    roots: list[tuple[str, str]]
+    forms: list[tuple[str, str]]
+    power_range: tuple[float, float]
+    latency_range: tuple[int, int] = (1, 3)
+    uops_range: tuple[int, int] = (1, 1)
+    ends_group: bool = False
+    group_alone: bool = False
+    serializing: bool = False
+    memory: bool = False
+    nonpipelined_roots: tuple[str, ...] = ()
+    nonpipelined_latency: tuple[int, int] = (18, 40)
+    operands: tuple[Operand, ...] = field(default=REG_REG)
+
+    def __post_init__(self) -> None:
+        lo, hi = self.power_range
+        if not 1.0 <= lo < hi:
+            raise IsaError(f"family {self.name}: bad power range {self.power_range}")
+        if self.count < 1:
+            raise IsaError(f"family {self.name}: count must be positive")
+        if not self.roots or not self.forms:
+            raise IsaError(f"family {self.name}: needs roots and forms")
+
+
+def _mnemonics(spec: FamilySpec, taken: set[str]):
+    """Yield (mnemonic, description) pairs, unique against *taken*."""
+    combos = itertools.product(spec.roots, spec.forms)
+    produced = 0
+    for (root, root_desc), (form, form_desc) in combos:
+        mnemonic = root + form
+        if mnemonic in taken:
+            continue
+        taken.add(mnemonic)
+        desc = f"{root_desc} {form_desc}".strip()
+        yield mnemonic, desc
+        produced += 1
+    # Numbered variants when the combinatorial material runs out.
+    for counter in itertools.count(2):
+        for (root, root_desc), (form, form_desc) in itertools.product(
+            spec.roots, spec.forms
+        ):
+            mnemonic = f"{root}{form}{counter}"
+            if mnemonic in taken:
+                continue
+            taken.add(mnemonic)
+            desc = f"{root_desc} {form_desc} (variant {counter})".strip()
+            yield mnemonic, desc
+
+
+def generate_family(
+    spec: FamilySpec, isa_seed: int, taken: set[str]
+) -> list[InstructionDef]:
+    """Expand *spec* into exactly ``spec.count`` instruction definitions.
+
+    *taken* is the cross-family mnemonic registry; generated names are
+    added to it so later families cannot collide.
+    """
+    instructions: list[InstructionDef] = []
+    lo, hi = spec.power_range
+    for mnemonic, description in _mnemonics(spec, taken):
+        rng = stream(isa_seed, "inst", spec.name, mnemonic)
+        power = lo + float(rng.random()) * (hi - lo)
+        nonpipelined = any(mnemonic.startswith(r) for r in spec.nonpipelined_roots)
+        if nonpipelined:
+            latency = int(rng.integers(*spec.nonpipelined_latency, endpoint=True))
+        else:
+            latency = int(rng.integers(*spec.latency_range, endpoint=True))
+        uops = int(rng.integers(*spec.uops_range, endpoint=True))
+        instructions.append(
+            InstructionDef(
+                mnemonic=mnemonic,
+                description=description,
+                family=spec.name,
+                unit=spec.unit,
+                issue_class=spec.issue_class,
+                uops=uops,
+                latency=latency,
+                pipelined=not nonpipelined,
+                serializing=spec.serializing,
+                ends_group=spec.ends_group,
+                group_alone=spec.group_alone or spec.serializing,
+                memory=spec.memory,
+                power_weight=round(power, 4),
+                operands=spec.operands,
+            )
+        )
+        if len(instructions) == spec.count:
+            return instructions
+    raise IsaError(f"family {spec.name}: mnemonic generation exhausted")  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# The default family set (counts sum to 1291; with the 10 pinned Table I
+# instructions the ISA holds 1301 instructions, as in the paper).
+# ----------------------------------------------------------------------
+
+_FORMS_FX = [
+    ("R", "register"), ("GR", "register (64)"), ("G", "(64)"),
+    ("RK", "register 3-op"), ("GRK", "register 3-op (64)"),
+    ("I", "immediate"), ("GI", "immediate (64)"), ("FI", "fullword immediate"),
+    ("Y", "long displacement"), ("H", "halfword"), ("HY", "halfword long disp"),
+    ("RL", "relative"), ("", "storage"),
+]
+_FORMS_MEM = [
+    ("", "storage"), ("Y", "long displacement"), ("G", "(64)"),
+    ("GF", "(64<-32)"), ("H", "halfword"), ("HY", "halfword long disp"),
+    ("RL", "relative"), ("B", "byte"), ("GH", "halfword (64)"),
+    ("HH", "high half"), ("FH", "high word"), ("E", "extended"),
+]
+
+DEFAULT_FAMILIES: list[FamilySpec] = [
+    FamilySpec(
+        name="compare-branch",
+        unit="BRU",
+        issue_class="BRU.cmp-branch",
+        count=30,
+        roots=[
+            ("CRJ", "Compare and branch relative (32)"),
+            ("CGRJ", "Compare and branch relative (64)"),
+            ("CIJ", "Compare immediate and branch relative (32<8)"),
+            ("CGIJ", "Compare immediate and branch relative (64<8)"),
+            ("CLRB", "Compare logical and branch (32)"),
+            ("CLGRB", "Compare logical and branch (64)"),
+            ("CLIB", "Compare logical immediate and branch (32<8)"),
+            ("CLGIB", "Compare logical immediate and branch (64<8)"),
+            ("CRT", "Compare and trap (32)"),
+            ("CGRT", "Compare and trap (64)"),
+            ("BXH", "Branch on index high (32)"),
+            ("BXLE", "Branch on index low or equal (32)"),
+            ("BXLEG", "Branch on index low or equal (64)"),
+            ("BCT", "Branch on count (32)"),
+            ("BCTG", "Branch on count (64)"),
+        ],
+        forms=[("", ""), ("A", "alt-form")],
+        power_range=(1.42, 1.545),
+        latency_range=(1, 2),
+        ends_group=True,
+        operands=CMP_BRANCH,
+    ),
+    FamilySpec(
+        name="fixed-point",
+        unit="FXU",
+        issue_class="FXU.arith",
+        count=220,
+        roots=[
+            ("A", "Add"), ("S", "Subtract"), ("M", "Multiply"),
+            ("MS", "Multiply single"), ("AL", "Add logical"),
+            ("SL", "Subtract logical"), ("ALC", "Add logical with carry"),
+            ("SLB", "Subtract logical with borrow"), ("MH", "Multiply halfword"),
+            ("AH", "Add halfword"), ("SH", "Subtract halfword"),
+        ],
+        forms=_FORMS_FX,
+        power_range=(1.22, 1.50),
+        latency_range=(1, 3),
+        operands=REG_REG_REG,
+    ),
+    FamilySpec(
+        name="logical",
+        unit="FXU",
+        issue_class="FXU.logical",
+        count=90,
+        roots=[
+            ("N", "And"), ("O", "Or"), ("X", "Exclusive or"),
+            ("TM", "Test under mask"), ("RLL", "Rotate left single logical"),
+            ("SLL", "Shift left single logical"), ("SRL", "Shift right single logical"),
+            ("SLA", "Shift left single"), ("SRA", "Shift right single"),
+        ],
+        forms=_FORMS_FX[:10],
+        power_range=(1.18, 1.44),
+        latency_range=(1, 2),
+        operands=REG_REG,
+    ),
+    FamilySpec(
+        name="compare",
+        unit="FXU",
+        issue_class="FXU.compare",
+        count=60,
+        roots=[
+            ("C", "Compare"), ("CL", "Compare logical"),
+            ("CGH", "Compare halfword (64)"), ("CLM", "Compare logical under mask"),
+            ("CLHH", "Compare logical high"), ("CHF", "Compare high fullword"),
+        ],
+        forms=_FORMS_FX[:10],
+        power_range=(1.25, 1.50),
+        latency_range=(1, 2),
+        operands=REG_REG,
+    ),
+    FamilySpec(
+        name="branch",
+        unit="BRU",
+        issue_class="BRU.branch",
+        count=40,
+        roots=[
+            ("B", "Branch"), ("BC", "Branch on condition"),
+            ("BAS", "Branch and save"), ("BRAS", "Branch relative and save"),
+            ("BRC", "Branch relative on condition"), ("J", "Jump"),
+            ("JG", "Jump long"), ("NOPB", "Branch never"),
+        ],
+        forms=[("", ""), ("R", "register"), ("L", "long"), ("LR", "long register"),
+               ("E", "extended")],
+        power_range=(1.30, 1.48),
+        latency_range=(1, 2),
+        ends_group=True,
+        operands=BRANCH_ONLY,
+    ),
+    FamilySpec(
+        name="load",
+        unit="LSU",
+        issue_class="LSU.load",
+        count=116,
+        roots=[
+            ("L", "Load"), ("LT", "Load and test"), ("LB", "Load byte"),
+            ("LH", "Load halfword"), ("LLC", "Load logical character"),
+            ("LLH", "Load logical halfword"), ("LLG", "Load logical (64)"),
+            ("LRV", "Load reversed"), ("LA", "Load address"),
+            ("LAE", "Load address extended"),
+        ],
+        forms=_FORMS_MEM,
+        power_range=(1.26, 1.48),
+        latency_range=(2, 4),
+        memory=True,
+        operands=REG_MEM,
+    ),
+    FamilySpec(
+        name="store",
+        unit="LSU",
+        issue_class="LSU.store",
+        count=80,
+        roots=[
+            ("ST", "Store"), ("STH", "Store halfword"), ("STC", "Store character"),
+            ("STRV", "Store reversed"), ("STAM", "Store access multiple"),
+            ("STFH", "Store high fullword"), ("STO", "Store ordered"),
+        ],
+        forms=_FORMS_MEM,
+        power_range=(1.22, 1.42),
+        latency_range=(1, 2),
+        memory=True,
+        operands=MEM_REG,
+    ),
+    FamilySpec(
+        name="mem-complex",
+        unit="LSU",
+        issue_class="LSU.complex",
+        count=30,
+        roots=[
+            ("LM", "Load multiple"), ("STM", "Store multiple"),
+            ("MVC", "Move character"), ("MVCL", "Move character long"),
+            ("CLC", "Compare logical character"), ("XC", "Exclusive or character"),
+            ("NC", "And character"), ("OC", "Or character"),
+            ("TR", "Translate"), ("TRT", "Translate and test"),
+        ],
+        forms=[("", ""), ("G", "(64)"), ("Y", "long displacement")],
+        power_range=(1.10, 1.32),
+        latency_range=(4, 10),
+        uops_range=(3, 8),
+        group_alone=True,
+        memory=True,
+        operands=MEM_REG,
+    ),
+    FamilySpec(
+        name="binary-fp",
+        unit="BFU",
+        issue_class="BFU.bfp",
+        count=110,
+        roots=[
+            ("AE", "Add short BFP"), ("AD", "Add long BFP"), ("AX", "Add extended BFP"),
+            ("SE", "Subtract short BFP"), ("SD", "Subtract long BFP"),
+            ("ME", "Multiply short BFP"), ("MD", "Multiply long BFP"),
+            ("DE", "Divide short BFP"), ("DD", "Divide long BFP"),
+            ("SQE", "Square root short BFP"), ("SQD", "Square root long BFP"),
+            ("MAE", "Multiply and add short BFP"), ("MSE", "Multiply and subtract short BFP"),
+        ],
+        forms=[("B", "binary"), ("BR", "binary register"), ("TR", "to-register"),
+               ("B3", "3-operand binary"), ("BRA", "binary register alt")],
+        power_range=(1.10, 1.38),
+        latency_range=(3, 7),
+        nonpipelined_roots=("DE", "DD", "SQE", "SQD"),
+        nonpipelined_latency=(18, 34),
+        operands=FPR_FPR_FPR,
+    ),
+    FamilySpec(
+        name="hex-fp",
+        unit="BFU",
+        issue_class="BFU.hfp",
+        count=60,
+        roots=[
+            ("AER", "Add short HFP"), ("ADR", "Add long HFP"), ("AXR", "Add extended HFP"),
+            ("SER", "Subtract short HFP"), ("SDR", "Subtract long HFP"),
+            ("MER", "Multiply short HFP"), ("MDR", "Multiply long HFP"),
+            ("DER", "Divide short HFP"), ("DDR", "Divide long HFP"),
+            ("HER", "Halve short HFP"), ("HDR", "Halve long HFP"),
+        ],
+        forms=[("", ""), ("H", "high"), ("L", "low"), ("U", "unnormalized"),
+               ("W", "wide"), ("Q", "quad")],
+        power_range=(1.08, 1.30),
+        latency_range=(3, 7),
+        nonpipelined_roots=("DER", "DDR"),
+        nonpipelined_latency=(16, 30),
+        operands=FPR_FPR_FPR,
+    ),
+    FamilySpec(
+        name="decimal-fp",
+        unit="DFU",
+        issue_class="DFU.dfp",
+        count=120,
+        roots=[
+            ("ADTR", "Add long DFP"), ("AXTR", "Add extended DFP"),
+            ("SDTR", "Subtract long DFP"), ("SXTR", "Subtract extended DFP"),
+            ("CDTR", "Compare long DFP"), ("CXTR", "Compare extended DFP"),
+            ("FIDTR", "Load FP integer long DFP"), ("QADTR", "Quantize long DFP"),
+            ("RRDTR", "Reround long DFP"), ("CDGTR", "Convert from fixed long DFP"),
+            ("CGDTR", "Convert to fixed long DFP"), ("LDETR", "Load lengthened DFP"),
+            ("DXTRB", "Divide extended DFP"),
+        ],
+        forms=[("", ""), ("A", "with rounding mode"), ("2", "variant 2"),
+               ("U", "unsigned"), ("Z", "zoned"), ("P", "packed"),
+               ("S", "signaling"), ("Q", "quantum"), ("H", "high"), ("L", "low")],
+        power_range=(1.012, 1.18),
+        latency_range=(8, 20),
+        nonpipelined_roots=("DXTRB", "QADTR", "RRDTR"),
+        nonpipelined_latency=(24, 44),
+        operands=FPR_FPR_FPR,
+    ),
+    FamilySpec(
+        name="packed-decimal",
+        unit="DFU",
+        issue_class="DFU.packed",
+        count=40,
+        roots=[
+            ("AP", "Add packed"), ("SP", "Subtract packed"), ("MP", "Multiply packed"),
+            ("DP", "Divide packed"), ("ZAP", "Zero and add packed"),
+            ("CP", "Compare packed"), ("SRP", "Shift and round packed"),
+            ("CVB", "Convert to binary"), ("CVD", "Convert to decimal"),
+            ("PACK", "Pack"), ("UNPK", "Unpack"), ("ED", "Edit"),
+        ],
+        forms=[("", ""), ("G", "(64)"), ("X", "extended"), ("Y", "long displacement")],
+        power_range=(1.02, 1.20),
+        latency_range=(6, 16),
+        uops_range=(2, 5),
+        group_alone=True,
+        memory=True,
+        nonpipelined_roots=("DP", "MP"),
+        nonpipelined_latency=(20, 38),
+        operands=MEM_REG,
+    ),
+    FamilySpec(
+        name="vector",
+        unit="VXU",
+        issue_class="VXU.simd",
+        count=180,
+        roots=[
+            ("VA", "Vector add"), ("VS", "Vector subtract"), ("VML", "Vector multiply low"),
+            ("VN", "Vector and"), ("VO", "Vector or"), ("VX", "Vector exclusive or"),
+            ("VCEQ", "Vector compare equal"), ("VCH", "Vector compare high"),
+            ("VMX", "Vector maximum"), ("VMN", "Vector minimum"),
+            ("VAVG", "Vector average"), ("VSUM", "Vector sum across"),
+            ("VPK", "Vector pack"), ("VUPK", "Vector unpack"),
+            ("VERLL", "Vector element rotate left"), ("VESL", "Vector element shift left"),
+        ],
+        forms=[("B", "byte"), ("H", "halfword"), ("F", "word"), ("G", "doubleword"),
+               ("Q", "quadword"), ("BM", "byte masked"), ("HM", "halfword masked"),
+               ("FM", "word masked"), ("GM", "doubleword masked"),
+               ("BX", "byte extended"), ("HX", "halfword extended"),
+               ("FX", "word extended")],
+        power_range=(1.18, 1.46),
+        latency_range=(2, 5),
+        operands=VR_VR_VR,
+    ),
+    FamilySpec(
+        name="system",
+        unit="SYS",
+        issue_class="SYS.control",
+        count=60,
+        roots=[
+            ("LPSW", "Load PSW"), ("SSM", "Set system mask"),
+            ("STOSM", "Store then or system mask"), ("STNSM", "Store then and system mask"),
+            ("SPKA", "Set PSW key from address"), ("SAC", "Set address space control"),
+            ("EPSW", "Extract PSW"), ("STAP", "Store CPU address"),
+            ("STIDP", "Store CPU id"), ("PTLB", "Purge TLB"),
+            ("ESEA", "Extract and set extended authority"),
+            ("STFL", "Store facility list"),
+        ],
+        forms=[("", ""), ("E", "extended"), ("F", "fast"), ("X", "exit"), ("2", "variant 2")],
+        power_range=(1.012, 1.15),
+        latency_range=(8, 30),
+        serializing=True,
+        operands=NO_OPERANDS,
+    ),
+    FamilySpec(
+        name="crypto",
+        unit="COP",
+        issue_class="COP.crypto",
+        count=25,
+        roots=[
+            ("KM", "Cipher message"), ("KMC", "Cipher message with chaining"),
+            ("KMF", "Cipher message with cipher feedback"),
+            ("KMO", "Cipher message with output feedback"),
+            ("KMCTR", "Cipher message with counter"),
+            ("KIMD", "Compute intermediate message digest"),
+            ("KLMD", "Compute last message digest"),
+            ("KMAC", "Compute message authentication code"),
+            ("PCC", "Perform cryptographic computation"),
+            ("PRNO", "Perform random number operation"),
+        ],
+        forms=[("", ""), ("A", "AES"), ("D", "DEA")],
+        power_range=(1.10, 1.30),
+        latency_range=(12, 40),
+        uops_range=(4, 10),
+        group_alone=True,
+        memory=True,
+        operands=MEM_REG,
+    ),
+    FamilySpec(
+        name="string",
+        unit="LSU",
+        issue_class="LSU.string",
+        count=30,
+        roots=[
+            ("SRST", "Search string"), ("MVST", "Move string"),
+            ("CLST", "Compare logical string"), ("CU12", "Convert UTF-8 to UTF-16"),
+            ("CU21", "Convert UTF-16 to UTF-8"), ("CU41", "Convert UTF-32 to UTF-8"),
+            ("CU14", "Convert UTF-8 to UTF-32"), ("TRE", "Translate extended"),
+            ("TROO", "Translate one to one"), ("TRTO", "Translate two to one"),
+        ],
+        forms=[("", ""), ("U", "with argument"), ("2", "variant 2")],
+        power_range=(1.08, 1.28),
+        latency_range=(6, 20),
+        uops_range=(3, 8),
+        group_alone=True,
+        memory=True,
+        operands=MEM_REG,
+    ),
+]

@@ -1,0 +1,109 @@
+"""Instruction definition record.
+
+Each :class:`InstructionDef` carries everything the rest of the library
+needs to know about one ISA instruction:
+
+* identity and documentation (mnemonic, description, family);
+* microarchitectural attributes consumed by :mod:`repro.uarch`
+  (functional unit, µop count, latency, pipelining, dispatch-group
+  behavior, memory access);
+* a relative sustained-power weight, the quantity the paper's Table I
+  reports (measured single-instruction loop power normalized to the
+  cheapest instruction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import IsaError
+from .operands import Operand
+
+__all__ = ["InstructionDef", "FUNCTIONAL_UNITS"]
+
+#: Functional unit identifiers of the modeled core.
+FUNCTIONAL_UNITS = ("FXU", "LSU", "BRU", "BFU", "DFU", "VXU", "SYS", "COP")
+
+
+@dataclass(frozen=True)
+class InstructionDef:
+    """Immutable description of one ISA instruction.
+
+    Attributes
+    ----------
+    mnemonic:
+        Unique assembler mnemonic.
+    description:
+        Human-readable one-liner (shows up in EPI profile reports).
+    family:
+        Generation family (``fixed-point``, ``decimal-fp`` ...).
+    unit:
+        Primary functional unit executing the instruction's µops.
+    issue_class:
+        Categorization used for stressmark candidate selection; usually
+        the unit plus a qualifier (e.g. ``FXU.cmp-branch``).
+    uops:
+        Number of µops the instruction cracks into.
+    latency:
+        Result latency in cycles.
+    pipelined:
+        False for unit-blocking operations (divides, some decimal ops):
+        the unit is busy for ``latency`` cycles per µop.
+    serializing:
+        True for instructions that drain the pipeline before and after
+        (SRNM, STCK and friends): throughput collapses to 1/latency.
+    ends_group:
+        Branch-like: closes its dispatch group.
+    group_alone:
+        Cracked/complex: must be the only instruction of its group.
+    memory:
+        Touches memory (loads/stores); constrains per-group LSU slots.
+    power_weight:
+        Relative sustained loop power (cheapest instruction = 1.0).
+    operands:
+        Operand slots in assembler order.
+    """
+
+    mnemonic: str
+    description: str
+    family: str
+    unit: str
+    issue_class: str
+    uops: int = 1
+    latency: int = 1
+    pipelined: bool = True
+    serializing: bool = False
+    ends_group: bool = False
+    group_alone: bool = False
+    memory: bool = False
+    power_weight: float = 1.0
+    operands: tuple[Operand, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.mnemonic:
+            raise IsaError("instruction needs a mnemonic")
+        if self.unit not in FUNCTIONAL_UNITS:
+            raise IsaError(
+                f"{self.mnemonic}: unknown functional unit {self.unit!r}"
+            )
+        if self.uops < 1:
+            raise IsaError(f"{self.mnemonic}: uops must be >= 1")
+        if self.latency < 1:
+            raise IsaError(f"{self.mnemonic}: latency must be >= 1")
+        if self.power_weight < 1.0:
+            raise IsaError(
+                f"{self.mnemonic}: power weights are normalized to the "
+                f"cheapest instruction; must be >= 1.0"
+            )
+        if self.serializing and not self.group_alone:
+            raise IsaError(
+                f"{self.mnemonic}: serializing instructions dispatch alone"
+            )
+
+    @property
+    def is_branch(self) -> bool:
+        """Branch-like for grouping purposes."""
+        return self.ends_group
+
+    def __str__(self) -> str:
+        return self.mnemonic

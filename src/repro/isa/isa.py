@@ -1,0 +1,78 @@
+"""ISA container with lookup and categorization helpers."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from ..errors import IsaError
+from .instruction import InstructionDef
+
+__all__ = ["Isa"]
+
+
+class Isa:
+    """An immutable collection of instruction definitions.
+
+    Provides mnemonic lookup and the categorizations used by the
+    stressmark-generation methodology (by family, functional unit and
+    issue class).
+    """
+
+    def __init__(self, name: str, instructions: Iterable[InstructionDef]):
+        self.name = name
+        self._by_mnemonic: dict[str, InstructionDef] = {}
+        for inst in instructions:
+            if inst.mnemonic in self._by_mnemonic:
+                raise IsaError(f"duplicate mnemonic {inst.mnemonic!r}")
+            self._by_mnemonic[inst.mnemonic] = inst
+        if not self._by_mnemonic:
+            raise IsaError("an ISA needs at least one instruction")
+        self._ordered = tuple(self._by_mnemonic.values())
+
+    # -- basic container protocol --------------------------------------
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __iter__(self) -> Iterator[InstructionDef]:
+        return iter(self._ordered)
+
+    def __contains__(self, mnemonic: str) -> bool:
+        return mnemonic in self._by_mnemonic
+
+    def __getitem__(self, mnemonic: str) -> InstructionDef:
+        try:
+            return self._by_mnemonic[mnemonic]
+        except KeyError:
+            raise IsaError(f"unknown instruction {mnemonic!r}") from None
+
+    @property
+    def mnemonics(self) -> list[str]:
+        """All mnemonics in definition order."""
+        return [inst.mnemonic for inst in self._ordered]
+
+    # -- categorizations ------------------------------------------------
+    def by_family(self) -> dict[str, list[InstructionDef]]:
+        """Instructions grouped by generation family."""
+        groups: dict[str, list[InstructionDef]] = defaultdict(list)
+        for inst in self._ordered:
+            groups[inst.family].append(inst)
+        return dict(groups)
+
+    def by_unit(self) -> dict[str, list[InstructionDef]]:
+        """Instructions grouped by primary functional unit."""
+        groups: dict[str, list[InstructionDef]] = defaultdict(list)
+        for inst in self._ordered:
+            groups[inst.unit].append(inst)
+        return dict(groups)
+
+    def by_issue_class(self) -> dict[str, list[InstructionDef]]:
+        """Instructions grouped by issue class (the categorization the
+        stressmark candidate selection uses)."""
+        groups: dict[str, list[InstructionDef]] = defaultdict(list)
+        for inst in self._ordered:
+            groups[inst.issue_class].append(inst)
+        return dict(groups)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Isa({self.name!r}, {len(self)} instructions)"

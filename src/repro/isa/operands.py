@@ -1,0 +1,84 @@
+"""Operand model for the synthetic ISA.
+
+Operands matter to this library for two reasons: microbenchmark
+generation must materialize register/immediate/memory operands when it
+emits assembly (:mod:`repro.mbench.codegen`), and dependence-free loop
+construction must know which operands are written so it can rotate
+destination registers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["OperandKind", "Operand"]
+
+
+class OperandKind(enum.Enum):
+    """The operand storage classes of the synthetic ISA."""
+
+    GPR = "gpr"          # general purpose register (64-bit)
+    FPR = "fpr"          # floating point register
+    VR = "vr"            # vector register
+    IMMEDIATE = "imm"    # encoded immediate
+    MEMORY = "mem"       # base + displacement memory reference
+    LABEL = "label"      # branch target
+
+
+@dataclass(frozen=True)
+class Operand:
+    """One operand slot of an instruction definition.
+
+    Attributes
+    ----------
+    kind:
+        Storage class of the operand.
+    is_written:
+        True when the instruction writes this operand (destinations).
+    width_bits:
+        Datum width, for documentation and encoding purposes.
+    """
+
+    kind: OperandKind
+    is_written: bool = False
+    width_bits: int = 64
+
+    def __str__(self) -> str:
+        marker = "w" if self.is_written else "r"
+        return f"{self.kind.value}:{marker}{self.width_bits}"
+
+
+# Reusable operand signatures for the family generators.
+REG_REG = (Operand(OperandKind.GPR, True), Operand(OperandKind.GPR))
+REG_REG_REG = (
+    Operand(OperandKind.GPR, True),
+    Operand(OperandKind.GPR),
+    Operand(OperandKind.GPR),
+)
+REG_IMM = (Operand(OperandKind.GPR, True), Operand(OperandKind.IMMEDIATE))
+REG_MEM = (Operand(OperandKind.GPR, True), Operand(OperandKind.MEMORY))
+MEM_REG = (Operand(OperandKind.MEMORY), Operand(OperandKind.GPR))
+FPR_FPR = (Operand(OperandKind.FPR, True), Operand(OperandKind.FPR))
+FPR_FPR_FPR = (
+    Operand(OperandKind.FPR, True),
+    Operand(OperandKind.FPR),
+    Operand(OperandKind.FPR),
+)
+VR_VR_VR = (
+    Operand(OperandKind.VR, True),
+    Operand(OperandKind.VR),
+    Operand(OperandKind.VR),
+)
+CMP_BRANCH = (
+    Operand(OperandKind.GPR),
+    Operand(OperandKind.GPR),
+    Operand(OperandKind.LABEL),
+)
+CMP_IMM_BRANCH = (
+    Operand(OperandKind.GPR),
+    Operand(OperandKind.IMMEDIATE),
+    Operand(OperandKind.LABEL),
+)
+BRANCH_ONLY = (Operand(OperandKind.LABEL),)
+NO_OPERANDS: tuple[Operand, ...] = ()

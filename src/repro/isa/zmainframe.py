@@ -1,0 +1,124 @@
+"""Assembly of the full synthetic mainframe ISA.
+
+The ISA holds 1301 instructions: the ten Table I instructions of the
+paper, pinned by mnemonic and relative power, plus 1291 procedurally
+generated instructions from :data:`repro.isa.families.DEFAULT_FAMILIES`.
+
+Pinned Table I anchors (power normalized to SRNM = 1.0):
+
+=====  =========================================  =====
+Rank   Instruction                                Power
+=====  =========================================  =====
+1      CIB   Compare immediate and branch (32<8)  1.58
+2      CRB   Compare and branch (32)              1.57
+3      BXHG  Branch on index high (64)            1.57
+4      CGIB  Compare immediate and branch (64<8)  1.55
+5      CHHSI Compare halfword immediate (16<16)   1.55
+1297   DDTRA Divide long DFP with rounding mode   1.01
+1298   MXTRA Multiply extended DFP w/ rounding    1.01
+1299   MDTRA Multiply long DFP with rounding mode 1.0049
+1300   STCK  Store clock                          1.0028
+1301   SRNM  Set rounding mode                    1.0
+=====  =========================================  =====
+
+(The last three share "1.0" at the paper's printed precision; tiny
+offsets keep the ranking strict and deterministic.)
+"""
+
+from __future__ import annotations
+
+from .families import DEFAULT_FAMILIES, generate_family
+from .instruction import InstructionDef
+from .isa import Isa
+from .operands import CMP_BRANCH, CMP_IMM_BRANCH, FPR_FPR_FPR, NO_OPERANDS
+
+__all__ = ["build_zmainframe_isa", "PINNED_TOP", "PINNED_BOTTOM", "DEFAULT_ISA_SEED"]
+
+#: Default seed for procedural instruction attributes.
+DEFAULT_ISA_SEED = 20141213  # MICRO-47 conference date
+
+#: The paper's Table I top five, in rank order.
+PINNED_TOP = ("CIB", "CRB", "BXHG", "CGIB", "CHHSI")
+#: The paper's Table I bottom five, in rank order (1297..1301).
+PINNED_BOTTOM = ("DDTRA", "MXTRA", "MDTRA", "STCK", "SRNM")
+
+
+def _pinned_instructions() -> list[InstructionDef]:
+    return [
+        InstructionDef(
+            mnemonic="CIB",
+            description="Compare immediate and branch (32<8)",
+            family="compare-branch", unit="BRU", issue_class="BRU.cmp-branch",
+            latency=1, ends_group=True, power_weight=1.58, operands=CMP_IMM_BRANCH,
+        ),
+        InstructionDef(
+            mnemonic="CRB",
+            description="Compare and branch (32)",
+            family="compare-branch", unit="BRU", issue_class="BRU.cmp-branch",
+            latency=1, ends_group=True, power_weight=1.57, operands=CMP_BRANCH,
+        ),
+        InstructionDef(
+            mnemonic="BXHG",
+            description="Branch on index high (64)",
+            family="compare-branch", unit="BRU", issue_class="BRU.cmp-branch",
+            latency=1, ends_group=True, power_weight=1.5699, operands=CMP_BRANCH,
+        ),
+        InstructionDef(
+            mnemonic="CGIB",
+            description="Compare immediate and branch (64<8)",
+            family="compare-branch", unit="BRU", issue_class="BRU.cmp-branch",
+            latency=1, ends_group=True, power_weight=1.55, operands=CMP_IMM_BRANCH,
+        ),
+        InstructionDef(
+            mnemonic="CHHSI",
+            description="Compare halfword immediate (16<16)",
+            family="compare", unit="FXU", issue_class="FXU.compare",
+            latency=1, power_weight=1.5499, memory=True, operands=CMP_IMM_BRANCH,
+        ),
+        InstructionDef(
+            mnemonic="DDTRA",
+            description="Divide long DFP with rounding mode",
+            family="decimal-fp", unit="DFU", issue_class="DFU.dfp",
+            latency=36, pipelined=False, power_weight=1.0100, operands=FPR_FPR_FPR,
+        ),
+        InstructionDef(
+            mnemonic="MXTRA",
+            description="Multiply extended DFP with rounding mode",
+            family="decimal-fp", unit="DFU", issue_class="DFU.dfp",
+            latency=32, pipelined=False, power_weight=1.0099, operands=FPR_FPR_FPR,
+        ),
+        InstructionDef(
+            mnemonic="MDTRA",
+            description="Multiply long DFP with rounding mode",
+            family="decimal-fp", unit="DFU", issue_class="DFU.dfp",
+            latency=24, pipelined=False, power_weight=1.0049, operands=FPR_FPR_FPR,
+        ),
+        InstructionDef(
+            mnemonic="STCK",
+            description="Store clock",
+            family="system", unit="SYS", issue_class="SYS.control",
+            latency=28, serializing=True, group_alone=True,
+            power_weight=1.0028, operands=NO_OPERANDS,
+        ),
+        InstructionDef(
+            mnemonic="SRNM",
+            description="Set rounding mode",
+            family="system", unit="SYS", issue_class="SYS.control",
+            latency=40, serializing=True, group_alone=True,
+            power_weight=1.0, operands=NO_OPERANDS,
+        ),
+    ]
+
+
+def build_zmainframe_isa(seed: int = DEFAULT_ISA_SEED) -> Isa:
+    """Build the 1301-instruction synthetic mainframe ISA.
+
+    The *seed* drives every procedural attribute draw; two calls with the
+    same seed produce identical ISAs.
+    """
+    pinned = _pinned_instructions()
+    taken = {inst.mnemonic for inst in pinned}
+    instructions = list(pinned)
+    for spec in DEFAULT_FAMILIES:
+        instructions.extend(generate_family(spec, seed, taken))
+    return Isa("zmainframe-synthetic", instructions)

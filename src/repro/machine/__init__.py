@@ -1,0 +1,43 @@
+"""The modeled evaluation machine: chip, timing facility, run engine.
+
+This package glues the substrates together into "a system you can run
+experiments on":
+
+* :mod:`.tod` — the time-of-day clock facility providing 62.5 ns
+  programmable alignment and the 4 ms synchronization points;
+* :mod:`.variation` — per-core process-variation draws;
+* :mod:`.workload` — the compiled electrical behavior of a workload on
+  one core (current levels, stimulus frequency, sync specification);
+* :mod:`.chip` — the six-core chip: PDN + per-core skitter macros;
+* :mod:`.system` — the service element: voltage control in 0.5 % steps
+  and chip-level power metering;
+* :mod:`.runner` — executes a workload→core mapping and produces
+  per-core measurements (the simulation counterpart of "run the
+  stressmarks and read the skitters").
+"""
+
+from .tod import TodClock, TOD_STEP, SYNC_INTERVAL
+from .variation import CoreVariation, draw_variation
+from .workload import CurrentProgram, SyncSpec, idle_program
+from .chip import Chip, ChipConfig, reference_chip
+from .system import ServiceElement
+from .runner import ChipRunner, CoreMeasurement, RunOptions, RunResult
+
+__all__ = [
+    "TodClock",
+    "TOD_STEP",
+    "SYNC_INTERVAL",
+    "CoreVariation",
+    "draw_variation",
+    "CurrentProgram",
+    "SyncSpec",
+    "idle_program",
+    "Chip",
+    "ChipConfig",
+    "reference_chip",
+    "ServiceElement",
+    "ChipRunner",
+    "CoreMeasurement",
+    "RunOptions",
+    "RunResult",
+]

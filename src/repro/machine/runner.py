@@ -1,0 +1,389 @@
+"""Execute workload→core mappings on a chip and read the noise.
+
+This is the simulation counterpart of the paper's measurement loop:
+map one stressmark (or idle) to each core, let the chip run, and read
+the per-core skitter macros in sticky mode.
+
+A run is divided into *segments*, each standing for one observation
+window somewhere in the long physical run:
+
+* synchronized programs start each burst at their programmed TOD
+  offset, identically in every segment (that is what the TOD sync
+  buys);
+* unsynchronized programs get an independent random phase per segment,
+  standing for the unknown relative phases of free-running loops; the
+  sticky skitter keeps the worst case across segments, exactly like
+  sticky mode accumulating across a long run.
+
+Within a segment the per-core voltage waveforms are assembled by LTI
+superposition of ramp responses (:mod:`repro.pdn.superposition`), on a
+sample grid that is dense around ΔI edges and coarse elsewhere.  The
+segment also computes each core's *coherent ΔI* — the largest
+weighted sum of rising edges within the chip's coherence window — which
+feeds the skitter's simultaneous-switching term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError, MeasurementError
+from ..pdn.superposition import EdgeTrain, assemble_voltage, edges_from_square_wave
+from ..rng import stream
+from .chip import N_CORES, Chip
+from .workload import CurrentProgram
+
+__all__ = ["RunOptions", "CoreMeasurement", "RunResult", "ChipRunner"]
+
+
+@dataclass
+class RunOptions:
+    """Tunables of the run engine.
+
+    The defaults balance fidelity and speed for the full experiment
+    suite; tests use lighter settings.
+    """
+
+    #: Observation windows per run (phase draws for unsynced programs).
+    segments: int = 8
+    #: Maximum consecutive ΔI events simulated per burst.  The PDN
+    #: settles within a few periods (Q ~ 2), so bursts of 100 or 1000
+    #: events measure the same as this cap; bursts shorter than the cap
+    #: are simulated exactly.
+    events_cap: int = 12
+    #: Extra time simulated after the last edge (s).
+    tail: float = 3e-6
+    #: Periods longer than this are simulated as isolated edges at this
+    #: spacing — by then the network has fully settled, so the waveform
+    #: is exact while the window stays bounded (the paper's 1 Hz case).
+    isolated_edge_spacing: float = 60e-6
+    #: Base (coarse) samples per segment window.
+    base_samples: int = 3072
+    #: Random seed for unsynchronized phase draws.
+    seed: int = 0
+    #: Record the per-node waveforms of the first segment.
+    collect_waveforms: bool = False
+    #: Apply the simultaneous-switching jitter term.
+    include_ssn: bool = True
+    #: Constant nest-unit loads (A): shifts DC levels only.
+    nest_currents: dict[str, float] = field(
+        default_factory=lambda: {"load_l3": 14.0, "load_mcu": 5.0, "load_gx": 5.0}
+    )
+    #: VRM remote-sense loop response time (s): bursts longer than this
+    #: have their in-burst average current regulated out at the package
+    #: sense point; shorter bursts ride on the pre-burst setpoint.
+    vrm_response: float = 20e-6
+
+    def __post_init__(self) -> None:
+        if self.segments < 1:
+            raise ConfigError("need at least one segment")
+        if self.events_cap < 1:
+            raise ConfigError("events cap must be >= 1")
+        if self.base_samples < 64:
+            raise ConfigError("base_samples too small for a meaningful p2p")
+
+
+@dataclass
+class CoreMeasurement:
+    """Per-core outcome of one run."""
+
+    core: int
+    p2p_pct: float
+    v_min: float
+    v_max: float
+    coherent_delta_i: float
+
+    @property
+    def droop(self) -> float:
+        """Worst droop below the observed maximum (V)."""
+        return self.v_max - self.v_min
+
+
+@dataclass
+class RunResult:
+    """Outcome of one mapping run."""
+
+    measurements: list[CoreMeasurement]
+    mapping: list[CurrentProgram | None]
+    waveforms: dict[str, tuple[np.ndarray, np.ndarray]] = field(default_factory=dict)
+
+    @property
+    def p2p_by_core(self) -> list[float]:
+        return [m.p2p_pct for m in self.measurements]
+
+    @property
+    def max_p2p(self) -> float:
+        """Worst-case noise across cores — the paper's headline metric."""
+        return max(m.p2p_pct for m in self.measurements)
+
+    @property
+    def worst_vmin(self) -> float:
+        """Deepest instantaneous voltage seen by any core (V), with the
+        coherent-switching deepening applied — the quantity the R-Unit's
+        critical paths experience."""
+        return min(m.v_min for m in self.measurements)
+
+    def measurement(self, core: int) -> CoreMeasurement:
+        for m in self.measurements:
+            if m.core == core:
+                return m
+        raise MeasurementError(f"no measurement for core {core}")
+
+
+class ChipRunner:
+    """Runs workload mappings on one :class:`~repro.machine.chip.Chip`."""
+
+    def __init__(self, chip: Chip):
+        self.chip = chip
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        mapping: Sequence[CurrentProgram | None],
+        options: RunOptions | None = None,
+        run_tag: object = "run",
+    ) -> RunResult:
+        """Execute *mapping* (one entry per core, ``None`` = idle core).
+
+        ``run_tag`` differentiates the random phase draws of repeated
+        runs of the same mapping.
+        """
+        options = options or RunOptions()
+        if len(mapping) != N_CORES:
+            raise ConfigError(f"mapping must cover all {N_CORES} cores")
+        chip = self.chip
+        chip.reset_skitters()
+        library = chip.response_library
+
+        idle_amps = chip.config.core.static_power_w / chip.vnom
+        baseline = dict(options.nest_currents)
+        for core, program in enumerate(mapping):
+            port = chip.core_ports[core]
+            baseline[port] = program.i_low if program is not None else idle_amps
+
+        dc_levels = self._dc_levels(
+            baseline, self._slow_average(mapping, baseline, options)
+        )
+        waveforms: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+
+        sticky = [
+            {"v_min": np.inf, "v_max": -np.inf, "coherent": 0.0}
+            for _ in range(N_CORES)
+        ]
+
+        for segment in range(options.segments):
+            trains = self._build_trains(mapping, options, run_tag, segment)
+            times = self._sample_times(trains, options)
+            coherent = self._coherent_delta_i(mapping, trains, options)
+            for core in range(N_CORES):
+                node = chip.core_nodes[core]
+                deviation = assemble_voltage(library, node, trains, times)
+                volts = dc_levels[node] + deviation
+                state = sticky[core]
+                state["v_min"] = min(state["v_min"], float(volts.min()))
+                state["v_max"] = max(state["v_max"], float(volts.max()))
+                state["coherent"] = max(state["coherent"], coherent[core])
+                if options.collect_waveforms and segment == 0:
+                    waveforms[node] = (times.copy(), volts)
+            if options.collect_waveforms and segment == 0:
+                for node in ("dom_n", "dom_s", "l3"):
+                    deviation = assemble_voltage(library, node, trains, times)
+                    waveforms[node] = (times.copy(), dc_levels[node] + deviation)
+
+        measurements: list[CoreMeasurement] = []
+        for core in range(N_CORES):
+            state = sticky[core]
+            if not np.isfinite(state["v_min"]):  # pragma: no cover - defensive
+                raise MeasurementError(f"core {core} produced no samples")
+            coherent_amps = state["coherent"] if options.include_ssn else 0.0
+            macro = chip.skitters[core]
+            macro.observe(state["v_min"], state["v_max"], coherent_amps)
+            reading = macro.read()
+            ssn_droop = macro.config.ssn_gain * coherent_amps
+            measurements.append(
+                CoreMeasurement(
+                    core=core,
+                    p2p_pct=reading.p2p_pct,
+                    v_min=state["v_min"] - ssn_droop,
+                    v_max=state["v_max"],
+                    coherent_delta_i=coherent_amps,
+                )
+            )
+        return RunResult(
+            measurements=measurements, mapping=list(mapping), waveforms=waveforms
+        )
+
+    # ------------------------------------------------------------------
+    def _slow_average(
+        self,
+        mapping: Sequence[CurrentProgram | None],
+        baseline: dict[str, float],
+        options: RunOptions,
+    ) -> dict[str, float]:
+        """Per-port current the VRM remote-sense loop regulates against.
+
+        Bursts longer than the loop's response time are regulated
+        in-burst (the loop sees the burst's duty-cycle average); bursts
+        shorter than it ride on the pre-burst setpoint, so their
+        sustained IR shift is *not* compensated.  Continuous
+        (unsynchronized) stressmarks are always regulated.
+        """
+        average = dict(baseline)
+        for core, program in enumerate(mapping):
+            if program is None or program.is_steady:
+                continue
+            port = self.chip.core_ports[core]
+            if program.sync is not None:
+                burst_seconds = program.sync.events_per_sync / program.freq_hz
+                if burst_seconds < options.vrm_response:
+                    continue  # burst too short for the loop to react
+            average[port] = program.i_low + program.duty * program.delta_i
+        return average
+
+    def _dc_levels(
+        self,
+        baseline: dict[str, float],
+        slow_average: dict[str, float],
+    ) -> dict[str, float]:
+        """Absolute node voltages under the constant baseline loads,
+        with the VRM remote-sense loop regulating the package node to
+        nominal under the slow-average load."""
+        system = self.chip.modal.system
+        vrm_col = system.input_column("vrm")
+        pkg_row = system.node_index["pkg"]
+
+        u_avg = np.zeros(len(system.input_index))
+        for name, amps in slow_average.items():
+            u_avg[system.input_column(name)] = amps
+        u_avg[vrm_col] = self.chip.vnom
+        v_pkg = float(system.dc_voltages(u_avg)[pkg_row])
+        setpoint = self.chip.vnom + (self.chip.vnom - v_pkg)
+
+        u = np.zeros(len(system.input_index))
+        for name, amps in baseline.items():
+            u[system.input_column(name)] = amps
+        u[vrm_col] = setpoint
+        voltages = system.dc_voltages(u)
+        return {node: float(voltages[row]) for node, row in system.node_index.items()}
+
+    def _effective_period(self, program: CurrentProgram, options: RunOptions) -> float:
+        period = 1.0 / program.freq_hz
+        return min(period, options.isolated_edge_spacing)
+
+    def _build_trains(
+        self,
+        mapping: Sequence[CurrentProgram | None],
+        options: RunOptions,
+        run_tag: object,
+        segment: int,
+    ) -> list[EdgeTrain]:
+        """Edge trains of all bursting cores for one segment."""
+        trains: list[EdgeTrain] = []
+        for core, program in enumerate(mapping):
+            if program is None or program.is_steady:
+                continue
+            period = self._effective_period(program, options)
+            freq = 1.0 / period
+            synced = (
+                program.sync is not None
+                and (1.0 / program.freq_hz) <= program.sync.interval
+            )
+            if synced:
+                start = program.sync.offset
+                n_events = min(program.sync.events_per_sync, options.events_cap)
+            else:
+                rng = stream(
+                    self.chip.config.seed, "phase", run_tag, segment, core,
+                    options.seed,
+                )
+                start = float(rng.uniform(0.0, period))
+                n_events = options.events_cap
+            trains.append(
+                edges_from_square_wave(
+                    self.chip.core_ports[core],
+                    delta_i=program.delta_i,
+                    freq_hz=freq,
+                    n_events=n_events,
+                    start=start,
+                    duty=program.duty,
+                    rise_time=program.rise_time,
+                )
+            )
+        return trains
+
+    def _sample_times(
+        self, trains: list[EdgeTrain], options: RunOptions
+    ) -> np.ndarray:
+        """Dense-near-edges composite sampling grid for one segment."""
+        if trains:
+            t_end = max(train.times.max() for train in trains) + options.tail
+            edge_times = np.concatenate([train.times for train in trains])
+        else:
+            t_end = options.tail
+            edge_times = np.empty(0)
+        base = np.linspace(0.0, t_end, options.base_samples)
+        if edge_times.size == 0:
+            return base
+        probe_offsets = np.concatenate(
+            [
+                np.linspace(0.0, 30e-9, 13),
+                np.geomspace(40e-9, 4e-6, 36),
+            ]
+        )
+        probes = (edge_times[:, None] + probe_offsets[None, :]).ravel()
+        probes = probes[(probes >= 0.0) & (probes <= t_end)]
+        return np.unique(np.concatenate([base, probes]))
+
+    def _coherent_delta_i(
+        self,
+        mapping: Sequence[CurrentProgram | None],
+        trains: list[EdgeTrain],
+        options: RunOptions,
+    ) -> list[float]:
+        """Per-core maximum weighted rising-ΔI within the coherence
+        window, over the whole segment."""
+        events: list[tuple[float, int, float]] = []  # (time, core, amps)
+        port_to_core = {port: i for i, port in enumerate(self.chip.core_ports)}
+        window = self.chip.config.ssn_window
+        for train in trains:
+            core = port_to_core[train.port]
+            rising = train.deltas > 0
+            times = train.times[rising]
+            # Simultaneous-switching jitter is a *transition* effect:
+            # when a core repeats its events faster than the coherence
+            # window, the chip sees quasi-steady ripple (already in the
+            # PDN waveform), not discrete switching events — derate the
+            # impulsive contribution by the period/window ratio.
+            if times.size > 1:
+                period = float(np.min(np.diff(np.sort(times))))
+                impulsiveness = min(1.0, period / (2.0 * window))
+            else:
+                impulsiveness = 1.0
+            for t, amps in zip(times, train.deltas[rising]):
+                events.append((float(t), core, float(amps) * impulsiveness))
+        if not events:
+            return [0.0] * N_CORES
+        events.sort()
+        result = [0.0] * N_CORES
+        left = 0
+        for right in range(len(events)):
+            while events[right][0] - events[left][0] > window:
+                left += 1
+            # At most one edge per source core counts within a window:
+            # the delay line integrates a single traversal, it does not
+            # accumulate a core's repeated events.
+            per_core: dict[int, float] = {}
+            for _, core, amps in events[left : right + 1]:
+                if amps > per_core.get(core, 0.0):
+                    per_core[core] = amps
+            for observer in range(N_CORES):
+                total = sum(
+                    amps * self.chip.coupling_weight(observer, core)
+                    for core, amps in per_core.items()
+                )
+                if total > result[observer]:
+                    result[observer] = total
+        return result

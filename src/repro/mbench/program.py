@@ -1,0 +1,68 @@
+"""Program intermediate representation for generated microbenchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import GenerationError
+from ..isa.instruction import InstructionDef
+
+__all__ = ["InstructionInstance", "Program"]
+
+
+@dataclass(frozen=True)
+class InstructionInstance:
+    """One instruction with materialized operand strings.
+
+    ``operand_values`` are assembler-level operand renderings (register
+    names, immediates, base-displacement memory references, labels) in
+    the definition's operand order.
+    """
+
+    definition: InstructionDef
+    operand_values: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        expected = len(self.definition.operands)
+        if len(self.operand_values) != expected:
+            raise GenerationError(
+                f"{self.definition.mnemonic}: expected {expected} operands, "
+                f"got {len(self.operand_values)}"
+            )
+
+    def render(self) -> str:
+        """Assembler text of this instance."""
+        if not self.operand_values:
+            return self.definition.mnemonic
+        return f"{self.definition.mnemonic} " + ",".join(self.operand_values)
+
+
+@dataclass
+class Program:
+    """A generated microbenchmark: prologue, loop body, trip count.
+
+    ``trip_count`` of ``None`` means an endless loop (the usual shape
+    for measurement benchmarks, which are sampled while running).
+    ``loop_definitions`` exposes the loop body as plain instruction
+    definitions — the view the microarchitecture models consume.
+    """
+
+    name: str
+    loop_body: list[InstructionInstance]
+    prologue: list[InstructionInstance] = field(default_factory=list)
+    trip_count: int | None = None
+    loop_label: str = "loop"
+
+    def __post_init__(self) -> None:
+        if not self.loop_body:
+            raise GenerationError(f"program {self.name!r} has an empty loop body")
+
+    @property
+    def loop_definitions(self) -> list[InstructionDef]:
+        """Instruction definitions of one loop iteration."""
+        return [inst.definition for inst in self.loop_body]
+
+    @property
+    def size(self) -> int:
+        """Static instruction count (prologue + loop body)."""
+        return len(self.prologue) + len(self.loop_body)

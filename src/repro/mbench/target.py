@@ -1,0 +1,57 @@
+"""Target definition: the binding of ISA, core model and energy model.
+
+In Microprobe terms this is the "back-end knowledge base ... implemented
+via target definition files" the paper had to build for the evaluation
+platform before the characterization could start.  A :class:`Target`
+is the single object the stressmark methodology carries around: it
+answers "what instructions exist", "how fast does this loop run" and
+"how much power does it burn".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..isa.isa import Isa
+from ..isa.zmainframe import build_zmainframe_isa
+from ..uarch.energy import EnergyModel
+from ..uarch.power import PowerEstimate, estimate_loop_power
+from ..uarch.resources import CoreConfig, default_core_config
+from ..uarch.throughput import LoopProfile, analyze_loop
+from .program import Program
+
+__all__ = ["Target", "default_target"]
+
+
+@dataclass
+class Target:
+    """A fully bound evaluation target."""
+
+    isa: Isa
+    core: CoreConfig
+
+    @cached_property
+    def energy_model(self) -> EnergyModel:
+        """Per-µop energy model (built lazily; it profiles every
+        instruction once)."""
+        return EnergyModel(self.isa, self.core)
+
+    def profile(self, program: Program) -> LoopProfile:
+        """Steady-state throughput profile of *program*'s loop."""
+        return analyze_loop(program.loop_definitions, self.core)
+
+    def power(self, program: Program) -> PowerEstimate:
+        """Steady-state power estimate of *program*'s loop."""
+        return estimate_loop_power(program.loop_definitions, self.energy_model)
+
+    @property
+    def idle_current(self) -> float:
+        """Idle (static-only) current of one core, in amperes."""
+        return self.energy_model.idle_current
+
+
+def default_target() -> Target:
+    """The reference target: synthetic mainframe ISA on the reference
+    core configuration."""
+    return Target(isa=build_zmainframe_isa(), core=default_core_config())

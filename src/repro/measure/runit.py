@@ -1,0 +1,76 @@
+"""Recovery-unit (R-Unit) failure model.
+
+These systems detect execution errors with a recovery unit that
+checkpoints architected state; in Vmin experiments, "errors are
+detected using the R-Unit".  An error occurs when some critical path
+misses its cycle because the instantaneous supply voltage dropped too
+low: critical-path delay grows as voltage falls, and the path fails
+once delay exceeds the cycle time.
+
+Model: the chip's slowest path meets timing with margin at nominal
+voltage; its delay follows the same power-law voltage sensitivity the
+skitter's delay line shows.  The path fails when
+
+    (v_fail_threshold / v_inst) ** alpha > 1    i.e.  v_inst < v_fail_threshold
+
+with ``v_fail_threshold`` expressed as a fraction of nominal — the
+single calibration point of the model.  The monotone mapping means the
+first-failing circuit path is always the one with the least voltage
+slack, which is also what the paper's extra Vmin instrumentation
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["RUnitConfig", "RUnit"]
+
+
+@dataclass(frozen=True)
+class RUnitConfig:
+    """Failure-detection configuration.
+
+    ``v_fail_frac`` — instantaneous voltage, as a fraction of the
+    nominal supply, below which the critical path misses timing and the
+    R-Unit records an error.
+    """
+
+    v_fail_frac: float = 0.846
+
+    def __post_init__(self) -> None:
+        if not 0.5 < self.v_fail_frac < 1.0:
+            raise ConfigError("v_fail_frac must be within (0.5, 1.0)")
+
+
+class RUnit:
+    """Error detector for one chip."""
+
+    def __init__(self, config: RUnitConfig, vnom: float):
+        if vnom <= 0:
+            raise ConfigError("nominal voltage must be positive")
+        self.config = config
+        self.vnom = vnom
+        self.error_count = 0
+
+    @property
+    def v_fail(self) -> float:
+        """Absolute failure threshold (V)."""
+        return self.config.v_fail_frac * self.vnom
+
+    def check(self, v_worst: float) -> bool:
+        """Check one observation window.
+
+        Returns True (and records an error) when the worst instantaneous
+        voltage violated the critical path's requirement.
+        """
+        failed = v_worst < self.v_fail
+        if failed:
+            self.error_count += 1
+        return failed
+
+    def reset(self) -> None:
+        """Clear the error log (system reboot)."""
+        self.error_count = 0

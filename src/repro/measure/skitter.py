@@ -1,0 +1,167 @@
+"""Skitter macro model: on-chip timing-uncertainty measurement.
+
+The real macro is a latched-tapped delay line of 129 inverters whose
+per-stage delay is strongly voltage dependent.  Every cycle the
+sampling latches snapshot the line, marking the tap positions where
+clock edges sit; supply noise moves those positions, and in sticky mode
+the macro records every position touched over a window, so the
+peak-to-peak position spread measures worst-case noise while any
+workload runs.
+
+The model keeps those mechanics:
+
+* inverter delay follows a power law in voltage,
+  ``d(V) = d0 * (Vnom / V)**k`` — delay grows as the supply droops.
+  The exponent bundles the device-level sensitivity and the macro's
+  calibrated gain; it also produces the documented *loss of linearity*
+  between %p2p and voltage at large droops (readings grow convexly).
+* edge positions are **quantized to integer taps**, which is why
+  measured noise curves move in visible steps (paper Figure 7a).
+* the reading is ``%p2p = 100 * (taps(v_max) - taps(v_min)) /
+  taps(Vnom)`` — the peak-to-peak tap spread normalized to the nominal
+  taps-per-cycle.
+* a **simultaneous-switching jitter** term widens the spread when many
+  cores fire ΔI events within a short coherence window: the edge
+  sampled by the latches accumulates delay-line jitter from the fast
+  collective di/dt that a lumped PDN cannot resolve spatially.  The
+  runner computes the coherent-ΔI metric; the macro converts it to an
+  equivalent droop through ``ssn_gain``.  (Documented substitution —
+  see DESIGN.md §1 and §4.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import MeasurementError
+
+__all__ = ["SkitterConfig", "SkitterReading", "SkitterMacro"]
+
+
+@dataclass(frozen=True)
+class SkitterConfig:
+    """Electrical configuration of a skitter macro.
+
+    Attributes
+    ----------
+    taps:
+        Inverter count of the delay line.
+    inverter_delay:
+        Nominal per-stage delay at ``vnom`` (s); the real macros sit
+        between 5 and 8 ps depending on threshold voltage/technology.
+    clock_hz:
+        Sampled clock frequency.
+    vnom:
+        Calibration voltage.
+    voltage_exponent:
+        Delay sensitivity exponent ``k``.
+    ssn_gain:
+        Volts of equivalent droop per ampere of coherent ΔI.
+    """
+
+    taps: int = 129
+    inverter_delay: float = 6.5e-12
+    clock_hz: float = 5.5e9
+    vnom: float = 1.05
+    voltage_exponent: float = 3.3
+    ssn_gain: float = 0.80e-3
+
+    def __post_init__(self) -> None:
+        if self.taps < 8:
+            raise MeasurementError("delay line too short")
+        if self.inverter_delay <= 0 or self.clock_hz <= 0 or self.vnom <= 0:
+            raise MeasurementError("skitter physical parameters must be positive")
+        if self.voltage_exponent <= 0:
+            raise MeasurementError("voltage exponent must be positive")
+
+
+@dataclass
+class SkitterReading:
+    """One %p2p readout.
+
+    ``taps_min``/``taps_max`` expose the quantized tap counts behind the
+    percentage, mirroring the bit-string nature of the real readout.
+    """
+
+    p2p_pct: float
+    taps_min: int
+    taps_max: int
+    taps_nominal: int
+
+
+class SkitterMacro:
+    """A skitter macro instance at one chip location.
+
+    ``sensitivity`` models per-macro process variation (threshold
+    voltage shifts scale the voltage exponent).
+
+    Use :meth:`observe` to feed voltage extremes (sticky mode keeps
+    accumulating), :meth:`read` for the current reading and
+    :meth:`reset` to clear the sticky state.
+    """
+
+    def __init__(
+        self, config: SkitterConfig, location: str, sensitivity: float = 1.0
+    ):
+        if sensitivity <= 0:
+            raise MeasurementError("sensitivity must be positive")
+        self.config = config
+        self.location = location
+        self.sensitivity = sensitivity
+        self._v_min: float | None = None
+        self._v_max: float | None = None
+
+    # -- physics --------------------------------------------------------
+    def inverter_delay(self, volts: float) -> float:
+        """Per-stage delay at supply voltage *volts*."""
+        if volts <= 0:
+            raise MeasurementError("supply voltage must be positive")
+        exponent = self.config.voltage_exponent * self.sensitivity
+        return self.config.inverter_delay * (self.config.vnom / volts) ** exponent
+
+    def taps_per_cycle(self, volts: float) -> int:
+        """Quantized tap count one clock period spans at *volts*."""
+        period = 1.0 / self.config.clock_hz
+        return int(math.floor(period / self.inverter_delay(volts)))
+
+    # -- sticky accumulation ---------------------------------------------
+    def observe(
+        self, v_min: float, v_max: float, coherent_delta_i: float = 0.0
+    ) -> None:
+        """Accumulate one observation window.
+
+        ``coherent_delta_i`` is the maximum ΔI (A) that fired within the
+        macro's coherence window during the observation; it deepens the
+        effective minimum voltage via the simultaneous-switching term.
+        """
+        if v_max < v_min:
+            raise MeasurementError("v_max below v_min")
+        if coherent_delta_i < 0:
+            raise MeasurementError("coherent ΔI cannot be negative")
+        effective_min = v_min - self.config.ssn_gain * coherent_delta_i
+        self._v_min = effective_min if self._v_min is None else min(self._v_min, effective_min)
+        self._v_max = v_max if self._v_max is None else max(self._v_max, v_max)
+
+    def reset(self) -> None:
+        """Clear the sticky state."""
+        self._v_min = None
+        self._v_max = None
+
+    # -- readout ----------------------------------------------------------
+    def read(self) -> SkitterReading:
+        """Current sticky %p2p reading."""
+        if self._v_min is None or self._v_max is None:
+            raise MeasurementError(
+                f"skitter {self.location!r} has no observations"
+            )
+        taps_nominal = self.taps_per_cycle(self.config.vnom)
+        taps_min = self.taps_per_cycle(self._v_min)   # slow line -> few taps
+        taps_max = self.taps_per_cycle(self._v_max)   # fast line -> many taps
+        p2p = 100.0 * (taps_max - taps_min) / taps_nominal
+        return SkitterReading(
+            p2p_pct=p2p,
+            taps_min=taps_min,
+            taps_max=taps_max,
+            taps_nominal=taps_nominal,
+        )

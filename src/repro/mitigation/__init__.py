@@ -1,0 +1,41 @@
+"""Noise mitigation mechanisms built on the characterization.
+
+The paper closes by sketching optimization opportunities (§VII) and
+notes that "the next generation processor chip for System z mainframes
+will include a mechanism to globally monitor/reduce noise if
+necessary".  This package implements those mechanisms against the
+simulated platform, so their benefit can be measured with the same
+harness that characterized the problem:
+
+* :mod:`.scheduler` — a noise-aware workload mapper (§VII-A): places k
+  workloads on the cores to minimize worst-case noise, using a cached
+  placement study of the chip.
+* :mod:`.staggering` — a global ΔI-event staggerer: assigns TOD
+  misalignment offsets to co-scheduled swing-heavy workloads, spending
+  the paper's Figure 10 insight (62.5 ns suffices) to cap coherent ΔI.
+* :mod:`.guardband` — a dynamic guard-band controller (§VII-B): walks a
+  utilization trace, adjusts the service-element bias to the margin
+  schedule, and accounts the energy saved — checking at every step that
+  the margin is never violated.
+* :mod:`.throttle` — a global ΔI throttle, modeling the
+  "globally monitor/reduce" mechanism: when the chip-wide coherent ΔI
+  would exceed a budget, core power swings are derated, trading
+  throughput for noise.
+"""
+
+from .scheduler import NoiseAwareScheduler, Placement
+from .staggering import StaggerPlan, plan_stagger, evaluate_stagger
+from .guardband import GuardbandController, GuardbandRun
+from .throttle import GlobalDidtThrottle, ThrottleOutcome
+
+__all__ = [
+    "NoiseAwareScheduler",
+    "Placement",
+    "StaggerPlan",
+    "plan_stagger",
+    "evaluate_stagger",
+    "GuardbandController",
+    "GuardbandRun",
+    "GlobalDidtThrottle",
+    "ThrottleOutcome",
+]

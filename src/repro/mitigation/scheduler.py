@@ -1,0 +1,97 @@
+"""Noise-aware workload mapping policy (paper §VII-A).
+
+"One can implement a task mapping policy with the objective of
+minimizing the worst-case noise.  Then, one can proactively squeeze the
+available voltage margin accordingly."
+
+The scheduler measures (once, per workload class) the worst-case noise
+of every placement of k copies on the chip, then answers placement
+queries from the cached study.  It also quantifies what the placement
+bought: the margin saved versus the worst placement, in %p2p and in
+volts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.mapping import MappingStudy, enumerate_mappings
+from ..errors import ExperimentError
+from ..machine.chip import N_CORES, Chip
+from ..machine.runner import RunOptions
+from ..machine.workload import CurrentProgram
+
+__all__ = ["Placement", "NoiseAwareScheduler"]
+
+
+@dataclass
+class Placement:
+    """A placement decision and its measured consequences."""
+
+    cores: tuple[int, ...]
+    worst_noise: float
+    worst_alternative: float
+
+    @property
+    def noise_saved(self) -> float:
+        """%p2p points saved versus the adversarial placement."""
+        return self.worst_alternative - self.worst_noise
+
+
+@dataclass
+class NoiseAwareScheduler:
+    """Placement oracle for one chip and one workload class.
+
+    Parameters
+    ----------
+    chip:
+        The chip to place on.
+    program:
+        The workload class's compiled electrical behavior.
+    options:
+        Run options for the placement studies.
+    volts_per_p2p_point:
+        Conversion from skitter %p2p to voltage margin, used by
+        :meth:`margin_saved`.
+    """
+
+    chip: Chip
+    program: CurrentProgram
+    options: RunOptions | None = None
+    volts_per_p2p_point: float = 0.0016
+    _studies: dict[int, MappingStudy] = field(default_factory=dict, repr=False)
+
+    def study(self, n_workloads: int) -> MappingStudy:
+        """The (cached) exhaustive placement study for *n_workloads*."""
+        if not 0 <= n_workloads <= N_CORES:
+            raise ExperimentError(
+                f"cannot place {n_workloads} workloads on {N_CORES} cores"
+            )
+        if n_workloads not in self._studies:
+            self._studies[n_workloads] = enumerate_mappings(
+                self.chip, self.program, n_workloads, self.options
+            )
+        return self._studies[n_workloads]
+
+    def place(self, n_workloads: int) -> Placement:
+        """Best placement of *n_workloads* copies of the workload."""
+        study = self.study(n_workloads)
+        best = study.best
+        return Placement(
+            cores=best.cores,
+            worst_noise=best.worst_noise,
+            worst_alternative=study.worst.worst_noise,
+        )
+
+    def margin_saved(self, n_workloads: int) -> float:
+        """Voltage margin (V) the noise-aware placement saves."""
+        placement = self.place(n_workloads)
+        return placement.noise_saved * self.volts_per_p2p_point
+
+    def opportunity_profile(self) -> dict[int, float]:
+        """Noise-saving headroom per workload count (the Figure 15
+        series)."""
+        return {
+            count: self.study(count).reduction_opportunity
+            for count in range(N_CORES + 1)
+        }

@@ -1,0 +1,58 @@
+"""Power distribution network (PDN) simulation substrate.
+
+The paper characterizes voltage noise on real silicon; this package
+replaces the physical chip/package/board power delivery path with a
+lumped-element RLC network (Figure 2 of the paper) that is solved three
+ways:
+
+* exactly, via a state-space/modal decomposition (:mod:`.state_space`),
+  which powers fast step-response evaluation and frequency-domain
+  impedance profiles;
+* by a trapezoidal modified-nodal-analysis transient engine
+  (:mod:`.mna`), kept as an independent reference solver and
+  cross-checked against the modal solution in the test suite;
+* by linear superposition of precomputed step/ramp responses
+  (:mod:`.superposition`), which is how full multi-core stressmark
+  runs are assembled efficiently.
+
+:mod:`.topology` builds the multi-core chip network of the paper's
+evaluation platform (two on-chip voltage domains, six cores, the large
+deep-trench L3 node between the core rows, MCU/GX units) and
+:mod:`.zec12` holds the calibrated reference parameters that reproduce
+the paper's resonant bands (~40 kHz and ~2 MHz) and cluster structure.
+"""
+
+from .elements import Capacitor, CurrentPort, Inductor, Resistor, VoltagePort
+from .netlist import Netlist
+from .state_space import StateSpace, build_state_space
+from .mna import TransientResult, simulate_transient
+from .impedance import ImpedanceProfile, impedance_profile, find_resonances
+from .response import ResponseLibrary
+from .superposition import EdgeTrain, assemble_voltage, edges_from_square_wave
+from .topology import ChipPdnParameters, build_chip_netlist, core_node, core_port
+from .zec12 import reference_chip_parameters
+
+__all__ = [
+    "Capacitor",
+    "CurrentPort",
+    "Inductor",
+    "Resistor",
+    "VoltagePort",
+    "Netlist",
+    "StateSpace",
+    "build_state_space",
+    "TransientResult",
+    "simulate_transient",
+    "ImpedanceProfile",
+    "impedance_profile",
+    "find_resonances",
+    "ResponseLibrary",
+    "EdgeTrain",
+    "assemble_voltage",
+    "edges_from_square_wave",
+    "ChipPdnParameters",
+    "build_chip_netlist",
+    "core_node",
+    "core_port",
+    "reference_chip_parameters",
+]

@@ -1,0 +1,135 @@
+"""Lumped circuit elements used to describe a PDN netlist.
+
+The element vocabulary is deliberately restricted to the shapes that
+appear in power-delivery models (Figure 2 of the paper):
+
+* :class:`Resistor` — a purely resistive branch between two nodes
+  (power-plane spreading resistance, lateral on-die grid resistance).
+* :class:`Inductor` — a series R-L branch between two nodes (package
+  traces, C4 arrays, VRM output chokes).  The series resistance is the
+  branch ESR and may be zero.
+* :class:`Capacitor` — a decoupling capacitor from a node to ground with
+  an equivalent series resistance (ESR).
+* :class:`CurrentPort` — a named input where a load (a core, the nest,
+  an I/O unit) draws time-varying current from a node.
+* :class:`VoltagePort` — a named input pinning a node to an externally
+  supplied voltage (the VRM output).
+
+All values are plain SI units.  Elements are immutable; a
+:class:`~repro.pdn.netlist.Netlist` owns collections of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NetlistError
+
+__all__ = [
+    "GROUND",
+    "Resistor",
+    "Inductor",
+    "Capacitor",
+    "CurrentPort",
+    "VoltagePort",
+]
+
+#: Name of the implicit ground node.  Always at 0 V.
+GROUND = "gnd"
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise NetlistError(message)
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """Purely resistive branch between nodes *a* and *b*."""
+
+    name: str
+    a: str
+    b: str
+    ohms: float
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "resistor needs a name")
+        _require(self.a != self.b, f"resistor {self.name!r} shorts a node to itself")
+        _require(self.ohms > 0, f"resistor {self.name!r} must have positive resistance")
+
+
+@dataclass(frozen=True)
+class Inductor:
+    """Series R-L branch between nodes *a* and *b*.
+
+    The branch current (flowing from *a* to *b*) is a state variable of
+    the network.  ``esr`` is the series resistance of the branch.
+    """
+
+    name: str
+    a: str
+    b: str
+    henries: float
+    esr: float = 0.0
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "inductor needs a name")
+        _require(self.a != self.b, f"inductor {self.name!r} shorts a node to itself")
+        _require(self.henries > 0, f"inductor {self.name!r} must have positive inductance")
+        _require(self.esr >= 0, f"inductor {self.name!r} must have non-negative ESR")
+
+
+@dataclass(frozen=True)
+class Capacitor:
+    """Decoupling capacitor from *node* to ground, with series ESR.
+
+    The internal capacitor-plate voltage is a state variable.  A strictly
+    positive ESR is required; physical decaps always have one, and it
+    keeps the state-space derivation uniform (the node voltage is then an
+    algebraic function of states and inputs).
+    """
+
+    name: str
+    node: str
+    farads: float
+    esr: float
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "capacitor needs a name")
+        _require(self.node != GROUND, f"capacitor {self.name!r} placed on ground")
+        _require(self.farads > 0, f"capacitor {self.name!r} must have positive capacitance")
+        _require(self.esr > 0, f"capacitor {self.name!r} must have strictly positive ESR")
+
+
+@dataclass(frozen=True)
+class CurrentPort:
+    """Named load input drawing current from *node*.
+
+    A positive input value means current flowing out of the node into the
+    load (the convention for on-die switching activity): a positive load
+    step therefore produces a voltage droop at the node.
+    """
+
+    name: str
+    node: str
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "current port needs a name")
+        _require(self.node != GROUND, f"current port {self.name!r} placed on ground")
+
+
+@dataclass(frozen=True)
+class VoltagePort:
+    """Named input pinning *node* to an externally supplied voltage.
+
+    Used for the VRM output.  The pinned node's voltage is an input to
+    the network rather than a state; branches attached to it see the
+    supplied value directly.
+    """
+
+    name: str
+    node: str
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "voltage port needs a name")
+        _require(self.node != GROUND, f"voltage port {self.name!r} placed on ground")

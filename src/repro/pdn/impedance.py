@@ -1,0 +1,112 @@
+"""Frequency-domain impedance profiles of a PDN.
+
+This reproduces the "post-silicon impedance (Z) profile" of the paper's
+Figure 7b: the magnitude of the transfer impedance from a load current
+port to a die node, swept across the spectrum where current fluctuations
+can exist.  Resonant bands show up as local maxima; package designers
+keep the peak below a target by adding decoupling capacitance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SolverError
+from .netlist import Netlist
+from .state_space import ModalSystem, build_state_space
+
+__all__ = ["ImpedanceProfile", "impedance_profile", "find_resonances"]
+
+
+@dataclass
+class ImpedanceProfile:
+    """Impedance magnitude |Z(f)| from one load port to one node.
+
+    Attributes
+    ----------
+    freqs_hz:
+        Sweep frequencies (Hz), ascending.
+    ohms:
+        Impedance magnitudes (Ω), same length.
+    port, node:
+        Source load port and observed node.
+    """
+
+    freqs_hz: np.ndarray
+    ohms: np.ndarray
+    port: str
+    node: str
+
+    def at(self, freq_hz: float) -> float:
+        """Log-log interpolated |Z| at *freq_hz*."""
+        if freq_hz <= 0:
+            raise SolverError("frequency must be positive")
+        return float(
+            np.exp(
+                np.interp(
+                    np.log(freq_hz),
+                    np.log(self.freqs_hz),
+                    np.log(np.maximum(self.ohms, 1e-30)),
+                )
+            )
+        )
+
+    def peak(self) -> tuple[float, float]:
+        """(frequency, |Z|) of the global maximum."""
+        k = int(np.argmax(self.ohms))
+        return float(self.freqs_hz[k]), float(self.ohms[k])
+
+
+def impedance_profile(
+    netlist: Netlist,
+    port: str,
+    node: str,
+    f_min: float = 1e3,
+    f_max: float = 1e9,
+    points_per_decade: int = 60,
+    modal: ModalSystem | None = None,
+) -> ImpedanceProfile:
+    """Sweep |Z(f)| from load *port* to *node* on a log grid.
+
+    A prebuilt :class:`ModalSystem` may be passed to avoid re-deriving
+    the state space on repeated sweeps of the same network.
+    """
+    if f_min <= 0 or f_max <= f_min:
+        raise SolverError(f"bad frequency range [{f_min!r}, {f_max!r}]")
+    if modal is None:
+        modal = ModalSystem(build_state_space(netlist))
+    decades = np.log10(f_max / f_min)
+    n_points = max(int(round(decades * points_per_decade)) + 1, 2)
+    freqs = np.logspace(np.log10(f_min), np.log10(f_max), n_points)
+    transfer = modal.frequency_response(port, [node], freqs)[0]
+    return ImpedanceProfile(freqs_hz=freqs, ohms=np.abs(transfer), port=port, node=node)
+
+
+def find_resonances(
+    profile: ImpedanceProfile, prominence_ratio: float = 1.15
+) -> list[tuple[float, float]]:
+    """Locate resonant bands: local maxima of |Z(f)|.
+
+    A local maximum qualifies when it exceeds the valleys on both sides
+    by *prominence_ratio*.  Returns (frequency, |Z|) pairs sorted by
+    descending impedance.
+    """
+    z = profile.ohms
+    freqs = profile.freqs_hz
+    peaks: list[tuple[float, float]] = []
+    rising = np.r_[True, z[1:] >= z[:-1]]
+    falling = np.r_[z[:-1] >= z[1:], True]
+    candidates = np.nonzero(rising & falling)[0]
+    for k in candidates:
+        if k in (0, z.size - 1):
+            continue
+        left_min = z[: k + 1].min()
+        right_min = z[k:].min()
+        if z[k] >= prominence_ratio * max(left_min, 1e-30) and z[
+            k
+        ] >= prominence_ratio * max(right_min, 1e-30):
+            peaks.append((float(freqs[k]), float(z[k])))
+    peaks.sort(key=lambda pair: -pair[1])
+    return peaks

@@ -1,0 +1,196 @@
+"""Parametric multi-core chip PDN topology.
+
+Mirrors the evaluation platform of the paper (Figure 3): six cores in
+two rows of three, a large shared eDRAM L3 between the rows, the memory
+controller (MCU) on one side and the I/O bus controller (GX) on the
+other.  Electrically (Figure 2): a VRM feeds the board, the board feeds
+the package, and two C4 arrays feed two on-chip voltage domains — one
+per core row — that share the single package domain.  The deep-trench L3
+capacitance bridges the two domains and damps noise crossing between
+them, which is what produces the paper's {0,2,4} / {1,3,5} noise
+clusters.
+
+Every element value is a field of :class:`ChipPdnParameters`, so
+ablations (e.g. removing the deep-trench capacitance, Figure 7's
+resonance-shift discussion) are parameter changes, not code changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..errors import ConfigError
+from .netlist import Netlist
+
+__all__ = [
+    "ChipPdnParameters",
+    "build_chip_netlist",
+    "core_node",
+    "core_port",
+    "NORTH_CORES",
+    "SOUTH_CORES",
+]
+
+#: Core ids in the north row (top of the die photo), sharing a domain.
+NORTH_CORES = (0, 2, 4)
+#: Core ids in the south row, sharing the other domain.
+SOUTH_CORES = (1, 3, 5)
+
+
+def core_node(core: int) -> str:
+    """PDN node name of a core's local grid."""
+    return f"core{core}"
+
+
+def core_port(core: int) -> str:
+    """Load (current) port name of a core."""
+    return f"load_core{core}"
+
+
+@dataclass
+class ChipPdnParameters:
+    """Element values for the chip PDN (SI units).
+
+    The defaults here are **uncalibrated placeholders**; use
+    :func:`repro.pdn.zec12.reference_chip_parameters` for the calibrated
+    reference chip that reproduces the paper's resonant bands.
+    """
+
+    #: Nominal VRM output voltage (V).
+    vnom: float = 1.05
+    n_cores: int = 6
+
+    # VRM and board (sets the low-frequency resonance, ~40 kHz band).
+    r_vrm: float = 0.30e-3
+    l_vrm: float = 1.6e-9
+    c_board: float = 10e-3
+    c_board_esr: float = 0.10e-3
+
+    # Board-to-package interconnect and package decap.
+    r_mb: float = 0.08e-3
+    l_mb: float = 30e-12
+    c_pkg: float = 600e-6
+    c_pkg_esr: float = 0.05e-3
+
+    # C4 arrays: package to each on-chip voltage domain
+    # (with the on-chip capacitance, sets the ~2 MHz band).
+    r_c4: float = 0.26e-3
+    l_c4: float = 40e-12
+    c_dom: float = 4e-6
+    c_dom_esr: float = 0.30e-3
+
+    # On-die per-core grid.
+    r_grid: float = 0.90e-3
+    l_grid: float = 1.5e-12
+    c_core: float = 12e-6
+    c_core_esr: float = 0.35e-3
+    r_lateral: float = 0.50e-3
+
+    # Deep-trench eDRAM L3 node (the big damping capacitance).
+    c_l3: float = 200e-6
+    c_l3_esr: float = 0.05e-3
+    r_l3: float = 0.15e-3
+
+    # Nest units (MCU/GX) hanging off the domains.
+    c_unit: float = 3e-6
+    c_unit_esr: float = 0.30e-3
+    r_unit: float = 0.40e-3
+
+    #: Per-core multiplicative perturbations (process variation):
+    #: scale factors for the local grid resistance and decap.
+    core_r_scale: tuple[float, ...] = field(default=(1.0,) * 6)
+    core_c_scale: tuple[float, ...] = field(default=(1.0,) * 6)
+
+    def __post_init__(self) -> None:
+        if self.n_cores != 6:
+            raise ConfigError(
+                "the reference topology models the six-core chip of the paper"
+            )
+        if len(self.core_r_scale) != self.n_cores:
+            raise ConfigError("core_r_scale needs one entry per core")
+        if len(self.core_c_scale) != self.n_cores:
+            raise ConfigError("core_c_scale needs one entry per core")
+        for name in ("vnom", "r_vrm", "l_vrm", "c_board", "r_c4", "l_c4",
+                     "c_dom", "r_grid", "c_core", "c_l3", "r_l3"):
+            if getattr(self, name) <= 0:
+                raise ConfigError(f"parameter {name!r} must be positive")
+
+    def with_variation(
+        self, r_scale: tuple[float, ...], c_scale: tuple[float, ...]
+    ) -> "ChipPdnParameters":
+        """A copy with per-core variation scale factors applied."""
+        return replace(self, core_r_scale=tuple(r_scale), core_c_scale=tuple(c_scale))
+
+    def without_deep_trench(self, reduction: float = 40.0) -> "ChipPdnParameters":
+        """A copy modeling a chip **without** deep-trench eDRAM decap.
+
+        The paper attributes a 40× on-chip capacitance increase to deep
+        trench; dividing the on-chip capacitances back out shifts the
+        first droop up to the traditional 30–100 MHz band (ablation A1).
+        """
+        if reduction <= 1.0:
+            raise ConfigError("reduction factor must exceed 1")
+        return replace(
+            self,
+            c_l3=self.c_l3 / reduction,
+            c_core=self.c_core / reduction,
+            c_dom=self.c_dom / reduction,
+            c_unit=self.c_unit / reduction,
+        )
+
+    def without_l3_bridge(self) -> "ChipPdnParameters":
+        """A copy with the L3 shrunk to a token capacitance, removing its
+        damping/isolation role between the core rows (ablation A2)."""
+        return replace(self, c_l3=self.c_l3 * 1e-3)
+
+
+def build_chip_netlist(params: ChipPdnParameters) -> Netlist:
+    """Construct the chip :class:`~repro.pdn.netlist.Netlist`.
+
+    Load ports: ``load_core0`` … ``load_core5``, ``load_l3``,
+    ``load_mcu``, ``load_gx``.  The VRM is the voltage port ``vrm``.
+    """
+    net = Netlist("multicore-chip-pdn")
+
+    net.add_voltage_port("vrm", "vrm")
+    net.add_inductor("l_vrm", "vrm", "board", params.l_vrm, esr=params.r_vrm)
+    net.add_capacitor("c_board", "board", params.c_board, esr=params.c_board_esr)
+
+    net.add_inductor("l_mb", "board", "pkg", params.l_mb, esr=params.r_mb)
+    net.add_capacitor("c_pkg", "pkg", params.c_pkg, esr=params.c_pkg_esr)
+
+    domains = {"dom_n": NORTH_CORES, "dom_s": SOUTH_CORES}
+    for dom in domains:
+        net.add_inductor(f"l_c4_{dom}", "pkg", dom, params.l_c4, esr=params.r_c4)
+        net.add_capacitor(f"c_{dom}", dom, params.c_dom, esr=params.c_dom_esr)
+
+    for dom, cores in domains.items():
+        for core in cores:
+            node = core_node(core)
+            r = params.r_grid * params.core_r_scale[core]
+            c = params.c_core * params.core_c_scale[core]
+            net.add_inductor(f"l_grid_{core}", dom, node, params.l_grid, esr=r)
+            net.add_capacitor(f"c_core{core}", node, c, esr=params.c_core_esr)
+            net.add_current_port(core_port(core), node)
+
+    # Lateral on-die grid links along each row: 0-2-4 and 1-3-5.
+    for a, b in ((0, 2), (2, 4), (1, 3), (3, 5)):
+        net.add_resistor(f"r_lat_{a}{b}", core_node(a), core_node(b), params.r_lateral)
+
+    # Deep-trench L3 bridges the two domains.
+    net.add_capacitor("c_l3", "l3", params.c_l3, esr=params.c_l3_esr)
+    net.add_resistor("r_l3_n", "dom_n", "l3", params.r_l3)
+    net.add_resistor("r_l3_s", "dom_s", "l3", params.r_l3)
+    net.add_current_port("load_l3", "l3")
+
+    # MCU (left side, north domain) and GX (right side, south domain).
+    net.add_capacitor("c_mcu", "mcu", params.c_unit, esr=params.c_unit_esr)
+    net.add_resistor("r_mcu", "dom_n", "mcu", params.r_unit)
+    net.add_current_port("load_mcu", "mcu")
+
+    net.add_capacitor("c_gx", "gx", params.c_unit, esr=params.c_unit_esr)
+    net.add_resistor("r_gx", "dom_s", "gx", params.r_unit)
+    net.add_current_port("load_gx", "gx")
+
+    net.validate()
+    return net

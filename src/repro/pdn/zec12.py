@@ -1,0 +1,74 @@
+"""Calibrated reference chip parameters.
+
+The values here were tuned so that the simulated PDN reproduces the
+*shape* of the paper's published characterization of the zEC12
+evaluation platform:
+
+* impedance profile with resonant bands near **40 kHz** (VRM/board loop)
+  and **~2 MHz** (package inductance against the deep-trench on-chip
+  capacitance), and no oscillatory behavior above 5 MHz (paper §V-A);
+* a first-droop quality factor low enough that a single synchronized ΔI
+  event generates most of the worst-case noise (paper §V-E);
+* two-cluster noise propagation, {0,2,4} vs {1,3,5}, with the L3 acting
+  as a damping element between the rows (paper §VI);
+* per-core differences, with cores 2 and 4 reading the most noise
+  (paper attributes this mainly to process variation; the reference
+  variation seed in :mod:`repro.machine.variation` reproduces it).
+
+Absolute ohm/henry/farad values are plausible for a mainframe-class
+package but are **model values**, not measured zEC12 data (which is not
+public); see DESIGN.md §4 for the calibration targets.
+"""
+
+from __future__ import annotations
+
+from .topology import ChipPdnParameters
+
+__all__ = ["reference_chip_parameters", "REFERENCE_VNOM"]
+
+#: Nominal supply voltage of the reference chip (V).
+REFERENCE_VNOM = 1.05
+
+
+def reference_chip_parameters() -> ChipPdnParameters:
+    """Return the calibrated six-core reference chip parameters.
+
+    Returns a fresh instance; callers may mutate or ``replace`` fields
+    freely (e.g. for the ablation benches).
+    """
+    return ChipPdnParameters(
+        vnom=REFERENCE_VNOM,
+        # VRM/board loop -> ~37 kHz resonant band at 0.69 mOhm.
+        r_vrm=0.28e-3,
+        l_vrm=1.3e-9,
+        c_board=10e-3,
+        c_board_esr=0.08e-3,
+        # Board-package link and package decap.
+        r_mb=0.02e-3,
+        l_mb=15e-12,
+        c_pkg=600e-6,
+        c_pkg_esr=0.05e-3,
+        # C4 / on-chip domain: with the deep-trench on-chip capacitance
+        # the first droop lands at ~2.6 MHz (1.1 mOhm peak, Q ~ 2).
+        r_c4=0.07e-3,
+        l_c4=70e-12,
+        c_dom=4e-6,
+        c_dom_esr=0.30e-3,
+        # Per-core grid: modest local decap so that mid-frequency
+        # (tens of MHz) activity couples across the on-die mesh; the
+        # residual ~86 MHz local mode stays damped and well below the
+        # first-droop impedance peak.
+        r_grid=0.30e-3,
+        l_grid=3e-12,
+        c_core=2e-6,
+        c_core_esr=0.80e-3,
+        r_lateral=0.15e-3,
+        # Deep-trench eDRAM L3.
+        c_l3=120e-6,
+        c_l3_esr=0.02e-3,
+        r_l3=0.35e-3,
+        # MCU/GX.
+        c_unit=3e-6,
+        c_unit_esr=0.30e-3,
+        r_unit=0.40e-3,
+    )

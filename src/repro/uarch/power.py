@@ -1,0 +1,59 @@
+"""Sequence power estimation façade.
+
+Bundles the throughput and energy models into the single call the
+stressmark pipeline uses: "what power and current does this loop body
+sustain?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..isa.instruction import InstructionDef
+from .energy import EnergyModel
+from .throughput import LoopProfile, analyze_loop
+
+__all__ = ["PowerEstimate", "estimate_loop_power"]
+
+
+@dataclass
+class PowerEstimate:
+    """Steady-state power/performance of an endless loop.
+
+    Attributes
+    ----------
+    watts:
+        Total power (static + dynamic).
+    dynamic_watts:
+        Dynamic component only.
+    amps:
+        Supply current at nominal voltage.
+    profile:
+        The underlying throughput profile (IPC, groups, bottleneck).
+    """
+
+    watts: float
+    dynamic_watts: float
+    amps: float
+    profile: LoopProfile
+
+    @property
+    def ipc(self) -> float:
+        """µops per cycle of the loop."""
+        return self.profile.ipc
+
+
+def estimate_loop_power(
+    body: Sequence[InstructionDef], model: EnergyModel
+) -> PowerEstimate:
+    """Estimate the sustained power of an endless loop over *body*."""
+    profile = analyze_loop(body, model.config)
+    dynamic = model.dynamic_power(body)
+    total = model.config.static_power_w + dynamic
+    return PowerEstimate(
+        watts=total,
+        dynamic_watts=dynamic,
+        amps=total / model.config.vnom,
+        profile=profile,
+    )

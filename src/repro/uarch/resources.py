@@ -1,0 +1,89 @@
+"""Core resource configuration.
+
+The numbers model a 5.5 GHz mainframe-class core: three-wide dispatch
+groups, two fixed-point and two load/store pipes, single binary-FP,
+decimal-FP and vector pipes, plus system/coprocessor sequencers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import UarchError
+from ..isa.instruction import FUNCTIONAL_UNITS
+
+__all__ = ["CoreConfig", "default_core_config"]
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Static configuration of one core.
+
+    Attributes
+    ----------
+    clock_hz:
+        Core clock frequency.
+    dispatch_width:
+        Maximum instructions per dispatch group.
+    unit_counts:
+        Functional unit name → number of instances.
+    max_memory_per_group:
+        LSU port constraint on a dispatch group.
+    static_power_w:
+        Clock-grid + leakage power (workload independent).
+    floor_power_w:
+        Measured power of the cheapest single-instruction loop (the
+        Table I normalization point).  Must exceed ``static_power_w``.
+    vnom:
+        Nominal supply voltage, for power→current conversion.
+    power_ramp_cycles:
+        Cycles for the core's power to swing between activity levels
+        (pipeline fill/drain inertia); sets the ΔI edge rise time.
+    """
+
+    name: str = "zmainframe-core"
+    clock_hz: float = 5.5e9
+    dispatch_width: int = 3
+    unit_counts: dict[str, int] = field(
+        default_factory=lambda: {
+            "FXU": 2, "LSU": 2, "BRU": 1, "BFU": 1,
+            "DFU": 1, "VXU": 1, "SYS": 1, "COP": 1,
+        }
+    )
+    max_memory_per_group: int = 2
+    static_power_w: float = 14.2
+    floor_power_w: float = 14.5
+    vnom: float = 1.05
+    power_ramp_cycles: int = 60
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise UarchError("clock frequency must be positive")
+        if self.dispatch_width < 1:
+            raise UarchError("dispatch width must be >= 1")
+        if self.floor_power_w <= self.static_power_w:
+            raise UarchError("floor power must exceed static power")
+        for unit in FUNCTIONAL_UNITS:
+            if self.unit_counts.get(unit, 0) < 1:
+                raise UarchError(f"unit {unit!r} needs at least one instance")
+
+    @property
+    def cycle_time(self) -> float:
+        """Clock period in seconds."""
+        return 1.0 / self.clock_hz
+
+    @property
+    def ramp_time(self) -> float:
+        """Power transition (ΔI edge) rise time in seconds."""
+        return self.power_ramp_cycles * self.cycle_time
+
+    def unit_count(self, unit: str) -> int:
+        try:
+            return self.unit_counts[unit]
+        except KeyError:
+            raise UarchError(f"unknown functional unit {unit!r}") from None
+
+
+def default_core_config() -> CoreConfig:
+    """The reference core configuration used throughout the library."""
+    return CoreConfig()

@@ -1,0 +1,160 @@
+"""Synthetic workload profiles.
+
+A :class:`WorkloadProfile` describes a workload's *electrical
+personality* relative to the platform's stressmark envelope: what
+fraction of the maximum ΔI its power swings reach, at what dominant
+frequency they occur, and whether its activity is steady or bursty.
+The paper's customer-code extrapolation ("the magnitude of the ΔI
+events generated on each core is around ~80% of the maximum possible
+ΔI ... ΔI events are not synchronized") is one such profile.
+
+Profiles compile to :class:`~repro.machine.workload.CurrentProgram`
+against a :class:`~repro.core.generator.StressmarkGenerator`, so their
+current levels are grounded in the same power model the stressmarks
+use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.generator import StressmarkGenerator
+from ..errors import ConfigError
+from ..machine.workload import CurrentProgram, SyncSpec
+
+__all__ = ["WorkloadProfile", "compile_profile", "build_profile_library"]
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Electrical personality of a workload class.
+
+    Attributes
+    ----------
+    name:
+        Identifier (``"oltp"``, ``"batch-fp"`` ...).
+    delta_i_fraction:
+        Power-swing magnitude as a fraction of the platform's maximum
+        stressmark ΔI (0 = perfectly steady).
+    activity_fraction:
+        Baseline power position between the minimum (0) and maximum (1)
+        sustained levels — how hot the code runs between swings.
+    dominant_freq_hz:
+        Characteristic frequency of its power swings; ``None`` for
+        steady workloads.
+    duty:
+        High-phase fraction of a swing period.
+    synchronized:
+        True only for adversarial/test codes that align their swings
+        across cores (real customer code does not).
+    """
+
+    name: str
+    delta_i_fraction: float
+    activity_fraction: float
+    dominant_freq_hz: float | None
+    duty: float = 0.5
+    synchronized: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.delta_i_fraction <= 1.0:
+            raise ConfigError(f"{self.name}: delta_i_fraction must be in [0, 1]")
+        if not 0.0 <= self.activity_fraction <= 1.0:
+            raise ConfigError(f"{self.name}: activity_fraction must be in [0, 1]")
+        if self.dominant_freq_hz is not None and self.dominant_freq_hz <= 0:
+            raise ConfigError(f"{self.name}: dominant frequency must be positive")
+        if self.delta_i_fraction > 0 and self.dominant_freq_hz is None:
+            raise ConfigError(
+                f"{self.name}: swinging workloads need a dominant frequency"
+            )
+
+    @property
+    def is_steady(self) -> bool:
+        return self.delta_i_fraction == 0.0 or self.dominant_freq_hz is None
+
+
+def compile_profile(
+    profile: WorkloadProfile, generator: StressmarkGenerator
+) -> CurrentProgram:
+    """Compile *profile* to a current program on *generator*'s platform.
+
+    The platform envelope comes from the generator's max/min power
+    sequences: ``i_floor`` is the min-power level, ``i_ceiling`` the
+    max-power level; the profile's baseline and swing are placed inside
+    that envelope (clamped so the swing never exceeds the ceiling).
+    """
+    builder = generator.max_builder
+    vnom = generator.target.core.vnom
+    i_floor = builder._low_estimate.watts / vnom
+    i_ceiling = builder._high_estimate.watts / vnom
+    span = i_ceiling - i_floor
+
+    swing = profile.delta_i_fraction * span
+    base = i_floor + profile.activity_fraction * (span - swing)
+    if profile.is_steady:
+        return CurrentProgram(
+            name=f"wl-{profile.name}", i_low=base, i_high=base
+        )
+    sync = SyncSpec() if profile.synchronized else None
+    return CurrentProgram(
+        name=f"wl-{profile.name}",
+        i_low=base,
+        i_high=base + swing,
+        freq_hz=profile.dominant_freq_hz,
+        duty=profile.duty,
+        rise_time=generator.target.core.ramp_time,
+        sync=sync,
+    )
+
+
+def build_profile_library(resonant_freq_hz: float = 2.6e6) -> dict[str, WorkloadProfile]:
+    """A library of representative workload classes.
+
+    The ``customer-worst`` entry is the paper's extrapolation: ~80 % of
+    the maximum ΔI, unsynchronized, at the resonant band (the worst
+    place a real code could land).
+    """
+    return {
+        profile.name: profile
+        for profile in (
+            WorkloadProfile(
+                name="idle",
+                delta_i_fraction=0.0,
+                activity_fraction=0.0,
+                dominant_freq_hz=None,
+            ),
+            WorkloadProfile(
+                name="steady-service",
+                delta_i_fraction=0.10,
+                activity_fraction=0.45,
+                dominant_freq_hz=5e4,
+            ),
+            WorkloadProfile(
+                name="oltp",
+                delta_i_fraction=0.35,
+                activity_fraction=0.55,
+                dominant_freq_hz=4e5,
+                duty=0.4,
+            ),
+            WorkloadProfile(
+                name="batch-fp",
+                delta_i_fraction=0.55,
+                activity_fraction=0.70,
+                dominant_freq_hz=1.2e6,
+                duty=0.6,
+            ),
+            WorkloadProfile(
+                name="customer-worst",
+                delta_i_fraction=0.80,
+                activity_fraction=0.20,
+                dominant_freq_hz=resonant_freq_hz,
+            ),
+            WorkloadProfile(
+                name="didt-test",
+                delta_i_fraction=1.0,
+                activity_fraction=0.0,
+                dominant_freq_hz=resonant_freq_hz,
+                synchronized=True,
+            ),
+        )
+    }

@@ -1,0 +1,112 @@
+"""Correlation/cluster detection and propagation analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import correlation_matrix, detect_clusters
+from repro.analysis.propagation import propagation_traces
+from repro.analysis.sensitivity import DeltaIMappingPoint
+from repro.errors import ExperimentError
+
+
+def point(mapping_id, noise):
+    return DeltaIMappingPoint(
+        mapping_id=mapping_id,
+        placement=("max",) * 6,
+        distribution=(6, 0),
+        delta_i_pct=100.0,
+        p2p_by_core=list(noise),
+        active_cores=6,
+    )
+
+
+class TestCorrelationMatrix:
+    def test_perfectly_correlated_pair(self):
+        rng = np.random.default_rng(0)
+        base = rng.uniform(20, 60, size=12)
+        points = [
+            point(k, [b, b, b + 1, 2 * b, 30.0 + 0.1 * k, 40.0 + (-1) ** k])
+            for k, b in enumerate(base)
+        ]
+        matrix = correlation_matrix(points)
+        assert matrix.shape == (6, 6)
+        assert np.allclose(np.diag(matrix), 1.0)
+        assert matrix[0, 1] == pytest.approx(1.0)
+        assert matrix[0, 3] == pytest.approx(1.0)  # linear scaling
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        points = [point(k, rng.uniform(10, 60, 6)) for k in range(10)]
+        matrix = correlation_matrix(points)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ExperimentError):
+            correlation_matrix([point(0, [1] * 6)])
+
+    def test_zero_variance_rejected(self):
+        points = [point(k, [10.0] * 6) for k in range(5)]
+        with pytest.raises(ExperimentError):
+            correlation_matrix(points)
+
+
+class TestClusterDetection:
+    def test_block_structure_recovered(self):
+        # Build a correlation matrix with {0,2,4} / {1,3,5} blocks.
+        matrix = np.full((6, 6), 0.91)
+        for group in ((0, 2, 4), (1, 3, 5)):
+            for a in group:
+                for b in group:
+                    matrix[a, b] = 0.99
+        np.fill_diagonal(matrix, 1.0)
+        clusters = detect_clusters(matrix)
+        assert sorted(map(tuple, clusters)) == [(0, 2, 4), (1, 3, 5)]
+
+    def test_two_core_matrix(self):
+        matrix = np.array([[1.0, 0.5], [0.5, 1.0]])
+        clusters = detect_clusters(matrix)
+        assert sorted(map(tuple, clusters)) == [(0,), (1,)]
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ExperimentError):
+            detect_clusters(np.ones((2, 3)))
+
+
+class TestPropagation:
+    @pytest.fixture(scope="class")
+    def trace(self, chip):
+        return propagation_traces(chip, source_core=0, delta_i=18.0)
+
+    def test_source_droops_most(self, trace):
+        assert trace.peak_droop_by_core[0] == max(trace.peak_droop_by_core)
+
+    def test_same_row_stronger_than_cross_row(self, trace):
+        same = [trace.peak_droop_by_core[c] for c in (2, 4)]
+        cross = [trace.peak_droop_by_core[c] for c in (1, 3, 5)]
+        assert min(same) > max(cross)
+
+    def test_same_row_arrives_no_later(self, trace):
+        same = [trace.time_to_10pct_by_core[c] for c in (2, 4)]
+        cross = [trace.time_to_10pct_by_core[c] for c in (1, 3, 5)]
+        assert max(same) <= min(cross)
+
+    def test_waveform_shapes(self, trace):
+        assert len(trace.volts_by_core) == 6
+        for wave in trace.volts_by_core:
+            assert wave.shape == trace.times.shape
+            # t=0 carries only the instantaneous resistive feedthrough;
+            # the droop keeps deepening afterwards.
+            assert wave.min() < wave[0] <= 0.0
+
+    def test_scales_with_delta_i(self, chip):
+        small = propagation_traces(chip, delta_i=9.0, samples=500)
+        large = propagation_traces(chip, delta_i=18.0, samples=500)
+        assert large.peak_droop_by_core[0] == pytest.approx(
+            2 * small.peak_droop_by_core[0], rel=1e-6
+        )
+
+    def test_guards(self, chip):
+        with pytest.raises(ExperimentError):
+            propagation_traces(chip, source_core=9)
+        with pytest.raises(ExperimentError):
+            propagation_traces(chip, delta_i=-1.0)

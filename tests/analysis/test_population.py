@@ -1,0 +1,49 @@
+"""Multi-chip population study tests."""
+
+import pytest
+
+from repro.analysis.population import run_population_study
+from repro.errors import ExperimentError
+from repro.pdn.impedance import impedance_profile
+
+
+def peak_impedance_mohm(chip) -> float:
+    profile = impedance_profile(
+        chip.netlist, "load_core0", "core0", 1e5, 1e8,
+        points_per_decade=20, modal=chip.modal,
+    )
+    return profile.peak()[1] * 1e3
+
+
+class TestPopulationStudy:
+    @pytest.fixture(scope="class")
+    def stat(self):
+        return run_population_study(
+            peak_impedance_mohm, "peak |Z| (mOhm)", n_chips=5
+        )
+
+    def test_population_size(self, stat):
+        assert stat.values.size == 5
+
+    def test_chips_differ_but_cluster(self, stat):
+        # Process variation spreads the peak a little, not wildly.
+        assert stat.spread_pct > 0.0
+        assert stat.spread_pct < 25.0
+
+    def test_statistics_consistent(self, stat):
+        assert stat.minimum <= stat.mean <= stat.maximum
+        assert stat.std >= 0.0
+
+    def test_summary_renders(self, stat):
+        text = stat.summary()
+        assert "peak |Z|" in text
+        assert "spread" in text
+
+    def test_deterministic(self):
+        a = run_population_study(peak_impedance_mohm, "z", n_chips=3)
+        b = run_population_study(peak_impedance_mohm, "z", n_chips=3)
+        assert list(a.values) == list(b.values)
+
+    def test_minimum_population_enforced(self):
+        with pytest.raises(ExperimentError):
+            run_population_study(peak_impedance_mohm, "z", n_chips=1)

@@ -1,0 +1,79 @@
+"""EPI profiling and Table I rendering tests."""
+
+import pytest
+
+from repro.core.epi import generate_epi_profile
+from repro.core.ranking import render_epi_table
+from repro.errors import GenerationError
+from repro.isa.zmainframe import PINNED_BOTTOM, PINNED_TOP
+
+
+class TestProfileStructure:
+    def test_covers_full_isa(self, generator):
+        assert len(generator.epi_profile) == 1301
+
+    def test_ranks_are_contiguous(self, generator):
+        ranks = [e.rank for e in generator.epi_profile.entries]
+        assert ranks == list(range(1, 1302))
+
+    def test_sorted_by_power(self, generator):
+        powers = [e.power_w for e in generator.epi_profile.entries]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_normalization_floor_is_one(self, generator):
+        assert generator.epi_profile.last.normalized_power == pytest.approx(1.0)
+
+    def test_lookup(self, generator):
+        entry = generator.epi_profile["CIB"]
+        assert entry.mnemonic == "CIB"
+        with pytest.raises(GenerationError):
+            generator.epi_profile["NOSUCH"]
+
+
+class TestTableIReproduction:
+    def test_top5_set_matches_paper(self, generator):
+        measured = {e.mnemonic for e in generator.epi_profile.top(5)}
+        assert measured == set(PINNED_TOP)
+
+    def test_bottom5_set_matches_paper(self, generator):
+        measured = {e.mnemonic for e in generator.epi_profile.bottom(5)}
+        assert measured == set(PINNED_BOTTOM)
+
+    def test_cib_normalized_power(self, generator):
+        assert generator.epi_profile["CIB"].normalized_power == pytest.approx(
+            1.58, abs=0.02
+        )
+
+    def test_nonintuitive_compare_in_top5(self, generator):
+        """The paper highlights CHHSI — a compare immediate — landing in
+        the top five."""
+        top = [e.mnemonic for e in generator.epi_profile.top(5)]
+        assert "CHHSI" in top
+
+
+class TestSubsetProfiling:
+    def test_subset_profile(self, target):
+        subset = [target.isa["CIB"], target.isa["SRNM"], target.isa["ADTR"]]
+        profile = generate_epi_profile(
+            target, repetitions=20, instructions=subset
+        )
+        assert len(profile) == 3
+        assert profile.top(1)[0].mnemonic == "CIB"
+
+    def test_empty_subset_rejected(self, target):
+        with pytest.raises(GenerationError):
+            generate_epi_profile(target, instructions=[])
+
+
+class TestRendering:
+    def test_table_shape(self, generator):
+        text = render_epi_table(generator.epi_profile, n=5)
+        lines = text.splitlines()
+        assert "Rank" in lines[0]
+        assert "..." in text
+        assert "CIB" in text
+        assert "SRNM" in text or "STCK" in text
+
+    def test_rendered_values_match_paper_precision(self, generator):
+        text = render_epi_table(generator.epi_profile, n=5)
+        assert "1.58" in text  # CIB row

@@ -1,0 +1,92 @@
+"""IPC-filter tie-break tests — the lesson the GA baseline taught.
+
+Many valid sequences tie at the maximum IPC; the filter must prefer the
+energy-heavy ones among them (using only EPI-profile measurements), or
+the thousand sequences handed to power evaluation can miss the true
+winner — which is exactly how the GA baseline briefly out-searched the
+white-box pipeline during development (ablation A3 guards this)."""
+
+import pytest
+
+from repro.core.filters import ipc_filter
+from repro.isa.instruction import InstructionDef
+from repro.uarch.resources import default_core_config
+
+CFG = default_core_config()
+
+
+def inst(mnemonic, unit="FXU", issue_class=None):
+    return InstructionDef(
+        mnemonic=mnemonic,
+        description="t",
+        family="fixed-point",
+        unit=unit,
+        issue_class=issue_class or f"{unit}.x",
+    )
+
+
+HOT = inst("HOT", unit="VXU")
+WARM = inst("WARM", unit="BFU")
+COLD = inst("COLD")
+COLD2 = inst("COLD2")
+
+# Both sequences dispatch as one full-width group and sustain
+# 3 µops/cycle — a genuine IPC tie (2 FXU ops fit the two FXU pipes).
+HOT_SEQ = (HOT, WARM, COLD)
+MILD_SEQ = (COLD, COLD2, WARM)
+
+
+class TestTieBreak:
+    def test_sequences_actually_tie_on_ipc(self):
+        from repro.uarch.throughput import analyze_loop
+
+        assert analyze_loop(list(HOT_SEQ), CFG).ipc == pytest.approx(3.0)
+        assert analyze_loop(list(MILD_SEQ), CFG).ipc == pytest.approx(3.0)
+
+    def test_weights_order_equal_ipc_sequences(self):
+        weights = {"HOT": 3.0, "WARM": 2.0, "COLD": 0.1, "COLD2": 0.1}
+        kept, _ = ipc_filter([MILD_SEQ, HOT_SEQ], CFG, keep=1,
+                             epi_weights=weights)
+        assert kept == [HOT_SEQ]
+
+    def test_without_weights_enumeration_order_wins(self):
+        kept, _ = ipc_filter([MILD_SEQ, HOT_SEQ], CFG, keep=1)
+        assert kept == [MILD_SEQ]
+
+    def test_ipc_still_dominates_weights(self):
+        # A lower-IPC sequence never outranks a higher-IPC one, no
+        # matter how hot its members are.
+        slow = inst("SLOW", unit="SYS")  # not serializing, but 1 unit
+        fat = InstructionDef(
+            mnemonic="FAT", description="t", family="fixed-point",
+            unit="VXU", issue_class="VXU.x", uops=3,
+        )
+        low_ipc = (fat, fat, fat)  # VXU-bound: 9 uops / 9 cycles
+        high_ipc = (COLD, COLD, COLD)
+        weights = {"FAT": 100.0, "COLD": 0.0, "SLOW": 0.0}
+        kept, _ = ipc_filter([low_ipc, high_ipc], CFG, keep=1,
+                             epi_weights=weights)
+        assert kept == [high_ipc]
+
+    def test_search_winner_contains_single_instance_unit_pairs(self, generator):
+        """With the energy-aware tie-break, the winner pairs up
+        single-instance heavy units (the shape the GA found)."""
+        from collections import Counter
+
+        winner = generator.max_power_result.sequence
+        units = Counter(inst.unit for inst in winner)
+        single_instance_heavy = units.get("VXU", 0) + units.get("BFU", 0)
+        assert single_instance_heavy >= 2
+
+    def test_whitebox_matches_or_beats_true_model_optimum_nearby(
+        self, generator, target
+    ):
+        """The measured winner's model power must be within noise of the
+        best model power among the finalist pool's top entries."""
+        from repro.uarch.power import estimate_loop_power
+
+        result = generator.max_power_result
+        winner_model = estimate_loop_power(
+            list(result.sequence), target.energy_model
+        ).watts
+        assert result.power_w == pytest.approx(winner_model, rel=0.03)

@@ -1,0 +1,50 @@
+"""Experiment context tests: caching and profile semantics."""
+
+import pytest
+
+from repro.experiments.common import (
+    RESONANT_FREQ_HZ,
+    default_context,
+    quick_context,
+)
+
+
+class TestContexts:
+    def test_quick_context_is_cached(self):
+        assert quick_context() is quick_context()
+
+    def test_default_context_is_cached(self):
+        # Only identity is checked — building it is heavy and other
+        # suites may already have done so.
+        assert default_context() is default_context()
+
+    def test_quick_is_cheaper_than_default(self):
+        quick = quick_context()
+        full = default_context()
+        assert quick.options.segments <= full.options.segments
+        assert quick.freq_points_per_decade <= full.freq_points_per_decade
+        assert (
+            quick.generator.epi_repetitions < full.generator.epi_repetitions
+        )
+
+    def test_resonant_frequency_matches_chip(self):
+        from repro.pdn.impedance import impedance_profile
+
+        ctx = quick_context()
+        profile = impedance_profile(
+            ctx.chip.netlist, "load_core0", "core0", 1e5, 1e8,
+            modal=ctx.chip.modal,
+        )
+        peak_freq, _ = profile.peak()
+        assert peak_freq == pytest.approx(RESONANT_FREQ_HZ, rel=0.25)
+
+    def test_delta_i_points_cached(self):
+        ctx = quick_context()
+        first = ctx.delta_i_points()
+        second = ctx.delta_i_points()
+        assert first is second
+        assert len(first) > 20  # all distributions, sampled placements
+
+    def test_runner_binds_context_chip(self):
+        ctx = quick_context()
+        assert ctx.runner.chip is ctx.chip

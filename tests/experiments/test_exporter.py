@@ -1,0 +1,75 @@
+"""Exporter tests: durable experiment artifacts."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.exporter import export_result, export_results, jsonable
+from repro.experiments.registry import ExperimentResult
+
+
+def result(eid="figX", data=None):
+    return ExperimentResult(
+        experiment_id=eid,
+        title="a title",
+        text="row1\nrow2",
+        data=data or {"value": 1.5},
+    )
+
+
+class TestJsonable:
+    def test_numpy_scalars_and_arrays(self):
+        out = jsonable({"a": np.float64(1.5), "b": np.array([1, 2])})
+        assert out == {"a": 1.5, "b": [1, 2]}
+        json.dumps(out)
+
+    def test_tuples_become_lists(self):
+        assert jsonable((1, 2)) == [1, 2]
+
+    def test_nested_structures(self):
+        payload = {"rows": [(np.int64(3), {"x": np.bool_(True)})]}
+        out = jsonable(payload)
+        assert out == {"rows": [[3, {"x": True}]]}
+
+    def test_unknown_objects_fall_back_to_repr(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert jsonable(Odd()) == "<odd>"
+
+    def test_dict_keys_stringified(self):
+        assert jsonable({(1, 2): "v"}) == {"(1, 2)": "v"}
+
+
+class TestExport:
+    def test_writes_text_and_json(self, tmp_path):
+        path = export_result(result(), tmp_path)
+        assert path.name == "figX.json"
+        assert (tmp_path / "figX.txt").read_text().startswith("== figX")
+        payload = json.loads(path.read_text())
+        assert payload["data"]["value"] == 1.5
+        assert payload["title"] == "a title"
+
+    def test_batch_export_with_index(self, tmp_path):
+        results = [result("a1"), result("b2")]
+        index_path = export_results(results, tmp_path)
+        index = json.loads(index_path.read_text())
+        assert set(index) == {"a1", "b2"}
+        assert (tmp_path / "a1.json").exists()
+        assert (tmp_path / "b2.txt").exists()
+
+    def test_empty_batch_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            export_results([], tmp_path)
+
+    def test_cli_output_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["--quick", "run", "fig7b", "--output", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "fig7b.json").exists()
+        assert (tmp_path / "index.json").exists()
+        assert "exported" in capsys.readouterr().out

@@ -1,0 +1,60 @@
+"""Registry and CLI plumbing tests (no heavy experiment execution)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ExperimentError
+from repro.experiments.registry import (
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+)
+
+EXPECTED_IDS = {
+    "table1", "fig7a", "fig7b", "fig8", "fig9", "fig10",
+    "fig11a", "fig11b", "fig12", "fig13a", "fig13b", "fig14", "fig15",
+}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_is_registered(self):
+        assert set(all_experiments()) == EXPECTED_IDS
+
+    def test_titles_are_nonempty(self):
+        for title in all_experiments().values():
+            assert title
+
+    def test_get_experiment_returns_callable(self):
+        driver = get_experiment("fig7b")
+        assert callable(driver)
+
+    def test_unknown_id_raises_with_suggestions(self):
+        with pytest.raises(ExperimentError, match="known:"):
+            get_experiment("fig99")
+
+    def test_result_str_includes_id(self):
+        result = ExperimentResult("x1", "title", "body")
+        assert "x1" in str(result)
+        assert "body" in str(result)
+
+
+class TestCli:
+    def test_parser_accepts_quick_flag(self):
+        args = build_parser().parse_args(["--quick", "run", "fig7b"])
+        assert args.quick
+        assert args.experiments == ["fig7b"]
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPECTED_IDS:
+            assert experiment_id in out
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_cheap_experiment(self, capsys):
+        assert main(["--quick", "run", "fig7b"]) == 0
+        out = capsys.readouterr().out
+        assert "resonant bands" in out

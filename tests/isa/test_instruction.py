@@ -1,0 +1,68 @@
+"""Instruction definition invariants."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa.instruction import FUNCTIONAL_UNITS, InstructionDef
+
+
+def make(mnemonic="TST", **kw):
+    defaults = dict(
+        description="test instruction",
+        family="fixed-point",
+        unit="FXU",
+        issue_class="FXU.arith",
+    )
+    defaults.update(kw)
+    return InstructionDef(mnemonic=mnemonic, **defaults)
+
+
+class TestValidation:
+    def test_valid_minimal(self):
+        inst = make()
+        assert inst.uops == 1
+        assert inst.pipelined
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(IsaError, match="functional unit"):
+            make(unit="XYZ")
+
+    def test_zero_uops_rejected(self):
+        with pytest.raises(IsaError):
+            make(uops=0)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(IsaError):
+            make(latency=0)
+
+    def test_power_weight_floor(self):
+        with pytest.raises(IsaError, match="normalized"):
+            make(power_weight=0.9)
+
+    def test_serializing_implies_group_alone(self):
+        with pytest.raises(IsaError, match="dispatch alone"):
+            make(serializing=True, group_alone=False)
+        make(serializing=True, group_alone=True)  # consistent form is fine
+
+    def test_empty_mnemonic_rejected(self):
+        with pytest.raises(IsaError):
+            make(mnemonic="")
+
+
+class TestProperties:
+    def test_is_branch_follows_ends_group(self):
+        assert make(ends_group=True).is_branch
+        assert not make().is_branch
+
+    def test_functional_units_cover_model(self):
+        assert {"FXU", "LSU", "BRU", "BFU", "DFU", "VXU", "SYS", "COP"} == set(
+            FUNCTIONAL_UNITS
+        )
+
+    def test_str_is_mnemonic(self):
+        assert str(make("ABC")) == "ABC"
+
+    def test_frozen(self):
+        inst = make()
+        with pytest.raises(AttributeError):
+            inst.latency = 5

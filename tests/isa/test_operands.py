@@ -1,0 +1,32 @@
+"""Operand model tests."""
+
+from repro.isa.operands import (
+    BRANCH_ONLY,
+    CMP_IMM_BRANCH,
+    REG_REG_REG,
+    Operand,
+    OperandKind,
+)
+
+
+class TestOperand:
+    def test_defaults(self):
+        op = Operand(OperandKind.GPR)
+        assert not op.is_written
+        assert op.width_bits == 64
+
+    def test_str_shows_direction(self):
+        assert str(Operand(OperandKind.GPR, True)) == "gpr:w64"
+        assert str(Operand(OperandKind.IMMEDIATE, width_bits=8)) == "imm:r8"
+
+    def test_signatures_shapes(self):
+        assert len(REG_REG_REG) == 3
+        assert REG_REG_REG[0].is_written
+        assert not REG_REG_REG[1].is_written
+        assert len(BRANCH_ONLY) == 1
+        assert BRANCH_ONLY[0].kind is OperandKind.LABEL
+        assert CMP_IMM_BRANCH[-1].kind is OperandKind.LABEL
+
+    def test_kinds_are_distinct(self):
+        values = {kind.value for kind in OperandKind}
+        assert len(values) == len(OperandKind)

@@ -1,0 +1,156 @@
+"""Run-engine tests: the central measurement loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.runner import ChipRunner, RunOptions
+from repro.machine.workload import CurrentProgram, SyncSpec, idle_program
+
+
+def didt(i_low=14.0, i_high=32.0, freq=2.6e6, sync=False, offset=0.0, events=1000):
+    return CurrentProgram(
+        name="didt-test",
+        i_low=i_low,
+        i_high=i_high,
+        freq_hz=freq,
+        rise_time=11e-9,
+        sync=SyncSpec(offset=offset, events_per_sync=events) if sync else None,
+    )
+
+
+@pytest.fixture(scope="module")
+def runner(chip):
+    return ChipRunner(chip)
+
+
+@pytest.fixture(scope="module")
+def options():
+    return RunOptions(segments=2, base_samples=1024)
+
+
+class TestBasicRuns:
+    def test_idle_chip_reads_near_zero_noise(self, runner, options):
+        result = runner.run([idle_program(13.5)] * 6, options)
+        assert result.max_p2p <= 4.0  # at most one quantization step
+
+    def test_all_core_stressmarks_read_noise(self, runner, options):
+        result = runner.run([didt(sync=True)] * 6, options)
+        assert result.max_p2p > 30.0
+        assert len(result.measurements) == 6
+
+    def test_mapping_length_enforced(self, runner, options):
+        with pytest.raises(ConfigError):
+            runner.run([None] * 5, options)
+
+    def test_none_means_idle(self, runner, options):
+        explicit = runner.run([idle_program(13.5)] * 6, options, "a")
+        implicit = runner.run([None] * 6, options, "a")
+        # Nearly identical DC conditions -> same quantized readings.
+        assert implicit.p2p_by_core == explicit.p2p_by_core
+
+    def test_reproducible_for_same_tag(self, runner, options):
+        a = runner.run([didt()] * 6, options, run_tag="same")
+        b = runner.run([didt()] * 6, options, run_tag="same")
+        assert a.p2p_by_core == b.p2p_by_core
+
+    def test_unsync_phases_vary_with_tag(self, runner, options):
+        a = runner.run([didt()] * 6, options, run_tag="tag-a")
+        b = runner.run([didt()] * 6, options, run_tag="tag-b")
+        assert a.worst_vmin != b.worst_vmin
+
+
+class TestPaperOrderings:
+    """The headline qualitative relations of the paper must hold."""
+
+    def test_sync_beats_unsync(self, runner, options):
+        sync = runner.run([didt(sync=True)] * 6, options, "o1")
+        unsync = runner.run([didt()] * 6, options, "o1")
+        assert sync.max_p2p > unsync.max_p2p
+
+    def test_noise_grows_with_delta_i(self, runner, options):
+        small = runner.run([didt(i_high=23.0, sync=True)] * 6, options, "d")
+        large = runner.run([didt(i_high=32.0, sync=True)] * 6, options, "d")
+        assert large.max_p2p >= small.max_p2p
+        assert large.worst_vmin < small.worst_vmin
+
+    def test_fewer_active_cores_less_noise(self, runner, options):
+        idle = idle_program(13.5)
+        two = runner.run([didt(sync=True)] * 2 + [idle] * 4, options, "c")
+        six = runner.run([didt(sync=True)] * 6, options, "c")
+        assert six.max_p2p >= two.max_p2p
+
+    def test_misaligned_offsets_reduce_noise(self, runner, options):
+        aligned = runner.run([didt(sync=True)] * 6, options, "m")
+        spread = runner.run(
+            [didt(sync=True, offset=(i % 2) * 62.5e-9) for i in range(6)],
+            options,
+            "m",
+        )
+        assert spread.max_p2p <= aligned.max_p2p
+
+    def test_global_offset_shift_is_invariant(self, runner, options):
+        """Shifting every core by the same offset changes nothing: only
+        relative alignment matters."""
+        base = runner.run([didt(sync=True)] * 6, options, "g")
+        shifted = runner.run(
+            [didt(sync=True, offset=125e-9)] * 6, options, "g"
+        )
+        assert base.p2p_by_core == shifted.p2p_by_core
+
+    def test_resonant_beats_off_resonant(self, runner, options):
+        at_res = runner.run([didt(sync=True, freq=2.6e6)] * 6, options, "f")
+        off_res = runner.run([didt(sync=True, freq=3e5)] * 6, options, "f")
+        assert at_res.max_p2p >= off_res.max_p2p
+
+
+class TestMeasurementFields:
+    def test_vmin_below_vmax(self, runner, options, chip):
+        result = runner.run([didt(sync=True)] * 6, options)
+        for m in result.measurements:
+            assert m.v_min < m.v_max
+            assert m.droop > 0
+
+    def test_worst_vmin_is_min(self, runner, options):
+        result = runner.run([didt(sync=True)] * 6, options)
+        assert result.worst_vmin == min(m.v_min for m in result.measurements)
+
+    def test_measurement_lookup(self, runner, options):
+        result = runner.run([didt()] * 6, options)
+        assert result.measurement(3).core == 3
+        from repro.errors import MeasurementError
+        with pytest.raises(MeasurementError):
+            result.measurement(9)
+
+    def test_coherent_delta_i_larger_when_aligned(self, runner, options):
+        aligned = runner.run([didt(sync=True)] * 6, options, "cc")
+        unsync = runner.run([didt()] * 6, options, "cc")
+        assert (
+            aligned.measurements[0].coherent_delta_i
+            >= unsync.measurements[0].coherent_delta_i
+        )
+
+    def test_waveform_collection(self, runner, chip):
+        options = RunOptions(
+            segments=1, base_samples=1024, collect_waveforms=True
+        )
+        result = runner.run([didt(sync=True)] * 6, options)
+        assert "core0" in result.waveforms
+        assert "dom_n" in result.waveforms
+        times, volts = result.waveforms["core0"]
+        assert times.shape == volts.shape
+        assert np.all(np.diff(times) > 0)
+
+
+class TestOptionGuards:
+    def test_bad_segments(self):
+        with pytest.raises(ConfigError):
+            RunOptions(segments=0)
+
+    def test_bad_events_cap(self):
+        with pytest.raises(ConfigError):
+            RunOptions(events_cap=0)
+
+    def test_bad_samples(self):
+        with pytest.raises(ConfigError):
+            RunOptions(base_samples=16)

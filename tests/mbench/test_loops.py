@@ -1,0 +1,89 @@
+"""Microbenchmark loop builder tests."""
+
+import pytest
+
+from repro.errors import GenerationError
+from repro.mbench.loops import (
+    EPI_REPETITIONS,
+    build_epi_loop,
+    build_sequence_loop,
+    find_loop_branch,
+)
+
+
+class TestEpiLoop:
+    def test_paper_skeleton_shape(self, isa):
+        program = build_epi_loop(isa, isa["CIB"])
+        # 4000 repetitions + the loop-closing branch.
+        assert len(program.loop_body) == EPI_REPETITIONS + 1
+        assert program.trip_count is None  # endless loop
+
+    def test_custom_repetitions(self, isa):
+        program = build_epi_loop(isa, isa["CIB"], repetitions=50)
+        assert len(program.loop_body) == 51
+
+    def test_loop_closes_with_branch(self, isa):
+        program = build_epi_loop(isa, isa["ADTR"], repetitions=10)
+        assert program.loop_body[-1].definition.ends_group
+
+    def test_no_dependencies_between_repetitions(self, isa):
+        """Adjacent repetitions never write-read the same register."""
+        program = build_epi_loop(isa, isa["CIB"], repetitions=30)
+        # CIB reads two sources; check consecutive instances differ in
+        # operand values where written operands exist.
+        fixed_inst = next(
+            inst for inst in isa if any(o.is_written for o in inst.operands)
+        )
+        program = build_epi_loop(isa, fixed_inst, repetitions=30)
+        written_idx = [
+            k for k, op in enumerate(fixed_inst.operands) if op.is_written
+        ]
+        for a, b in zip(program.loop_body[:-2], program.loop_body[1:-1]):
+            for k in written_idx:
+                read_ops = [
+                    b.operand_values[j]
+                    for j, op in enumerate(fixed_inst.operands)
+                    if not op.is_written
+                ]
+                assert a.operand_values[k] not in read_ops
+
+    def test_zero_repetitions_rejected(self, isa):
+        with pytest.raises(GenerationError):
+            build_epi_loop(isa, isa["CIB"], repetitions=0)
+
+
+class TestSequenceLoop:
+    def test_unrolling(self, isa):
+        seq = (isa["CIB"], isa["CHHSI"])
+        program = build_sequence_loop(isa, seq, unroll=5)
+        assert len(program.loop_body) == 11  # 2*5 + branch
+
+    def test_no_branch_variant(self, isa):
+        program = build_sequence_loop(
+            isa, (isa["SRNM"],), close_with_branch=False
+        )
+        assert len(program.loop_body) == 1
+
+    def test_loop_definitions_view(self, isa):
+        seq = (isa["CIB"],)
+        program = build_sequence_loop(isa, seq, unroll=2)
+        mnemonics = [d.mnemonic for d in program.loop_definitions]
+        assert mnemonics[:2] == ["CIB", "CIB"]
+
+    def test_empty_sequence_rejected(self, isa):
+        with pytest.raises(GenerationError):
+            build_sequence_loop(isa, ())
+
+    def test_bad_unroll_rejected(self, isa):
+        with pytest.raises(GenerationError):
+            build_sequence_loop(isa, (isa["CIB"],), unroll=0)
+
+
+class TestLoopBranchSelection:
+    def test_prefers_branch_on_count(self, isa):
+        branch = find_loop_branch(isa)
+        assert branch.ends_group
+        assert branch.mnemonic in ("BCT", "BCTG", "BRC", "J")
+
+    def test_deterministic(self, isa):
+        assert find_loop_branch(isa).mnemonic == find_loop_branch(isa).mnemonic

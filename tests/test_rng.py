@@ -1,0 +1,53 @@
+"""Tests for the deterministic random stream derivation."""
+
+import numpy as np
+
+from repro.rng import SeedSequenceFactory, derive_seed, stream
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_path_sensitivity(self):
+        assert derive_seed(42, "a", 1) != derive_seed(42, "a", 2)
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_root_sensitivity(self):
+        assert derive_seed(1, "x") != derive_seed(2, "x")
+
+    def test_no_concatenation_ambiguity(self):
+        # ("ab",) and ("a", "b") must differ.
+        assert derive_seed(0, "ab") != derive_seed(0, "a", "b")
+
+    def test_64_bit_range(self):
+        seed = derive_seed(123, "anything")
+        assert 0 <= seed < 2**64
+
+
+class TestStream:
+    def test_same_name_same_sequence(self):
+        a = stream(7, "noise", 0).random(5)
+        b = stream(7, "noise", 0).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        a = stream(7, "noise", 0).random(5)
+        b = stream(7, "noise", 1).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_order_independent(self):
+        # Drawing stream X before or after stream Y does not change X.
+        first = stream(9, "x").random(3)
+        stream(9, "y").random(100)
+        second = stream(9, "x").random(3)
+        assert np.array_equal(first, second)
+
+
+class TestFactory:
+    def test_factory_matches_free_functions(self):
+        factory = SeedSequenceFactory(99)
+        assert factory.seed("a", 2) == derive_seed(99, "a", 2)
+        assert np.array_equal(
+            factory.stream("a").random(4), stream(99, "a").random(4)
+        )

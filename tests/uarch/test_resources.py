@@ -1,0 +1,43 @@
+"""Core configuration guard tests."""
+
+import pytest
+
+from repro.errors import UarchError
+from repro.uarch.resources import CoreConfig, default_core_config
+
+
+class TestCoreConfig:
+    def test_reference_values(self):
+        config = default_core_config()
+        assert config.clock_hz == 5.5e9
+        assert config.dispatch_width == 3
+        assert config.unit_counts["FXU"] == 2
+        assert config.unit_counts["LSU"] == 2
+
+    def test_cycle_time(self):
+        config = default_core_config()
+        assert config.cycle_time == pytest.approx(1 / 5.5e9)
+
+    def test_ramp_time_tracks_cycles(self):
+        config = default_core_config()
+        assert config.ramp_time == pytest.approx(
+            config.power_ramp_cycles * config.cycle_time
+        )
+        # The ramp must be shorter than the SSN coherence window (30 ns)
+        # and longer than a couple of cycles — the calibration relies
+        # on both.
+        assert 5e-10 < config.ramp_time < 30e-9
+
+    def test_unit_count_lookup(self):
+        config = default_core_config()
+        assert config.unit_count("VXU") == 1
+        with pytest.raises(UarchError):
+            config.unit_count("GPU")
+
+    def test_guards(self):
+        with pytest.raises(UarchError):
+            CoreConfig(clock_hz=0.0)
+        with pytest.raises(UarchError):
+            CoreConfig(dispatch_width=0)
+        with pytest.raises(UarchError):
+            CoreConfig(unit_counts={"FXU": 2})  # missing units

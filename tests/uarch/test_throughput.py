@@ -1,0 +1,81 @@
+"""Analytic loop-throughput model tests."""
+
+import pytest
+
+from repro.errors import UarchError
+from repro.isa.instruction import InstructionDef
+from repro.uarch.resources import default_core_config
+from repro.uarch.throughput import analyze_loop
+
+
+def inst(mnemonic, **kw):
+    defaults = dict(
+        description="t", family="fixed-point", unit="FXU",
+        issue_class="FXU.arith",
+    )
+    defaults.update(kw)
+    return InstructionDef(mnemonic=mnemonic, **defaults)
+
+
+ADD = inst("ADD")
+VOP = inst("VOP", unit="VXU", issue_class="VXU.simd")
+DIV = inst("DIV", unit="BFU", issue_class="BFU.bfp", latency=20, pipelined=False)
+SER = inst("SER", unit="SYS", issue_class="SYS.control", latency=40,
+           serializing=True, group_alone=True)
+BR = inst("BR", unit="BRU", issue_class="BRU.branch", ends_group=True)
+CFG = default_core_config()
+
+
+class TestDispatchBound:
+    def test_full_width_ipc(self):
+        profile = analyze_loop([ADD, VOP, BR] * 2, CFG)
+        assert profile.ipc == pytest.approx(3.0)
+        assert profile.bottleneck == "dispatch"
+        assert profile.avg_group_size == 3.0
+
+    def test_branch_only_loop(self):
+        profile = analyze_loop([BR] * 4, CFG)
+        assert profile.ipc == pytest.approx(1.0)
+
+
+class TestUnitBound:
+    def test_single_instance_unit_saturates(self):
+        # 3 vector µops/iteration vs 1 VXU pipe: 3 cycles/iteration.
+        profile = analyze_loop([VOP, VOP, VOP], CFG)
+        assert profile.cycles == pytest.approx(3.0)
+        assert profile.bottleneck == "unit:VXU"
+
+    def test_two_instance_unit(self):
+        # 6 FXU µops vs 2 pipes: 3 cycles; dispatch also needs 2 groups.
+        profile = analyze_loop([ADD] * 6, CFG)
+        assert profile.cycles == pytest.approx(3.0)
+
+    def test_nonpipelined_occupancy(self):
+        profile = analyze_loop([DIV], CFG)
+        assert profile.cycles == pytest.approx(20.0)
+        assert profile.ipc == pytest.approx(1 / 20)
+        assert profile.bottleneck == "unit:BFU"
+
+    def test_uops_multiply_unit_load(self):
+        fat = inst("FAT", uops=4, unit="VXU", issue_class="VXU.simd")
+        profile = analyze_loop([fat], CFG)
+        assert profile.cycles == pytest.approx(4.0)
+        assert profile.uops == 4
+
+
+class TestSerialization:
+    def test_serializing_dominates(self):
+        profile = analyze_loop([SER], CFG)
+        assert profile.cycles == pytest.approx(40.0)
+        assert profile.bottleneck == "serialize"
+
+    def test_serializing_with_work(self):
+        profile = analyze_loop([SER, ADD, ADD, ADD], CFG)
+        # 2 groups + 39 penalty cycles.
+        assert profile.cycles == pytest.approx(41.0)
+
+
+class TestErrors:
+    def test_empty_body_rejected(self):
+        with pytest.raises(UarchError):
+            analyze_loop([], CFG)
