@@ -6,13 +6,20 @@ Walks the paper's core loop end to end:
 1. build the evaluation target (synthetic mainframe ISA + core model);
 2. run the stressmark generation methodology (EPI profile -> max-power
    sequence search -> stressmark assembly);
-3. execute six synchronized copies on the simulated chip;
+3. execute six synchronized copies on the simulated chip (through the
+   shared simulation engine — a repeat of the same run replays from its
+   content-addressed cache);
 4. read the per-core skitter macros.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import ChipRunner, RunOptions, StressmarkGenerator, reference_chip
+from repro import (
+    RunOptions,
+    SimulationSession,
+    StressmarkGenerator,
+    reference_chip,
+)
 
 def main() -> None:
     print("Building the stressmark generator (EPI profile + search)...")
@@ -42,8 +49,8 @@ def main() -> None:
     )
 
     chip = reference_chip()
-    runner = ChipRunner(chip)
-    result = runner.run([mark.current_program()] * 6, RunOptions(segments=8))
+    session = SimulationSession(chip, RunOptions(segments=8))
+    result = session.run([mark.current_program()] * 6)
 
     print("\nPer-core skitter readings (sticky mode, %p2p):")
     for measurement in result.measurements:

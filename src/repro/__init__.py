@@ -17,27 +17,42 @@ measurement study:
   R-Unit, Vmin protocol);
 * :mod:`repro.core` — the paper's contribution: the white-box dI/dt
   stressmark generation methodology, plus a GA baseline;
+* :mod:`repro.engine` / :mod:`repro.telemetry` — the shared run-session
+  layer every sweep executes through: content-addressed result caching
+  (in-memory + optional disk tier), parallel fan-out over worker
+  processes, and run/cache/solver counters;
 * :mod:`repro.analysis` / :mod:`repro.experiments` — sensitivity
   studies, propagation/correlation analyses, workload-mapping and
   guard-banding optimizations, and one driver per paper table/figure.
 
 Quickstart::
 
-    from repro import StressmarkGenerator, reference_chip, ChipRunner
+    from repro import StressmarkGenerator, reference_chip, SimulationSession
 
     generator = StressmarkGenerator()
     mark = generator.max_didt(freq_hz=2e6, synchronize=True)
-    chip = reference_chip()
-    result = ChipRunner(chip).run([mark.current_program()] * 6)
+    session = SimulationSession(reference_chip())
+    result = session.run([mark.current_program()] * 6)
     print(result.max_p2p)
+
+Repeating the run (same chip, programs and options) replays it from the
+session's content-addressed cache instead of re-solving the PDN.
 """
 
 from .core.generator import StressmarkGenerator
 from .core.stressmark import DidtStressmark, StressmarkSpec
+from .engine import (
+    ResultCache,
+    SimulationSession,
+    configure_cache,
+    global_cache,
+    make_executor,
+)
 from .machine.chip import Chip, ChipConfig, reference_chip
 from .machine.runner import ChipRunner, RunOptions, RunResult
 from .machine.workload import CurrentProgram, SyncSpec, idle_program
 from .mbench.target import Target, default_target
+from .telemetry import Telemetry, get_telemetry
 from .errors import ReproError
 
 __version__ = "1.0.0"
@@ -50,6 +65,13 @@ __all__ = [
     "ChipConfig",
     "reference_chip",
     "ChipRunner",
+    "SimulationSession",
+    "ResultCache",
+    "global_cache",
+    "configure_cache",
+    "make_executor",
+    "Telemetry",
+    "get_telemetry",
     "RunOptions",
     "RunResult",
     "CurrentProgram",

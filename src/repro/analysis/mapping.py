@@ -12,9 +12,10 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from ..engine import SimulationSession
 from ..errors import ExperimentError
 from ..machine.chip import N_CORES, Chip
-from ..machine.runner import ChipRunner, RunOptions
+from ..machine.runner import RunOptions
 from ..machine.workload import CurrentProgram
 
 __all__ = ["MappingOutcome", "MappingStudy", "enumerate_mappings", "mapping_extremes"]
@@ -65,25 +66,35 @@ def enumerate_mappings(
     n_workloads: int,
     options: RunOptions | None = None,
     idle_current: float | None = None,
+    session: SimulationSession | None = None,
 ) -> MappingStudy:
     """Run every placement of *n_workloads* copies of *program*.
 
     ``idle_current`` feeds the unoccupied cores; defaults to the chip's
-    static current.
+    static current.  The C(6, k) placements execute as one session
+    batch (cached placements replay; misses fan out over the session
+    executor — ``--jobs N`` on the Fig. 14/15 sweeps lands here).
     """
     if not 0 <= n_workloads <= N_CORES:
         raise ExperimentError(f"cannot place {n_workloads} workloads on {N_CORES} cores")
-    runner = ChipRunner(chip)
+    session = session or SimulationSession(chip, options)
     if idle_current is None:
         idle_current = chip.config.core.static_power_w / chip.vnom
     from ..machine.workload import idle_program
 
     idle = idle_program(idle_current)
-    outcomes: list[MappingOutcome] = []
-    for cores in itertools.combinations(range(N_CORES), n_workloads):
-        mapping = [program if i in cores else idle for i in range(N_CORES)]
-        result = runner.run(mapping, options, run_tag=("mapping", cores))
-        outcomes.append(MappingOutcome(cores=cores, p2p_by_core=result.p2p_by_core))
+    placements = list(itertools.combinations(range(N_CORES), n_workloads))
+    results = session.run_many(
+        [
+            [program if i in cores else idle for i in range(N_CORES)]
+            for cores in placements
+        ],
+        tags=[("mapping", cores) for cores in placements],
+    )
+    outcomes = [
+        MappingOutcome(cores=cores, p2p_by_core=result.p2p_by_core)
+        for cores, result in zip(placements, results)
+    ]
     return MappingStudy(n_workloads=n_workloads, outcomes=outcomes)
 
 
@@ -92,8 +103,11 @@ def mapping_extremes(
     program: CurrentProgram,
     workload_counts: list[int],
     options: RunOptions | None = None,
+    session: SimulationSession | None = None,
 ) -> dict[int, MappingStudy]:
     """Best/worst mapping study per workload count (Figure 15)."""
+    session = session or SimulationSession(chip, options)
     return {
-        k: enumerate_mappings(chip, program, k, options) for k in workload_counts
+        k: enumerate_mappings(chip, program, k, options, session=session)
+        for k in workload_counts
     }

@@ -9,9 +9,10 @@ worst case regular user codes."
 
 from __future__ import annotations
 
+from ..engine import SimulationSession
 from ..errors import ExperimentError
 from ..machine.chip import Chip
-from ..machine.runner import ChipRunner, RunOptions
+from ..machine.runner import RunOptions
 from ..machine.workload import CurrentProgram
 from ..measure.runit import RUnitConfig
 from ..measure.vmin import VminResult, run_vmin_experiment
@@ -25,6 +26,7 @@ def customer_margin_line(
     delta_i_fraction: float = 0.8,
     options: RunOptions | None = None,
     runit: RUnitConfig | None = None,
+    session: SimulationSession | None = None,
 ) -> VminResult:
     """Available margin for the worst-case *customer* code.
 
@@ -46,5 +48,6 @@ def customer_margin_line(
         sync=None,
     )
     return run_vmin_experiment(
-        chip, [customer] * 6, runit_config=runit, options=options
+        chip, [customer] * 6, runit_config=runit, options=options,
+        session=session,
     )

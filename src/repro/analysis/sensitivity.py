@@ -9,9 +9,10 @@ import numpy as np
 
 from ..core.generator import StressmarkGenerator
 from ..core.sync import offset_assignments, spread_offsets
+from ..engine import SimulationSession
 from ..errors import ExperimentError
 from ..machine.chip import N_CORES, Chip
-from ..machine.runner import ChipRunner, RunOptions, RunResult
+from ..machine.runner import RunOptions
 from ..machine.workload import CurrentProgram, idle_program
 
 __all__ = [
@@ -56,27 +57,34 @@ def sweep_stimulus_frequency(
     synchronize: bool,
     options: RunOptions | None = None,
     n_events: int = 1000,
+    session: SimulationSession | None = None,
 ) -> list[FrequencySweepPoint]:
     """Run one copy of the max dI/dt stressmark per core at each
-    stimulus frequency (paper Figures 7a and 9)."""
-    runner = ChipRunner(chip)
-    points: list[FrequencySweepPoint] = []
-    for freq in frequencies:
-        mark = generator.max_didt(
+    stimulus frequency (paper Figures 7a and 9).
+
+    All frequency points are independent, so they execute as one
+    :meth:`~repro.engine.SimulationSession.run_many` batch — cached
+    points replay, the rest fan out over the session executor.
+    """
+    session = session or SimulationSession(chip, options)
+    marks = [
+        generator.max_didt(
             freq_hz=freq, synchronize=synchronize, n_events=n_events
         )
-        program = mark.current_program()
-        result = runner.run(
-            [program] * N_CORES, options, run_tag=("fsweep", synchronize, freq)
+        for freq in frequencies
+    ]
+    results = session.run_many(
+        [[mark.current_program()] * N_CORES for mark in marks],
+        tags=[("fsweep", synchronize, freq) for freq in frequencies],
+    )
+    return [
+        FrequencySweepPoint(
+            freq_hz=freq,
+            achieved_freq_hz=mark.achieved_freq_hz,
+            p2p_by_core=result.p2p_by_core,
         )
-        points.append(
-            FrequencySweepPoint(
-                freq_hz=freq,
-                achieved_freq_hz=mark.achieved_freq_hz,
-                p2p_by_core=result.p2p_by_core,
-            )
-        )
-    return points
+        for freq, mark, result in zip(frequencies, marks, results)
+    ]
 
 
 def sweep_misalignment(
@@ -87,16 +95,20 @@ def sweep_misalignment(
     options: RunOptions | None = None,
     assignments_sample: int = 6,
     n_events: int = 1000,
+    session: SimulationSession | None = None,
 ) -> dict[float, list[float]]:
     """Noise versus maximum allowed misalignment (paper Figure 10).
 
     For each maximum misalignment, stressmarks are spread evenly over
     the 62.5 ns-gridded offsets and every sampled offset→core assignment
     is executed; returns, per misalignment, the per-core noise averaged
-    over assignments.
+    over assignments.  The assignments of every misalignment level form
+    one independent batch executed through the session.
     """
-    runner = ChipRunner(chip)
-    results: dict[float, list[float]] = {}
+    session = session or SimulationSession(chip, options)
+    mappings: list[list[CurrentProgram]] = []
+    tags: list[object] = []
+    batches: list[tuple[float, int]] = []  # (misalignment, n_assignments)
     for max_mis in max_misalignments:
         offsets = spread_offsets(N_CORES, max_mis)
         marks = {
@@ -108,17 +120,23 @@ def sweep_misalignment(
             ).current_program()
             for offset in set(offsets)
         }
-        accumulator = np.zeros(N_CORES)
         count = 0
         for assignment in offset_assignments(
             offsets, sample=assignments_sample, seed=generator.seed
         ):
-            mapping = [marks[offset] for offset in assignment]
-            result = runner.run(
-                mapping, options, run_tag=("missweep", max_mis, count)
-            )
-            accumulator += np.array(result.p2p_by_core)
+            mappings.append([marks[offset] for offset in assignment])
+            tags.append(("missweep", max_mis, count))
             count += 1
+        batches.append((max_mis, count))
+
+    run_results = session.run_many(mappings, tags)
+    results: dict[float, list[float]] = {}
+    cursor = 0
+    for max_mis, count in batches:
+        accumulator = np.zeros(N_CORES)
+        for result in run_results[cursor : cursor + count]:
+            accumulator += np.array(result.p2p_by_core)
+        cursor += count
         results[max_mis] = list(accumulator / count)
     return results
 
@@ -170,6 +188,7 @@ def sweep_delta_i_mappings(
     options: RunOptions | None = None,
     workload_filter: Callable[[tuple[int, int]], bool] | None = None,
     placements_per_distribution: int = 4,
+    session: SimulationSession | None = None,
 ) -> list[DeltaIMappingPoint]:
     """Run workload→core mappings of {idle, medium, max} dI/dt.
 
@@ -179,9 +198,11 @@ def sweep_delta_i_mappings(
     ``placements_per_distribution`` distinct core placements are
     executed (the paper runs all of them; the deterministic sample keeps
     the dataset rich enough for the correlation and mapping studies at a
-    fraction of the runs).
+    fraction of the runs).  The whole dataset executes as one session
+    batch; Figures 11a, 11b and 13a address the identical batch and so
+    share its cached runs.
     """
-    runner = ChipRunner(chip)
+    session = session or SimulationSession(chip, options)
     max_prog = generator.max_didt(freq_hz=freq_hz, synchronize=True).current_program()
     med_prog = generator.medium_didt(
         freq_hz=freq_hz, synchronize=True
@@ -190,8 +211,7 @@ def sweep_delta_i_mappings(
     by_level = {"max": max_prog, "medium": med_prog, "idle": idle}
     full_delta = N_CORES * max_prog.delta_i
 
-    points: list[DeltaIMappingPoint] = []
-    mapping_id = 0
+    planned: list[tuple[tuple[str, ...], tuple[int, int], float]] = []
     for n_max in range(0, N_CORES + 1):
         for n_med in range(0, N_CORES + 1 - n_max):
             distribution = (n_max, n_med)
@@ -202,21 +222,22 @@ def sweep_delta_i_mappings(
             )
             delta = n_max * max_prog.delta_i + n_med * med_prog.delta_i
             for placement in placements:
-                programs: list[CurrentProgram] = [
-                    by_level[level] for level in placement
-                ]
-                result = runner.run(
-                    programs, options, run_tag=("disweep", placement)
-                )
-                points.append(
-                    DeltaIMappingPoint(
-                        mapping_id=mapping_id,
-                        placement=placement,
-                        distribution=distribution,
-                        delta_i_pct=100.0 * delta / full_delta,
-                        p2p_by_core=result.p2p_by_core,
-                        active_cores=n_max + n_med,
-                    )
-                )
-                mapping_id += 1
-    return points
+                planned.append((placement, distribution, delta))
+
+    results = session.run_many(
+        [[by_level[level] for level in placement] for placement, _, _ in planned],
+        tags=[("disweep", placement) for placement, _, _ in planned],
+    )
+    return [
+        DeltaIMappingPoint(
+            mapping_id=mapping_id,
+            placement=placement,
+            distribution=distribution,
+            delta_i_pct=100.0 * delta / full_delta,
+            p2p_by_core=result.p2p_by_core,
+            active_cores=sum(distribution),
+        )
+        for mapping_id, ((placement, distribution, delta), result) in enumerate(
+            zip(planned, results)
+        )
+    ]

@@ -8,12 +8,17 @@ Subcommands:
 * ``table1 .. fig15`` — shorthand for ``run <id>``.
 
 ``--quick`` swaps in the reduced-cost context (shorter EPI loops, fewer
-sweep points) for smoke runs.
+sweep points) for smoke runs.  The engine knobs: ``--jobs N`` /
+``--executor process`` fan cache misses out over worker processes,
+``--cache-dir DIR`` persists the result cache across invocations, and
+``run --profile`` prints the engine telemetry (run counts, cache
+hits/misses, solver calls, per-experiment wall clock) after the run.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .errors import ReproError
@@ -41,6 +46,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the reduced-cost context (smoke runs)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        metavar="N",
+        default=None,
+        help="worker processes for sweep fan-out (default: $REPRO_JOBS "
+        "or the CPU count; implies --executor process when N > 1)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default=None,
+        help="sweep execution backend (default: $REPRO_EXECUTOR or serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="enable the on-disk result-cache tier in DIR (an empty "
+        "string selects ~/.cache/repro-noise)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     run = sub.add_parser("run", help="run one or more experiments")
@@ -55,12 +81,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also export text+JSON artifacts per experiment into DIR",
     )
+    run.add_argument(
+        "--profile",
+        action="store_true",
+        help="print engine telemetry (runs, cache hits, wall clock) "
+        "after the run",
+    )
     return parser
+
+
+def _configure_engine(args: argparse.Namespace) -> None:
+    """Point the engine defaults at the CLI's choices.
+
+    Sessions read ``$REPRO_JOBS``/``$REPRO_EXECUTOR`` at construction
+    time, so the flags are exported for every session the experiment
+    drivers build (and for their worker processes).
+    """
+    from .engine import configure_cache
+
+    if args.jobs is not None:
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+        if args.executor is None and args.jobs > 1:
+            args.executor = "process"
+    if args.executor is not None:
+        os.environ["REPRO_EXECUTOR"] = args.executor
+    if args.cache_dir is not None:
+        from .engine.cache import default_cache_dir
+
+        configure_cache(cache_dir=args.cache_dir or default_cache_dir())
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_engine(args)
 
     if args.command == "list":
         for experiment_id, title in all_experiments().items():
@@ -94,6 +148,10 @@ def main(argv: list[str] | None = None) -> int:
 
         index = export_results(results, args.output)
         print(f"exported {len(results)} experiment artifact(s); index: {index}")
+    if args.profile:
+        from .telemetry import get_telemetry
+
+        print(get_telemetry().report())
     return status
 
 

@@ -19,12 +19,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..engine.cache import ResultCache, global_cache
+from ..engine.executor import Executor, make_executor
+from ..engine.fingerprint import content_key
 from ..errors import GenerationError
 from ..isa.instruction import InstructionDef
 from ..mbench.loops import build_sequence_loop
 from ..mbench.target import Target
 from ..measure.powermeter import PowerMeter
 from ..rng import stream
+from ..telemetry import get_telemetry
 from .sequences import DEFAULT_SEQUENCE_LENGTH
 
 __all__ = ["GeneticSearchResult", "genetic_max_power_search"]
@@ -45,6 +49,27 @@ class GeneticSearchResult:
         return [inst.mnemonic for inst in self.sequence]
 
 
+@dataclass
+class _FitnessTask:
+    """Picklable fitness evaluation of one GA individual.
+
+    The measurement-noise tag is derived from the sequence itself (not
+    from an evaluation counter), so a reading is a deterministic
+    function of the individual — independent of evaluation order and of
+    how warm the shared result cache is.
+    """
+
+    target: Target
+    meter: PowerMeter
+
+    def __call__(self, sequence: tuple[InstructionDef, ...]) -> float:
+        mnemonics = tuple(inst.mnemonic for inst in sequence)
+        program = build_sequence_loop(
+            self.target.isa, sequence, unroll=21, name="ga-eval"
+        )
+        return self.meter.measure(program, reading_tag=("ga", mnemonics))
+
+
 def genetic_max_power_search(
     target: Target,
     candidates: list[InstructionDef],
@@ -56,6 +81,9 @@ def genetic_max_power_search(
     tournament: int = 3,
     length: int = DEFAULT_SEQUENCE_LENGTH,
     seed: int = 0,
+    cache: ResultCache | None = None,
+    executor: Executor | str | None = None,
+    jobs: int | None = None,
 ) -> GeneticSearchResult:
     """GA over length-*length* sequences of *candidates*, maximizing
     measured loop power.
@@ -64,27 +92,68 @@ def genetic_max_power_search(
     crossover, per-gene mutation, elitism.  Fitness evaluations are
     power-meter measurements (with their noise), and each one costs the
     meter's dwell time — which is the budget the comparison bench
-    reports.
+    reports.  Readings are memoized in the engine's content-addressed
+    cache (keyed by meter identity, target and sequence), and each
+    generation's unevaluated individuals are measured as one batch
+    through the engine executor.
     """
     if not candidates:
         raise GenerationError("empty candidate pool")
     if population < 4 or elite >= population:
         raise GenerationError("population/elite sizes are inconsistent")
     meter = meter or PowerMeter(target)
+    if cache is None:
+        cache = global_cache()
+    if isinstance(executor, (str, type(None))):
+        executor = make_executor(executor, jobs)
+    telemetry = get_telemetry()
     rng = stream(seed, "ga", "search")
     evaluations = 0
-    cache: dict[tuple[str, ...], float] = {}
+    evaluate = _FitnessTask(target, meter)
+    meter_identity = (
+        "ga-fitness",
+        target.isa.name,
+        target.core,
+        meter.seed,
+        meter.noise_sigma,
+        meter.temperature_drift,
+    )
 
-    def fitness(sequence: tuple[InstructionDef, ...]) -> float:
+    def fitness_key(sequence: tuple[InstructionDef, ...]) -> str:
+        return content_key(
+            *meter_identity, tuple(inst.mnemonic for inst in sequence)
+        )
+
+    def evaluate_batch(
+        individuals: list[tuple[InstructionDef, ...]]
+    ) -> dict[str, float]:
+        """Measure every not-yet-cached distinct individual, as one
+        executor batch; returns key → fitness for *all* inputs."""
         nonlocal evaluations
-        key = tuple(inst.mnemonic for inst in sequence)
-        if key not in cache:
-            program = build_sequence_loop(
-                target.isa, sequence, unroll=21, name="ga-eval"
-            )
-            cache[key] = meter.measure(program, reading_tag=("ga", evaluations))
-            evaluations += 1
-        return cache[key]
+        scores: dict[str, float] = {}
+        misses: dict[str, tuple[InstructionDef, ...]] = {}
+        for individual in individuals:
+            key = fitness_key(individual)
+            if key in scores or key in misses:
+                continue
+            cached = cache.get(key)
+            if cached is not None:
+                scores[key] = cached
+            else:
+                misses[key] = individual
+        if misses:
+            keys = list(misses)
+            values = executor.map(evaluate, [misses[k] for k in keys])
+            for key, value in zip(keys, values):
+                cache.put(key, float(value))
+                scores[key] = float(value)
+            evaluations += len(keys)
+            telemetry.increment("ga.evaluations", len(keys))
+            if executor.jobs > 1:
+                # Worker-side meters accumulate dwell in their own
+                # copies; account the budget on the caller's meter.
+                meter.simulated_seconds += len(keys) * meter.dwell_s
+        return scores
 
     def random_individual() -> tuple[InstructionDef, ...]:
         picks = rng.integers(0, len(candidates), size=length)
@@ -98,7 +167,11 @@ def genetic_max_power_search(
     current = [random_individual() for _ in range(population)]
     history: list[float] = []
     for _ in range(generations):
-        scored = [(individual, fitness(individual)) for individual in current]
+        generation_scores = evaluate_batch(current)
+        scored = [
+            (individual, generation_scores[fitness_key(individual)])
+            for individual in current
+        ]
         scored.sort(key=lambda pair: -pair[1])
         history.append(scored[0][1])
         next_generation = [individual for individual, _ in scored[:elite]]
@@ -113,7 +186,11 @@ def genetic_max_power_search(
             next_generation.append(tuple(child))
         current = next_generation
 
-    final = max(((ind, fitness(ind)) for ind in current), key=lambda p: p[1])
+    final_scores = evaluate_batch(current)
+    final = max(
+        ((ind, final_scores[fitness_key(ind)]) for ind in current),
+        key=lambda p: p[1],
+    )
     return GeneticSearchResult(
         sequence=final[0],
         power_w=final[1],

@@ -1,0 +1,44 @@
+"""``repro.engine`` — the unified simulation-execution layer.
+
+All sweeps in the library run through a :class:`SimulationSession`:
+it wraps the raw :class:`~repro.machine.runner.ChipRunner` with
+content-addressed result caching (:mod:`repro.engine.cache`), optional
+process-pool fan-out of independent runs (:mod:`repro.engine.executor`)
+and telemetry (:mod:`repro.telemetry`).  See DESIGN.md §5 and the
+module docstrings for the layering.
+"""
+
+from .cache import ResultCache, configure_cache, default_cache_dir, global_cache
+from .executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+    resolve_jobs,
+)
+from .fingerprint import (
+    canonical,
+    chip_fingerprint,
+    content_key,
+    is_deterministic_mapping,
+    run_fingerprint,
+)
+from .session import SimulationSession
+
+__all__ = [
+    "SimulationSession",
+    "ResultCache",
+    "global_cache",
+    "configure_cache",
+    "default_cache_dir",
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "resolve_jobs",
+    "canonical",
+    "chip_fingerprint",
+    "content_key",
+    "run_fingerprint",
+    "is_deterministic_mapping",
+]

@@ -1,0 +1,211 @@
+"""Content-addressed result cache: in-memory LRU plus optional disk tier.
+
+Keys are content fingerprints (:mod:`repro.engine.fingerprint`), values
+are arbitrary picklable results (:class:`RunResult`s, GA fitness
+readings).  The in-memory tier is a bounded LRU shared process-wide by
+default, so every consumer layer — experiment drivers, sweep functions,
+the scheduler, the GA — transparently reuses each other's runs.  The
+optional disk tier (``--cache-dir`` / ``$REPRO_CACHE_DIR``, defaulting
+to ``~/.cache/repro-noise`` when enabled without a path) persists
+results across processes: a second CLI invocation of the same
+experiment replays from disk instead of re-solving the PDN.
+
+This replaces the three ad-hoc caches the consumer layers used to keep
+(the experiment context's ΔI-dataset memo, the scheduler's per-count
+study dict, the GA's fitness dict) with one instrumented, bounded,
+shareable store.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+
+from ..telemetry import Telemetry, get_telemetry
+
+__all__ = [
+    "ResultCache",
+    "global_cache",
+    "configure_cache",
+    "default_cache_dir",
+]
+
+_SENTINEL = object()
+
+
+def default_cache_dir() -> Path:
+    """The conventional on-disk cache location."""
+    return Path(os.path.expanduser("~")) / ".cache" / "repro-noise"
+
+
+class ResultCache:
+    """Two-tier content-addressed cache.
+
+    Parameters
+    ----------
+    max_entries:
+        Bound of the in-memory LRU tier.
+    cache_dir:
+        Optional directory for the persistent tier; ``None`` keeps the
+        cache memory-only.
+    telemetry:
+        Telemetry sink for hit/miss counters.  When omitted, the
+        *current* process default is looked up per operation — the
+        cache outlives ``set_telemetry`` swaps, so a long-lived global
+        cache reports into whichever sink is active.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        cache_dir: str | Path | None = None,
+        telemetry: Telemetry | None = None,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._telemetry = telemetry
+        self._memory: OrderedDict[str, object] = OrderedDict()
+
+    @property
+    def telemetry(self) -> Telemetry:
+        return self._telemetry or get_telemetry()
+
+    # -- lookup ---------------------------------------------------------
+    def get(self, key: str, default: object = None) -> object:
+        """The cached value for *key*, or *default*.
+
+        Memory hits refresh LRU recency; disk hits are promoted into
+        the memory tier.
+        """
+        value = self._memory.get(key, _SENTINEL)
+        if value is not _SENTINEL:
+            self._memory.move_to_end(key)
+            self.telemetry.increment("engine.cache.hits")
+            return value
+        value = self._disk_get(key)
+        if value is not _SENTINEL:
+            self._memory_put(key, value)
+            self.telemetry.increment("engine.cache.hits")
+            self.telemetry.increment("engine.cache.disk_hits")
+            return value
+        self.telemetry.increment("engine.cache.misses")
+        return default
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        path = self._disk_path(key)
+        return path is not None and path.exists()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    # -- store ----------------------------------------------------------
+    def put(self, key: str, value: object) -> None:
+        """Store *value* under *key* in both tiers."""
+        self._memory_put(key, value)
+        self._disk_put(key, value)
+
+    def clear(self) -> None:
+        """Drop the memory tier (the disk tier, being a durable
+        artifact store, is left alone)."""
+        self._memory.clear()
+
+    # -- internals ------------------------------------------------------
+    def _memory_put(self, key: str, value: object) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+            self.telemetry.increment("engine.cache.evictions")
+
+    def _disk_path(self, key: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / key[:2] / f"{key}.pkl"
+
+    def _disk_get(self, key: str) -> object:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return _SENTINEL
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:  # corrupt/truncated entry: treat as a miss
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racy cleanup
+                pass
+            return _SENTINEL
+
+    def _disk_put(self, key: str, value: object) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: write to a temp file, then rename, so a
+            # concurrent reader never sees a half-written pickle.
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(value, handle, pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+            finally:
+                if os.path.exists(tmp_name):  # rename failed midway
+                    os.unlink(tmp_name)
+            self.telemetry.increment("engine.cache.disk_writes")
+        except OSError:  # disk tier is best-effort
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        tier = f", disk={self.cache_dir}" if self.cache_dir else ""
+        return f"ResultCache({len(self._memory)}/{self.max_entries}{tier})"
+
+
+#: Process-wide shared cache (lazily built so env configuration can
+#: happen first).
+_GLOBAL: ResultCache | None = None
+
+
+def global_cache() -> ResultCache:
+    """The process-wide shared :class:`ResultCache`.
+
+    On first use, the disk tier is enabled if ``$REPRO_CACHE_DIR`` is
+    set (an empty value selects :func:`default_cache_dir`).
+    """
+    global _GLOBAL
+    if _GLOBAL is None:
+        env_dir = os.environ.get("REPRO_CACHE_DIR")
+        cache_dir: Path | None = None
+        if env_dir is not None:
+            cache_dir = Path(env_dir) if env_dir else default_cache_dir()
+        _GLOBAL = ResultCache(cache_dir=cache_dir)
+    return _GLOBAL
+
+
+def configure_cache(
+    max_entries: int | None = None,
+    cache_dir: str | Path | None | object = _SENTINEL,
+) -> ResultCache:
+    """Rebuild the process-wide cache with new settings (CLI flags).
+
+    ``cache_dir=None`` explicitly disables the disk tier; omitting it
+    keeps the current directory setting.
+    """
+    global _GLOBAL
+    current = global_cache()
+    new_dir = current.cache_dir if cache_dir is _SENTINEL else cache_dir
+    _GLOBAL = ResultCache(
+        max_entries=max_entries or current.max_entries,
+        cache_dir=new_dir,
+        telemetry=current._telemetry,
+    )
+    return _GLOBAL

@@ -1,0 +1,160 @@
+"""Run-execution backends: serial and chunked process-pool fan-out.
+
+Independent simulation runs (a frequency sweep's points, an exhaustive
+mapping enumeration, a chip population, a GA generation) have no data
+dependencies, so they fan out over a :class:`ProcessPoolExecutor` when
+more than one core is available.  Work is dispatched in contiguous
+chunks so each worker process amortizes its one-time setup (rebuilding
+the chip's modal decomposition) over many runs.
+
+Backend selection:
+
+* explicit ``executor=``/``jobs=`` arguments win;
+* else ``$REPRO_EXECUTOR`` (``serial``/``process``) and ``$REPRO_JOBS``;
+* else serial — on a single-core host the pool only adds overhead.
+
+Determinism does not depend on the backend: every run derives its
+random streams by name (:mod:`repro.rng`), so serial and process
+execution produce bit-identical results (guarded by
+``tests/engine/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Sequence, TypeVar
+
+from ..errors import ConfigError
+
+__all__ = [
+    "Executor",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "resolve_jobs",
+    "default_executor_name",
+    "chunked",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+EXECUTOR_NAMES = ("serial", "process")
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit argument, else ``$REPRO_JOBS``, else the
+    machine's CPU count."""
+    if jobs is not None:
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1 (got {jobs})")
+        return jobs
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            parsed = int(env)
+        except ValueError:
+            raise ConfigError(f"REPRO_JOBS must be an integer (got {env!r})")
+        if parsed < 1:
+            raise ConfigError(f"REPRO_JOBS must be >= 1 (got {parsed})")
+        return parsed
+    return os.cpu_count() or 1
+
+
+def default_executor_name() -> str:
+    """Backend used when none is requested explicitly."""
+    name = os.environ.get("REPRO_EXECUTOR", "serial").strip().lower()
+    if name not in EXECUTOR_NAMES:
+        raise ConfigError(
+            f"REPRO_EXECUTOR must be one of {EXECUTOR_NAMES} (got {name!r})"
+        )
+    return name
+
+
+def chunked(items: Sequence[T], n_chunks: int) -> list[list[T]]:
+    """Split *items* into at most *n_chunks* contiguous, near-equal
+    chunks (empty chunks are dropped)."""
+    if n_chunks < 1:
+        raise ConfigError(f"n_chunks must be >= 1 (got {n_chunks})")
+    n_chunks = min(n_chunks, len(items)) or 1
+    size, extra = divmod(len(items), n_chunks)
+    chunks: list[list[T]] = []
+    start = 0
+    for i in range(n_chunks):
+        stop = start + size + (1 if i < extra else 0)
+        if stop > start:
+            chunks.append(list(items[start:stop]))
+        start = stop
+    return chunks
+
+
+class SerialExecutor:
+    """In-process, in-order execution (the default backend)."""
+
+    name = "serial"
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "SerialExecutor()"
+
+
+def _run_chunk(fn: Callable, chunk: list) -> list:
+    """Worker-side driver: apply *fn* to each item of one chunk."""
+    return [fn(item) for item in chunk]
+
+
+class ProcessExecutor:
+    """Chunked fan-out over a :class:`ProcessPoolExecutor`.
+
+    ``fn`` and the items must be picklable (module-level callables or
+    dataclass instances).  Results come back in input order.
+    """
+
+    name = "process"
+
+    def __init__(self, jobs: int | None = None, chunks_per_job: int = 1):
+        if chunks_per_job < 1:
+            raise ConfigError(
+                f"chunks_per_job must be >= 1 (got {chunks_per_job})"
+            )
+        self.jobs = resolve_jobs(jobs)
+        self.chunks_per_job = chunks_per_job
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        items = list(items)
+        if not items:
+            return []
+        if self.jobs == 1 and len(items) <= 1:
+            return [fn(item) for item in items]
+        chunks = chunked(items, self.jobs * self.chunks_per_job)
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
+            results: list[R] = []
+            for future in futures:
+                results.extend(future.result())
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ProcessExecutor(jobs={self.jobs})"
+
+
+#: Union type for annotations.
+Executor = SerialExecutor | ProcessExecutor
+
+
+def make_executor(
+    name: str | None = None, jobs: int | None = None
+) -> Executor:
+    """Build a backend from a name (explicit > env > serial)."""
+    name = (name or default_executor_name()).strip().lower()
+    if name == "serial":
+        return SerialExecutor()
+    if name == "process":
+        return ProcessExecutor(jobs)
+    raise ConfigError(
+        f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}"
+    )

@@ -1,0 +1,117 @@
+"""Stable content fingerprints for simulation runs.
+
+A run is fully determined by (a) the chip — its configuration plus the
+``chip_id`` that selects the process-variation draw, (b) the per-core
+current programs, (c) the run options, and — only when some program
+draws random phases — (d) the run tag and phase seed.  The fingerprint
+hashes a canonical textual form of exactly those inputs, so two runs
+with the same fingerprint produce bit-identical :class:`RunResult`s and
+can share one cache entry, across sessions and across processes.
+
+Fully synchronized (or steady) mappings are *deterministic*: the runner
+never touches its RNG for them, so the run tag and the phase seed are
+excluded from their fingerprint.  That is what lets, e.g., the Fig. 14
+two-mapping comparison reuse runs already executed by the Fig. 15
+exhaustive enumeration — same chip, same programs, different tags.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields, is_dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..machine.chip import Chip
+from ..machine.runner import RunOptions
+from ..machine.workload import CurrentProgram
+
+__all__ = [
+    "canonical",
+    "chip_fingerprint",
+    "run_fingerprint",
+    "is_deterministic_mapping",
+    "content_key",
+]
+
+
+def canonical(value: object) -> str:
+    """A deterministic textual form of *value* for hashing.
+
+    Dataclasses are expanded field by field (class name included), dicts
+    are sorted by key, sequences are expanded element-wise, numpy
+    scalars collapse to Python numbers.  The result is stable across
+    processes (no ``id()``/``hash()`` involvement).
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        parts = ",".join(
+            f"{f.name}={canonical(getattr(value, f.name))}"
+            for f in fields(value)
+        )
+        return f"{type(value).__name__}({parts})"
+    if isinstance(value, dict):
+        items = ",".join(
+            f"{canonical(k)}:{canonical(v)}" for k, v in sorted(value.items())
+        )
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(canonical(item) for item in value) + "]"
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return canonical(value.item())
+    if isinstance(value, float):
+        return repr(value)
+    return repr(value)
+
+
+def content_key(*parts: object) -> str:
+    """SHA-256 hex digest of the canonical form of *parts* — the
+    generic content-addressing primitive (the run fingerprint below and
+    e.g. the GA fitness cache both build on it)."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(canonical(part).encode())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def chip_fingerprint(chip: Chip) -> str:
+    """Canonical identity of one chip instance: its full configuration
+    (PDN, core, skitter, seeds, SSN weights) plus the variation-draw
+    ``chip_id``."""
+    return canonical((type(chip).__name__, chip.config, chip.chip_id))
+
+
+def is_deterministic_mapping(
+    mapping: Sequence[CurrentProgram | None],
+) -> bool:
+    """True when no program in *mapping* draws random phases — every
+    bursting program is TOD-synchronized, so the run is independent of
+    the run tag and the phase seed."""
+    return not any(
+        program is not None and program.is_phase_randomized
+        for program in mapping
+    )
+
+
+def run_fingerprint(
+    chip_fp: str,
+    mapping: Sequence[CurrentProgram | None],
+    options: RunOptions,
+    run_tag: object,
+) -> str:
+    """The content address of one run.
+
+    ``options.seed`` only feeds the phase draws, so it is folded into
+    the phase part and dropped entirely for deterministic mappings.
+    """
+    options_sig = {
+        f.name: getattr(options, f.name)
+        for f in fields(options)
+        if f.name != "seed"
+    }
+    if is_deterministic_mapping(mapping):
+        phase_part: object = "deterministic"
+    else:
+        phase_part = ("tag", run_tag, "seed", options.seed)
+    return content_key(chip_fp, list(mapping), options_sig, phase_part)

@@ -1,0 +1,237 @@
+"""The shared run-session layer: one instrumented hot path for every
+simulation sweep.
+
+A :class:`SimulationSession` binds a chip and one set of
+:class:`RunOptions` and exposes :meth:`run` / :meth:`run_many`.  Every
+consumer layer — the experiment drivers, the §V sensitivity sweeps, the
+exhaustive mapping enumeration, the Vmin protocol, the mitigation
+mechanisms — executes runs through a session instead of constructing
+:class:`ChipRunner`s directly.  The session adds, around the raw
+runner:
+
+* **content-addressed caching** — each run's fingerprint (chip netlist
+  + variation seed, per-core program signatures, run options, phase
+  seed where applicable) addresses a shared two-tier
+  :class:`ResultCache`, so identical configurations are solved once per
+  campaign (and once per machine, with the disk tier);
+* **parallel fan-out** — :meth:`run_many` dispatches cache misses in
+  contiguous chunks over a process pool when a parallel backend is
+  selected (``--jobs``/``$REPRO_JOBS``), rebuilding the chip once per
+  worker;
+* **telemetry** — run counts, cache hits/misses, solver-call counts and
+  solver wall-clock, surfaced by ``repro-noise run --profile`` and the
+  experiment exporter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from ..machine.chip import Chip, ChipConfig, N_CORES
+from ..machine.runner import ChipRunner, RunOptions, RunResult
+from ..machine.workload import CurrentProgram
+from ..telemetry import Telemetry, get_telemetry
+from .cache import ResultCache, global_cache
+from .executor import Executor, SerialExecutor, chunked, make_executor
+from .fingerprint import chip_fingerprint, run_fingerprint
+
+__all__ = ["SimulationSession"]
+
+Mapping = Sequence[CurrentProgram | None]
+
+
+class SimulationSession:
+    """Cached, instrumented, parallelizable execution of mapping runs
+    on one chip.
+
+    Parameters
+    ----------
+    chip:
+        The chip instance runs execute on.
+    options:
+        Run options shared by every run of this session (fresh defaults
+        when omitted).
+    cache:
+        Result cache; the process-wide shared cache when omitted, so
+        independent sessions over the same chip reuse each other's
+        runs.  Pass ``cache=None`` explicitly via a private
+        :class:`ResultCache` to isolate a session (tests).
+    executor:
+        Fan-out backend for :meth:`run_many` (``"serial"``/
+        ``"process"`` or a prebuilt executor); environment default when
+        omitted.
+    telemetry:
+        Telemetry sink (process default when omitted).
+    """
+
+    def __init__(
+        self,
+        chip: Chip,
+        options: RunOptions | None = None,
+        *,
+        cache: ResultCache | None = None,
+        executor: Executor | str | None = None,
+        jobs: int | None = None,
+        telemetry: Telemetry | None = None,
+    ):
+        self.chip = chip
+        self.options = options or RunOptions()
+        self.cache = cache if cache is not None else global_cache()
+        if isinstance(executor, (str, type(None))):
+            executor = make_executor(executor, jobs)
+        self.executor = executor
+        self.telemetry = telemetry or get_telemetry()
+        self.runner = ChipRunner(chip)
+        self._chip_fp = chip_fingerprint(chip)
+
+    def derive(self, **option_overrides) -> "SimulationSession":
+        """A sibling session over the same chip, cache, executor and
+        telemetry, with *option_overrides* applied to a copy of the run
+        options (the caller's options are never mutated)."""
+        return SimulationSession(
+            self.chip,
+            replace(self.options, **option_overrides),
+            cache=self.cache,
+            executor=self.executor,
+            telemetry=self.telemetry,
+        )
+
+    # -- single runs ----------------------------------------------------
+    def fingerprint(self, mapping: Mapping, run_tag: object = "run") -> str:
+        """Content address of one run under this session."""
+        return run_fingerprint(self._chip_fp, mapping, self.options, run_tag)
+
+    def run(self, mapping: Mapping, run_tag: object = "run") -> RunResult:
+        """Execute *mapping* (or replay it from the cache)."""
+        self.telemetry.increment("engine.runs")
+        key = self.fingerprint(mapping, run_tag)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return cached
+        with self.telemetry.time("engine.run_seconds"):
+            result = self.runner.run(mapping, self.options, run_tag)
+        self._account_executed(1)
+        self.cache.put(key, result)
+        return result
+
+    # -- batched runs ---------------------------------------------------
+    def run_many(
+        self,
+        mappings: Sequence[Mapping],
+        tags: Sequence[object] | None = None,
+    ) -> list[RunResult]:
+        """Execute a batch of independent runs, in input order.
+
+        Cache hits are replayed; distinct misses are deduplicated and
+        fanned out over the session executor (chunked, so each worker
+        process rebuilds the chip once per batch).
+        """
+        mappings = [list(m) for m in mappings]
+        if tags is None:
+            tags = list(range(len(mappings)))
+        if len(tags) != len(mappings):
+            raise ValueError("tags and mappings must have equal length")
+        self.telemetry.increment("engine.runs", len(mappings))
+
+        results: list[RunResult | None] = [None] * len(mappings)
+        pending: dict[str, list[int]] = {}
+        for i, (mapping, tag) in enumerate(zip(mappings, tags)):
+            key = self.fingerprint(mapping, tag)
+            cached = self.cache.get(key)
+            if cached is not None:
+                results[i] = cached
+            else:
+                pending.setdefault(key, []).append(i)
+
+        if pending:
+            order = list(pending)
+            work = [
+                (key, mappings[pending[key][0]], tags[pending[key][0]])
+                for key in order
+            ]
+            executed = self._execute_misses(work)
+            for key, result in zip(order, executed):
+                self.cache.put(key, result)
+                for i in pending[key]:
+                    results[i] = result
+        return results  # type: ignore[return-value]
+
+    # -- internals ------------------------------------------------------
+    def _account_executed(self, n_runs: int) -> None:
+        self.telemetry.increment("engine.runs_executed", n_runs)
+        # One LTI superposition solve per (segment, observed core).
+        self.telemetry.increment(
+            "engine.solver_calls", n_runs * self.options.segments * N_CORES
+        )
+
+    def _execute_misses(
+        self, work: list[tuple[str, Mapping, object]]
+    ) -> list[RunResult]:
+        """Run the deduplicated misses; returns results in *work* order."""
+        serial = (
+            isinstance(self.executor, SerialExecutor)
+            or self.executor.jobs <= 1
+            or len(work) <= 1
+        )
+        with self.telemetry.time("engine.run_seconds"):
+            if serial:
+                results = [
+                    self.runner.run(mapping, self.options, tag)
+                    for _, mapping, tag in work
+                ]
+            else:
+                batches = chunked(work, self.executor.jobs)
+                specs = [
+                    _BatchSpec(
+                        config=self.chip.config,
+                        chip_id=self.chip.chip_id,
+                        options=self.options,
+                        jobs=[(m, t) for _, m, t in batch],
+                    )
+                    for batch in batches
+                ]
+                nested = self.executor.map(_execute_batch, specs)
+                results = [result for batch in nested for result in batch]
+        self._account_executed(len(work))
+        return results
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SimulationSession(chip={self.chip!r}, "
+            f"executor={self.executor!r})"
+        )
+
+
+# -- worker side ---------------------------------------------------------
+
+class _BatchSpec:
+    """Picklable description of one worker batch."""
+
+    def __init__(
+        self,
+        config: ChipConfig,
+        chip_id: int,
+        options: RunOptions,
+        jobs: list[tuple[list, object]],
+    ):
+        self.config = config
+        self.chip_id = chip_id
+        self.options = options
+        self.jobs = jobs
+
+
+#: Per-worker-process chip memo: rebuilding the modal decomposition is
+#: the expensive part of worker startup, so keep chips across batches.
+_WORKER_CHIPS: dict[str, Chip] = {}
+
+
+def _execute_batch(spec: _BatchSpec) -> list[RunResult]:
+    """Worker-side execution of one batch (top-level: picklable)."""
+    probe = Chip(spec.config, spec.chip_id)
+    key = chip_fingerprint(probe)
+    chip = _WORKER_CHIPS.setdefault(key, probe)
+    runner = ChipRunner(chip)
+    return [
+        runner.run(mapping, spec.options, tag) for mapping, tag in spec.jobs
+    ]

@@ -3,7 +3,9 @@
 Experiment drivers return structured :class:`ExperimentResult` payloads;
 this module persists them so a characterization campaign leaves
 artifacts behind (as the paper's lab campaigns do): one text report and
-one JSON payload per experiment, plus an index.
+one JSON payload per experiment, plus an index and a telemetry snapshot
+(run/cache/solver counters and per-experiment wall clock from the
+engine).
 """
 
 from __future__ import annotations
@@ -15,6 +17,7 @@ from pathlib import Path
 import numpy as np
 
 from ..errors import ExperimentError
+from ..telemetry import Telemetry, get_telemetry
 from .registry import ExperimentResult
 
 __all__ = ["export_result", "export_results", "jsonable"]
@@ -58,9 +61,16 @@ def export_result(result: ExperimentResult, directory: Path | str) -> Path:
 
 
 def export_results(
-    results: list[ExperimentResult], directory: Path | str
+    results: list[ExperimentResult],
+    directory: Path | str,
+    telemetry: Telemetry | None = None,
 ) -> Path:
-    """Export a batch and write an ``index.json``; returns its path."""
+    """Export a batch and write an ``index.json``; returns its path.
+
+    Also writes ``telemetry.json`` — the campaign's engine counters
+    (runs, cache hits/misses, solver calls) and timers, from
+    *telemetry* or the process-wide sink.
+    """
     if not results:
         raise ExperimentError("nothing to export")
     directory = Path(directory)
@@ -71,4 +81,8 @@ def export_results(
     }
     index_path = directory / "index.json"
     index_path.write_text(json.dumps(index, indent=2, sort_keys=True) + "\n")
+    snapshot = (telemetry or get_telemetry()).snapshot()
+    (directory / "telemetry.json").write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+    )
     return index_path

@@ -24,7 +24,7 @@ def run(context: ExperimentContext) -> ExperimentResult:
         context.chip,
         misalignments,
         freq_hz=context.resonant_freq_hz,
-        options=context.options,
+        session=context.session,
         assignments_sample=context.misalignment_assignments,
     )
     xs = [f"{m * 1e9:.1f}ns" for m in misalignments]

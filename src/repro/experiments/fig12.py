@@ -41,7 +41,7 @@ def run(context: ExperimentContext) -> ExperimentResult:
                 freq_hz=freq, synchronize=True, n_events=count
             )
             result = run_vmin_experiment(
-                chip, [mark.current_program()] * 6, options=context.options
+                chip, [mark.current_program()] * 6, session=context.session
             )
             margins[(count, freq)] = result.margin_frac
             rows.append(
@@ -50,7 +50,7 @@ def run(context: ExperimentContext) -> ExperimentResult:
         # The unsynchronized (∞ events) case.
         mark = generator.max_didt(freq_hz=freq, synchronize=False)
         result = run_vmin_experiment(
-            chip, [mark.current_program()] * 6, options=context.options
+            chip, [mark.current_program()] * 6, session=context.session
         )
         margins[("inf", freq)] = result.margin_frac
         rows.append(["inf/nosync", format_freq(freq), f"{result.margin_frac * 100:.1f}%"])
@@ -60,7 +60,7 @@ def run(context: ExperimentContext) -> ExperimentResult:
         generator.max_didt(
             freq_hz=context.resonant_freq_hz, synchronize=False
         ).current_program(),
-        options=context.options,
+        session=context.session,
     )
     rows.append(["customer-80%", "worst-case", f"{customer.margin_frac * 100:.1f}%"])
 

@@ -23,7 +23,7 @@ def run(context: ExperimentContext) -> ExperimentResult:
     ).current_program()
     studies = mapping_extremes(
         context.chip, program, workload_counts=list(range(0, 7)),
-        options=context.options,
+        session=context.session,
     )
     rows = []
     deltas = {}

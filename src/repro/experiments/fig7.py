@@ -28,7 +28,7 @@ def run_fig7a(context: ExperimentContext) -> ExperimentResult:
         context.chip,
         freqs,
         synchronize=False,
-        options=context.options,
+        session=context.session,
     )
     series = {
         f"core{c} %p2p": [p.p2p_by_core[c] for p in points] for c in range(6)

@@ -21,7 +21,7 @@ def run(context: ExperimentContext) -> ExperimentResult:
     program = mark.current_program()
     trace = capture_trace(
         context.chip, [program] * 6, node="core0",
-        options=None,
+        session=context.session,
     )
     period = 1.0 / program.freq_hz
     # The burst occupies the head of the capture; crop a settled window.

@@ -22,11 +22,13 @@ def run(context: ExperimentContext) -> ExperimentResult:
     )
     synced = sweep_stimulus_frequency(
         context.generator, context.chip, freqs,
-        synchronize=True, options=context.options, n_events=1000,
+        synchronize=True, session=context.session, n_events=1000,
     )
+    # The unsynchronized reference is the Fig. 7a sweep; running it
+    # through the shared session replays its cached points.
     unsynced = sweep_stimulus_frequency(
         context.generator, context.chip, freqs,
-        synchronize=False, options=context.options,
+        synchronize=False, session=context.session,
     )
     series = {
         f"core{c} %p2p": [p.p2p_by_core[c] for p in synced] for c in range(6)

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable
 
 from ..errors import ExperimentError
+from ..telemetry import get_telemetry
 from .common import ExperimentContext, default_context
 
 __all__ = [
@@ -54,8 +56,16 @@ def register(experiment_id: str, title: str):
     def wrap(fn: ExperimentFn) -> ExperimentFn:
         if experiment_id in _REGISTRY:
             raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
-        _REGISTRY[experiment_id] = (title, fn)
-        return fn
+
+        @functools.wraps(fn)
+        def timed(context: ExperimentContext) -> ExperimentResult:
+            # Per-experiment wall clock, surfaced by ``run --profile``
+            # and the exporter's telemetry artifact.
+            with get_telemetry().time(f"experiment.{experiment_id}.seconds"):
+                return fn(context)
+
+        _REGISTRY[experiment_id] = (title, timed)
+        return timed
 
     return wrap
 

@@ -79,11 +79,29 @@ class RunOptions:
 
     def __post_init__(self) -> None:
         if self.segments < 1:
-            raise ConfigError("need at least one segment")
+            raise ConfigError(
+                f"segments must be >= 1 (got {self.segments})"
+            )
         if self.events_cap < 1:
-            raise ConfigError("events cap must be >= 1")
+            raise ConfigError(
+                f"events_cap must be >= 1 (got {self.events_cap})"
+            )
         if self.base_samples < 64:
-            raise ConfigError("base_samples too small for a meaningful p2p")
+            raise ConfigError(
+                f"base_samples must be >= 64 for a meaningful p2p "
+                f"(got {self.base_samples})"
+            )
+        if self.tail < 0:
+            raise ConfigError(f"tail must be >= 0 (got {self.tail})")
+        if self.isolated_edge_spacing <= 0:
+            raise ConfigError(
+                f"isolated_edge_spacing must be positive "
+                f"(got {self.isolated_edge_spacing})"
+            )
+        if self.vrm_response <= 0:
+            raise ConfigError(
+                f"vrm_response must be positive (got {self.vrm_response})"
+            )
 
 
 @dataclass
@@ -287,11 +305,7 @@ class ChipRunner:
                 continue
             period = self._effective_period(program, options)
             freq = 1.0 / period
-            synced = (
-                program.sync is not None
-                and (1.0 / program.freq_hz) <= program.sync.interval
-            )
-            if synced:
+            if not program.is_phase_randomized:
                 start = program.sync.offset
                 n_events = min(program.sync.events_per_sync, options.events_cap)
             else:

@@ -95,6 +95,19 @@ class CurrentProgram:
         return self.freq_hz is None or self.delta_i == 0.0
 
     @property
+    def is_phase_randomized(self) -> bool:
+        """True when the run engine draws a random burst phase for this
+        program: it generates ΔI events but is not (effectively)
+        TOD-synchronized.  A sync spec whose burst period exceeds the
+        sync interval cannot actually align and counts as unsynced,
+        mirroring the runner's segment construction."""
+        if self.is_steady:
+            return False
+        if self.sync is None:
+            return True
+        return (1.0 / self.freq_hz) > self.sync.interval
+
+    @property
     def average_current(self) -> float:
         """Time-averaged current over a burst (A)."""
         if self.is_steady:

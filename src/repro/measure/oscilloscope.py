@@ -12,9 +12,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..engine import SimulationSession
 from ..errors import MeasurementError
 from ..machine.chip import Chip
-from ..machine.runner import ChipRunner, RunOptions
+from ..machine.runner import RunOptions
 from ..machine.workload import CurrentProgram
 
 __all__ = ["TraceCapture", "capture_trace"]
@@ -56,16 +57,18 @@ def capture_trace(
     node: str = "core0",
     samples: int = 4000,
     options: RunOptions | None = None,
+    session: SimulationSession | None = None,
 ) -> TraceCapture:
     """Run *mapping* once and capture the voltage at *node*.
 
     The capture window covers the simulated burst (a 20 µs-class shot
-    at the paper's 2 MHz stimulus).
+    at the paper's 2 MHz stimulus).  The run executes through a scope
+    variant of the session (waveform collection on, one segment) — the
+    caller's options are copied, never mutated.
     """
-    options = options or RunOptions()
-    options.collect_waveforms = True
-    options.segments = 1
-    result = ChipRunner(chip).run(mapping, options, run_tag="oscilloscope")
+    session = session or SimulationSession(chip, options)
+    scope = session.derive(collect_waveforms=True, segments=1)
+    result = scope.run(mapping, run_tag="oscilloscope")
     if node not in result.waveforms:
         raise MeasurementError(f"node {node!r} was not recorded")
     times, volts = result.waveforms[node]

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..engine import SimulationSession
 from ..errors import MeasurementError
 from ..machine.chip import Chip
-from ..machine.runner import ChipRunner, RunOptions
+from ..machine.runner import RunOptions
 from ..machine.system import VOLTAGE_STEP, ServiceElement
 from ..machine.workload import CurrentProgram
 from .runit import RUnit, RUnitConfig
@@ -64,17 +65,20 @@ def run_vmin_experiment(
     runit_config: RUnitConfig | None = None,
     options: RunOptions | None = None,
     max_steps: int = 40,
+    session: SimulationSession | None = None,
 ) -> VminResult:
     """Undervolt in 0.5 % steps until the R-Unit sees the first error.
 
-    The workload's noise waveform is measured once at nominal; each bias
-    step rescales the supply component, exactly as the physical
-    experiment holds the workload fixed while walking the VRM setpoint.
+    The workload's noise waveform is measured once at nominal (through
+    the engine session, so a mapping another study already solved
+    replays from the result cache); each bias step rescales the supply
+    component, exactly as the physical experiment holds the workload
+    fixed while walking the VRM setpoint.
     """
     if max_steps < 1:
         raise MeasurementError("need at least one undervolt step")
-    runner = ChipRunner(chip)
-    result = runner.run(mapping, options, run_tag="vmin")
+    session = session or SimulationSession(chip, options)
+    result = session.run(mapping, run_tag="vmin")
     worst_nominal = result.worst_vmin
     droop_below_nominal = chip.vnom - worst_nominal
     if droop_below_nominal < 0:

@@ -6,9 +6,11 @@ available voltage margin accordingly."
 
 The scheduler measures (once, per workload class) the worst-case noise
 of every placement of k copies on the chip, then answers placement
-queries from the cached study.  It also quantifies what the placement
-bought: the margin saved versus the worst placement, in %p2p and in
-volts.
+queries from the engine's content-addressed result cache: repeated
+study queries — and any other consumer running the same placements —
+replay the cached runs instead of re-solving them.  It also quantifies
+what the placement bought: the margin saved versus the worst placement,
+in %p2p and in volts.
 """
 
 from __future__ import annotations
@@ -16,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..analysis.mapping import MappingStudy, enumerate_mappings
+from ..engine import SimulationSession
 from ..errors import ExperimentError
 from ..machine.chip import N_CORES, Chip
 from ..machine.runner import RunOptions
@@ -53,25 +56,32 @@ class NoiseAwareScheduler:
     volts_per_p2p_point:
         Conversion from skitter %p2p to voltage margin, used by
         :meth:`margin_saved`.
+    session:
+        Run session the placement studies execute through (built over
+        the process-shared result cache when omitted).
     """
 
     chip: Chip
     program: CurrentProgram
     options: RunOptions | None = None
     volts_per_p2p_point: float = 0.0016
-    _studies: dict[int, MappingStudy] = field(default_factory=dict, repr=False)
+    session: SimulationSession | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.session is None:
+            self.session = SimulationSession(self.chip, self.options)
 
     def study(self, n_workloads: int) -> MappingStudy:
-        """The (cached) exhaustive placement study for *n_workloads*."""
+        """The exhaustive placement study for *n_workloads*; its runs
+        are served from the engine cache after the first query."""
         if not 0 <= n_workloads <= N_CORES:
             raise ExperimentError(
                 f"cannot place {n_workloads} workloads on {N_CORES} cores"
             )
-        if n_workloads not in self._studies:
-            self._studies[n_workloads] = enumerate_mappings(
-                self.chip, self.program, n_workloads, self.options
-            )
-        return self._studies[n_workloads]
+        return enumerate_mappings(
+            self.chip, self.program, n_workloads, self.options,
+            session=self.session,
+        )
 
     def place(self, n_workloads: int) -> Placement:
         """Best placement of *n_workloads* copies of the workload."""

@@ -15,9 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.sync import spread_offsets
+from ..engine import SimulationSession
 from ..errors import ExperimentError
 from ..machine.chip import N_CORES, Chip
-from ..machine.runner import ChipRunner, RunOptions, RunResult
+from ..machine.runner import RunOptions, RunResult
 from ..machine.tod import TOD_STEP
 from ..machine.workload import CurrentProgram
 
@@ -109,10 +110,15 @@ def evaluate_stagger(
     mapping: list[CurrentProgram | None],
     window_steps: int = 5,
     options: RunOptions | None = None,
+    session: SimulationSession | None = None,
 ) -> StaggerOutcome:
-    """Measure the stagger plan's effect on *mapping*."""
+    """Measure the stagger plan's effect on *mapping* (both runs go
+    through the engine session, so a baseline another study already
+    solved is replayed from the result cache)."""
     plan = plan_stagger(mapping, window_steps)
-    runner = ChipRunner(chip)
-    baseline = runner.run(mapping, options, run_tag="stagger-baseline")
-    staggered = runner.run(plan.apply(mapping), options, run_tag="stagger-applied")
+    session = session or SimulationSession(chip, options)
+    baseline, staggered = session.run_many(
+        [mapping, plan.apply(mapping)],
+        tags=["stagger-baseline", "stagger-applied"],
+    )
     return StaggerOutcome(baseline=baseline, staggered=staggered, plan=plan)

@@ -19,9 +19,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..engine import SimulationSession
 from ..errors import ExperimentError
 from ..machine.chip import N_CORES, Chip
-from ..machine.runner import ChipRunner, RunOptions, RunResult
+from ..machine.runner import RunOptions, RunResult
 from ..machine.workload import CurrentProgram
 
 __all__ = ["GlobalDidtThrottle", "ThrottleOutcome"]
@@ -129,13 +130,18 @@ class GlobalDidtThrottle:
         self,
         mapping: list[CurrentProgram | None],
         options: RunOptions | None = None,
+        session: SimulationSession | None = None,
     ) -> ThrottleOutcome:
-        """Measure the throttle's noise/throughput trade on *mapping*."""
+        """Measure the throttle's noise/throughput trade on *mapping*;
+        both runs execute through the engine session (shared result
+        cache unless a private session is passed)."""
         derate = self.required_derate(mapping)
-        runner = ChipRunner(self.chip)
-        baseline = runner.run(mapping, options, run_tag="throttle-off")
+        session = session or SimulationSession(self.chip, options)
         throttled_mapping = self.apply(mapping, derate)
-        throttled = runner.run(throttled_mapping, options, run_tag="throttle-on")
+        baseline, throttled = session.run_many(
+            [mapping, throttled_mapping],
+            tags=["throttle-off", "throttle-on"],
+        )
         cost = self.throughput_per_derate * (1.0 - derate)
         return ThrottleOutcome(
             baseline=baseline,

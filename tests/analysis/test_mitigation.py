@@ -45,8 +45,18 @@ class TestScheduler:
             placement.noise_saved * scheduler.volts_per_p2p_point
         )
 
-    def test_studies_are_cached(self, scheduler):
-        assert scheduler.study(2) is scheduler.study(2)
+    def test_studies_replay_from_engine_cache(self, scheduler):
+        first = scheduler.study(2)
+        executed = scheduler.session.telemetry.counter("engine.runs_executed")
+        second = scheduler.study(2)
+        # The study is rebuilt but no placement is re-solved.
+        assert (
+            scheduler.session.telemetry.counter("engine.runs_executed")
+            == executed
+        )
+        assert [o.p2p_by_core for o in first.outcomes] == [
+            o.p2p_by_core for o in second.outcomes
+        ]
 
     def test_opportunity_profile_shape(self, scheduler):
         profile = scheduler.opportunity_profile()

@@ -1,0 +1,115 @@
+"""Result cache tests: LRU bound, disk tier, telemetry accounting."""
+
+import pickle
+
+import pytest
+
+from repro.engine.cache import ResultCache, configure_cache, global_cache
+from repro.telemetry import Telemetry
+
+
+@pytest.fixture()
+def telemetry():
+    return Telemetry()
+
+
+class TestMemoryTier:
+    def test_roundtrip_and_default(self, telemetry):
+        cache = ResultCache(telemetry=telemetry)
+        assert cache.get("k") is None
+        assert cache.get("k", default="fallback") == "fallback"
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert "k" in cache
+        assert len(cache) == 1
+
+    def test_lru_eviction_prefers_recent(self, telemetry):
+        cache = ResultCache(max_entries=2, telemetry=telemetry)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a" — "b" becomes the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert telemetry.counter("engine.cache.evictions") == 1
+
+    def test_hit_miss_counters(self, telemetry):
+        cache = ResultCache(telemetry=telemetry)
+        cache.get("missing")
+        cache.put("k", 1)
+        cache.get("k")
+        assert telemetry.counter("engine.cache.misses") == 1
+        assert telemetry.counter("engine.cache.hits") == 1
+        assert telemetry.cache_hit_rate() == pytest.approx(0.5)
+
+    def test_clear_drops_memory(self, telemetry):
+        cache = ResultCache(telemetry=telemetry)
+        cache.put("k", 1)
+        cache.clear()
+        assert "k" not in cache
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+class TestDiskTier:
+    def test_persists_across_instances(self, tmp_path, telemetry):
+        first = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        first.put("deadbeef", {"p2p": 1.5})
+        second = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        assert second.get("deadbeef") == {"p2p": 1.5}
+        assert telemetry.counter("engine.cache.disk_hits") == 1
+        assert telemetry.counter("engine.cache.disk_writes") == 1
+
+    def test_disk_hit_promotes_to_memory(self, tmp_path, telemetry):
+        ResultCache(cache_dir=tmp_path, telemetry=telemetry).put("k1", "v")
+        cache = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        cache.get("k1")
+        cache.get("k1")
+        assert telemetry.counter("engine.cache.disk_hits") == 1
+        assert telemetry.counter("engine.cache.hits") == 2
+
+    def test_entries_are_sharded_by_prefix(self, tmp_path, telemetry):
+        cache = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        cache.put("abcd", 1)
+        assert (tmp_path / "ab" / "abcd.pkl").exists()
+
+    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path, telemetry):
+        cache = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        cache.put("abcd", 1)
+        path = tmp_path / "ab" / "abcd.pkl"
+        path.write_bytes(b"not a pickle")
+        fresh = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        assert fresh.get("abcd") is None
+        assert not path.exists()
+
+    def test_entries_survive_memory_clear(self, tmp_path, telemetry):
+        cache = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        cache.put("abcd", [1, 2])
+        cache.clear()
+        assert cache.get("abcd") == [1, 2]
+
+    def test_values_use_plain_pickle(self, tmp_path, telemetry):
+        cache = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        cache.put("abcd", {"x": 1})
+        with (tmp_path / "ab" / "abcd.pkl").open("rb") as handle:
+            assert pickle.load(handle) == {"x": 1}
+
+
+class TestGlobalCache:
+    def test_configure_cache_rebuilds_global(self, tmp_path):
+        original = global_cache()
+        try:
+            rebuilt = configure_cache(max_entries=7, cache_dir=tmp_path)
+            assert global_cache() is rebuilt
+            assert rebuilt.max_entries == 7
+            assert rebuilt.cache_dir == tmp_path
+            disabled = configure_cache(cache_dir=None)
+            assert disabled.cache_dir is None
+            assert disabled.max_entries == 7
+        finally:
+            configure_cache(
+                max_entries=original.max_entries,
+                cache_dir=original.cache_dir,
+            )

@@ -1,0 +1,95 @@
+"""Executor backend tests: selection, chunking, order preservation."""
+
+import pytest
+
+from repro.engine.executor import (
+    ProcessExecutor,
+    SerialExecutor,
+    chunked,
+    make_executor,
+    resolve_jobs,
+)
+from repro.errors import ConfigError
+
+
+def square(x):
+    return x * x
+
+
+class TestChunking:
+    def test_even_split(self):
+        assert chunked([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_split_front_loads(self):
+        assert chunked([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+
+    def test_more_chunks_than_items(self):
+        assert chunked([1, 2], 5) == [[1], [2]]
+
+    def test_empty_input(self):
+        assert chunked([], 3) == []
+
+    def test_guard(self):
+        with pytest.raises(ConfigError):
+            chunked([1], 0)
+
+
+class TestJobResolution:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs() == 5
+
+    def test_machine_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() >= 1
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "two"])
+    def test_bad_env_rejected(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_JOBS", bad)
+        with pytest.raises(ConfigError):
+            resolve_jobs()
+
+    def test_bad_argument_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_jobs(0)
+
+
+class TestSelection:
+    def test_serial_is_the_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        assert isinstance(make_executor(), SerialExecutor)
+
+    def test_env_selects_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        executor = make_executor()
+        assert isinstance(executor, ProcessExecutor)
+        assert executor.jobs == 2
+
+    def test_explicit_name_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        assert isinstance(make_executor("serial"), SerialExecutor)
+
+    def test_unknown_names_rejected(self, monkeypatch):
+        with pytest.raises(ConfigError):
+            make_executor("threads")
+        monkeypatch.setenv("REPRO_EXECUTOR", "gpu")
+        with pytest.raises(ConfigError):
+            make_executor()
+
+
+class TestMapping:
+    def test_serial_map_preserves_order(self):
+        assert SerialExecutor().map(square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_process_map_matches_serial(self):
+        executor = ProcessExecutor(jobs=2)
+        items = list(range(11))
+        assert executor.map(square, items) == [square(i) for i in items]
+
+    def test_process_map_empty(self):
+        assert ProcessExecutor(jobs=2).map(square, []) == []

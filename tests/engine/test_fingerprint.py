@@ -1,0 +1,90 @@
+"""Fingerprint tests: canonical forms and run content addressing."""
+
+import numpy as np
+
+from repro.engine.fingerprint import (
+    canonical,
+    chip_fingerprint,
+    content_key,
+    is_deterministic_mapping,
+    run_fingerprint,
+)
+from repro.machine.chip import Chip
+from repro.machine.runner import RunOptions
+from repro.machine.workload import idle_program
+
+from .conftest import didt
+
+
+class TestCanonical:
+    def test_dicts_are_order_insensitive(self):
+        assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+    def test_numpy_scalars_collapse_to_python(self):
+        assert canonical(np.float64(1.5)) == canonical(1.5)
+        assert canonical(np.int64(3)) == canonical(3)
+
+    def test_dataclasses_expand_by_field(self):
+        text = canonical(RunOptions(segments=3))
+        assert text.startswith("RunOptions(")
+        assert "segments=3" in text
+
+    def test_content_key_is_stable_and_injective_on_parts(self):
+        assert content_key("a", "b") == content_key("a", "b")
+        assert content_key("a", "b") != content_key("ab")
+        assert content_key("a", "b") != content_key("b", "a")
+
+
+class TestMappingDeterminism:
+    def test_synced_and_steady_mappings_are_deterministic(self):
+        assert is_deterministic_mapping([didt(sync=True)] * 6)
+        assert is_deterministic_mapping([idle_program(13.0)] * 6)
+        assert is_deterministic_mapping([None] * 6)
+
+    def test_unsynced_mapping_is_not(self):
+        assert not is_deterministic_mapping(
+            [didt(sync=False)] + [None] * 5
+        )
+
+
+class TestRunFingerprint:
+    def test_deterministic_runs_ignore_tag_and_seed(self):
+        mapping = [didt(sync=True)] * 6
+        a = run_fingerprint("chipfp", mapping, RunOptions(seed=0), "tag-a")
+        b = run_fingerprint("chipfp", mapping, RunOptions(seed=99), "tag-b")
+        assert a == b
+
+    def test_randomized_runs_keyed_by_tag_and_seed(self):
+        mapping = [didt(sync=False)] * 6
+        base = run_fingerprint("chipfp", mapping, RunOptions(seed=0), "t")
+        assert base != run_fingerprint(
+            "chipfp", mapping, RunOptions(seed=1), "t"
+        )
+        assert base != run_fingerprint(
+            "chipfp", mapping, RunOptions(seed=0), "u"
+        )
+        assert base == run_fingerprint(
+            "chipfp", mapping, RunOptions(seed=0), "t"
+        )
+
+    def test_options_still_distinguish_runs(self):
+        mapping = [didt(sync=True)] * 6
+        assert run_fingerprint(
+            "chipfp", mapping, RunOptions(segments=2), "t"
+        ) != run_fingerprint("chipfp", mapping, RunOptions(segments=4), "t")
+
+    def test_programs_distinguish_runs(self):
+        a = run_fingerprint(
+            "chipfp", [didt(i_high=32.0)] * 6, RunOptions(), "t"
+        )
+        b = run_fingerprint(
+            "chipfp", [didt(i_high=30.0)] * 6, RunOptions(), "t"
+        )
+        assert a != b
+
+    def test_chip_fingerprint_distinguishes_variation_draw(self, chip):
+        other = Chip(chip.config, chip_id=chip.chip_id + 1)
+        assert chip_fingerprint(chip) != chip_fingerprint(other)
+        assert chip_fingerprint(chip) == chip_fingerprint(
+            Chip(chip.config, chip_id=chip.chip_id)
+        )

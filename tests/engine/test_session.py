@@ -1,0 +1,119 @@
+"""Session tests: cached execution, batching, campaign-level reuse."""
+
+import pytest
+
+from repro.engine import ResultCache, SimulationSession
+from repro.machine.runner import RunOptions
+from repro.machine.workload import idle_program
+from repro.telemetry import Telemetry, set_telemetry
+
+from .conftest import didt
+
+
+class TestSingleRuns:
+    def test_identical_runs_are_solved_once(self, session, telemetry):
+        mapping = [didt()] * 6
+        first = session.run(mapping)
+        second = session.run(mapping)
+        assert second is first
+        assert telemetry.counter("engine.runs") == 2
+        assert telemetry.counter("engine.runs_executed") == 1
+        assert telemetry.counter("engine.cache.hits") == 1
+
+    def test_deterministic_runs_shared_across_tags(self, session):
+        mapping = [didt()] * 6
+        assert session.run(mapping, run_tag="fig14") is session.run(
+            mapping, run_tag="fig15"
+        )
+
+    def test_randomized_runs_distinct_per_tag(self, session, telemetry):
+        mapping = [didt(sync=False)] * 6
+        first = session.run(mapping, run_tag="a")
+        second = session.run(mapping, run_tag="b")
+        assert second is not first
+        assert telemetry.counter("engine.runs_executed") == 2
+        # …but the same tag replays.
+        assert session.run(mapping, run_tag="a") is first
+
+    def test_solver_call_accounting(self, session, telemetry):
+        session.run([didt()] * 6)
+        # segments=2 × 6 observed cores.
+        assert telemetry.counter("engine.solver_calls") == 12
+        assert telemetry.timer("engine.run_seconds") > 0.0
+
+    def test_results_match_the_raw_runner(self, session):
+        mapping = [didt()] * 3 + [idle_program(13.5)] * 3
+        via_session = session.run(mapping)
+        direct = session.runner.run(mapping, session.options, "whatever")
+        assert via_session.p2p_by_core == direct.p2p_by_core
+
+
+class TestBatchedRuns:
+    def test_run_many_preserves_order_and_dedups(self, session, telemetry):
+        distinct = [didt(i_high=30.0)] * 6
+        mapping = [didt()] * 6
+        results = session.run_many(
+            [mapping, distinct, mapping], tags=["a", "b", "c"]
+        )
+        assert results[0] is results[2]
+        assert results[1] is not results[0]
+        assert telemetry.counter("engine.runs") == 3
+        assert telemetry.counter("engine.runs_executed") == 2
+
+    def test_run_many_reuses_single_run_entries(self, session, telemetry):
+        mapping = [didt()] * 6
+        single = session.run(mapping)
+        executed = telemetry.counter("engine.runs_executed")
+        (batched,) = session.run_many([mapping])
+        assert batched is single
+        assert telemetry.counter("engine.runs_executed") == executed
+
+    def test_tag_length_mismatch_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.run_many([[didt()] * 6], tags=["a", "b"])
+
+
+class TestDerivedSessions:
+    def test_derive_copies_options_and_shares_infrastructure(self, session):
+        scope = session.derive(collect_waveforms=True, segments=1)
+        assert scope.options.collect_waveforms is True
+        assert scope.options.segments == 1
+        assert session.options.collect_waveforms is False
+        assert session.options.segments == 2
+        assert scope.cache is session.cache
+        assert scope.executor is session.executor
+        assert scope.telemetry is session.telemetry
+
+    def test_derived_runs_do_not_collide(self, session):
+        mapping = [didt()] * 6
+        plain = session.run(mapping)
+        scoped = session.derive(collect_waveforms=True, segments=1).run(
+            mapping
+        )
+        assert scoped is not plain
+        assert scoped.waveforms
+
+
+class TestCampaignReplay:
+    def test_second_registry_pass_hits_cache(self):
+        # The acceptance check of the engine refactor: running the same
+        # experiment twice in one process must serve the second pass
+        # from the result cache (>= 50 % hit rate measured on its own
+        # telemetry).
+        from repro.experiments import get_experiment, quick_context
+
+        driver = get_experiment("fig14")
+        original = set_telemetry(Telemetry())
+        try:
+            first = driver(quick_context())
+            second_pass = Telemetry()
+            set_telemetry(second_pass)
+            second = driver(quick_context())
+            assert second_pass.cache_hit_rate() >= 0.5
+            assert second_pass.counter("engine.runs_executed") == 0
+        finally:
+            set_telemetry(original)
+        assert (
+            first.data["cross_cluster_worst"]
+            == second.data["cross_cluster_worst"]
+        )

@@ -1,4 +1,4 @@
-"""Experiment context tests: caching and profile semantics."""
+"""Experiment context tests: factory and caching semantics."""
 
 import pytest
 
@@ -10,13 +10,30 @@ from repro.experiments.common import (
 
 
 class TestContexts:
-    def test_quick_context_is_cached(self):
-        assert quick_context() is quick_context()
+    def test_contexts_are_fresh_per_call(self):
+        # Factory semantics: mutating one caller's options must not
+        # leak into the next caller's context.
+        first = quick_context()
+        first.options.collect_waveforms = True
+        first.options.segments = 1
+        second = quick_context()
+        assert second is not first
+        assert second.options is not first.options
+        assert second.options.collect_waveforms is False
+        assert second.options.segments == 4
 
-    def test_default_context_is_cached(self):
-        # Only identity is checked — building it is heavy and other
-        # suites may already have done so.
-        assert default_context() is default_context()
+    def test_heavy_artifacts_are_shared(self):
+        # The generator and chip are pure functions of their parameters
+        # and expensive to build; contexts share them.
+        a, b = quick_context(), quick_context()
+        assert a.generator is b.generator
+        assert a.chip is b.chip
+        assert default_context().chip is a.chip
+
+    def test_sessions_share_the_result_cache(self):
+        a, b = quick_context(), quick_context()
+        assert a.session is not b.session
+        assert a.session.cache is b.session.cache
 
     def test_quick_is_cheaper_than_default(self):
         quick = quick_context()
@@ -41,10 +58,15 @@ class TestContexts:
     def test_delta_i_points_cached(self):
         ctx = quick_context()
         first = ctx.delta_i_points()
-        second = ctx.delta_i_points()
-        assert first is second
+        executed = ctx.session.telemetry.counter("engine.runs_executed")
+        # The dataset is rebuilt, but every run replays from the engine
+        # cache — even from a *fresh* context over the same platform.
+        second = quick_context().delta_i_points()
+        assert ctx.session.telemetry.counter("engine.runs_executed") == executed
         assert len(first) > 20  # all distributions, sampled placements
+        assert [p.p2p_by_core for p in first] == [p.p2p_by_core for p in second]
 
     def test_runner_binds_context_chip(self):
         ctx = quick_context()
         assert ctx.runner.chip is ctx.chip
+        assert ctx.session.chip is ctx.chip

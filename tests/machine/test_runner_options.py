@@ -1,0 +1,53 @@
+"""RunOptions validation: every guard fires and names its field."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.runner import RunOptions
+
+
+class TestRunOptionsValidation:
+    def test_defaults_are_valid(self):
+        options = RunOptions()
+        assert options.segments == 8
+        assert options.collect_waveforms is False
+
+    @pytest.mark.parametrize("segments", [0, -1])
+    def test_segments_floor(self, segments):
+        with pytest.raises(ConfigError, match=r"segments.*\bgot\b"):
+            RunOptions(segments=segments)
+
+    @pytest.mark.parametrize("events_cap", [0, -7])
+    def test_events_cap_floor(self, events_cap):
+        with pytest.raises(ConfigError, match=r"events_cap.*\bgot\b"):
+            RunOptions(events_cap=events_cap)
+
+    @pytest.mark.parametrize("base_samples", [0, 63])
+    def test_base_samples_floor(self, base_samples):
+        with pytest.raises(ConfigError, match=r"base_samples.*\bgot\b"):
+            RunOptions(base_samples=base_samples)
+
+    def test_negative_tail_rejected(self):
+        with pytest.raises(ConfigError, match=r"tail.*\bgot\b"):
+            RunOptions(tail=-1e-9)
+
+    @pytest.mark.parametrize("spacing", [0.0, -1e-6])
+    def test_isolated_edge_spacing_must_be_positive(self, spacing):
+        with pytest.raises(
+            ConfigError, match=r"isolated_edge_spacing.*\bgot\b"
+        ):
+            RunOptions(isolated_edge_spacing=spacing)
+
+    @pytest.mark.parametrize("vrm", [0.0, -20e-6])
+    def test_vrm_response_must_be_positive(self, vrm):
+        with pytest.raises(ConfigError, match=r"vrm_response.*\bgot\b"):
+            RunOptions(vrm_response=vrm)
+
+    def test_message_carries_offending_value(self):
+        with pytest.raises(ConfigError, match=r"got -3"):
+            RunOptions(segments=-3)
+
+    def test_boundary_values_accepted(self):
+        options = RunOptions(segments=1, events_cap=1, base_samples=64, tail=0.0)
+        assert options.segments == 1
+        assert options.tail == 0.0
