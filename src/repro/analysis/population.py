@@ -17,7 +17,8 @@ from typing import Callable
 import numpy as np
 
 from ..engine.executor import Executor, make_executor
-from ..errors import ExperimentError
+from ..engine.resilience import RetryPolicy
+from ..errors import ExecutionError, ExperimentError
 from ..machine.chip import ChipConfig, Chip
 from ..telemetry import get_telemetry
 
@@ -82,6 +83,7 @@ def run_population_study(
     config: ChipConfig | None = None,
     executor: Executor | str | None = None,
     jobs: int | None = None,
+    retry: RetryPolicy | None = None,
 ) -> PopulationStatistic:
     """Evaluate *metric* on *n_chips* chip instances.
 
@@ -90,17 +92,37 @@ def run_population_study(
     Chips are independent, so the evaluations fan out over the engine
     executor (``executor="process"``/``$REPRO_EXECUTOR``); results are
     identical to serial execution since every chip derives its own
-    named random streams.
+    named random streams.  Per-chip evaluations execute under *retry*
+    (env default): a flaky worker is retried and a broken pool degrades
+    to serial, but a population with a permanently failing chip raises
+    — a spread statistic over a partial population would silently lie.
     """
     if n_chips < 2:
         raise ExperimentError("a population needs at least two chips")
     config = config or ChipConfig()
     if isinstance(executor, (str, type(None))):
         executor = make_executor(executor, jobs)
+    retry = retry or RetryPolicy.from_env()
     telemetry = get_telemetry()
     telemetry.increment("population.chips", n_chips)
     with telemetry.time("population.seconds"):
-        values = executor.map(
-            _ChipMetricTask(metric, config), list(range(n_chips))
+        outcomes = executor.map_guarded(
+            _ChipMetricTask(metric, config),
+            list(range(n_chips)),
+            retry,
+            labels=[f"{name}[chip {i}]" for i in range(n_chips)],
         )
-    return PopulationStatistic(name=name, values=np.array(values))
+    retries = sum(outcome.attempts - 1 for outcome in outcomes)
+    if retries:
+        telemetry.increment("engine.retries", retries)
+    failures = [o.failure for o in outcomes if not o.ok]
+    if failures:
+        telemetry.increment("engine.failures", len(failures))
+        raise ExecutionError(
+            f"{len(failures)} of {n_chips} chip evaluations failed "
+            f"permanently; first: {failures[0].describe()}",
+            failures,
+        ) from failures[0].exception
+    return PopulationStatistic(
+        name=name, values=np.array([o.value for o in outcomes])
+    )

@@ -10,6 +10,7 @@ import numpy as np
 from ..core.generator import StressmarkGenerator
 from ..core.sync import offset_assignments, spread_offsets
 from ..engine import SimulationSession
+from ..engine.resilience import RetryPolicy
 from ..errors import ExperimentError
 from ..machine.chip import N_CORES, Chip
 from ..machine.runner import RunOptions
@@ -58,6 +59,7 @@ def sweep_stimulus_frequency(
     options: RunOptions | None = None,
     n_events: int = 1000,
     session: SimulationSession | None = None,
+    retry: RetryPolicy | None = None,
 ) -> list[FrequencySweepPoint]:
     """Run one copy of the max dI/dt stressmark per core at each
     stimulus frequency (paper Figures 7a and 9).
@@ -66,7 +68,7 @@ def sweep_stimulus_frequency(
     :meth:`~repro.engine.SimulationSession.run_many` batch — cached
     points replay, the rest fan out over the session executor.
     """
-    session = session or SimulationSession(chip, options)
+    session = session or SimulationSession(chip, options, retry=retry)
     marks = [
         generator.max_didt(
             freq_hz=freq, synchronize=synchronize, n_events=n_events
@@ -96,6 +98,7 @@ def sweep_misalignment(
     assignments_sample: int = 6,
     n_events: int = 1000,
     session: SimulationSession | None = None,
+    retry: RetryPolicy | None = None,
 ) -> dict[float, list[float]]:
     """Noise versus maximum allowed misalignment (paper Figure 10).
 
@@ -105,7 +108,7 @@ def sweep_misalignment(
     over assignments.  The assignments of every misalignment level form
     one independent batch executed through the session.
     """
-    session = session or SimulationSession(chip, options)
+    session = session or SimulationSession(chip, options, retry=retry)
     mappings: list[list[CurrentProgram]] = []
     tags: list[object] = []
     batches: list[tuple[float, int]] = []  # (misalignment, n_assignments)
@@ -189,6 +192,7 @@ def sweep_delta_i_mappings(
     workload_filter: Callable[[tuple[int, int]], bool] | None = None,
     placements_per_distribution: int = 4,
     session: SimulationSession | None = None,
+    retry: RetryPolicy | None = None,
 ) -> list[DeltaIMappingPoint]:
     """Run workload→core mappings of {idle, medium, max} dI/dt.
 
@@ -202,7 +206,7 @@ def sweep_delta_i_mappings(
     batch; Figures 11a, 11b and 13a address the identical batch and so
     share its cached runs.
     """
-    session = session or SimulationSession(chip, options)
+    session = session or SimulationSession(chip, options, retry=retry)
     max_prog = generator.max_didt(freq_hz=freq_hz, synchronize=True).current_program()
     med_prog = generator.medium_didt(
         freq_hz=freq_hz, synchronize=True

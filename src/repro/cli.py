@@ -13,6 +13,15 @@ sweep points) for smoke runs.  The engine knobs: ``--jobs N`` /
 ``--cache-dir DIR`` persists the result cache across invocations, and
 ``run --profile`` prints the engine telemetry (run counts, cache
 hits/misses, solver calls, per-experiment wall clock) after the run.
+
+Fault tolerance: ``--max-retries`` / ``--run-timeout`` set the engine
+retry policy for every session the drivers build; a multi-experiment
+invocation records per-experiment completion in a campaign manifest
+(next to ``--output`` or the cache dir), so a killed campaign can be
+re-invoked with ``run --resume`` and only the unfinished experiments —
+and, thanks to the disk cache's incremental checkpoints, only their
+unfinished runs — are recomputed.  ``telemetry.json`` is exported even
+when the campaign fails partway.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 
 from .errors import ReproError
 from .experiments import (
@@ -28,6 +38,7 @@ from .experiments import (
     get_experiment,
     quick_context,
 )
+from .telemetry import get_telemetry
 
 __all__ = ["main", "build_parser"]
 
@@ -67,6 +78,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the on-disk result-cache tier in DIR (an empty "
         "string selects ~/.cache/repro-noise)",
     )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        metavar="N",
+        default=None,
+        help="re-executions granted to a failing run before it is "
+        "reported as a permanent failure (default: $REPRO_MAX_RETRIES "
+        "or 2)",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-run wall-clock budget; a run exceeding it fails and "
+        "is retried (default: $REPRO_RUN_TIMEOUT or unlimited)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     run = sub.add_parser("run", help="run one or more experiments")
@@ -80,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="also export text+JSON artifacts per experiment into DIR",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments the campaign manifest (in --output or "
+        "--cache-dir) records as finished; combined with the disk "
+        "cache, only unfinished runs are recomputed",
     )
     run.add_argument(
         "--profile",
@@ -105,10 +140,26 @@ def _configure_engine(args: argparse.Namespace) -> None:
             args.executor = "process"
     if args.executor is not None:
         os.environ["REPRO_EXECUTOR"] = args.executor
+    if args.max_retries is not None:
+        os.environ["REPRO_MAX_RETRIES"] = str(args.max_retries)
+    if args.run_timeout is not None:
+        os.environ["REPRO_RUN_TIMEOUT"] = str(args.run_timeout)
     if args.cache_dir is not None:
         from .engine.cache import default_cache_dir
 
         configure_cache(cache_dir=args.cache_dir or default_cache_dir())
+
+
+def _campaign_dir(args: argparse.Namespace) -> Path | None:
+    """Where this campaign keeps durable state (manifest): the export
+    directory when given, else the disk-cache directory."""
+    if getattr(args, "output", None):
+        return Path(args.output)
+    if args.cache_dir is not None:
+        from .engine.cache import default_cache_dir
+
+        return Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    return None
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -130,28 +181,85 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
+    campaign_dir = _campaign_dir(args)
+    if args.resume and campaign_dir is None:
+        print(
+            "error: --resume needs --output or --cache-dir (somewhere "
+            "for the campaign manifest to live)",
+            file=sys.stderr,
+        )
+        return 2
+    manifest = None
+    if campaign_dir is not None:
+        from .engine import CampaignManifest
+
+        manifest = CampaignManifest(campaign_dir / "campaign-manifest.json")
+    telemetry = get_telemetry()
+    if args.resume:
+        finished = manifest.completed
+        skipped = [eid for eid, _ in drivers if eid in finished]
+        if skipped:
+            drivers = [(e, d) for e, d in drivers if e not in finished]
+            telemetry.increment("campaign.points_skipped", len(skipped))
+            print(
+                f"resume: skipping {len(skipped)} finished "
+                f"experiment(s): {', '.join(skipped)}"
+            )
+
     context = quick_context() if args.quick else default_context()
     status = 0
     results = []
-    for experiment_id, driver in drivers:
-        try:
-            result = driver(context)
-        except ReproError as error:
-            print(f"error in {experiment_id}: {error}", file=sys.stderr)
-            status = 1
-            continue
-        results.append(result)
-        print(result)
-        print()
-    if args.output and results:
-        from .experiments.exporter import export_results
+    try:
+        for experiment_id, driver in drivers:
+            if manifest is not None:
+                manifest.mark_started(experiment_id)
+            try:
+                result = driver(context)
+            except ReproError as error:
+                print(f"error in {experiment_id}: {error}", file=sys.stderr)
+                if manifest is not None:
+                    manifest.mark_failed(experiment_id, str(error))
+                telemetry.increment("campaign.points_failed")
+                status = 1
+                continue
+            results.append(result)
+            telemetry.increment("campaign.points_completed")
+            if manifest is not None:
+                manifest.mark_complete(experiment_id)
+            print(result)
+            print()
+    except KeyboardInterrupt:
+        # Completed runs are already checkpointed (disk cache) and
+        # completed experiments recorded (manifest): resumable.
+        status = 130
+        print(
+            "interrupted: campaign state is checkpointed; re-invoke "
+            "with 'run --resume' to continue",
+            file=sys.stderr,
+        )
+    finally:
+        if args.output and results:
+            from .experiments.exporter import export_results
 
-        index = export_results(results, args.output)
-        print(f"exported {len(results)} experiment artifact(s); index: {index}")
-    if args.profile:
-        from .telemetry import get_telemetry
+            index = export_results(results, args.output, telemetry)
+            print(
+                f"exported {len(results)} experiment artifact(s); "
+                f"index: {index}"
+            )
+        elif args.output:
+            # No finished result — still flush the telemetry snapshot
+            # so the failed/interrupted campaign is diagnosable.
+            from .experiments.exporter import export_telemetry
 
-        print(get_telemetry().report())
+            export_telemetry(args.output, telemetry)
+        if status != 0 and telemetry.resilience_summary():
+            summary = ", ".join(
+                f"{name}={count}"
+                for name, count in telemetry.resilience_summary().items()
+            )
+            print(f"resilience counters: {summary}", file=sys.stderr)
+        if args.profile:
+            print(telemetry.report())
     return status
 
 

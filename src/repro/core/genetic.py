@@ -22,7 +22,8 @@ from dataclasses import dataclass
 from ..engine.cache import ResultCache, global_cache
 from ..engine.executor import Executor, make_executor
 from ..engine.fingerprint import content_key
-from ..errors import GenerationError
+from ..engine.resilience import RetryPolicy
+from ..errors import ExecutionError, GenerationError
 from ..isa.instruction import InstructionDef
 from ..mbench.loops import build_sequence_loop
 from ..mbench.target import Target
@@ -84,6 +85,7 @@ def genetic_max_power_search(
     cache: ResultCache | None = None,
     executor: Executor | str | None = None,
     jobs: int | None = None,
+    retry: RetryPolicy | None = None,
 ) -> GeneticSearchResult:
     """GA over length-*length* sequences of *candidates*, maximizing
     measured loop power.
@@ -95,7 +97,9 @@ def genetic_max_power_search(
     reports.  Readings are memoized in the engine's content-addressed
     cache (keyed by meter identity, target and sequence), and each
     generation's unevaluated individuals are measured as one batch
-    through the engine executor.
+    through the engine executor under *retry* (env default) — a flaky
+    evaluation is retried, a permanently failing individual aborts the
+    search rather than breeding on fabricated fitness.
     """
     if not candidates:
         raise GenerationError("empty candidate pool")
@@ -106,6 +110,7 @@ def genetic_max_power_search(
         cache = global_cache()
     if isinstance(executor, (str, type(None))):
         executor = make_executor(executor, jobs)
+    retry = retry or RetryPolicy.from_env()
     telemetry = get_telemetry()
     rng = stream(seed, "ga", "search")
     evaluations = 0
@@ -143,10 +148,29 @@ def genetic_max_power_search(
                 misses[key] = individual
         if misses:
             keys = list(misses)
-            values = executor.map(evaluate, [misses[k] for k in keys])
-            for key, value in zip(keys, values):
-                cache.put(key, float(value))
-                scores[key] = float(value)
+            outcomes = executor.map_guarded(
+                evaluate,
+                [misses[k] for k in keys],
+                retry,
+                labels=[
+                    tuple(inst.mnemonic for inst in misses[k]) for k in keys
+                ],
+            )
+            ga_retries = sum(o.attempts - 1 for o in outcomes)
+            if ga_retries:
+                telemetry.increment("engine.retries", ga_retries)
+            failures = [o.failure for o in outcomes if not o.ok]
+            if failures:
+                telemetry.increment("engine.failures", len(failures))
+                raise ExecutionError(
+                    f"{len(failures)} of {len(keys)} GA fitness "
+                    f"evaluations failed permanently; first: "
+                    f"{failures[0].describe()}",
+                    failures,
+                ) from failures[0].exception
+            for key, outcome in zip(keys, outcomes):
+                cache.put(key, float(outcome.value))
+                scores[key] = float(outcome.value)
             evaluations += len(keys)
             telemetry.increment("ga.evaluations", len(keys))
             if executor.jobs > 1:

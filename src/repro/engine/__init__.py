@@ -9,6 +9,7 @@ module docstrings for the layering.
 """
 
 from .cache import ResultCache, configure_cache, default_cache_dir, global_cache
+from .campaign import CampaignManifest
 from .executor import (
     Executor,
     ProcessExecutor,
@@ -23,6 +24,13 @@ from .fingerprint import (
     is_deterministic_mapping,
     run_fingerprint,
 )
+from .resilience import (
+    GuardedOutcome,
+    RetryPolicy,
+    RunFailure,
+    call_with_timeout,
+    guarded_call,
+)
 from .session import SimulationSession
 
 __all__ = [
@@ -31,11 +39,17 @@ __all__ = [
     "global_cache",
     "configure_cache",
     "default_cache_dir",
+    "CampaignManifest",
     "Executor",
     "SerialExecutor",
     "ProcessExecutor",
     "make_executor",
     "resolve_jobs",
+    "RetryPolicy",
+    "RunFailure",
+    "GuardedOutcome",
+    "guarded_call",
+    "call_with_timeout",
     "canonical",
     "chip_fingerprint",
     "content_key",

@@ -20,10 +20,10 @@ from __future__ import annotations
 
 import os
 import pickle
-import tempfile
 from collections import OrderedDict
 from pathlib import Path
 
+from ..ioutil import atomic_write_bytes
 from ..telemetry import Telemetry, get_telemetry
 
 __all__ = [
@@ -129,6 +129,13 @@ class ResultCache:
             return None
         return self.cache_dir / key[:2] / f"{key}.pkl"
 
+    def quarantine_dir(self) -> Path | None:
+        """Where corrupt entries are parked for post-mortem inspection
+        (``None`` when the disk tier is disabled)."""
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / "quarantine"
+
     def _disk_get(self, key: str) -> object:
         path = self._disk_path(key)
         if path is None or not path.exists():
@@ -136,31 +143,39 @@ class ResultCache:
         try:
             with path.open("rb") as handle:
                 return pickle.load(handle)
-        except Exception:  # corrupt/truncated entry: treat as a miss
+        except Exception:
+            # Corrupt/truncated entry (torn write from a killed
+            # process, disk fault, version skew): quarantine it and
+            # report a miss, so the engine recomputes and republishes
+            # the entry instead of aborting the campaign.
+            self._quarantine(key, path)
+            return _SENTINEL
+
+    def _quarantine(self, key: str, path: Path) -> None:
+        self.telemetry.increment("engine.cache.quarantined")
+        quarantine = self.quarantine_dir()
+        try:
+            if quarantine is not None:
+                quarantine.mkdir(parents=True, exist_ok=True)
+                os.replace(path, quarantine / path.name)
+            else:  # pragma: no cover - disk tier disabled mid-flight
+                path.unlink()
+        except OSError:  # racy cleanup: a reader beat us to it
             try:
                 path.unlink()
-            except OSError:  # pragma: no cover - racy cleanup
+            except OSError:
                 pass
-            return _SENTINEL
 
     def _disk_put(self, key: str, value: object) -> None:
         path = self._disk_path(key)
         if path is None:
             return
         try:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            # Atomic publish: write to a temp file, then rename, so a
-            # concurrent reader never sees a half-written pickle.
-            fd, tmp_name = tempfile.mkstemp(
-                dir=path.parent, suffix=".tmp"
+            # Atomic publish (write + rename) so a concurrent reader or
+            # an interrupted process never sees a half-written pickle.
+            atomic_write_bytes(
+                path, pickle.dumps(value, pickle.HIGHEST_PROTOCOL)
             )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(value, handle, pickle.HIGHEST_PROTOCOL)
-                os.replace(tmp_name, path)
-            finally:
-                if os.path.exists(tmp_name):  # rename failed midway
-                    os.unlink(tmp_name)
             self.telemetry.increment("engine.cache.disk_writes")
         except OSError:  # disk tier is best-effort
             pass

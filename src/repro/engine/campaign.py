@@ -1,0 +1,92 @@
+"""Campaign manifests: durable record of which points finished.
+
+A multi-experiment CLI invocation (``repro-noise run fig7a fig9 ...``)
+is a *campaign*.  Individual run results already checkpoint into the
+disk cache as they complete, so re-running a killed campaign replays
+the finished runs for free — but the campaign itself still needs to
+know which *points* (experiments) completed so ``--resume`` can skip
+them without re-entering their drivers at all.  The manifest is a tiny
+JSON file, rewritten atomically after every completed point, holding
+per-point status and the engine telemetry snapshot at completion time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..ioutil import atomic_write_json
+
+__all__ = ["CampaignManifest"]
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "campaign-manifest.json"
+
+
+class CampaignManifest:
+    """Atomic, resumable record of a campaign's completed points.
+
+    The file is the source of truth: every mutation reloads, applies,
+    and atomically republishes, so concurrent readers (or a process
+    killed mid-update) only ever see a complete manifest.
+    """
+
+    def __init__(self, path: str | Path):
+        path = Path(path)
+        if path.is_dir():
+            path = path / MANIFEST_NAME
+        self.path = path
+
+    # -- reading --------------------------------------------------------
+    def load(self) -> dict:
+        """The manifest payload (a fresh empty one when the file does
+        not exist or is unreadable — a torn manifest must never wedge
+        a resume, it just loses the skip optimization)."""
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {"version": MANIFEST_VERSION, "points": {}}
+        if not isinstance(payload, dict) or "points" not in payload:
+            return {"version": MANIFEST_VERSION, "points": {}}
+        return payload
+
+    @property
+    def completed(self) -> set[str]:
+        """Ids of points recorded as complete."""
+        points = self.load()["points"]
+        return {
+            point_id
+            for point_id, entry in points.items()
+            if isinstance(entry, dict) and entry.get("status") == "complete"
+        }
+
+    def is_complete(self, point_id: str) -> bool:
+        return point_id in self.completed
+
+    # -- writing --------------------------------------------------------
+    def mark_started(self, point_id: str) -> None:
+        """Record that *point_id* began executing (a later resume sees
+        it as unfinished and recomputes it)."""
+        self._update(point_id, {"status": "started"})
+
+    def mark_complete(self, point_id: str, meta: dict | None = None) -> None:
+        """Record that *point_id* finished; *meta* (e.g. a telemetry
+        snapshot) rides along for post-mortems."""
+        entry: dict = {"status": "complete"}
+        if meta:
+            entry["meta"] = meta
+        self._update(point_id, entry)
+
+    def mark_failed(self, point_id: str, reason: str) -> None:
+        """Record a permanent point failure (still recomputed on
+        resume — a failure is by definition unfinished work)."""
+        self._update(point_id, {"status": "failed", "reason": reason})
+
+    def _update(self, point_id: str, entry: dict) -> None:
+        payload = self.load()
+        payload["version"] = MANIFEST_VERSION
+        payload["points"][point_id] = entry
+        atomic_write_json(self.path, payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CampaignManifest({self.path})"

@@ -17,6 +17,16 @@ Determinism does not depend on the backend: every run derives its
 random streams by name (:mod:`repro.rng`), so serial and process
 execution produce bit-identical results (guarded by
 ``tests/engine/test_determinism.py``).
+
+Fault isolation: both backends expose :meth:`map_guarded`, which runs
+every item through :func:`repro.engine.resilience.guarded_call`
+(bounded retry + backoff + optional per-run timeout) and returns
+structured :class:`~repro.engine.resilience.GuardedOutcome`s instead of
+letting one bad run kill the batch.  The process backend additionally
+**degrades gracefully**: a chunk whose worker crashes
+(``BrokenProcessPool``), wedges past its wall-clock budget, or fails to
+even deserialize its task is re-executed serially in the parent
+process, so a broken pool costs throughput, never results.
 """
 
 from __future__ import annotations
@@ -26,6 +36,8 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
 from ..errors import ConfigError
+from ..telemetry import Telemetry, get_telemetry
+from .resilience import GuardedOutcome, RetryPolicy, guarded_call
 
 __all__ = [
     "Executor",
@@ -36,6 +48,10 @@ __all__ = [
     "default_executor_name",
     "chunked",
 ]
+
+#: Pool-level slack (seconds) on top of the per-chunk retry/timeout
+#: budget before a worker is declared wedged.
+POOL_GRACE_S = 5.0
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -50,7 +66,7 @@ def resolve_jobs(jobs: int | None = None) -> int:
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1 (got {jobs})")
         return jobs
-    env = os.environ.get("REPRO_JOBS")
+    env = os.environ.get("REPRO_JOBS", "").strip()
     if env:
         try:
             parsed = int(env)
@@ -63,8 +79,9 @@ def resolve_jobs(jobs: int | None = None) -> int:
 
 
 def default_executor_name() -> str:
-    """Backend used when none is requested explicitly."""
-    name = os.environ.get("REPRO_EXECUTOR", "serial").strip().lower()
+    """Backend used when none is requested explicitly (a blank or
+    whitespace-only ``$REPRO_EXECUTOR`` means "unset")."""
+    name = os.environ.get("REPRO_EXECUTOR", "").strip().lower() or "serial"
     if name not in EXECUTOR_NAMES:
         raise ConfigError(
             f"REPRO_EXECUTOR must be one of {EXECUTOR_NAMES} (got {name!r})"
@@ -89,6 +106,25 @@ def chunked(items: Sequence[T], n_chunks: int) -> list[list[T]]:
     return chunks
 
 
+def _normalize_guard_inputs(
+    items: Sequence,
+    labels: Sequence[object] | None,
+    fingerprints: Sequence[str | None] | None,
+) -> list[tuple[int, object, object, str | None]]:
+    """Zip items with per-item failure metadata into (index, item,
+    label, fingerprint) entries."""
+    items = list(items)
+    if labels is None:
+        labels = list(range(len(items)))
+    if fingerprints is None:
+        fingerprints = [None] * len(items)
+    if len(labels) != len(items) or len(fingerprints) != len(items):
+        raise ConfigError(
+            "labels/fingerprints must match the number of items"
+        )
+    return list(zip(range(len(items)), items, labels, fingerprints))
+
+
 class SerialExecutor:
     """In-process, in-order execution (the default backend)."""
 
@@ -98,6 +134,35 @@ class SerialExecutor:
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
         return [fn(item) for item in items]
 
+    def map_guarded(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        retry: RetryPolicy | None = None,
+        *,
+        labels: Sequence[object] | None = None,
+        fingerprints: Sequence[str | None] | None = None,
+        on_result: Callable[[int, GuardedOutcome], None] | None = None,
+    ) -> list[GuardedOutcome]:
+        """Fault-isolated :meth:`map`: one outcome per item, in order.
+
+        *on_result* fires as each item completes (the session uses it
+        to flush finished runs to the disk cache incrementally, which
+        is what makes an interrupted campaign resumable).
+        """
+        retry = retry or RetryPolicy()
+        outcomes: list[GuardedOutcome] = []
+        for index, item, label, fingerprint in _normalize_guard_inputs(
+            items, labels, fingerprints
+        ):
+            outcome = guarded_call(
+                fn, item, retry, label=label, fingerprint=fingerprint
+            )
+            if on_result is not None:
+                on_result(index, outcome)
+            outcomes.append(outcome)
+        return outcomes
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return "SerialExecutor()"
 
@@ -105,6 +170,22 @@ class SerialExecutor:
 def _run_chunk(fn: Callable, chunk: list) -> list:
     """Worker-side driver: apply *fn* to each item of one chunk."""
     return [fn(item) for item in chunk]
+
+
+def _run_chunk_guarded(
+    fn: Callable, chunk: list, retry: RetryPolicy
+) -> list[tuple[int, GuardedOutcome]]:
+    """Worker-side guarded driver: retries happen *inside* the worker
+    (cheap — no round trip), failures come back as data."""
+    return [
+        (
+            index,
+            guarded_call(
+                fn, item, retry, label=label, fingerprint=fingerprint
+            ),
+        )
+        for index, item, label, fingerprint in chunk
+    ]
 
 
 class ProcessExecutor:
@@ -125,21 +206,133 @@ class ProcessExecutor:
         self.chunks_per_job = chunks_per_job
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Plain fan-out.  A broken pool (worker died mid-batch)
+        degrades to serial re-execution of the unfinished chunks; run
+        exceptions propagate to the caller unchanged."""
         items = list(items)
         if not items:
             return []
         if self.jobs == 1 and len(items) <= 1:
             return [fn(item) for item in items]
         chunks = chunked(items, self.jobs * self.chunks_per_job)
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+        results: list[R] = []
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
             futures = [pool.submit(_run_chunk, fn, chunk) for chunk in chunks]
-            results: list[R] = []
-            for future in futures:
-                results.extend(future.result())
+            degraded = False
+            for future, chunk in zip(futures, chunks):
+                if degraded:
+                    results.extend(fn(item) for item in chunk)
+                    continue
+                try:
+                    results.extend(future.result())
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as error:
+                    if not _is_pool_infrastructure_error(error):
+                        raise
+                    _account_degradation(get_telemetry())
+                    degraded = True
+                    results.extend(fn(item) for item in chunk)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
         return results
+
+    def map_guarded(
+        self,
+        fn: Callable[[T], R],
+        items: Sequence[T],
+        retry: RetryPolicy | None = None,
+        *,
+        labels: Sequence[object] | None = None,
+        fingerprints: Sequence[str | None] | None = None,
+        on_result: Callable[[int, GuardedOutcome], None] | None = None,
+    ) -> list[GuardedOutcome]:
+        """Fault-isolated fan-out with graceful degradation.
+
+        Retries run worker-side; a chunk whose worker crashes, wedges
+        past its wall-clock budget, or cannot even unpickle its task is
+        re-executed serially in the parent, so every item always ends
+        up with a :class:`GuardedOutcome`.  *on_result* fires per item
+        as its chunk completes (incremental checkpoint flush).
+        """
+        retry = retry or RetryPolicy()
+        entries = _normalize_guard_inputs(items, labels, fingerprints)
+        if not entries:
+            return []
+        serial = SerialExecutor()
+        if self.jobs == 1 or len(entries) <= 1:
+            return serial.map_guarded(
+                fn,
+                [item for _, item, _, _ in entries],
+                retry,
+                labels=[label for _, _, label, _ in entries],
+                fingerprints=[fp for _, _, _, fp in entries],
+                on_result=on_result,
+            )
+        chunks = chunked(entries, self.jobs * self.chunks_per_job)
+        outcomes: list[GuardedOutcome | None] = [None] * len(entries)
+        telemetry = get_telemetry()
+        budget = self._chunk_budget_s(retry)
+        degraded = False
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        try:
+            futures = [
+                pool.submit(_run_chunk_guarded, fn, chunk, retry)
+                for chunk in chunks
+            ]
+            for future, chunk in zip(futures, chunks):
+                try:
+                    timeout = budget * len(chunk) if budget else None
+                    pairs = future.result(timeout=timeout)
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BaseException as error:
+                    # Worker crash (BrokenProcessPool), wedged worker
+                    # (TimeoutError) or task transfer failure: run this
+                    # chunk in-process instead of losing the batch.
+                    if not degraded:
+                        degraded = True
+                        _account_degradation(telemetry)
+                    telemetry.increment("engine.pool.chunk_failures")
+                    pairs = _run_chunk_guarded(fn, chunk, retry)
+                for index, outcome in pairs:
+                    outcomes[index] = outcome
+                    if on_result is not None:
+                        on_result(index, outcome)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return outcomes  # type: ignore[return-value]
+
+    def _chunk_budget_s(self, retry: RetryPolicy) -> float | None:
+        """Wall-clock allowance per chunk item before the pool declares
+        the worker wedged (None disables the watchdog, matching
+        ``run_timeout_s=None``)."""
+        if retry.run_timeout_s is None:
+            return None
+        backoff_total = sum(
+            retry.backoff_s(attempt)
+            for attempt in range(1, retry.max_retries + 1)
+        )
+        per_item = retry.run_timeout_s * (retry.max_retries + 1)
+        return per_item + backoff_total + POOL_GRACE_S
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ProcessExecutor(jobs={self.jobs})"
+
+
+def _is_pool_infrastructure_error(error: BaseException) -> bool:
+    """True when a future failed because of the *pool* (dead worker,
+    lost task, unpicklable transfer) rather than the mapped function
+    itself raising."""
+    from concurrent.futures import BrokenExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    return isinstance(error, (BrokenExecutor, BrokenProcessPool))
+
+
+def _account_degradation(telemetry: Telemetry) -> None:
+    telemetry.increment("engine.pool.degraded_to_serial")
 
 
 #: Union type for annotations.

@@ -18,9 +18,26 @@ runner:
   contiguous chunks over a process pool when a parallel backend is
   selected (``--jobs``/``$REPRO_JOBS``), rebuilding the chip once per
   worker;
-* **telemetry** — run counts, cache hits/misses, solver-call counts and
-  solver wall-clock, surfaced by ``repro-noise run --profile`` and the
-  experiment exporter.
+* **fault isolation** — every run executes under a
+  :class:`~repro.engine.resilience.RetryPolicy` (bounded retry with
+  backoff, optional per-run timeout); a run that still fails surfaces
+  as a structured :class:`~repro.engine.resilience.RunFailure` and, by
+  default, one consolidated :class:`~repro.errors.ExecutionError` — a
+  crashing worker never takes the rest of the batch down with it, and
+  a broken process pool degrades to serial execution;
+* **checkpointing** — finished runs are flushed to the (atomic-write)
+  disk cache *as they complete*, not at batch end, so a campaign
+  killed midway resumes by replaying the finished points and
+  recomputing only the rest;
+* **telemetry** — run counts, cache hits/misses, retry/failure/
+  degradation counters, solver-call counts and solver wall-clock,
+  surfaced by ``repro-noise run --profile`` and the experiment
+  exporter.
+
+Fault injection (``$REPRO_FAULTS`` or an explicit ``faults=`` plan)
+wraps the session executor in a
+:class:`~repro.faults.FaultyExecutor`, which is how the engine's test
+suite and the CI fault-injection job prove all of the above.
 """
 
 from __future__ import annotations
@@ -28,22 +45,30 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Sequence
 
+from ..errors import ConfigError, ExecutionError
 from ..machine.chip import Chip, ChipConfig, N_CORES
 from ..machine.runner import ChipRunner, RunOptions, RunResult
 from ..machine.workload import CurrentProgram
 from ..telemetry import Telemetry, get_telemetry
 from .cache import ResultCache, global_cache
-from .executor import Executor, SerialExecutor, chunked, make_executor
-from .fingerprint import chip_fingerprint, run_fingerprint
+from .executor import Executor, make_executor
+from .fingerprint import canonical, chip_fingerprint, run_fingerprint
+from .resilience import RetryPolicy, RunFailure
 
 __all__ = ["SimulationSession"]
 
 Mapping = Sequence[CurrentProgram | None]
 
+#: ``on_failure`` modes: raise one consolidated ExecutionError, or
+#: return RunFailure records in the results.
+FAILURE_MODES = ("raise", "collect")
+
+_UNSET = object()
+
 
 class SimulationSession:
-    """Cached, instrumented, parallelizable execution of mapping runs
-    on one chip.
+    """Cached, instrumented, fault-tolerant, parallelizable execution
+    of mapping runs on one chip.
 
     Parameters
     ----------
@@ -61,6 +86,20 @@ class SimulationSession:
         Fan-out backend for :meth:`run_many` (``"serial"``/
         ``"process"`` or a prebuilt executor); environment default when
         omitted.
+    retry:
+        Fault-isolation policy (max retries, backoff, per-run
+        timeout); ``$REPRO_MAX_RETRIES``/``$REPRO_RUN_TIMEOUT`` (the
+        ``--max-retries``/``--run-timeout`` CLI flags) when omitted.
+    on_failure:
+        ``"raise"`` (default): a run that exhausts its retries raises
+        one :class:`~repro.errors.ExecutionError` carrying every
+        :class:`~repro.engine.resilience.RunFailure` of the batch.
+        ``"collect"``: failures are returned in-place in the result
+        list instead, so a sweep can keep the points that worked.
+    faults:
+        Optional :class:`~repro.faults.FaultPlan` injected around the
+        executor; ``$REPRO_FAULTS`` when omitted (the CI
+        fault-injection job sets it).
     telemetry:
         Telemetry sink (process default when omitted).
     """
@@ -73,6 +112,9 @@ class SimulationSession:
         cache: ResultCache | None = None,
         executor: Executor | str | None = None,
         jobs: int | None = None,
+        retry: RetryPolicy | None = None,
+        on_failure: str = "raise",
+        faults: object = _UNSET,
         telemetry: Telemetry | None = None,
     ):
         self.chip = chip
@@ -80,10 +122,30 @@ class SimulationSession:
         self.cache = cache if cache is not None else global_cache()
         if isinstance(executor, (str, type(None))):
             executor = make_executor(executor, jobs)
-        self.executor = executor
+        if on_failure not in FAILURE_MODES:
+            raise ConfigError(
+                f"on_failure must be one of {FAILURE_MODES} "
+                f"(got {on_failure!r})"
+            )
+        self.retry = retry or RetryPolicy.from_env()
+        self.on_failure = on_failure
+        self.executor = self._wire_faults(executor, faults)
         self.telemetry = telemetry or get_telemetry()
         self.runner = ChipRunner(chip)
         self._chip_fp = chip_fingerprint(chip)
+
+    @staticmethod
+    def _wire_faults(executor, faults):
+        """Wrap *executor* in a FaultyExecutor when a plan is supplied
+        (explicitly or via ``$REPRO_FAULTS``)."""
+        from ..faults import FaultPlan, FaultyExecutor
+
+        if isinstance(executor, FaultyExecutor):
+            return executor
+        plan = FaultPlan.from_env() if faults is _UNSET else faults
+        if plan is not None and plan.active:
+            return FaultyExecutor(executor, plan)
+        return executor
 
     def derive(self, **option_overrides) -> "SimulationSession":
         """A sibling session over the same chip, cache, executor and
@@ -94,6 +156,9 @@ class SimulationSession:
             replace(self.options, **option_overrides),
             cache=self.cache,
             executor=self.executor,
+            retry=self.retry,
+            on_failure=self.on_failure,
+            faults=None,
             telemetry=self.telemetry,
         )
 
@@ -103,17 +168,18 @@ class SimulationSession:
         return run_fingerprint(self._chip_fp, mapping, self.options, run_tag)
 
     def run(self, mapping: Mapping, run_tag: object = "run") -> RunResult:
-        """Execute *mapping* (or replay it from the cache)."""
+        """Execute *mapping* (or replay it from the cache).
+
+        Under ``on_failure="collect"`` a run that exhausted its retry
+        budget returns its :class:`RunFailure` record instead of a
+        result.
+        """
         self.telemetry.increment("engine.runs")
         key = self.fingerprint(mapping, run_tag)
         cached = self.cache.get(key)
         if cached is not None:
             return cached
-        with self.telemetry.time("engine.run_seconds"):
-            result = self.runner.run(mapping, self.options, run_tag)
-        self._account_executed(1)
-        self.cache.put(key, result)
-        return result
+        return self._execute_and_cache([(key, list(mapping), run_tag)])[0]
 
     # -- batched runs ---------------------------------------------------
     def run_many(
@@ -125,7 +191,9 @@ class SimulationSession:
 
         Cache hits are replayed; distinct misses are deduplicated and
         fanned out over the session executor (chunked, so each worker
-        process rebuilds the chip once per batch).
+        process rebuilds the chip once per batch).  Finished runs are
+        checkpointed to the cache as they complete, so an interrupted
+        batch resumes from where it died.
         """
         mappings = [list(m) for m in mappings]
         if tags is None:
@@ -134,7 +202,7 @@ class SimulationSession:
             raise ValueError("tags and mappings must have equal length")
         self.telemetry.increment("engine.runs", len(mappings))
 
-        results: list[RunResult | None] = [None] * len(mappings)
+        results: list[RunResult | RunFailure | None] = [None] * len(mappings)
         pending: dict[str, list[int]] = {}
         for i, (mapping, tag) in enumerate(zip(mappings, tags)):
             key = self.fingerprint(mapping, tag)
@@ -150,9 +218,8 @@ class SimulationSession:
                 (key, mappings[pending[key][0]], tags[pending[key][0]])
                 for key in order
             ]
-            executed = self._execute_misses(work)
+            executed = self._execute_and_cache(work)
             for key, result in zip(order, executed):
-                self.cache.put(key, result)
                 for i in pending[key]:
                     results[i] = result
         return results  # type: ignore[return-value]
@@ -165,36 +232,57 @@ class SimulationSession:
             "engine.solver_calls", n_runs * self.options.segments * N_CORES
         )
 
-    def _execute_misses(
+    def _execute_and_cache(
         self, work: list[tuple[str, Mapping, object]]
-    ) -> list[RunResult]:
-        """Run the deduplicated misses; returns results in *work* order."""
-        serial = (
-            isinstance(self.executor, SerialExecutor)
-            or self.executor.jobs <= 1
-            or len(work) <= 1
-        )
+    ) -> list[RunResult | RunFailure]:
+        """Run the deduplicated misses under the retry policy; returns
+        results (or failure records) in *work* order.
+
+        Every finished run is flushed to the cache the moment its
+        chunk completes — the incremental checkpoint that makes a
+        killed campaign resumable — and failed runs are *not* cached,
+        so a later invocation recomputes exactly the unfinished points.
+        """
+        keys = [key for key, _, _ in work]
+        run_fn = _RunItem(self.chip.config, self.chip.chip_id, self.options)
+        # Pre-seed the worker-chip memo so in-process execution (the
+        # serial backend, or a degraded pool) reuses this session's
+        # already-built chip instead of re-deriving the modal model.
+        _WORKER_CHIPS.setdefault(run_fn.chip_key, self.chip)
+
+        def flush(index: int, outcome) -> None:
+            if outcome.ok:
+                self.cache.put(keys[index], outcome.value)
+
         with self.telemetry.time("engine.run_seconds"):
-            if serial:
-                results = [
-                    self.runner.run(mapping, self.options, tag)
-                    for _, mapping, tag in work
-                ]
-            else:
-                batches = chunked(work, self.executor.jobs)
-                specs = [
-                    _BatchSpec(
-                        config=self.chip.config,
-                        chip_id=self.chip.chip_id,
-                        options=self.options,
-                        jobs=[(m, t) for _, m, t in batch],
-                    )
-                    for batch in batches
-                ]
-                nested = self.executor.map(_execute_batch, specs)
-                results = [result for batch in nested for result in batch]
-        self._account_executed(len(work))
-        return results
+            outcomes = self.executor.map_guarded(
+                run_fn,
+                [(key, list(mapping), tag) for key, mapping, tag in work],
+                self.retry,
+                labels=[tag for _, _, tag in work],
+                fingerprints=keys,
+                on_result=flush,
+            )
+
+        retries = sum(outcome.attempts - 1 for outcome in outcomes)
+        if retries:
+            self.telemetry.increment("engine.retries", retries)
+        timeouts = sum(outcome.timeouts for outcome in outcomes)
+        if timeouts:
+            self.telemetry.increment("engine.timeouts", timeouts)
+        failures = [o.failure for o in outcomes if not o.ok]
+        self._account_executed(len(work) - len(failures))
+        if failures:
+            self.telemetry.increment("engine.failures", len(failures))
+            if self.on_failure == "raise":
+                first = failures[0]
+                error = ExecutionError(
+                    f"{len(failures)} of {len(work)} run(s) failed "
+                    f"permanently; first: {first.describe()}",
+                    failures,
+                )
+                raise error from first.exception
+        return [o.value if o.ok else o.failure for o in outcomes]
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
@@ -205,33 +293,27 @@ class SimulationSession:
 
 # -- worker side ---------------------------------------------------------
 
-class _BatchSpec:
-    """Picklable description of one worker batch."""
-
-    def __init__(
-        self,
-        config: ChipConfig,
-        chip_id: int,
-        options: RunOptions,
-        jobs: list[tuple[list, object]],
-    ):
-        self.config = config
-        self.chip_id = chip_id
-        self.options = options
-        self.jobs = jobs
-
-
 #: Per-worker-process chip memo: rebuilding the modal decomposition is
 #: the expensive part of worker startup, so keep chips across batches.
 _WORKER_CHIPS: dict[str, Chip] = {}
 
 
-def _execute_batch(spec: _BatchSpec) -> list[RunResult]:
-    """Worker-side execution of one batch (top-level: picklable)."""
-    probe = Chip(spec.config, spec.chip_id)
-    key = chip_fingerprint(probe)
-    chip = _WORKER_CHIPS.setdefault(key, probe)
-    runner = ChipRunner(chip)
-    return [
-        runner.run(mapping, spec.options, tag) for mapping, tag in spec.jobs
-    ]
+class _RunItem:
+    """Picklable per-run callable: ``(fingerprint, mapping, tag)`` →
+    :class:`RunResult`, rebuilding the chip at most once per worker
+    process (memoized by chip identity, computed without constructing
+    a probe chip)."""
+
+    def __init__(self, config: ChipConfig, chip_id: int, options: RunOptions):
+        self.config = config
+        self.chip_id = chip_id
+        self.options = options
+        self.chip_key = canonical((Chip.__name__, config, chip_id))
+
+    def __call__(self, item: tuple[str, list, object]) -> RunResult:
+        _, mapping, tag = item
+        chip = _WORKER_CHIPS.get(self.chip_key)
+        if chip is None:
+            chip = Chip(self.config, self.chip_id)
+            _WORKER_CHIPS[self.chip_key] = chip
+        return ChipRunner(chip).run(mapping, self.options, tag)

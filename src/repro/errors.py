@@ -17,6 +17,8 @@ __all__ = [
     "MeasurementError",
     "ExperimentError",
     "ConfigError",
+    "ExecutionError",
+    "RunTimeoutError",
 ]
 
 
@@ -60,3 +62,21 @@ class MeasurementError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver failed or was queried for an unknown id."""
+
+
+class ExecutionError(ReproError):
+    """A run could not be completed by the execution layer even after
+    its retry budget was exhausted (worker crash, persistent exception,
+    repeated timeout).  Carries the structured
+    :class:`~repro.engine.resilience.RunFailure` records when raised by
+    the engine."""
+
+    def __init__(self, message: str, failures: list | None = None):
+        super().__init__(message)
+        self.failures = failures or []
+
+
+class RunTimeoutError(ExecutionError):
+    """A single run exceeded its per-run wall-clock budget
+    (``run_timeout_s``)."""
+

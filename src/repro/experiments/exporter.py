@@ -6,21 +6,31 @@ artifacts behind (as the paper's lab campaigns do): one text report and
 one JSON payload per experiment, plus an index and a telemetry snapshot
 (run/cache/solver counters and per-experiment wall clock from the
 engine).
+
+Every artifact is published atomically (temp file + rename), and
+:func:`export_telemetry` stands alone so the CLI can flush the
+telemetry snapshot even when a campaign dies partway — a failed
+campaign must still be diagnosable from its output directory.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 
 import numpy as np
 
 from ..errors import ExperimentError
+from ..ioutil import atomic_write_json, atomic_write_text
 from ..telemetry import Telemetry, get_telemetry
 from .registry import ExperimentResult
 
-__all__ = ["export_result", "export_results", "jsonable"]
+__all__ = [
+    "export_result",
+    "export_results",
+    "export_telemetry",
+    "jsonable",
+]
 
 
 def jsonable(value):
@@ -44,20 +54,36 @@ def jsonable(value):
 
 
 def export_result(result: ExperimentResult, directory: Path | str) -> Path:
-    """Write one experiment's text + JSON artifacts; returns the JSON
-    path."""
+    """Write one experiment's text + JSON artifacts (atomically);
+    returns the JSON path."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     text_path = directory / f"{result.experiment_id}.txt"
     json_path = directory / f"{result.experiment_id}.json"
-    text_path.write_text(str(result) + "\n")
+    atomic_write_text(text_path, str(result) + "\n")
     payload = {
         "experiment_id": result.experiment_id,
         "title": result.title,
         "data": jsonable(result.data),
     }
-    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    atomic_write_json(json_path, payload)
     return json_path
+
+
+def export_telemetry(
+    directory: Path | str, telemetry: Telemetry | None = None
+) -> Path:
+    """Write ``telemetry.json`` — the campaign's engine counters
+    (runs, cache hits/misses, retries/failures, solver calls) and
+    timers, from *telemetry* or the process-wide sink.
+
+    Deliberately independent of any experiment results so the CLI can
+    flush it from a ``finally`` block when a campaign fails partway.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    snapshot = (telemetry or get_telemetry()).snapshot()
+    return atomic_write_json(directory / "telemetry.json", snapshot)
 
 
 def export_results(
@@ -67,9 +93,7 @@ def export_results(
 ) -> Path:
     """Export a batch and write an ``index.json``; returns its path.
 
-    Also writes ``telemetry.json`` — the campaign's engine counters
-    (runs, cache hits/misses, solver calls) and timers, from
-    *telemetry* or the process-wide sink.
+    Also writes ``telemetry.json`` via :func:`export_telemetry`.
     """
     if not results:
         raise ExperimentError("nothing to export")
@@ -80,9 +104,6 @@ def export_results(
         result.experiment_id: result.title for result in results
     }
     index_path = directory / "index.json"
-    index_path.write_text(json.dumps(index, indent=2, sort_keys=True) + "\n")
-    snapshot = (telemetry or get_telemetry()).snapshot()
-    (directory / "telemetry.json").write_text(
-        json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
-    )
+    atomic_write_json(index_path, index)
+    export_telemetry(directory, telemetry)
     return index_path

@@ -1,0 +1,185 @@
+"""Seeded fault schedules.
+
+A :class:`FaultPlan` decides, for each run, whether to inject a fault
+and which kind — by hashing ``(plan seed, run key)`` into a uniform
+draw and partitioning the unit interval by the configured rates.  The
+decision is a pure function of the run's content key, so it does not
+depend on execution order, backend, chunking, or which worker process
+picks the run up: the *same* runs fail under serial and process
+execution, which is what makes the determinism acceptance test
+(fault-injected sweep ≡ fault-free sweep) meaningful.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, fields
+
+from ..errors import ConfigError
+
+__all__ = ["FaultPlan"]
+
+#: Injection kinds, in threshold order.
+KINDS = ("crash", "hang", "exception")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """What to break, how often, and with which seed.
+
+    Attributes
+    ----------
+    seed:
+        Decorrelates plans: two plans with different seeds fail
+        different runs.
+    crash_rate:
+        Fraction of runs whose worker process dies mid-run (simulated
+        with ``os._exit`` inside pool workers — a genuinely broken
+        pool — and an :class:`~repro.faults.InjectedCrash` exception
+        when the run executes in the main process).
+    hang_rate:
+        Fraction of runs that stall for :attr:`hang_seconds` before
+        proceeding (exercises the per-run timeout watchdog).
+    exception_rate:
+        Fraction of runs that raise :class:`~repro.faults.InjectedFault`.
+    corrupt_entries:
+        Number of disk-cache payloads
+        :func:`~repro.faults.corrupt_cache_entries` should tear.
+    hang_seconds:
+        Stall duration for hang faults.
+    transient:
+        When true (default), each fault fires at most once per process
+        per run key — the model of a flaky worker, which retry must
+        absorb.  When false, the fault fires on every attempt and the
+        run must surface as a structured failure.
+    abort_after:
+        Simulated host interruption: raise ``KeyboardInterrupt`` after
+        this many successful injected-executor calls in the current
+        process (``None`` disables).  Used to test checkpoint/resume.
+    """
+
+    seed: int = 0
+    crash_rate: float = 0.0
+    hang_rate: float = 0.0
+    exception_rate: float = 0.0
+    corrupt_entries: int = 0
+    hang_seconds: float = 30.0
+    transient: bool = True
+    abort_after: int | None = None
+
+    def __post_init__(self) -> None:
+        rates = (self.crash_rate, self.hang_rate, self.exception_rate)
+        if any(rate < 0.0 or rate > 1.0 for rate in rates):
+            raise ConfigError("fault rates must be within [0, 1]")
+        if sum(rates) > 1.0:
+            raise ConfigError(
+                f"fault rates must sum to <= 1 (got {sum(rates):g})"
+            )
+        if self.corrupt_entries < 0:
+            raise ConfigError("corrupt_entries must be >= 0")
+        if self.hang_seconds <= 0:
+            raise ConfigError("hang_seconds must be > 0")
+        if self.abort_after is not None and self.abort_after < 1:
+            raise ConfigError("abort_after must be >= 1")
+
+    # -- decisions ------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when the plan can actually inject something."""
+        return (
+            self.crash_rate > 0
+            or self.hang_rate > 0
+            or self.exception_rate > 0
+            or self.corrupt_entries > 0
+            or self.abort_after is not None
+        )
+
+    def draw(self, key: str) -> float:
+        """Uniform [0, 1) draw for *key*: a pure, process-stable
+        function of ``(seed, key)`` (hashlib, never ``hash()``)."""
+        digest = hashlib.sha256(f"{self.seed}|{key}".encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64
+
+    def decide(self, key: str) -> str | None:
+        """The fault kind injected for run *key*, or ``None``."""
+        draw = self.draw(key)
+        threshold = 0.0
+        for kind, rate in zip(
+            KINDS, (self.crash_rate, self.hang_rate, self.exception_rate)
+        ):
+            threshold += rate
+            if draw < threshold:
+                return kind
+        return None
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_env(cls) -> "FaultPlan | None":
+        """Plan from ``$REPRO_FAULTS``, or ``None`` when unset/blank.
+
+        Spec format: comma-separated ``key=value`` pairs, e.g.
+        ``crash=0.2,exception=0.1,hang=0.05,hang_seconds=0.2,seed=7``.
+        ``crash``/``hang``/``exception`` abbreviate the ``*_rate``
+        fields, ``corrupt`` abbreviates ``corrupt_entries``, and a bare
+        ``permanent`` flag sets ``transient=False``.
+        """
+        spec = os.environ.get("REPRO_FAULTS", "").strip()
+        if not spec:
+            return None
+        return cls.from_spec(spec)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse the ``$REPRO_FAULTS`` mini-language (see
+        :meth:`from_env`)."""
+        aliases = {
+            "crash": "crash_rate",
+            "hang": "hang_rate",
+            "exception": "exception_rate",
+            "corrupt": "corrupt_entries",
+        }
+        field_types = {f.name: f.type for f in fields(cls)}
+        kwargs: dict = {}
+        for raw in spec.split(","):
+            raw = raw.strip()
+            if not raw:
+                continue
+            if raw == "permanent":
+                kwargs["transient"] = False
+                continue
+            name, _, value = raw.partition("=")
+            name = aliases.get(name.strip(), name.strip())
+            if name not in field_types or not value.strip():
+                raise ConfigError(
+                    f"bad REPRO_FAULTS entry {raw!r}; expected "
+                    "key=value with keys "
+                    f"{sorted(set(aliases) | set(field_types))}"
+                )
+            try:
+                if name in ("seed", "corrupt_entries", "abort_after"):
+                    kwargs[name] = int(value)
+                elif name == "transient":
+                    kwargs[name] = value.strip().lower() in ("1", "true", "yes")
+                else:
+                    kwargs[name] = float(value)
+            except ValueError:
+                raise ConfigError(
+                    f"bad REPRO_FAULTS value in {raw!r}"
+                )
+        return cls(**kwargs)
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for kind, rate in zip(
+            KINDS, (self.crash_rate, self.hang_rate, self.exception_rate)
+        ):
+            if rate:
+                parts.append(f"{kind}={rate:g}")
+        if self.corrupt_entries:
+            parts.append(f"corrupt={self.corrupt_entries}")
+        if self.abort_after is not None:
+            parts.append(f"abort_after={self.abort_after}")
+        if not self.transient:
+            parts.append("permanent")
+        return "FaultPlan(" + ", ".join(parts) + ")"

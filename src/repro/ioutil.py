@@ -1,0 +1,52 @@
+"""Crash-safe filesystem primitives shared by the durable layers.
+
+Every file the library persists — disk-cache entries, experiment
+artifacts, telemetry snapshots, campaign manifests — goes through the
+atomic publish pattern: write the full payload to a temporary file in
+the destination directory, then :func:`os.replace` it over the final
+name.  A reader (or a resumed campaign) therefore only ever observes
+either the previous complete version or the new complete version, never
+a torn write — the property the checkpoint/resume machinery depends on
+when a run is killed mid-flush.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Atomically publish *data* at *path* (parents created as needed).
+
+    The temporary file lives in the destination directory so the final
+    ``os.replace`` never crosses a filesystem boundary.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    finally:
+        if os.path.exists(tmp_name):  # publish failed midway
+            os.unlink(tmp_name)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomically publish *text* (UTF-8) at *path*."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str | Path, payload: object) -> Path:
+    """Atomically publish *payload* as pretty, key-sorted JSON."""
+    import json
+
+    return atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

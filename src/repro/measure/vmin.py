@@ -96,9 +96,20 @@ def run_vmin_experiment(
         steps += 1
         service.step_down()
     else:
+        # Name the chip, the workload and the final operating point:
+        # near-margin debugging means figuring out *which* experiment
+        # of a multi-chip, multi-workload campaign never failed.
+        workload = ",".join(sorted(
+            {program.name for program in mapping if program is not None}
+        )) or "all-idle"
         raise MeasurementError(
-            f"no failure within {max_steps} bias steps; the R-Unit "
-            f"threshold is not reachable for this workload"
+            f"vmin search on chip {chip.chip_id} (workload "
+            f"{workload!r}): no failure within {max_steps} bias steps "
+            f"(final bias {service.bias:.4f}, worst instantaneous "
+            f"vmin at that bias "
+            f"{service.bias * chip.vnom - droop_below_nominal:.4f} V, "
+            f"R-Unit threshold {runit.v_fail:.4f} V); the threshold "
+            f"is not reachable for this workload"
         )
 
     fail_bias = service.bias

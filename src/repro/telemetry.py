@@ -21,7 +21,23 @@ from collections import defaultdict
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["Telemetry", "get_telemetry", "set_telemetry"]
+__all__ = [
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "RESILIENCE_COUNTERS",
+]
+
+#: The failure/retry counters the resilience layer reports (kept in one
+#: place so the CLI, the exporter and the tests agree on the names).
+RESILIENCE_COUNTERS = (
+    "engine.retries",                  # extra attempts that succeeded late
+    "engine.failures",                 # runs that exhausted their budget
+    "engine.timeouts",                 # per-run wall-clock budget hits
+    "engine.pool.degraded_to_serial",  # broken pools absorbed in-process
+    "engine.pool.chunk_failures",      # chunks re-run after pool faults
+    "engine.cache.quarantined",        # torn cache entries recomputed
+)
 
 
 class Telemetry:
@@ -64,12 +80,22 @@ class Telemetry:
         total = hits + misses
         return hits / total if total else 0.0
 
+    def resilience_summary(self) -> dict[str, int]:
+        """The non-zero failure/retry/degradation counters — what a
+        post-mortem of a rough campaign looks at first."""
+        return {
+            name: self.counter(name)
+            for name in RESILIENCE_COUNTERS
+            if self.counter(name)
+        }
+
     def snapshot(self) -> dict:
         """A JSON-friendly copy of the current state."""
         return {
             "counters": dict(self.counters),
             "timers": {name: round(s, 6) for name, s in self.timers.items()},
             "cache_hit_rate": round(self.cache_hit_rate(), 4),
+            "resilience": self.resilience_summary(),
         }
 
     def reset(self) -> None:

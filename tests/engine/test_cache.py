@@ -84,6 +84,46 @@ class TestDiskTier:
         assert fresh.get("abcd") is None
         assert not path.exists()
 
+    def test_no_temp_droppings_after_writes(self, tmp_path, telemetry):
+        # Atomic publish: only final *.pkl files may exist, never a
+        # half-written temp file a reader could trip over.
+        cache = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        for i in range(5):
+            cache.put(f"key{i}", list(range(100)))
+        leftovers = [
+            path
+            for path in tmp_path.rglob("*")
+            if path.is_file() and path.suffix != ".pkl"
+        ]
+        assert leftovers == []
+
+
+class TestQuarantine:
+    def test_corrupt_entry_is_parked_for_post_mortem(self, tmp_path, telemetry):
+        cache = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        cache.put("abcd", {"v": 1})
+        (tmp_path / "ab" / "abcd.pkl").write_bytes(b"torn write")
+        fresh = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        assert fresh.get("abcd") is None
+        assert telemetry.counter("engine.cache.quarantined") == 1
+        assert (tmp_path / "quarantine" / "abcd.pkl").exists()
+
+    def test_recompute_republishes_over_quarantined_key(
+        self, tmp_path, telemetry
+    ):
+        cache = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        cache.put("abcd", {"v": 1})
+        (tmp_path / "ab" / "abcd.pkl").write_bytes(b"torn write")
+        fresh = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        assert fresh.get("abcd") is None  # quarantines
+        fresh.put("abcd", {"v": 2})  # the recompute
+        again = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        assert again.get("abcd") == {"v": 2}
+        assert telemetry.counter("engine.cache.quarantined") == 1
+
+    def test_quarantine_dir_disabled_without_disk_tier(self, telemetry):
+        assert ResultCache(telemetry=telemetry).quarantine_dir() is None
+
     def test_entries_survive_memory_clear(self, tmp_path, telemetry):
         cache = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
         cache.put("abcd", [1, 2])

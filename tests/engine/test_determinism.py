@@ -7,7 +7,13 @@ worker processes cannot change any reading.  This is what makes
 ``--jobs N`` safe to use on real campaigns — and what this test guards.
 """
 
-from repro.engine import ProcessExecutor, ResultCache, SimulationSession
+from repro.engine import (
+    ProcessExecutor,
+    ResultCache,
+    RetryPolicy,
+    SimulationSession,
+)
+from repro.faults import FaultPlan, corrupt_cache_entries, reset_fault_memo
 from repro.machine.runner import RunOptions
 from repro.machine.workload import idle_program
 from repro.telemetry import Telemetry
@@ -54,3 +60,69 @@ def test_serial_and_process_runs_are_bit_identical(chip):
         assert [m.coherent_delta_i for m in fast.measurements] == [
             m.coherent_delta_i for m in slow.measurements
         ]
+
+
+def assert_identical(results, reference):
+    for fast, slow in zip(results, reference):
+        assert fast.p2p_by_core == slow.p2p_by_core
+        assert fast.worst_vmin == slow.worst_vmin
+
+
+def test_fault_injected_sweep_is_bit_identical_to_fault_free(chip, tmp_path):
+    """The robustness acceptance criterion: a sweep whose runs crash
+    workers and raise injected exceptions — and whose disk cache then
+    has two entries torn — must still complete with results
+    bit-identical to a fault-free serial sweep.  Fault decisions are
+    content-keyed and the resilience layer (retry, pool degradation,
+    quarantine-and-recompute) only ever re-executes pure runs, so no
+    fault can leak into a result."""
+    options = RunOptions(segments=2, base_samples=1024)
+    mappings = [
+        [didt(i_high=18.0 + i)] + [None] * 5 for i in range(6)
+    ] + [[didt(sync=False)] * 6, [didt()] * 3 + [idle_program(13.5)] * 3]
+    tags = [f"f{i}" for i in range(len(mappings))]
+
+    reference = SimulationSession(
+        chip, options,
+        cache=ResultCache(telemetry=Telemetry()),
+        executor="serial", faults=None, telemetry=Telemetry(),
+    ).run_many(mappings, tags)
+
+    reset_fault_memo()
+    cache_dir = tmp_path / "cache"
+    plan = FaultPlan(
+        seed=3, crash_rate=0.2, exception_rate=0.3, corrupt_entries=2
+    )
+    telemetry = Telemetry()
+    injected_session = SimulationSession(
+        chip, options,
+        cache=ResultCache(cache_dir=cache_dir, telemetry=telemetry),
+        executor=ProcessExecutor(jobs=2),
+        retry=RetryPolicy(max_retries=2, backoff_base_s=0.0),
+        faults=plan,
+        telemetry=telemetry,
+    )
+    try:
+        injected = injected_session.run_many(mappings, tags)
+    finally:
+        reset_fault_memo()
+    assert telemetry.counter("engine.retries") >= 1  # the plan did fire
+    assert_identical(injected, reference)
+
+    # Tear two checkpointed entries the way a kill without atomic
+    # writes would; a fresh session quarantines them, replays the
+    # healthy entries, and recomputes exactly the torn runs.
+    victims = corrupt_cache_entries(cache_dir, plan)
+    assert len(victims) == plan.corrupt_entries
+    replay_telemetry = Telemetry()
+    replayed = SimulationSession(
+        chip, options,
+        cache=ResultCache(cache_dir=cache_dir, telemetry=replay_telemetry),
+        executor="serial", faults=None, telemetry=replay_telemetry,
+    ).run_many(mappings, tags)
+    assert replay_telemetry.counter("engine.cache.quarantined") == 2
+    assert replay_telemetry.counter("engine.runs_executed") == 2
+    assert replay_telemetry.counter("engine.cache.disk_hits") == len(
+        mappings
+    ) - 2
+    assert_identical(replayed, reference)

@@ -6,8 +6,14 @@ import numpy as np
 import pytest
 
 from repro.errors import ExperimentError
-from repro.experiments.exporter import export_result, export_results, jsonable
+from repro.experiments.exporter import (
+    export_result,
+    export_results,
+    export_telemetry,
+    jsonable,
+)
 from repro.experiments.registry import ExperimentResult
+from repro.telemetry import Telemetry
 
 
 def result(eid="figX", data=None):
@@ -72,4 +78,20 @@ class TestExport:
         assert code == 0
         assert (tmp_path / "fig7b.json").exists()
         assert (tmp_path / "index.json").exists()
+        assert (tmp_path / "telemetry.json").exists()
         assert "exported" in capsys.readouterr().out
+
+
+class TestTelemetryExport:
+    def test_standalone_snapshot(self, tmp_path):
+        telemetry = Telemetry()
+        telemetry.increment("engine.runs", 3)
+        telemetry.increment("engine.retries", 2)
+        path = export_telemetry(tmp_path, telemetry)
+        payload = json.loads(path.read_text())
+        assert payload["counters"]["engine.runs"] == 3
+        assert payload["resilience"] == {"engine.retries": 2}
+
+    def test_batch_export_includes_telemetry(self, tmp_path):
+        export_results([result("a1")], tmp_path, Telemetry())
+        assert (tmp_path / "telemetry.json").exists()

@@ -1,0 +1,110 @@
+"""FaultPlan tests: validation, deterministic decisions, spec parsing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultPlan
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["crash_rate", "hang_rate", "exception_rate"])
+    def test_rates_bounded(self, field):
+        with pytest.raises(ConfigError):
+            FaultPlan(**{field: -0.1})
+        with pytest.raises(ConfigError):
+            FaultPlan(**{field: 1.5})
+
+    def test_rates_must_sum_below_one(self):
+        with pytest.raises(ConfigError, match="sum"):
+            FaultPlan(crash_rate=0.6, exception_rate=0.6)
+
+    def test_counts_and_durations_guarded(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(corrupt_entries=-1)
+        with pytest.raises(ConfigError):
+            FaultPlan(hang_seconds=0.0)
+        with pytest.raises(ConfigError):
+            FaultPlan(abort_after=0)
+
+    def test_active_flag(self):
+        assert not FaultPlan().active
+        assert FaultPlan(crash_rate=0.1).active
+        assert FaultPlan(corrupt_entries=1).active
+        assert FaultPlan(abort_after=3).active
+
+
+class TestDecisions:
+    def test_decide_is_deterministic(self):
+        plan = FaultPlan(seed=7, crash_rate=0.2, exception_rate=0.3)
+        keys = [f"run-{i}" for i in range(50)]
+        assert [plan.decide(k) for k in keys] == [plan.decide(k) for k in keys]
+
+    def test_seed_decorrelates_plans(self):
+        keys = [f"run-{i}" for i in range(200)]
+        a = FaultPlan(seed=1, crash_rate=0.5)
+        b = FaultPlan(seed=2, crash_rate=0.5)
+        assert [a.decide(k) for k in keys] != [b.decide(k) for k in keys]
+
+    def test_full_rate_always_fires(self):
+        crash = FaultPlan(crash_rate=1.0)
+        hang = FaultPlan(hang_rate=1.0)
+        for key in ("a", "b", "c"):
+            assert crash.decide(key) == "crash"
+            assert hang.decide(key) == "hang"
+
+    def test_zero_rate_never_fires(self):
+        plan = FaultPlan(seed=11)
+        assert all(plan.decide(f"k{i}") is None for i in range(100))
+
+    def test_rates_are_respected_statistically(self):
+        plan = FaultPlan(seed=3, crash_rate=0.3)
+        keys = [f"run-{i}" for i in range(2000)]
+        crashes = sum(plan.decide(k) == "crash" for k in keys)
+        assert 0.25 < crashes / len(keys) < 0.35
+
+    def test_draw_is_uniform_unit_interval(self):
+        plan = FaultPlan(seed=5)
+        draws = [plan.draw(f"k{i}") for i in range(500)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert 0.4 < sum(draws) / len(draws) < 0.6
+
+
+class TestSpecParsing:
+    def test_full_spec(self):
+        plan = FaultPlan.from_spec(
+            "crash=0.2, exception=0.1, hang=0.05, hang_seconds=0.2, "
+            "seed=7, corrupt=2, permanent"
+        )
+        assert plan.crash_rate == 0.2
+        assert plan.exception_rate == 0.1
+        assert plan.hang_rate == 0.05
+        assert plan.hang_seconds == 0.2
+        assert plan.seed == 7
+        assert plan.corrupt_entries == 2
+        assert not plan.transient
+
+    def test_abort_after(self):
+        assert FaultPlan.from_spec("abort_after=3").abort_after == 3
+
+    @pytest.mark.parametrize("bad", ["bogus=1", "crash", "crash=lots", "=0.2"])
+    def test_bad_entries_rejected(self, bad):
+        with pytest.raises(ConfigError):
+            FaultPlan.from_spec(bad)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv("REPRO_FAULTS", "   ")
+        assert FaultPlan.from_env() is None
+        monkeypatch.setenv("REPRO_FAULTS", "crash=0.25,seed=9")
+        plan = FaultPlan.from_env()
+        assert plan.crash_rate == 0.25
+        assert plan.seed == 9
+
+    def test_describe_names_what_fires(self):
+        text = FaultPlan(
+            seed=4, crash_rate=0.2, corrupt_entries=1, transient=False
+        ).describe()
+        assert "crash=0.2" in text
+        assert "corrupt=1" in text
+        assert "permanent" in text

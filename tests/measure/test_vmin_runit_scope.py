@@ -75,6 +75,40 @@ class TestVminExperiment:
                 max_steps=5,
             )
 
+    def test_unreachable_threshold_error_names_the_experiment(
+        self, chip, options
+    ):
+        # Near-margin debugging of a multi-chip, multi-workload
+        # campaign: the error alone must identify which experiment
+        # never failed and where the search ended up.
+        quiet = CurrentProgram("q", i_low=1.0, i_high=1.0)
+        with pytest.raises(MeasurementError) as excinfo:
+            run_vmin_experiment(
+                chip,
+                [quiet] * 3 + [None] * 3,
+                runit_config=RUnitConfig(v_fail_frac=0.51),
+                options=options,
+                max_steps=5,
+            )
+        message = str(excinfo.value)
+        assert f"chip {chip.chip_id}" in message
+        assert "'q'" in message  # the workload tag
+        assert "5 bias steps" in message
+        assert "final bias" in message
+        assert "R-Unit threshold" in message
+
+    def test_idle_mapping_is_named_in_the_error(self, chip, options):
+        idle = CurrentProgram("i", i_low=5.0, i_high=5.0)
+        with pytest.raises(MeasurementError) as excinfo:
+            run_vmin_experiment(
+                chip,
+                [idle, None, None, None, None, None],
+                runit_config=RUnitConfig(v_fail_frac=0.51),
+                options=options,
+                max_steps=3,
+            )
+        assert "'i'" in str(excinfo.value)
+
 
 class TestOscilloscope:
     @pytest.fixture(scope="class")
