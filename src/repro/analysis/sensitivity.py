@@ -1,4 +1,13 @@
-"""Sweep drivers for the paper's §V sensitivity studies."""
+"""Sweep drivers for the paper's §V sensitivity studies.
+
+Partial sweeps: every driver accepts ``on_failure`` (forwarded to the
+session it builds).  Under ``"collect"`` a shmoo-style campaign keeps
+the points that worked: runs that exhausted their retry budget are
+dropped from the returned dataset instead of aborting the sweep, each
+drop is counted (``engine.points_dropped``) and written to the event
+log (``point.dropped``), and the experiment layer marks the dropped
+count in the exported results.
+"""
 
 from __future__ import annotations
 
@@ -10,7 +19,7 @@ import numpy as np
 from ..core.generator import StressmarkGenerator
 from ..core.sync import offset_assignments, spread_offsets
 from ..engine import SimulationSession
-from ..engine.resilience import RetryPolicy
+from ..engine.resilience import RetryPolicy, RunFailure
 from ..errors import ExperimentError
 from ..machine.chip import N_CORES, Chip
 from ..machine.runner import RunOptions
@@ -24,6 +33,27 @@ __all__ = [
     "sweep_delta_i_mappings",
     "DeltaIMappingPoint",
 ]
+
+
+def _drop_failed_points(
+    results: list, tags: list, sweep: str, session: SimulationSession
+) -> list[int]:
+    """Indices of successful results; failed points (RunFailure records
+    returned under ``on_failure="collect"``) are accounted and traced.
+    """
+    kept: list[int] = []
+    for index, result in enumerate(results):
+        if isinstance(result, RunFailure):
+            session.telemetry.increment("engine.points_dropped")
+            session.telemetry.emit(
+                "point.dropped",
+                sweep=sweep,
+                run=tags[index],
+                error=f"{result.error_type}: {result.message}",
+            )
+        else:
+            kept.append(index)
+    return kept
 
 
 @dataclass
@@ -60,32 +90,38 @@ def sweep_stimulus_frequency(
     n_events: int = 1000,
     session: SimulationSession | None = None,
     retry: RetryPolicy | None = None,
+    on_failure: str | None = None,
 ) -> list[FrequencySweepPoint]:
     """Run one copy of the max dI/dt stressmark per core at each
     stimulus frequency (paper Figures 7a and 9).
 
     All frequency points are independent, so they execute as one
     :meth:`~repro.engine.SimulationSession.run_many` batch — cached
-    points replay, the rest fan out over the session executor.
+    points replay, the rest fan out over the session executor.  With
+    ``on_failure="collect"`` the sweep keeps the frequencies that
+    solved and drops (and traces) the rest.
     """
-    session = session or SimulationSession(chip, options, retry=retry)
+    session = session or SimulationSession(
+        chip, options, retry=retry, on_failure=on_failure or "raise"
+    )
     marks = [
         generator.max_didt(
             freq_hz=freq, synchronize=synchronize, n_events=n_events
         )
         for freq in frequencies
     ]
+    tags = [("fsweep", synchronize, freq) for freq in frequencies]
     results = session.run_many(
-        [[mark.current_program()] * N_CORES for mark in marks],
-        tags=[("fsweep", synchronize, freq) for freq in frequencies],
+        [[mark.current_program()] * N_CORES for mark in marks], tags
     )
+    kept = _drop_failed_points(results, tags, "fsweep", session)
     return [
         FrequencySweepPoint(
-            freq_hz=freq,
-            achieved_freq_hz=mark.achieved_freq_hz,
-            p2p_by_core=result.p2p_by_core,
+            freq_hz=frequencies[i],
+            achieved_freq_hz=marks[i].achieved_freq_hz,
+            p2p_by_core=results[i].p2p_by_core,
         )
-        for freq, mark, result in zip(frequencies, marks, results)
+        for i in kept
     ]
 
 
@@ -99,6 +135,7 @@ def sweep_misalignment(
     n_events: int = 1000,
     session: SimulationSession | None = None,
     retry: RetryPolicy | None = None,
+    on_failure: str | None = None,
 ) -> dict[float, list[float]]:
     """Noise versus maximum allowed misalignment (paper Figure 10).
 
@@ -106,9 +143,14 @@ def sweep_misalignment(
     the 62.5 ns-gridded offsets and every sampled offset→core assignment
     is executed; returns, per misalignment, the per-core noise averaged
     over assignments.  The assignments of every misalignment level form
-    one independent batch executed through the session.
+    one independent batch executed through the session.  With
+    ``on_failure="collect"`` a misalignment level averages over the
+    assignments that solved (a level whose every assignment failed is
+    dropped entirely).
     """
-    session = session or SimulationSession(chip, options, retry=retry)
+    session = session or SimulationSession(
+        chip, options, retry=retry, on_failure=on_failure or "raise"
+    )
     mappings: list[list[CurrentProgram]] = []
     tags: list[object] = []
     batches: list[tuple[float, int]] = []  # (misalignment, n_assignments)
@@ -133,14 +175,19 @@ def sweep_misalignment(
         batches.append((max_mis, count))
 
     run_results = session.run_many(mappings, tags)
+    kept = set(_drop_failed_points(run_results, tags, "missweep", session))
     results: dict[float, list[float]] = {}
     cursor = 0
     for max_mis, count in batches:
         accumulator = np.zeros(N_CORES)
-        for result in run_results[cursor : cursor + count]:
-            accumulator += np.array(result.p2p_by_core)
+        solved = 0
+        for index in range(cursor, cursor + count):
+            if index in kept:
+                accumulator += np.array(run_results[index].p2p_by_core)
+                solved += 1
         cursor += count
-        results[max_mis] = list(accumulator / count)
+        if solved:
+            results[max_mis] = list(accumulator / solved)
     return results
 
 
@@ -193,6 +240,7 @@ def sweep_delta_i_mappings(
     placements_per_distribution: int = 4,
     session: SimulationSession | None = None,
     retry: RetryPolicy | None = None,
+    on_failure: str | None = None,
 ) -> list[DeltaIMappingPoint]:
     """Run workload→core mappings of {idle, medium, max} dI/dt.
 
@@ -204,9 +252,13 @@ def sweep_delta_i_mappings(
     the dataset rich enough for the correlation and mapping studies at a
     fraction of the runs).  The whole dataset executes as one session
     batch; Figures 11a, 11b and 13a address the identical batch and so
-    share its cached runs.
+    share its cached runs.  With ``on_failure="collect"`` the dataset
+    keeps the mappings that solved — a fault-degraded shmoo campaign
+    still yields its partial scatter.
     """
-    session = session or SimulationSession(chip, options, retry=retry)
+    session = session or SimulationSession(
+        chip, options, retry=retry, on_failure=on_failure or "raise"
+    )
     max_prog = generator.max_didt(freq_hz=freq_hz, synchronize=True).current_program()
     med_prog = generator.medium_didt(
         freq_hz=freq_hz, synchronize=True
@@ -228,20 +280,20 @@ def sweep_delta_i_mappings(
             for placement in placements:
                 planned.append((placement, distribution, delta))
 
+    tags = [("disweep", placement) for placement, _, _ in planned]
     results = session.run_many(
         [[by_level[level] for level in placement] for placement, _, _ in planned],
-        tags=[("disweep", placement) for placement, _, _ in planned],
+        tags,
     )
+    kept = _drop_failed_points(results, tags, "disweep", session)
     return [
         DeltaIMappingPoint(
             mapping_id=mapping_id,
-            placement=placement,
-            distribution=distribution,
-            delta_i_pct=100.0 * delta / full_delta,
-            p2p_by_core=result.p2p_by_core,
-            active_cores=sum(distribution),
+            placement=planned[index][0],
+            distribution=planned[index][1],
+            delta_i_pct=100.0 * planned[index][2] / full_delta,
+            p2p_by_core=results[index].p2p_by_core,
+            active_cores=sum(planned[index][1]),
         )
-        for mapping_id, ((placement, distribution, delta), result) in enumerate(
-            zip(planned, results)
-        )
+        for mapping_id, index in enumerate(kept)
     ]

@@ -5,6 +5,10 @@ Subcommands:
 * ``list`` — show the available experiments;
 * ``run <id> [...]`` — run experiments and print their rows/series
   (``run all`` runs the whole suite);
+* ``profile <events.jsonl>`` — render a campaign post-mortem (latency
+  percentiles, slowest runs, retry hot spots, span tree) from the
+  event log a ``--trace`` campaign wrote; ``--chrome-trace OUT.json``
+  additionally exports a Perfetto/``chrome://tracing`` timeline;
 * ``table1 .. fig15`` — shorthand for ``run <id>``.
 
 ``--quick`` swaps in the reduced-cost context (shorter EPI loops, fewer
@@ -12,10 +16,21 @@ sweep points) for smoke runs.  The engine knobs: ``--jobs N`` /
 ``--executor process`` fan cache misses out over worker processes,
 ``--cache-dir DIR`` persists the result cache across invocations, and
 ``run --profile`` prints the engine telemetry (run counts, cache
-hits/misses, solver calls, per-experiment wall clock) after the run.
+hits/misses, latency histograms, solver calls, per-experiment wall
+clock) after the run.
+
+Observability: ``--trace`` records hierarchical spans (campaign →
+experiment → session phases) and appends every run lifecycle event
+(scheduled, started, retried, failed, cached, completed) to an
+incremental JSONL log — ``events.jsonl`` in the campaign directory, or
+``--trace-file PATH`` — which stays readable even if the campaign is
+killed midway.
 
 Fault tolerance: ``--max-retries`` / ``--run-timeout`` set the engine
-retry policy for every session the drivers build; a multi-experiment
+retry policy for every session the drivers build; ``--on-failure
+collect`` keeps the points of a sweep that solved instead of aborting
+on the first permanent failure (dropped points are counted in the
+exported results and detailed in the event log).  A multi-experiment
 invocation records per-experiment completion in a campaign manifest
 (next to ``--output`` or the cache dir), so a killed campaign can be
 re-invoked with ``run --resume`` and only the unfinished experiments —
@@ -95,8 +110,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-run wall-clock budget; a run exceeding it fails and "
         "is retried (default: $REPRO_RUN_TIMEOUT or unlimited)",
     )
+    parser.add_argument(
+        "--on-failure",
+        choices=("raise", "collect"),
+        default=None,
+        help="what a permanently failed run does to its sweep: abort "
+        "it ('raise', the default) or drop the point and keep the "
+        "rest ('collect'); dropped points are marked in the exported "
+        "results and detailed in the event log",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans and run lifecycle events to an incremental "
+        "JSONL log (events.jsonl in the campaign directory; see "
+        "--trace-file); inspect it with 'repro-noise profile'",
+    )
+    parser.add_argument(
+        "--trace-file",
+        metavar="FILE",
+        default=None,
+        help="where --trace writes the event log (implies --trace)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    profile = sub.add_parser(
+        "profile",
+        help="render a campaign post-mortem from a --trace event log",
+    )
+    profile.add_argument(
+        "events",
+        metavar="EVENTS_JSONL",
+        help="the events.jsonl a --trace campaign wrote",
+    )
+    profile.add_argument(
+        "--chrome-trace",
+        metavar="OUT_JSON",
+        default=None,
+        help="also export a Chrome trace-event (Perfetto) timeline",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        metavar="N",
+        default=5,
+        help="how many slowest runs / retry hot spots to list",
+    )
     run = sub.add_parser("run", help="run one or more experiments")
     run.add_argument(
         "experiments",
@@ -144,6 +203,8 @@ def _configure_engine(args: argparse.Namespace) -> None:
         os.environ["REPRO_MAX_RETRIES"] = str(args.max_retries)
     if args.run_timeout is not None:
         os.environ["REPRO_RUN_TIMEOUT"] = str(args.run_timeout)
+    if args.on_failure is not None:
+        os.environ["REPRO_ON_FAILURE"] = args.on_failure
     if args.cache_dir is not None:
         from .engine.cache import default_cache_dir
 
@@ -162,9 +223,48 @@ def _campaign_dir(args: argparse.Namespace) -> Path | None:
     return None
 
 
+def _run_profile(args: argparse.Namespace) -> int:
+    """The ``profile`` subcommand: post-mortem of a --trace event log."""
+    from .obs import export_chrome_trace, load_profile, render_profile
+
+    path = Path(args.events)
+    if not path.exists():
+        print(f"error: no such event log: {path}", file=sys.stderr)
+        return 2
+    profile = load_profile(path)
+    if not profile.events:
+        print(f"error: {path} holds no events", file=sys.stderr)
+        return 2
+    print(render_profile(profile, top=max(args.top, 1)))
+    if args.chrome_trace:
+        out = export_chrome_trace(profile.events, args.chrome_trace)
+        print(f"\nchrome trace written to {out} "
+              f"(load in Perfetto or chrome://tracing)")
+    return 0
+
+
+def _trace_log(args: argparse.Namespace, campaign_dir: Path | None):
+    """Open the JSONL event log when tracing is requested (``--trace``
+    / ``--trace-file``); returns None otherwise."""
+    if not (args.trace or args.trace_file):
+        return None
+    from .obs import EventLog
+
+    path = (
+        Path(args.trace_file)
+        if args.trace_file
+        else (campaign_dir or Path(".")) / "events.jsonl"
+    )
+    return EventLog(path)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.command == "profile":
+        return _run_profile(args)
+
     _configure_engine(args)
 
     if args.command == "list":
@@ -206,28 +306,47 @@ def main(argv: list[str] | None = None) -> int:
                 f"experiment(s): {', '.join(skipped)}"
             )
 
+    event_log = _trace_log(args, campaign_dir)
+    if event_log is not None:
+        telemetry.enable_tracing(events=event_log)
+        telemetry.emit(
+            "campaign.started", experiments=[eid for eid, _ in drivers]
+        )
+
     context = quick_context() if args.quick else default_context()
     status = 0
     results = []
     try:
-        for experiment_id, driver in drivers:
-            if manifest is not None:
-                manifest.mark_started(experiment_id)
-            try:
-                result = driver(context)
-            except ReproError as error:
-                print(f"error in {experiment_id}: {error}", file=sys.stderr)
+        with telemetry.span("campaign", experiments=len(drivers)):
+            for experiment_id, driver in drivers:
                 if manifest is not None:
-                    manifest.mark_failed(experiment_id, str(error))
-                telemetry.increment("campaign.points_failed")
-                status = 1
-                continue
-            results.append(result)
-            telemetry.increment("campaign.points_completed")
-            if manifest is not None:
-                manifest.mark_complete(experiment_id)
-            print(result)
-            print()
+                    manifest.mark_started(experiment_id)
+                telemetry.emit("experiment.started", experiment=experiment_id)
+                try:
+                    result = driver(context)
+                except ReproError as error:
+                    print(
+                        f"error in {experiment_id}: {error}", file=sys.stderr
+                    )
+                    if manifest is not None:
+                        manifest.mark_failed(experiment_id, str(error))
+                    telemetry.increment("campaign.points_failed")
+                    telemetry.emit(
+                        "experiment.failed",
+                        experiment=experiment_id,
+                        error=str(error),
+                    )
+                    status = 1
+                    continue
+                results.append(result)
+                telemetry.increment("campaign.points_completed")
+                if manifest is not None:
+                    manifest.mark_complete(experiment_id)
+                telemetry.emit(
+                    "experiment.completed", experiment=experiment_id
+                )
+                print(result)
+                print()
     except KeyboardInterrupt:
         # Completed runs are already checkpointed (disk cache) and
         # completed experiments recorded (manifest): resumable.
@@ -238,6 +357,18 @@ def main(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
     finally:
+        if event_log is not None:
+            telemetry.emit(
+                "campaign.completed",
+                status=status,
+                snapshot=telemetry.snapshot(),
+            )
+            event_log.close()
+            print(
+                f"event log: {event_log.path} "
+                f"(inspect with 'repro-noise profile')",
+                file=sys.stderr,
+            )
         if args.output and results:
             from .experiments.exporter import export_results
 

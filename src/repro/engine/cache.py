@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from collections import OrderedDict
 from pathlib import Path
 
@@ -31,9 +32,17 @@ __all__ = [
     "global_cache",
     "configure_cache",
     "default_cache_dir",
+    "QUARANTINE_MAX_ENTRIES",
+    "QUARANTINE_MAX_AGE_S",
 ]
 
 _SENTINEL = object()
+
+#: Bounds on the quarantine parking lot: corrupt entries are kept for
+#: post-mortems but aged out on cache open so a long-lived cache
+#: directory cannot accumulate junk without bound.
+QUARANTINE_MAX_ENTRIES = 64
+QUARANTINE_MAX_AGE_S = 7 * 86400.0
 
 
 def default_cache_dir() -> Path:
@@ -70,6 +79,8 @@ class ResultCache:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self._telemetry = telemetry
         self._memory: OrderedDict[str, object] = OrderedDict()
+        if self.cache_dir is not None:
+            self.prune_quarantine()
 
     @property
     def telemetry(self) -> Telemetry:
@@ -80,21 +91,29 @@ class ResultCache:
         """The cached value for *key*, or *default*.
 
         Memory hits refresh LRU recency; disk hits are promoted into
-        the memory tier.
+        the memory tier.  Every lookup's latency feeds the
+        ``engine.cache.lookup_seconds`` histogram, so a campaign's
+        profile distinguishes memory replays from disk unpickles.
         """
-        value = self._memory.get(key, _SENTINEL)
-        if value is not _SENTINEL:
-            self._memory.move_to_end(key)
-            self.telemetry.increment("engine.cache.hits")
-            return value
-        value = self._disk_get(key)
-        if value is not _SENTINEL:
-            self._memory_put(key, value)
-            self.telemetry.increment("engine.cache.hits")
-            self.telemetry.increment("engine.cache.disk_hits")
-            return value
-        self.telemetry.increment("engine.cache.misses")
-        return default
+        start = time.perf_counter()
+        try:
+            value = self._memory.get(key, _SENTINEL)
+            if value is not _SENTINEL:
+                self._memory.move_to_end(key)
+                self.telemetry.increment("engine.cache.hits")
+                return value
+            value = self._disk_get(key)
+            if value is not _SENTINEL:
+                self._memory_put(key, value)
+                self.telemetry.increment("engine.cache.hits")
+                self.telemetry.increment("engine.cache.disk_hits")
+                return value
+            self.telemetry.increment("engine.cache.misses")
+            return default
+        finally:
+            self.telemetry.observe(
+                "engine.cache.lookup_seconds", time.perf_counter() - start
+            )
 
     def __contains__(self, key: str) -> bool:
         if key in self._memory:
@@ -135,6 +154,51 @@ class ResultCache:
         if self.cache_dir is None:
             return None
         return self.cache_dir / "quarantine"
+
+    def prune_quarantine(
+        self,
+        max_entries: int = QUARANTINE_MAX_ENTRIES,
+        max_age_s: float = QUARANTINE_MAX_AGE_S,
+        now: float | None = None,
+    ) -> int:
+        """Age out quarantined entries: drop everything older than
+        *max_age_s*, then the oldest beyond *max_entries*.
+
+        Runs automatically when a disk-tier cache is opened (the only
+        moment a long-lived cache directory is guaranteed a visitor).
+        Returns the number of files removed; removal is best-effort —
+        a concurrent campaign pruning the same directory must never
+        wedge this one.
+        """
+        quarantine = self.quarantine_dir()
+        if quarantine is None or not quarantine.is_dir():
+            return 0
+        now = time.time() if now is None else now
+        aged: list[tuple[float, Path]] = []
+        for path in quarantine.iterdir():
+            if not path.is_file():
+                continue
+            try:
+                mtime = path.stat().st_mtime
+            except OSError:  # pruned by a concurrent opener
+                continue
+            aged.append((mtime, path))
+        aged.sort()  # oldest first
+        victims = [p for mtime, p in aged if now - mtime > max_age_s]
+        survivors = len(aged) - len(victims)
+        if survivors > max_entries:
+            fresh = [p for mtime, p in aged if now - mtime <= max_age_s]
+            victims.extend(fresh[: survivors - max_entries])
+        pruned = 0
+        for path in victims:
+            try:
+                path.unlink()
+                pruned += 1
+            except OSError:
+                pass
+        if pruned:
+            self.telemetry.increment("engine.cache.quarantine_pruned", pruned)
+        return pruned
 
     def _disk_get(self, key: str) -> object:
         path = self._disk_path(key)

@@ -27,6 +27,13 @@ letting one bad run kill the batch.  The process backend additionally
 (``BrokenProcessPool``), wedges past its wall-clock budget, or fails to
 even deserialize its task is re-executed serially in the parent
 process, so a broken pool costs throughput, never results.
+
+Telemetry crosses the pool boundary with the results: each guarded
+chunk runs under :func:`repro.obs.capture_telemetry`, so everything the
+run records ambiently (solver timers, retry counters, latency
+histograms) is snapshotted per chunk and merged back into the caller's
+sink — a ``--jobs N`` campaign reports the same counters as a serial
+one (guarded by ``tests/engine/test_worker_telemetry.py``).
 """
 
 from __future__ import annotations
@@ -36,7 +43,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
 from ..errors import ConfigError
-from ..telemetry import Telemetry, get_telemetry
+from ..telemetry import Telemetry, capture_telemetry, get_telemetry
 from .resilience import GuardedOutcome, RetryPolicy, guarded_call
 
 __all__ = [
@@ -143,24 +150,36 @@ class SerialExecutor:
         labels: Sequence[object] | None = None,
         fingerprints: Sequence[str | None] | None = None,
         on_result: Callable[[int, GuardedOutcome], None] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> list[GuardedOutcome]:
         """Fault-isolated :meth:`map`: one outcome per item, in order.
 
         *on_result* fires as each item completes (the session uses it
         to flush finished runs to the disk cache incrementally, which
-        is what makes an interrupted campaign resumable).
+        is what makes an interrupted campaign resumable).  Everything
+        the runs record ambiently is captured and merged into
+        *telemetry* (the ambient sink when omitted), mirroring the
+        process backend's worker-snapshot merge so both backends
+        account identically.
         """
         retry = retry or RetryPolicy()
+        sink = telemetry or get_telemetry()
         outcomes: list[GuardedOutcome] = []
-        for index, item, label, fingerprint in _normalize_guard_inputs(
-            items, labels, fingerprints
-        ):
-            outcome = guarded_call(
-                fn, item, retry, label=label, fingerprint=fingerprint
-            )
-            if on_result is not None:
-                on_result(index, outcome)
-            outcomes.append(outcome)
+        with capture_telemetry() as local:
+            try:
+                for index, item, label, fingerprint in _normalize_guard_inputs(
+                    items, labels, fingerprints
+                ):
+                    outcome = guarded_call(
+                        fn, item, retry, label=label, fingerprint=fingerprint
+                    )
+                    if on_result is not None:
+                        on_result(index, outcome)
+                    outcomes.append(outcome)
+            finally:
+                # Merge inside a finally so an interrupted batch keeps
+                # the metrics of the runs that did finish.
+                sink.merge(local.merge_payload())
         return outcomes
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -175,8 +194,8 @@ def _run_chunk(fn: Callable, chunk: list) -> list:
 def _run_chunk_guarded(
     fn: Callable, chunk: list, retry: RetryPolicy
 ) -> list[tuple[int, GuardedOutcome]]:
-    """Worker-side guarded driver: retries happen *inside* the worker
-    (cheap — no round trip), failures come back as data."""
+    """Guarded chunk driver: retries happen *inside* the hosting
+    process (cheap — no round trip), failures come back as data."""
     return [
         (
             index,
@@ -186,6 +205,18 @@ def _run_chunk_guarded(
         )
         for index, item, label, fingerprint in chunk
     ]
+
+
+def _run_chunk_guarded_captured(
+    fn: Callable, chunk: list, retry: RetryPolicy
+) -> tuple[list[tuple[int, GuardedOutcome]], dict]:
+    """Worker-side guarded driver with telemetry capture: the chunk's
+    ambient recordings (solver timers, histograms, counters) come back
+    as a picklable merge payload alongside the outcomes, so nothing a
+    worker records is lost at the pool boundary."""
+    with capture_telemetry() as local:
+        pairs = _run_chunk_guarded(fn, chunk, retry)
+        return pairs, local.merge_payload()
 
 
 class ProcessExecutor:
@@ -247,6 +278,7 @@ class ProcessExecutor:
         labels: Sequence[object] | None = None,
         fingerprints: Sequence[str | None] | None = None,
         on_result: Callable[[int, GuardedOutcome], None] | None = None,
+        telemetry: Telemetry | None = None,
     ) -> list[GuardedOutcome]:
         """Fault-isolated fan-out with graceful degradation.
 
@@ -255,8 +287,17 @@ class ProcessExecutor:
         re-executed serially in the parent, so every item always ends
         up with a :class:`GuardedOutcome`.  *on_result* fires per item
         as its chunk completes (incremental checkpoint flush).
+
+        Each worker chunk captures what its runs record ambiently and
+        ships the snapshot back with the outcomes; the snapshot is
+        merged into *telemetry* (ambient sink when omitted) as the
+        chunk completes, so worker-side metrics — retry counters,
+        solver timers, latency histograms — survive the pool boundary.
+        Degraded chunks re-run in-process under the same capture, so
+        fault-degraded and healthy chunks account identically.
         """
         retry = retry or RetryPolicy()
+        sink = telemetry or get_telemetry()
         entries = _normalize_guard_inputs(items, labels, fingerprints)
         if not entries:
             return []
@@ -269,22 +310,22 @@ class ProcessExecutor:
                 labels=[label for _, _, label, _ in entries],
                 fingerprints=[fp for _, _, _, fp in entries],
                 on_result=on_result,
+                telemetry=sink,
             )
         chunks = chunked(entries, self.jobs * self.chunks_per_job)
         outcomes: list[GuardedOutcome | None] = [None] * len(entries)
-        telemetry = get_telemetry()
         budget = self._chunk_budget_s(retry)
         degraded = False
         pool = ProcessPoolExecutor(max_workers=self.jobs)
         try:
             futures = [
-                pool.submit(_run_chunk_guarded, fn, chunk, retry)
+                pool.submit(_run_chunk_guarded_captured, fn, chunk, retry)
                 for chunk in chunks
             ]
             for future, chunk in zip(futures, chunks):
                 try:
                     timeout = budget * len(chunk) if budget else None
-                    pairs = future.result(timeout=timeout)
+                    pairs, worker_payload = future.result(timeout=timeout)
                 except (KeyboardInterrupt, SystemExit):
                     raise
                 except BaseException as error:
@@ -293,9 +334,12 @@ class ProcessExecutor:
                     # chunk in-process instead of losing the batch.
                     if not degraded:
                         degraded = True
-                        _account_degradation(telemetry)
-                    telemetry.increment("engine.pool.chunk_failures")
-                    pairs = _run_chunk_guarded(fn, chunk, retry)
+                        _account_degradation(sink)
+                    sink.increment("engine.pool.chunk_failures")
+                    with capture_telemetry() as local:
+                        pairs = _run_chunk_guarded(fn, chunk, retry)
+                        worker_payload = local.merge_payload()
+                sink.merge(worker_payload)
                 for index, outcome in pairs:
                     outcomes[index] = outcome
                     if on_result is not None:

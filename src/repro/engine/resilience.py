@@ -176,12 +176,15 @@ class RunFailure:
 @dataclass
 class GuardedOutcome:
     """Result of one guarded run: either a value or a failure record,
-    plus the attempt/timeout counts (for the retry telemetry)."""
+    plus the attempt/timeout counts (for the retry telemetry) and the
+    total wall clock spent across all attempts, including backoff
+    sleeps (feeds the ``engine.run.seconds`` latency histogram)."""
 
     value: object = None
     failure: RunFailure | None = None
     attempts: int = 1
     timeouts: int = 0
+    duration_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -241,12 +244,16 @@ def guarded_call(
     policy = policy or RetryPolicy()
     attempts = 0
     timeouts = 0
+    started = time.perf_counter()
     while True:
         attempts += 1
         try:
             value = call_with_timeout(fn, item, policy.run_timeout_s)
             return GuardedOutcome(
-                value=value, attempts=attempts, timeouts=timeouts
+                value=value,
+                attempts=attempts,
+                timeouts=timeouts,
+                duration_s=time.perf_counter() - started,
             )
         except (KeyboardInterrupt, SystemExit):
             raise
@@ -263,5 +270,6 @@ def guarded_call(
                     ),
                     attempts=attempts,
                     timeouts=timeouts,
+                    duration_s=time.perf_counter() - started,
                 )
             sleep(policy.backoff_s(attempts))

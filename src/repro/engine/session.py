@@ -42,6 +42,7 @@ suite and the CI fault-injection job prove all of the above.
 
 from __future__ import annotations
 
+import time
 from dataclasses import replace
 from typing import Sequence
 
@@ -178,7 +179,9 @@ class SimulationSession:
         key = self.fingerprint(mapping, run_tag)
         cached = self.cache.get(key)
         if cached is not None:
+            self.telemetry.emit("run.cached", run=run_tag, fingerprint=key)
             return cached
+        self.telemetry.emit("run.scheduled", run=run_tag, fingerprint=key)
         return self._execute_and_cache([(key, list(mapping), run_tag)])[0]
 
     # -- batched runs ---------------------------------------------------
@@ -204,13 +207,21 @@ class SimulationSession:
 
         results: list[RunResult | RunFailure | None] = [None] * len(mappings)
         pending: dict[str, list[int]] = {}
-        for i, (mapping, tag) in enumerate(zip(mappings, tags)):
-            key = self.fingerprint(mapping, tag)
-            cached = self.cache.get(key)
-            if cached is not None:
-                results[i] = cached
-            else:
-                pending.setdefault(key, []).append(i)
+        with self.telemetry.span("session.lookup", runs=len(mappings)):
+            for i, (mapping, tag) in enumerate(zip(mappings, tags)):
+                key = self.fingerprint(mapping, tag)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[i] = cached
+                    self.telemetry.emit(
+                        "run.cached", run=tag, fingerprint=key
+                    )
+                else:
+                    if key not in pending:
+                        self.telemetry.emit(
+                            "run.scheduled", run=tag, fingerprint=key
+                        )
+                    pending.setdefault(key, []).append(i)
 
         if pending:
             order = list(pending)
@@ -244,25 +255,62 @@ class SimulationSession:
         so a later invocation recomputes exactly the unfinished points.
         """
         keys = [key for key, _, _ in work]
+        labels = [tag for _, _, tag in work]
         run_fn = _RunItem(self.chip.config, self.chip.chip_id, self.options)
         # Pre-seed the worker-chip memo so in-process execution (the
         # serial backend, or a degraded pool) reuses this session's
         # already-built chip instead of re-deriving the modal model.
         _WORKER_CHIPS.setdefault(run_fn.chip_key, self.chip)
+        telemetry = self.telemetry
 
         def flush(index: int, outcome) -> None:
+            # Fires per run as its chunk completes, so the disk-cache
+            # checkpoint, the latency histograms and the event log all
+            # advance incrementally — a killed campaign leaves both a
+            # resumable cache and a readable trace.
             if outcome.ok:
                 self.cache.put(keys[index], outcome.value)
+            telemetry.observe("engine.run.seconds", outcome.duration_s)
+            telemetry.observe("engine.run.attempts", outcome.attempts)
+            if outcome.attempts > 1:
+                telemetry.emit(
+                    "run.retried",
+                    run=labels[index],
+                    fingerprint=keys[index],
+                    retries=outcome.attempts - 1,
+                )
+            if outcome.ok:
+                telemetry.emit(
+                    "run.completed",
+                    run=labels[index],
+                    fingerprint=keys[index],
+                    dur_s=round(outcome.duration_s, 6),
+                    attempts=outcome.attempts,
+                )
+            else:
+                telemetry.emit(
+                    "run.failed",
+                    run=labels[index],
+                    fingerprint=keys[index],
+                    dur_s=round(outcome.duration_s, 6),
+                    attempts=outcome.attempts,
+                    error=f"{outcome.failure.error_type}: "
+                    f"{outcome.failure.message}",
+                )
 
-        with self.telemetry.time("engine.run_seconds"):
-            outcomes = self.executor.map_guarded(
-                run_fn,
-                [(key, list(mapping), tag) for key, mapping, tag in work],
-                self.retry,
-                labels=[tag for _, _, tag in work],
-                fingerprints=keys,
-                on_result=flush,
-            )
+        for key, _, tag in work:
+            telemetry.emit("run.started", run=tag, fingerprint=key)
+        with telemetry.span("session.execute", runs=len(work)):
+            with telemetry.time("engine.run_seconds"):
+                outcomes = self.executor.map_guarded(
+                    run_fn,
+                    [(key, list(mapping), tag) for key, mapping, tag in work],
+                    self.retry,
+                    labels=labels,
+                    fingerprints=keys,
+                    on_result=flush,
+                    telemetry=telemetry,
+                )
 
         retries = sum(outcome.attempts - 1 for outcome in outcomes)
         if retries:
@@ -313,7 +361,19 @@ class _RunItem:
     def __call__(self, item: tuple[str, list, object]) -> RunResult:
         _, mapping, tag = item
         chip = _WORKER_CHIPS.get(self.chip_key)
+        # Recorded into the *ambient* telemetry: inside a pool worker
+        # that is the chunk's capture sink, whose snapshot merges back
+        # into the session telemetry — the worker-side metrics that
+        # used to vanish at the ProcessPoolExecutor boundary.
+        telemetry = get_telemetry()
         if chip is None:
-            chip = Chip(self.config, self.chip_id)
+            with telemetry.time("engine.worker.chip_build_seconds"):
+                chip = Chip(self.config, self.chip_id)
             _WORKER_CHIPS[self.chip_key] = chip
-        return ChipRunner(chip).run(mapping, self.options, tag)
+        telemetry.increment("engine.solver.invocations")
+        start = time.perf_counter()
+        result = ChipRunner(chip).run(mapping, self.options, tag)
+        telemetry.observe(
+            "engine.solver.seconds", time.perf_counter() - start
+        )
+        return result

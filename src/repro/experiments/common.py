@@ -19,6 +19,7 @@ returns a fresh :class:`ExperimentContext` with fresh
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -46,6 +47,10 @@ class ExperimentContext:
     delta_i_placements: int = 4
     misalignment_assignments: int = 6
     resonant_freq_hz: float = RESONANT_FREQ_HZ
+    #: ``"raise"`` aborts an experiment on a permanently failed run;
+    #: ``"collect"`` (the CLI's ``--on-failure collect``) keeps partial
+    #: sweeps — the drivers drop and trace the failed points instead.
+    on_failure: str = "raise"
     _session: SimulationSession | None = field(default=None, repr=False)
 
     @property
@@ -54,7 +59,9 @@ class ExperimentContext:
         through (built over the process-shared result cache and the
         environment-selected executor)."""
         if self._session is None:
-            self._session = SimulationSession(self.chip, self.options)
+            self._session = SimulationSession(
+                self.chip, self.options, on_failure=self.on_failure
+            )
         return self._session
 
     @property
@@ -95,6 +102,12 @@ def _shared_chip() -> Chip:
     return reference_chip()
 
 
+def _env_on_failure() -> str:
+    """Failure mode from ``$REPRO_ON_FAILURE`` (the ``--on-failure``
+    CLI flag exports it); ``raise`` when unset."""
+    return os.environ.get("REPRO_ON_FAILURE", "").strip().lower() or "raise"
+
+
 def default_context() -> ExperimentContext:
     """A full-fidelity context (benchmark harness fidelity).
 
@@ -106,6 +119,7 @@ def default_context() -> ExperimentContext:
         generator=_shared_generator(epi_repetitions=400),
         chip=_shared_chip(),
         options=RunOptions(segments=8),
+        on_failure=_env_on_failure(),
     )
 
 
@@ -122,4 +136,5 @@ def quick_context() -> ExperimentContext:
         freq_points_per_decade=3,
         delta_i_placements=2,
         misalignment_assignments=3,
+        on_failure=_env_on_failure(),
     )

@@ -4,8 +4,9 @@ Experiment drivers return structured :class:`ExperimentResult` payloads;
 this module persists them so a characterization campaign leaves
 artifacts behind (as the paper's lab campaigns do): one text report and
 one JSON payload per experiment, plus an index and a telemetry snapshot
-(run/cache/solver counters and per-experiment wall clock from the
-engine).
+(run/cache/solver counters, per-experiment wall clock, latency
+histograms with p50/p95/p99, and — under ``--trace`` — per-span-name
+summaries and the campaign span tree).
 
 Every artifact is published atomically (temp file + rename), and
 :func:`export_telemetry` stands alone so the CLI can flush the

@@ -60,9 +60,22 @@ def register(experiment_id: str, title: str):
         @functools.wraps(fn)
         def timed(context: ExperimentContext) -> ExperimentResult:
             # Per-experiment wall clock, surfaced by ``run --profile``
-            # and the exporter's telemetry artifact.
-            with get_telemetry().time(f"experiment.{experiment_id}.seconds"):
-                return fn(context)
+            # and the exporter's telemetry artifact; under ``--trace``
+            # also one span per experiment in the campaign's span tree.
+            telemetry = get_telemetry()
+            dropped_before = telemetry.counter("engine.points_dropped")
+            with telemetry.span(f"experiment.{experiment_id}"):
+                with telemetry.time(f"experiment.{experiment_id}.seconds"):
+                    result = fn(context)
+            dropped = (
+                telemetry.counter("engine.points_dropped") - dropped_before
+            )
+            if dropped:
+                # Collect-mode sweeps dropped failed points: mark the
+                # count in the exported payload (the event log has the
+                # per-point detail).
+                result.data.setdefault("dropped_points", dropped)
+            return result
 
         _REGISTRY[experiment_id] = (title, timed)
         return timed

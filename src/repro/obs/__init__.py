@@ -1,0 +1,63 @@
+"""``repro.obs`` — the structured observability layer.
+
+The paper's central contribution is measurement infrastructure (skitter
+macros, power metering, a service element to read them out); this
+package is the reproduction's equivalent for its *own* execution:
+
+* :mod:`repro.obs.metrics` — counters, timers, **histograms** and
+  hierarchical **spans** in one mergeable :class:`Telemetry` sink
+  (subsumes the old flat ``repro.telemetry`` bag, which now re-exports
+  from here);
+* :mod:`repro.obs.events` — an incremental **JSONL event log** of run
+  lifecycle events (scheduled, started, retried, failed, cached,
+  completed) plus schema validation;
+* :mod:`repro.obs.trace` — a **Chrome trace-event / Perfetto**
+  exporter over the event log;
+* :mod:`repro.obs.profile` — the ``repro-noise profile`` campaign
+  post-mortem (latency percentiles, slowest runs, retry hot spots,
+  span tree).
+
+See DESIGN.md §7 for the span model, the event schema and the
+multiprocess merge semantics.
+"""
+
+from .events import (
+    EVENT_TYPES,
+    EventLog,
+    iter_events,
+    read_events,
+    validate_event,
+    validate_event_log,
+)
+from .metrics import (
+    RESILIENCE_COUNTERS,
+    Histogram,
+    Span,
+    Telemetry,
+    capture_telemetry,
+    get_telemetry,
+    set_telemetry,
+)
+from .profile import CampaignProfile, load_profile, render_profile
+from .trace import chrome_trace, export_chrome_trace
+
+__all__ = [
+    "Telemetry",
+    "Histogram",
+    "Span",
+    "get_telemetry",
+    "set_telemetry",
+    "capture_telemetry",
+    "RESILIENCE_COUNTERS",
+    "EventLog",
+    "EVENT_TYPES",
+    "iter_events",
+    "read_events",
+    "validate_event",
+    "validate_event_log",
+    "chrome_trace",
+    "export_chrome_trace",
+    "CampaignProfile",
+    "load_profile",
+    "render_profile",
+]

@@ -1,0 +1,550 @@
+"""Metric primitives of the observability layer: counters, timers,
+histograms and hierarchical spans, in one :class:`Telemetry` sink.
+
+This module subsumes the original flat counter bag of
+``repro.telemetry`` (which now re-exports from here) and extends it
+with the two instruments a parallel campaign cannot be tuned without:
+
+* **histograms** — latency *distributions* (per-run wall clock, cache
+  lookup latency, attempts per run) instead of accumulated totals, so
+  a ``--jobs N`` sweep exposes its p50/p95/p99 and not just a mean;
+* **spans** — a hierarchical wall-clock tree (campaign → experiment →
+  session phases) recorded through a context-manager API that costs a
+  single attribute check when tracing is disabled.
+
+Telemetry instances are also **mergeable**: a pool worker snapshots
+what it recorded for one chunk (:meth:`Telemetry.merge_payload`) and
+the parent folds it back in (:meth:`Telemetry.merge`), which is how
+worker-side metrics survive the ``ProcessPoolExecutor`` boundary (see
+:mod:`repro.engine.executor`).
+
+The module stays dependency-free and cheap enough to leave enabled
+unconditionally: a counter bump is a dict update, a timer is two
+``perf_counter`` calls, a histogram sample is a list append, and a
+disabled span is a shared no-op context manager.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import defaultdict
+from contextlib import contextmanager, nullcontext
+from typing import Iterator
+
+__all__ = [
+    "Histogram",
+    "Span",
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "capture_telemetry",
+    "RESILIENCE_COUNTERS",
+]
+
+#: The failure/retry counters the resilience layer reports (kept in one
+#: place so the CLI, the exporter and the tests agree on the names).
+RESILIENCE_COUNTERS = (
+    "engine.retries",                  # extra attempts that succeeded late
+    "engine.failures",                 # runs that exhausted their budget
+    "engine.timeouts",                 # per-run wall-clock budget hits
+    "engine.pool.degraded_to_serial",  # broken pools absorbed in-process
+    "engine.pool.chunk_failures",      # chunks re-run after pool faults
+    "engine.cache.quarantined",        # torn cache entries recomputed
+    "engine.points_dropped",           # collect-mode points kept out of sweeps
+)
+
+#: Bound on retained histogram samples; beyond it the reservoir is
+#: decimated deterministically (every other sample) so percentiles stay
+#: representative at fixed memory.
+HISTOGRAM_MAX_SAMPLES = 8192
+
+#: Bound on retained completed root spans (a campaign has a handful;
+#: the bound only guards against a pathological span-per-run pattern).
+MAX_ROOT_SPANS = 512
+
+
+class Histogram:
+    """A latency/size distribution: exact count/total/min/max plus a
+    bounded sample reservoir for percentiles.
+
+    The reservoir is decimated deterministically (keep every other
+    retained sample, double the acceptance stride) when it fills, so
+    two identical campaigns always report identical percentiles.
+    """
+
+    __slots__ = (
+        "count", "total", "min", "max",
+        "samples", "max_samples", "_stride", "_pending",
+    )
+
+    def __init__(self, max_samples: int = HISTOGRAM_MAX_SAMPLES):
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2")
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self.samples: list[float] = []
+        self.max_samples = max_samples
+        self._stride = 1
+        self._pending = 0
+
+    # -- recording ------------------------------------------------------
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._pending += 1
+        if self._pending >= self._stride:
+            self._pending = 0
+            self.samples.append(value)
+            if len(self.samples) >= self.max_samples:
+                self._decimate()
+
+    def _decimate(self) -> None:
+        self.samples = self.samples[::2]
+        self._stride *= 2
+
+    # -- reading --------------------------------------------------------
+    @property
+    def mean(self) -> float | None:
+        return self.total / self.count if self.count else None
+
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile over the retained samples (``None``
+        when nothing was observed)."""
+        if not self.samples:
+            return None
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100] (got {p})")
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def summary(self) -> dict:
+        """JSON-friendly digest (the shape ``telemetry.json`` carries)."""
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "total": round(self.total, 6),
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+            "mean": round(self.mean, 6),
+            "p50": round(self.percentile(50), 6),
+            "p95": round(self.percentile(95), 6),
+            "p99": round(self.percentile(99), 6),
+        }
+
+    # -- merging --------------------------------------------------------
+    def dump(self) -> dict:
+        """Picklable/JSON-friendly full state (for worker→parent merge)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "samples": list(self.samples),
+        }
+
+    def merge_dump(self, payload: dict) -> None:
+        """Fold a :meth:`dump` from another histogram into this one."""
+        count = int(payload.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(payload.get("total", 0.0))
+        for bound in (payload.get("min"), payload.get("max")):
+            if bound is None:
+                continue
+            bound = float(bound)
+            if self.min is None or bound < self.min:
+                self.min = bound
+            if self.max is None or bound > self.max:
+                self.max = bound
+        for sample in payload.get("samples", ()):
+            self.samples.append(float(sample))
+        while len(self.samples) >= self.max_samples:
+            self._decimate()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram(count={self.count}, retained={len(self.samples)})"
+
+
+class Span:
+    """One node of the wall-clock tree: name, bounds, nested children.
+
+    ``start_s`` is wall-clock epoch time (so spans align with event-log
+    timestamps and the Chrome trace timeline); ``duration_s`` is
+    measured on the monotonic clock.
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "start_s", "duration_s",
+        "meta", "error", "children", "_t0",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        meta: dict | None = None,
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = time.time()
+        self.duration_s: float | None = None
+        self.meta = meta or {}
+        self.error = False
+        self.children: list[Span] = []
+        self._t0 = time.perf_counter()
+
+    def close(self, error: bool = False) -> None:
+        self.duration_s = time.perf_counter() - self._t0
+        self.error = error
+
+    def to_dict(self) -> dict:
+        """JSON-friendly nested form (the span tree in snapshots)."""
+        record = {
+            "name": self.name,
+            "start_s": round(self.start_s, 6),
+            "duration_s": round(self.duration_s or 0.0, 6),
+        }
+        if self.error:
+            record["error"] = True
+        if self.meta:
+            record["meta"] = {str(k): _jsonable(v) for k, v in self.meta.items()}
+        if self.children:
+            record["children"] = [child.to_dict() for child in self.children]
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, id={self.span_id})"
+
+
+def _jsonable(value):
+    """Clamp a metadata value to something JSON-encodable."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple, set)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+#: Shared no-op context manager returned by :meth:`Telemetry.span` when
+#: tracing is disabled — the "zero overhead" path is one attribute
+#: check plus returning this singleton.
+_NULL_SPAN = nullcontext()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one :class:`Span` on a
+    telemetry instance's span stack (exception-safe: the stack unwinds
+    and the span is marked errored when the body raises)."""
+
+    __slots__ = ("_telemetry", "_name", "_meta", "_span")
+
+    def __init__(self, telemetry: "Telemetry", name: str, meta: dict):
+        self._telemetry = telemetry
+        self._name = name
+        self._meta = meta
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._telemetry._open_span(self._name, self._meta)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._telemetry._close_span(self._span, error=exc_type is not None)
+        return False
+
+
+class Telemetry:
+    """A bag of named counters, accumulated timers, histograms and —
+    when tracing is enabled — hierarchical spans and lifecycle events."""
+
+    def __init__(self) -> None:
+        self.counters: defaultdict[str, int] = defaultdict(int)
+        self.timers: defaultdict[str, float] = defaultdict(float)
+        self.histograms: dict[str, Histogram] = {}
+        self.events = None  # optional repro.obs.events.EventLog
+        self.span_roots: list[Span] = []
+        self.span_stats: dict[str, list] = {}  # name -> [count, total_s]
+        self._tracing = False
+        self._span_stack: list[Span] = []
+        self._span_seq = 0
+
+    # -- recording ------------------------------------------------------
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Add *amount* to counter *name*."""
+        self.counters[name] += amount
+
+    def observe_seconds(self, name: str, seconds: float) -> None:
+        """Accumulate *seconds* under timer *name*."""
+        self.timers[name] += seconds
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram *name*."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block into timer *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe_seconds(name, time.perf_counter() - start)
+
+    # -- tracing (spans + events) ---------------------------------------
+    @property
+    def tracing(self) -> bool:
+        return self._tracing
+
+    def enable_tracing(self, events=None) -> None:
+        """Turn span recording on, optionally attaching an event sink
+        (:class:`repro.obs.events.EventLog`) that span closures and
+        lifecycle events are written to."""
+        self._tracing = True
+        if events is not None:
+            self.events = events
+
+    def span(self, name: str, **meta):
+        """A context manager that records a :class:`Span` around its
+        body — or a shared no-op when tracing is disabled."""
+        if not self._tracing:
+            return _NULL_SPAN
+        return _SpanContext(self, name, meta)
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one lifecycle event to the attached event log (no-op
+        without a sink, so instrumented code never checks)."""
+        sink = self.events
+        if sink is not None:
+            sink.emit(event, **fields)
+
+    def _open_span(self, name: str, meta: dict) -> Span:
+        self._span_seq += 1
+        parent = self._span_stack[-1] if self._span_stack else None
+        span = Span(
+            name,
+            self._span_seq,
+            parent.span_id if parent is not None else None,
+            meta,
+        )
+        self._span_stack.append(span)
+        return span
+
+    def _close_span(self, span: Span, error: bool = False) -> None:
+        span.close(error=error)
+        # Unwind to this span even if inner spans leaked (an inner body
+        # that raised past its __exit__ cannot wedge the stack).
+        while self._span_stack:
+            popped = self._span_stack.pop()
+            if popped is span:
+                break
+        parent = self._span_stack[-1] if self._span_stack else None
+        if parent is not None:
+            parent.children.append(span)
+        elif len(self.span_roots) < MAX_ROOT_SPANS:
+            self.span_roots.append(span)
+        stats = self.span_stats.setdefault(span.name, [0, 0.0])
+        stats[0] += 1
+        stats[1] += span.duration_s or 0.0
+        self.emit(
+            "span",
+            name=span.name,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            start_s=round(span.start_s, 6),
+            dur_s=round(span.duration_s or 0.0, 6),
+            error=span.error,
+            **{f"meta_{k}": _jsonable(v) for k, v in span.meta.items()},
+        )
+
+    # -- reading --------------------------------------------------------
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def timer(self, name: str) -> float:
+        return self.timers.get(name, 0.0)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self.histograms.get(name)
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of engine cache lookups served from cache (0 when
+        no lookups happened yet)."""
+        hits = self.counter("engine.cache.hits")
+        misses = self.counter("engine.cache.misses")
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def resilience_summary(self) -> dict[str, int]:
+        """The non-zero failure/retry/degradation counters — what a
+        post-mortem of a rough campaign looks at first."""
+        return {
+            name: self.counter(name)
+            for name in RESILIENCE_COUNTERS
+            if self.counter(name)
+        }
+
+    def span_summary(self) -> dict[str, dict]:
+        """Per-span-name count and total wall clock."""
+        return {
+            name: {"count": stats[0], "total_seconds": round(stats[1], 6)}
+            for name, stats in sorted(self.span_stats.items())
+        }
+
+    def snapshot(self) -> dict:
+        """A JSON-friendly copy of the current state (round-trips
+        through ``json.dumps``/``loads`` unchanged)."""
+        snapshot = {
+            "counters": dict(self.counters),
+            "timers": {name: round(s, 6) for name, s in self.timers.items()},
+            "cache_hit_rate": round(self.cache_hit_rate(), 4),
+            "resilience": self.resilience_summary(),
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self.histograms.items())
+            },
+            "spans": self.span_summary(),
+        }
+        if self.span_roots:
+            snapshot["span_tree"] = [
+                span.to_dict() for span in self.span_roots
+            ]
+        return snapshot
+
+    def reset(self) -> None:
+        """Clear all counters, timers, histograms and span state (the
+        event sink is left attached)."""
+        self.counters.clear()
+        self.timers.clear()
+        self.histograms.clear()
+        self.span_roots.clear()
+        self.span_stats.clear()
+        self._span_stack.clear()
+        self._span_seq = 0
+
+    # -- merging (worker → parent) --------------------------------------
+    def merge_payload(self) -> dict:
+        """A picklable snapshot of everything mergeable — what a pool
+        worker ships back to the parent per chunk.  Spans/events are
+        deliberately excluded: they are parent-side instruments (the
+        parent is the event log's single writer)."""
+        return {
+            "counters": dict(self.counters),
+            "timers": dict(self.timers),
+            "histograms": {
+                name: histogram.dump()
+                for name, histogram in self.histograms.items()
+            },
+        }
+
+    def merge(self, payload: dict | None) -> None:
+        """Fold a :meth:`merge_payload` (e.g. from a pool worker) into
+        this instance: counters and timers add, histogram reservoirs
+        combine."""
+        if not payload:
+            return
+        for name, amount in payload.get("counters", {}).items():
+            self.counters[name] += amount
+        for name, seconds in payload.get("timers", {}).items():
+            self.timers[name] += seconds
+        for name, dump in payload.get("histograms", {}).items():
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram()
+            histogram.merge_dump(dump)
+
+    # -- rendering ------------------------------------------------------
+    def report(self) -> str:
+        """A printable profile of everything recorded so far."""
+        lines = ["-- telemetry --"]
+        if not (self.counters or self.timers or self.histograms):
+            lines.append("(nothing recorded)")
+            return "\n".join(lines)
+        for name in sorted(self.counters):
+            lines.append(f"{name:<40} {self.counters[name]}")
+        for name in sorted(self.timers):
+            lines.append(f"{name:<40} {self.timers[name]:.3f}s")
+        lookups = self.counter("engine.cache.hits") + self.counter(
+            "engine.cache.misses"
+        )
+        if lookups:
+            lines.append(
+                f"{'engine.cache.hit_rate':<40} "
+                f"{100.0 * self.cache_hit_rate():.1f}%"
+            )
+        for name in sorted(self.histograms):
+            histogram = self.histograms[name]
+            if not histogram.count:
+                continue
+            lines.append(
+                f"{name:<40} n={histogram.count} "
+                f"p50={histogram.percentile(50):.6g} "
+                f"p95={histogram.percentile(95):.6g} "
+                f"p99={histogram.percentile(99):.6g}"
+            )
+        for name, stats in sorted(self.span_stats.items()):
+            lines.append(
+                f"span {name:<35} n={stats[0]} total={stats[1]:.3f}s"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Telemetry(counters={len(self.counters)}, "
+            f"timers={len(self.timers)}, "
+            f"histograms={len(self.histograms)})"
+        )
+
+
+#: Process-wide default instance used by components not handed one.
+_GLOBAL = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide default :class:`Telemetry` instance."""
+    return _GLOBAL
+
+
+def set_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Swap the process-wide default instance (tests, isolated
+    campaigns); returns the previous one."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = telemetry
+    return previous
+
+
+@contextmanager
+def capture_telemetry() -> Iterator[Telemetry]:
+    """Route ambient (:func:`get_telemetry`) recording into a fresh,
+    private :class:`Telemetry` for the duration of the block.
+
+    This is the worker-side half of the multiprocess merge: a pool
+    worker captures everything one chunk records, ships
+    ``local.merge_payload()`` back with the results, and the parent
+    folds it into the campaign sink.  Components holding an *explicit*
+    telemetry reference are unaffected — only ambient lookups divert.
+    """
+    local = Telemetry()
+    previous = set_telemetry(local)
+    try:
+        yield local
+    finally:
+        set_telemetry(previous)

@@ -1,0 +1,269 @@
+"""Campaign post-mortem profiler over a JSONL event trace.
+
+``repro-noise profile <events.jsonl>`` renders, from the trace a
+``--trace`` campaign left behind: the merged campaign counters, the
+per-run latency distribution (p50/p95/p99), the slowest runs, the
+retry hot spots, the cache hit rate, dropped/failed points, and the
+span tree (campaign → experiment → session phases) with durations.
+
+Everything is computed offline from the log — the profiler works on a
+trace from a campaign that is still running, or one that was killed
+midway (the incremental log is readable at any prefix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .events import read_events
+from .metrics import Histogram
+
+__all__ = ["CampaignProfile", "load_profile", "render_profile"]
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span of the trace's wall-clock tree."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_s: float
+    dur_s: float
+    error: bool = False
+    children: list["SpanNode"] = field(default_factory=list)
+
+
+@dataclass
+class CampaignProfile:
+    """Digest of one campaign's event trace."""
+
+    events: list[dict]
+    counters: dict[str, int]
+    run_seconds: Histogram
+    completed_runs: list[dict]
+    failed_runs: list[dict]
+    retried_runs: list[dict]
+    cached: int
+    scheduled: int
+    dropped_points: list[dict]
+    experiments: list[str]
+    span_roots: list[SpanNode]
+    snapshot: dict | None
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_events(cls, events: list[dict]) -> "CampaignProfile":
+        run_seconds = Histogram()
+        completed: list[dict] = []
+        failed: list[dict] = []
+        retried: list[dict] = []
+        dropped: list[dict] = []
+        experiments: list[str] = []
+        spans: dict[int, SpanNode] = {}
+        cached = scheduled = 0
+        snapshot: dict | None = None
+        for event in events:
+            kind = event.get("event")
+            if kind == "run.completed":
+                completed.append(event)
+                if isinstance(event.get("dur_s"), (int, float)):
+                    run_seconds.observe(float(event["dur_s"]))
+                if int(event.get("attempts", 1)) > 1:
+                    retried.append(event)
+            elif kind == "run.failed":
+                failed.append(event)
+                if int(event.get("attempts", 1)) > 1:
+                    retried.append(event)
+            elif kind == "run.cached":
+                cached += 1
+            elif kind == "run.scheduled":
+                scheduled += 1
+            elif kind == "point.dropped":
+                dropped.append(event)
+            elif kind == "experiment.started":
+                name = str(event.get("experiment", "?"))
+                if name not in experiments:
+                    experiments.append(name)
+            elif kind == "campaign.completed":
+                found = event.get("snapshot")
+                if isinstance(found, dict):
+                    snapshot = found
+            elif kind == "span" and isinstance(event.get("span_id"), int):
+                spans[event["span_id"]] = SpanNode(
+                    name=str(event.get("name", "span")),
+                    span_id=event["span_id"],
+                    parent_id=event.get("parent_id"),
+                    start_s=float(event.get("start_s", event.get("ts", 0.0))),
+                    dur_s=float(event.get("dur_s", 0.0)),
+                    error=bool(event.get("error", False)),
+                )
+        roots: list[SpanNode] = []
+        for node in spans.values():
+            parent = spans.get(node.parent_id)
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                roots.append(node)
+        for node in spans.values():
+            node.children.sort(key=lambda child: child.start_s)
+        roots.sort(key=lambda node: node.start_s)
+        counters = dict(snapshot.get("counters", {})) if snapshot else {}
+        return cls(
+            events=events,
+            counters=counters,
+            run_seconds=run_seconds,
+            completed_runs=completed,
+            failed_runs=failed,
+            retried_runs=retried,
+            cached=cached,
+            scheduled=scheduled,
+            dropped_points=dropped,
+            experiments=experiments,
+            span_roots=roots,
+            snapshot=snapshot,
+        )
+
+    # -- derived --------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """A merged campaign counter: from the final telemetry snapshot
+        when the trace has one, else re-derived from the raw events."""
+        if self.counters:
+            return int(self.counters.get(name, 0))
+        derived = {
+            "engine.cache.hits": self.cached,
+            "engine.runs_executed": len(self.completed_runs),
+            "engine.failures": len(self.failed_runs),
+            "engine.retries": sum(
+                int(e.get("attempts", 1)) - 1 for e in self.retried_runs
+            ),
+            "engine.points_dropped": len(self.dropped_points),
+        }
+        return derived.get(name, 0)
+
+    def hit_rate(self) -> float:
+        hits = self.counter("engine.cache.hits")
+        misses = self.counter("engine.cache.misses") or self.scheduled
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def slowest_runs(self, top: int = 5) -> list[dict]:
+        return sorted(
+            (e for e in self.completed_runs
+             if isinstance(e.get("dur_s"), (int, float))),
+            key=lambda e: e["dur_s"],
+            reverse=True,
+        )[:top]
+
+    def retry_hot_spots(self, top: int = 5) -> list[dict]:
+        return sorted(
+            self.retried_runs,
+            key=lambda e: int(e.get("attempts", 1)),
+            reverse=True,
+        )[:top]
+
+
+def load_profile(path: str | Path) -> CampaignProfile:
+    """Build a :class:`CampaignProfile` from a JSONL trace file."""
+    return CampaignProfile.from_events(read_events(path))
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def _render_span(node: SpanNode, depth: int, lines: list[str]) -> None:
+    marker = " !" if node.error else ""
+    lines.append(
+        f"{'  ' * depth}{node.name:<{max(1, 38 - 2 * depth)}} "
+        f"{_fmt_seconds(node.dur_s)}{marker}"
+    )
+    for child in node.children:
+        _render_span(child, depth + 1, lines)
+
+
+def render_profile(profile: CampaignProfile, top: int = 5) -> str:
+    """The printable campaign post-mortem."""
+    lines = ["== campaign profile =="]
+    n_runs = len(profile.completed_runs)
+    lines.append(
+        f"events: {len(profile.events)}   experiments: "
+        f"{', '.join(profile.experiments) or '(none recorded)'}"
+    )
+    lines.append(
+        f"runs executed: {n_runs}   cached replays: {profile.cached}   "
+        f"failed: {len(profile.failed_runs)}   "
+        f"hit rate: {100.0 * profile.hit_rate():.1f}%"
+    )
+    resilience = []
+    for name in ("engine.retries", "engine.timeouts",
+                 "engine.pool.degraded_to_serial",
+                 "engine.cache.quarantined", "engine.points_dropped"):
+        count = profile.counter(name)
+        if count:
+            resilience.append(f"{name}={count}")
+    if resilience:
+        lines.append("resilience: " + ", ".join(resilience))
+
+    histogram = profile.run_seconds
+    if histogram.count:
+        lines.append("")
+        lines.append("-- run latency --")
+        lines.append(
+            f"n={histogram.count}  "
+            f"p50={_fmt_seconds(histogram.percentile(50))}  "
+            f"p95={_fmt_seconds(histogram.percentile(95))}  "
+            f"p99={_fmt_seconds(histogram.percentile(99))}  "
+            f"max={_fmt_seconds(histogram.max)}"
+        )
+        slowest = profile.slowest_runs(top)
+        if slowest:
+            lines.append(f"slowest {len(slowest)} run(s):")
+            for event in slowest:
+                lines.append(
+                    f"  {_fmt_seconds(float(event['dur_s'])):>10}  "
+                    f"{event.get('run', '?')}"
+                )
+
+    hot = profile.retry_hot_spots(top)
+    if hot:
+        lines.append("")
+        lines.append("-- retry hot spots --")
+        for event in hot:
+            lines.append(
+                f"  attempts={event.get('attempts', 1)}  "
+                f"{event.get('run', '?')}"
+                + (
+                    f"  [{event.get('error')}]"
+                    if event.get("event") == "run.failed"
+                    else ""
+                )
+            )
+
+    if profile.failed_runs:
+        lines.append("")
+        lines.append(f"-- failed runs ({len(profile.failed_runs)}) --")
+        for event in profile.failed_runs[:top]:
+            lines.append(
+                f"  {event.get('run', '?')}: {event.get('error', '?')}"
+            )
+
+    if profile.dropped_points:
+        lines.append("")
+        lines.append(
+            f"-- dropped points ({len(profile.dropped_points)}) --"
+        )
+        for event in profile.dropped_points[:top]:
+            lines.append(
+                f"  {event.get('sweep', '?')}: {event.get('run', '?')}"
+            )
+
+    if profile.span_roots:
+        lines.append("")
+        lines.append("-- span tree --")
+        for root in profile.span_roots:
+            _render_span(root, 0, lines)
+    return "\n".join(lines)

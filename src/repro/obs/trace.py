@@ -1,0 +1,141 @@
+"""Chrome trace-event exporter (Perfetto / ``chrome://tracing``).
+
+Converts a campaign's JSONL event log into the Chrome trace-event JSON
+format, so a ``--jobs N`` sweep can be inspected on a real timeline UI:
+spans become duration (``"ph": "X"``) slices on the *campaign* track,
+individual runs become slices on a *runs* track (their start
+reconstructed as ``completion - duration``), and the remaining
+lifecycle events become instants.
+
+The exporter is offline-only — it reads the event log the campaign
+already wrote, adding zero cost to the instrumented hot path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from ..ioutil import atomic_write_json
+
+__all__ = ["chrome_trace", "export_chrome_trace"]
+
+#: Synthetic process/thread ids for the trace tracks.
+PID = 1
+TID_SPANS = 1
+TID_RUNS = 2
+TID_EVENTS = 3
+
+#: Lifecycle events that already appear as slices elsewhere and would
+#: only clutter the instant track.
+_SKIP_INSTANTS = frozenset({"span", "run.completed"})
+
+
+def _track_names() -> list[dict]:
+    return [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": PID,
+            "tid": tid,
+            "args": {"name": name},
+        }
+        for tid, name in (
+            (TID_SPANS, "spans (campaign/experiment/session)"),
+            (TID_RUNS, "runs"),
+            (TID_EVENTS, "lifecycle events"),
+        )
+    ]
+
+
+def chrome_trace(events: Iterable[dict]) -> dict:
+    """Build a Chrome trace-event payload from event records.
+
+    Timestamps are microseconds relative to the earliest event, which
+    keeps the JSON compact and the timeline anchored at zero.
+    """
+    events = [e for e in events if "_malformed" not in e]
+    stamps = [e["ts"] for e in events if isinstance(e.get("ts"), (int, float))]
+    for event in events:
+        start = event.get("start_s")
+        if isinstance(start, (int, float)):
+            stamps.append(start)
+        # Run slices start at completion - duration; the origin must
+        # cover them too or the earliest run gets a negative timestamp.
+        if (
+            event.get("event") == "run.completed"
+            and isinstance(event.get("ts"), (int, float))
+            and isinstance(event.get("dur_s"), (int, float))
+        ):
+            stamps.append(event["ts"] - event["dur_s"])
+    origin = min(stamps) if stamps else 0.0
+
+    def us(seconds: float) -> float:
+        return round((seconds - origin) * 1e6, 1)
+
+    trace_events: list[dict] = list(_track_names())
+    for event in events:
+        kind = event.get("event")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            continue
+        if kind == "span":
+            start = event.get("start_s", ts)
+            duration = float(event.get("dur_s", 0.0))
+            args = {
+                key: value
+                for key, value in event.items()
+                if key not in ("event", "ts", "name", "start_s", "dur_s")
+            }
+            trace_events.append({
+                "name": str(event.get("name", "span")),
+                "cat": "span",
+                "ph": "X",
+                "ts": us(float(start)),
+                "dur": round(duration * 1e6, 1),
+                "pid": PID,
+                "tid": TID_SPANS,
+                "args": args,
+            })
+        elif kind == "run.completed" and isinstance(
+            event.get("dur_s"), (int, float)
+        ):
+            duration = float(event["dur_s"])
+            trace_events.append({
+                "name": str(event.get("run", "run")),
+                "cat": "run",
+                "ph": "X",
+                "ts": us(float(ts) - duration),
+                "dur": round(duration * 1e6, 1),
+                "pid": PID,
+                "tid": TID_RUNS,
+                "args": {
+                    "attempts": event.get("attempts", 1),
+                    "fingerprint": event.get("fingerprint"),
+                },
+            })
+        elif kind not in _SKIP_INSTANTS and isinstance(kind, str):
+            args = {
+                key: value
+                for key, value in event.items()
+                if key not in ("event", "ts")
+            }
+            trace_events.append({
+                "name": kind,
+                "cat": "lifecycle",
+                "ph": "i",
+                "s": "g",
+                "ts": us(float(ts)),
+                "pid": PID,
+                "tid": TID_EVENTS,
+                "args": args,
+            })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(
+    events: Iterable[dict], path: str | Path
+) -> Path:
+    """Write the Chrome trace JSON for *events* to *path* (atomically);
+    returns the path."""
+    return atomic_write_json(Path(path), chrome_trace(events))

@@ -1,149 +1,31 @@
-"""Lightweight counters and timers for the simulation engine.
+"""Compatibility façade over :mod:`repro.obs.metrics`.
 
-Every hot-path component (the run engine, the result cache, the
-experiment drivers) reports into a :class:`Telemetry` instance:
-monotonically increasing **counters** (runs executed, cache hits and
-misses, GA fitness evaluations) and accumulated **timers** (solver
-wall-clock, per-experiment wall-clock).  A process-wide default
-instance backs all components that are not handed an explicit one, so
-``repro-noise run all --profile`` can print a single consolidated
-profile of a whole campaign.
-
-The module is dependency-free and cheap enough to leave enabled
-unconditionally: a counter bump is a dict update, a timer is two
-``perf_counter`` calls.
+The engine's original flat counter/timer bag lived here; the
+observability layer (PR 3) subsumed it into :mod:`repro.obs`, which
+adds histograms, hierarchical spans, lifecycle events and the
+multiprocess merge.  Every existing import site
+(``from repro.telemetry import Telemetry, get_telemetry``) keeps
+working through this module.
 """
 
 from __future__ import annotations
 
-import time
-from collections import defaultdict
-from contextlib import contextmanager
-from typing import Iterator
+from .obs.metrics import (  # noqa: F401
+    RESILIENCE_COUNTERS,
+    Histogram,
+    Span,
+    Telemetry,
+    capture_telemetry,
+    get_telemetry,
+    set_telemetry,
+)
 
 __all__ = [
     "Telemetry",
+    "Histogram",
+    "Span",
     "get_telemetry",
     "set_telemetry",
+    "capture_telemetry",
     "RESILIENCE_COUNTERS",
 ]
-
-#: The failure/retry counters the resilience layer reports (kept in one
-#: place so the CLI, the exporter and the tests agree on the names).
-RESILIENCE_COUNTERS = (
-    "engine.retries",                  # extra attempts that succeeded late
-    "engine.failures",                 # runs that exhausted their budget
-    "engine.timeouts",                 # per-run wall-clock budget hits
-    "engine.pool.degraded_to_serial",  # broken pools absorbed in-process
-    "engine.pool.chunk_failures",      # chunks re-run after pool faults
-    "engine.cache.quarantined",        # torn cache entries recomputed
-)
-
-
-class Telemetry:
-    """A bag of named counters and accumulated timers."""
-
-    def __init__(self) -> None:
-        self.counters: defaultdict[str, int] = defaultdict(int)
-        self.timers: defaultdict[str, float] = defaultdict(float)
-
-    # -- recording ------------------------------------------------------
-    def increment(self, name: str, amount: int = 1) -> None:
-        """Add *amount* to counter *name*."""
-        self.counters[name] += amount
-
-    def observe_seconds(self, name: str, seconds: float) -> None:
-        """Accumulate *seconds* under timer *name*."""
-        self.timers[name] += seconds
-
-    @contextmanager
-    def time(self, name: str) -> Iterator[None]:
-        """Time a ``with`` block into timer *name*."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.observe_seconds(name, time.perf_counter() - start)
-
-    # -- reading --------------------------------------------------------
-    def counter(self, name: str) -> int:
-        return self.counters.get(name, 0)
-
-    def timer(self, name: str) -> float:
-        return self.timers.get(name, 0.0)
-
-    def cache_hit_rate(self) -> float:
-        """Fraction of engine cache lookups served from cache (0 when
-        no lookups happened yet)."""
-        hits = self.counter("engine.cache.hits")
-        misses = self.counter("engine.cache.misses")
-        total = hits + misses
-        return hits / total if total else 0.0
-
-    def resilience_summary(self) -> dict[str, int]:
-        """The non-zero failure/retry/degradation counters — what a
-        post-mortem of a rough campaign looks at first."""
-        return {
-            name: self.counter(name)
-            for name in RESILIENCE_COUNTERS
-            if self.counter(name)
-        }
-
-    def snapshot(self) -> dict:
-        """A JSON-friendly copy of the current state."""
-        return {
-            "counters": dict(self.counters),
-            "timers": {name: round(s, 6) for name, s in self.timers.items()},
-            "cache_hit_rate": round(self.cache_hit_rate(), 4),
-            "resilience": self.resilience_summary(),
-        }
-
-    def reset(self) -> None:
-        """Clear all counters and timers."""
-        self.counters.clear()
-        self.timers.clear()
-
-    # -- rendering ------------------------------------------------------
-    def report(self) -> str:
-        """A printable profile of everything recorded so far."""
-        lines = ["-- telemetry --"]
-        if not self.counters and not self.timers:
-            lines.append("(nothing recorded)")
-            return "\n".join(lines)
-        for name in sorted(self.counters):
-            lines.append(f"{name:<40} {self.counters[name]}")
-        for name in sorted(self.timers):
-            lines.append(f"{name:<40} {self.timers[name]:.3f}s")
-        lookups = self.counter("engine.cache.hits") + self.counter(
-            "engine.cache.misses"
-        )
-        if lookups:
-            lines.append(
-                f"{'engine.cache.hit_rate':<40} "
-                f"{100.0 * self.cache_hit_rate():.1f}%"
-            )
-        return "\n".join(lines)
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (
-            f"Telemetry(counters={len(self.counters)}, "
-            f"timers={len(self.timers)})"
-        )
-
-
-#: Process-wide default instance used by components not handed one.
-_GLOBAL = Telemetry()
-
-
-def get_telemetry() -> Telemetry:
-    """The process-wide default :class:`Telemetry` instance."""
-    return _GLOBAL
-
-
-def set_telemetry(telemetry: Telemetry) -> Telemetry:
-    """Swap the process-wide default instance (tests, isolated
-    campaigns); returns the previous one."""
-    global _GLOBAL
-    previous = _GLOBAL
-    _GLOBAL = telemetry
-    return previous

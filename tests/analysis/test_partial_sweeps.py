@@ -1,0 +1,100 @@
+"""Partial (collect-mode) sweeps: failed points are dropped, counted
+and traced instead of aborting the whole campaign."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    sweep_delta_i_mappings,
+    sweep_stimulus_frequency,
+)
+from repro.engine import ResultCache, SimulationSession
+from repro.engine.resilience import RetryPolicy
+from repro.errors import ExecutionError
+from repro.faults import FaultPlan
+from repro.faults.harness import reset_fault_memo
+from repro.machine.runner import RunOptions
+from repro.obs import EventLog, Telemetry, read_events
+
+#: Permanent failures (transient=False): retry cannot absorb them, so
+#: collect-mode must drop the points.
+PERMANENT_FAULTS = FaultPlan(seed=5, exception_rate=0.4, transient=False)
+NO_RETRY = RetryPolicy(max_retries=0, backoff_base_s=0.0)
+
+
+def collect_session(chip, telemetry, events=None):
+    reset_fault_memo()
+    if events is not None:
+        telemetry.enable_tracing(events=events)
+    return SimulationSession(
+        chip,
+        RunOptions(segments=2, base_samples=1024),
+        cache=ResultCache(telemetry=telemetry),
+        executor="serial",
+        retry=NO_RETRY,
+        on_failure="collect",
+        faults=PERMANENT_FAULTS,
+        telemetry=telemetry,
+    )
+
+
+class TestCollectModeFrequencySweep:
+    def test_failed_points_dropped_counted_and_traced(
+        self, generator, chip, tmp_path
+    ):
+        telemetry = Telemetry()
+        frequencies = [1e6, 2e6, 2.6e6, 4e6, 8e6]
+        with EventLog(tmp_path / "events.jsonl") as log:
+            session = collect_session(chip, telemetry, events=log)
+            points = sweep_stimulus_frequency(
+                generator, chip, frequencies, synchronize=True,
+                n_events=200, session=session,
+            )
+        dropped = telemetry.counter("engine.points_dropped")
+        assert dropped > 0, "fault plan never fired; adjust seed/rate"
+        assert len(points) == len(frequencies) - dropped
+        # The partial shmoo keeps the frequencies that solved, aligned.
+        solved = {p.freq_hz for p in points}
+        assert solved < set(frequencies)
+        events = read_events(tmp_path / "events.jsonl")
+        drops = [e for e in events if e["event"] == "point.dropped"]
+        assert len(drops) == dropped
+        assert all(e["sweep"] == "fsweep" for e in drops)
+        assert all("InjectedFault" in e["error"] for e in drops)
+        failures = [e for e in events if e["event"] == "run.failed"]
+        assert len(failures) == dropped
+
+    def test_raise_mode_still_aborts(self, generator, chip):
+        reset_fault_memo()
+        telemetry = Telemetry()
+        session = SimulationSession(
+            chip,
+            RunOptions(segments=2, base_samples=1024),
+            cache=ResultCache(telemetry=telemetry),
+            executor="serial",
+            retry=NO_RETRY,
+            on_failure="raise",
+            faults=PERMANENT_FAULTS,
+            telemetry=telemetry,
+        )
+        with pytest.raises(ExecutionError):
+            sweep_stimulus_frequency(
+                generator, chip, [1e6, 2e6, 2.6e6, 4e6, 8e6],
+                synchronize=True, n_events=200, session=session,
+            )
+
+
+class TestCollectModeDeltaISweep:
+    def test_partial_dataset_renumbers_contiguously(self, generator, chip):
+        telemetry = Telemetry()
+        session = collect_session(chip, telemetry)
+        points = sweep_delta_i_mappings(
+            generator, chip, session=session,
+            placements_per_distribution=1,
+            workload_filter=lambda dist: dist[1] == 0,  # max-only column
+        )
+        assert telemetry.counter("engine.points_dropped") > 0
+        assert points, "every point failed; adjust seed/rate"
+        # mapping_ids stay contiguous over the surviving points.
+        assert [p.mapping_id for p in points] == list(range(len(points)))

@@ -1,10 +1,17 @@
 """Result cache tests: LRU bound, disk tier, telemetry accounting."""
 
+import os
 import pickle
+import time
 
 import pytest
 
-from repro.engine.cache import ResultCache, configure_cache, global_cache
+from repro.engine.cache import (
+    QUARANTINE_MAX_AGE_S,
+    ResultCache,
+    configure_cache,
+    global_cache,
+)
 from repro.telemetry import Telemetry
 
 
@@ -135,6 +142,60 @@ class TestQuarantine:
         cache.put("abcd", {"x": 1})
         with (tmp_path / "ab" / "abcd.pkl").open("rb") as handle:
             assert pickle.load(handle) == {"x": 1}
+
+
+class TestQuarantineAging:
+    @staticmethod
+    def seed_quarantine(tmp_path, names, age_s=0.0):
+        quarantine = tmp_path / "quarantine"
+        quarantine.mkdir(parents=True, exist_ok=True)
+        now = time.time()
+        for name in names:
+            path = quarantine / f"{name}.pkl"
+            path.write_bytes(b"junk")
+            os.utime(path, (now - age_s, now - age_s))
+        return quarantine
+
+    def test_stale_entries_pruned_on_open(self, tmp_path, telemetry):
+        quarantine = self.seed_quarantine(
+            tmp_path, ["old1", "old2"], age_s=QUARANTINE_MAX_AGE_S + 60
+        )
+        self.seed_quarantine(tmp_path, ["fresh"], age_s=60.0)
+        ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        survivors = sorted(p.name for p in quarantine.iterdir())
+        assert survivors == ["fresh.pkl"]
+        assert telemetry.counter("engine.cache.quarantine_pruned") == 2
+
+    def test_count_bound_drops_oldest_first(self, tmp_path, telemetry):
+        quarantine = tmp_path / "quarantine"
+        quarantine.mkdir(parents=True)
+        now = time.time()
+        for i in range(6):  # entry0 is the oldest
+            path = quarantine / f"entry{i}.pkl"
+            path.write_bytes(b"junk")
+            os.utime(path, (now - 600 + i, now - 600 + i))
+        cache = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        pruned = cache.prune_quarantine(max_entries=4, max_age_s=86400.0)
+        assert pruned == 2
+        survivors = sorted(p.name for p in quarantine.iterdir())
+        assert survivors == [f"entry{i}.pkl" for i in range(2, 6)]
+
+    def test_fresh_small_quarantine_untouched(self, tmp_path, telemetry):
+        quarantine = self.seed_quarantine(tmp_path, ["a", "b"], age_s=10.0)
+        cache = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        assert cache.prune_quarantine() == 0
+        assert len(list(quarantine.iterdir())) == 2
+        assert telemetry.counter("engine.cache.quarantine_pruned") == 0
+
+    def test_injected_ts_makes_aging_deterministic(self, tmp_path, telemetry):
+        self.seed_quarantine(tmp_path, ["x"], age_s=0.0)
+        cache = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        future = time.time() + QUARANTINE_MAX_AGE_S + 1.0
+        assert cache.prune_quarantine(now=future) == 1
+
+    def test_missing_quarantine_dir_is_fine(self, tmp_path, telemetry):
+        cache = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
+        assert cache.prune_quarantine() == 0
 
 
 class TestGlobalCache:

@@ -1,0 +1,249 @@
+"""Metric primitive tests: histograms, spans, snapshots, merging."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs import Histogram, Telemetry, capture_telemetry, get_telemetry
+from repro.obs.metrics import HISTOGRAM_MAX_SAMPLES
+
+
+class TestHistogram:
+    def test_empty_histogram_reads_as_nothing(self):
+        histogram = Histogram()
+        assert histogram.count == 0
+        assert histogram.mean is None
+        assert histogram.percentile(50) is None
+        assert histogram.percentile(99) is None
+        assert histogram.summary() == {"count": 0}
+
+    def test_single_sample_is_every_percentile(self):
+        histogram = Histogram()
+        histogram.observe(7.5)
+        assert histogram.percentile(0) == 7.5
+        assert histogram.percentile(50) == 7.5
+        assert histogram.percentile(100) == 7.5
+        assert histogram.min == histogram.max == histogram.mean == 7.5
+
+    def test_many_samples_nearest_rank(self):
+        histogram = Histogram()
+        for value in range(1, 101):  # 1..100
+            histogram.observe(value)
+        assert histogram.percentile(50) == 50
+        assert histogram.percentile(95) == 95
+        assert histogram.percentile(99) == 99
+        assert histogram.percentile(100) == 100
+        assert histogram.percentile(0) == 1  # nearest-rank floor
+
+    def test_order_does_not_matter(self):
+        forward, backward = Histogram(), Histogram()
+        for value in range(50):
+            forward.observe(value)
+            backward.observe(49 - value)
+        for p in (25, 50, 75, 95):
+            assert forward.percentile(p) == backward.percentile(p)
+
+    def test_percentile_bounds_rejected(self):
+        histogram = Histogram()
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.percentile(-1)
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_reservoir_is_bounded_but_count_exact(self):
+        histogram = Histogram(max_samples=64)
+        for value in range(1000):
+            histogram.observe(value)
+        assert histogram.count == 1000
+        assert len(histogram.samples) < 64
+        assert histogram.min == 0 and histogram.max == 999
+        # Decimation keeps percentiles representative.
+        assert 400 <= histogram.percentile(50) <= 600
+
+    def test_decimation_is_deterministic(self):
+        a, b = Histogram(max_samples=32), Histogram(max_samples=32)
+        for value in range(500):
+            a.observe(value)
+            b.observe(value)
+        assert a.samples == b.samples
+        assert a.percentile(95) == b.percentile(95)
+
+    def test_merge_dump_combines_exact_stats(self):
+        a, b = Histogram(), Histogram()
+        for value in (1.0, 2.0, 3.0):
+            a.observe(value)
+        for value in (10.0, 20.0):
+            b.observe(value)
+        a.merge_dump(b.dump())
+        assert a.count == 5
+        assert a.total == 36.0
+        assert a.min == 1.0 and a.max == 20.0
+        assert a.percentile(100) == 20.0
+
+    def test_merge_empty_dump_is_noop(self):
+        histogram = Histogram()
+        histogram.observe(4.0)
+        histogram.merge_dump(Histogram().dump())
+        assert histogram.count == 1
+
+    def test_default_bound(self):
+        assert Histogram().max_samples == HISTOGRAM_MAX_SAMPLES
+
+
+class TestSnapshot:
+    def test_snapshot_round_trips_through_json(self):
+        telemetry = Telemetry()
+        telemetry.increment("engine.runs", 3)
+        telemetry.observe_seconds("engine.run_seconds", 1.25)
+        telemetry.observe("engine.run.seconds", 0.5)
+        telemetry.observe("engine.run.seconds", 1.5)
+        telemetry.enable_tracing()
+        with telemetry.span("campaign", experiments=1):
+            with telemetry.span("experiment.fig7a"):
+                pass
+        snapshot = telemetry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["counters"]["engine.runs"] == 3
+        assert snapshot["histograms"]["engine.run.seconds"]["count"] == 2
+        assert snapshot["spans"]["campaign"]["count"] == 1
+        tree = snapshot["span_tree"]
+        assert tree[0]["name"] == "campaign"
+        assert tree[0]["children"][0]["name"] == "experiment.fig7a"
+
+    def test_snapshot_survives_unjsonable_span_meta(self):
+        telemetry = Telemetry()
+        telemetry.enable_tracing()
+        with telemetry.span("lookup", key=object(), tag=("a", 1)):
+            pass
+        snapshot = telemetry.snapshot()
+        assert json.loads(json.dumps(snapshot)) == snapshot
+
+    def test_reset_clears_everything(self):
+        telemetry = Telemetry()
+        telemetry.increment("n")
+        telemetry.observe("h", 1.0)
+        telemetry.enable_tracing()
+        with telemetry.span("s"):
+            pass
+        telemetry.reset()
+        assert not telemetry.counters
+        assert not telemetry.histograms
+        assert not telemetry.span_roots
+        assert not telemetry.span_stats
+
+
+class TestSpans:
+    def test_disabled_spans_share_one_noop(self):
+        telemetry = Telemetry()
+        assert telemetry.span("a") is telemetry.span("b")
+        with telemetry.span("a"):
+            pass
+        assert telemetry.span_roots == []
+
+    def test_nesting_builds_a_tree(self):
+        telemetry = Telemetry()
+        telemetry.enable_tracing()
+        with telemetry.span("outer"):
+            with telemetry.span("inner-1"):
+                pass
+            with telemetry.span("inner-2"):
+                pass
+        (root,) = telemetry.span_roots
+        assert root.name == "outer"
+        assert [child.name for child in root.children] == [
+            "inner-1", "inner-2",
+        ]
+        assert root.duration_s >= max(
+            child.duration_s for child in root.children
+        )
+
+    def test_exception_unwinds_and_marks_error(self):
+        telemetry = Telemetry()
+        telemetry.enable_tracing()
+        with pytest.raises(RuntimeError):
+            with telemetry.span("outer"):
+                with telemetry.span("inner"):
+                    raise RuntimeError("boom")
+        (root,) = telemetry.span_roots
+        assert root.error and root.children[0].error
+        # The stack fully unwound: new spans are roots again.
+        with telemetry.span("after"):
+            pass
+        assert [span.name for span in telemetry.span_roots] == [
+            "outer", "after",
+        ]
+        assert telemetry._span_stack == []
+
+    def test_span_stats_accumulate(self):
+        telemetry = Telemetry()
+        telemetry.enable_tracing()
+        for _ in range(3):
+            with telemetry.span("phase"):
+                pass
+        assert telemetry.span_summary()["phase"]["count"] == 3
+
+
+class TestMerge:
+    def test_merge_adds_counters_timers_histograms(self):
+        parent, worker = Telemetry(), Telemetry()
+        parent.increment("engine.runs", 2)
+        worker.increment("engine.runs", 3)
+        worker.increment("engine.solver.invocations", 3)
+        worker.observe_seconds("engine.solver.seconds", 0.5)
+        worker.observe("engine.run.seconds", 0.1)
+        parent.merge(worker.merge_payload())
+        assert parent.counter("engine.runs") == 5
+        assert parent.counter("engine.solver.invocations") == 3
+        assert parent.timer("engine.solver.seconds") == 0.5
+        assert parent.histogram("engine.run.seconds").count == 1
+
+    def test_merge_payload_is_picklable(self):
+        worker = Telemetry()
+        worker.increment("n")
+        worker.observe("h", 2.0)
+        payload = pickle.loads(pickle.dumps(worker.merge_payload()))
+        parent = Telemetry()
+        parent.merge(payload)
+        assert parent.counter("n") == 1
+
+    def test_merge_none_is_noop(self):
+        parent = Telemetry()
+        parent.merge(None)
+        parent.merge({})
+        assert not parent.counters
+
+
+class TestCaptureTelemetry:
+    def test_ambient_recording_diverts_then_restores(self):
+        ambient = get_telemetry()
+        before = ambient.counter("captured")
+        with capture_telemetry() as local:
+            get_telemetry().increment("captured")
+            assert local.counter("captured") == 1
+        assert ambient.counter("captured") == before
+        assert get_telemetry() is ambient
+
+    def test_restores_on_exception(self):
+        ambient = get_telemetry()
+        with pytest.raises(ValueError):
+            with capture_telemetry():
+                raise ValueError("boom")
+        assert get_telemetry() is ambient
+
+
+class TestReport:
+    def test_report_renders_histograms_and_spans(self):
+        telemetry = Telemetry()
+        telemetry.increment("engine.runs", 2)
+        for value in (0.1, 0.2, 0.3):
+            telemetry.observe("engine.run.seconds", value)
+        telemetry.enable_tracing()
+        with telemetry.span("campaign"):
+            pass
+        report = telemetry.report()
+        assert "p95=" in report
+        assert "span campaign" in report

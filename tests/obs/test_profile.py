@@ -1,0 +1,154 @@
+"""Profiler and Chrome-trace exporter tests (offline, synthetic traces)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    CampaignProfile,
+    EventLog,
+    chrome_trace,
+    export_chrome_trace,
+    load_profile,
+    render_profile,
+)
+
+
+def synthetic_trace(path):
+    """A small but complete campaign trace: spans, cached and executed
+    runs, a retry, a failure and a dropped point."""
+    with EventLog(path) as log:
+        log.emit("campaign.started", experiments=["fig7a"])
+        log.emit("experiment.started", experiment="fig7a")
+        log.emit("run.cached", run=("fsweep", 1))
+        log.emit("run.scheduled", run=("fsweep", 2))
+        log.emit("run.scheduled", run=("fsweep", 3))
+        log.emit("run.started", run=("fsweep", 2))
+        log.emit("run.completed", run=("fsweep", 2), dur_s=0.25, attempts=1)
+        log.emit("run.started", run=("fsweep", 3))
+        log.emit("run.retried", run=("fsweep", 3), retries=2)
+        log.emit("run.completed", run=("fsweep", 3), dur_s=0.75, attempts=3)
+        log.emit(
+            "run.failed",
+            run=("fsweep", 4),
+            dur_s=0.1,
+            attempts=3,
+            error="SolverError: diverged",
+        )
+        log.emit(
+            "point.dropped",
+            sweep="fsweep",
+            run=("fsweep", 4),
+            error="SolverError: diverged",
+        )
+        log.emit(
+            "span", name="session.execute", span_id=2, parent_id=1,
+            start_s=100.2, dur_s=1.0,
+        )
+        log.emit(
+            "span", name="experiment.fig7a", span_id=1, parent_id=None,
+            start_s=100.0, dur_s=1.5,
+        )
+        log.emit("experiment.completed", experiment="fig7a")
+        log.emit(
+            "campaign.completed",
+            status=0,
+            snapshot={
+                "counters": {
+                    "engine.runs_executed": 2,
+                    "engine.cache.hits": 1,
+                    "engine.cache.misses": 2,
+                    # 2 extra attempts on the retried success + 2 on
+                    # the permanent failure.
+                    "engine.retries": 4,
+                    "engine.points_dropped": 1,
+                },
+            },
+        )
+    return path
+
+
+class TestCampaignProfile:
+    def test_digest(self, tmp_path):
+        profile = load_profile(synthetic_trace(tmp_path / "events.jsonl"))
+        assert profile.experiments == ["fig7a"]
+        assert len(profile.completed_runs) == 2
+        assert len(profile.failed_runs) == 1
+        assert profile.cached == 1
+        assert profile.scheduled == 2
+        assert len(profile.dropped_points) == 1
+        assert profile.run_seconds.count == 2
+        assert profile.counter("engine.retries") == 4
+        assert abs(profile.hit_rate() - 1 / 3) < 1e-9
+
+    def test_span_tree_reconstruction(self, tmp_path):
+        profile = load_profile(synthetic_trace(tmp_path / "events.jsonl"))
+        (root,) = profile.span_roots
+        assert root.name == "experiment.fig7a"
+        assert [child.name for child in root.children] == ["session.execute"]
+
+    def test_counters_derivable_without_final_snapshot(self, tmp_path):
+        # A killed campaign never writes campaign.completed: the
+        # profiler falls back to re-deriving counts from raw events.
+        path = synthetic_trace(tmp_path / "events.jsonl")
+        events = [
+            e for e in load_profile(path).events
+            if e["event"] != "campaign.completed"
+        ]
+        profile = CampaignProfile.from_events(events)
+        assert profile.counter("engine.runs_executed") == 2
+        assert profile.counter("engine.retries") == 4
+        assert profile.counter("engine.points_dropped") == 1
+
+    def test_slowest_and_hottest(self, tmp_path):
+        profile = load_profile(synthetic_trace(tmp_path / "events.jsonl"))
+        slowest = profile.slowest_runs(1)
+        assert slowest[0]["dur_s"] == 0.75
+        hot = profile.retry_hot_spots(5)
+        assert all(int(e.get("attempts", 1)) > 1 for e in hot)
+        assert len(hot) == 2  # the 3-attempt success and the failure
+
+
+class TestRenderProfile:
+    def test_render_carries_percentiles_and_span_tree(self, tmp_path):
+        profile = load_profile(synthetic_trace(tmp_path / "events.jsonl"))
+        text = render_profile(profile)
+        assert "p50=" in text and "p95=" in text and "p99=" in text
+        assert "experiment.fig7a" in text
+        assert "session.execute" in text
+        assert "retry hot spots" in text
+        assert "dropped points (1)" in text
+        assert "hit rate: 33.3%" in text
+
+    def test_render_empty_trace(self):
+        text = render_profile(CampaignProfile.from_events([]))
+        assert "campaign profile" in text
+
+
+class TestChromeTrace:
+    def test_structure(self, tmp_path):
+        events = load_profile(synthetic_trace(tmp_path / "e.jsonl")).events
+        trace = chrome_trace(events)
+        assert json.loads(json.dumps(trace)) == trace
+        phases = {e["ph"] for e in trace["traceEvents"]}
+        assert {"M", "X", "i"} <= phases
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        # 2 spans + 2 completed runs.
+        assert len(slices) == 4
+        assert all(e["ts"] >= 0 for e in slices)
+        assert all(e["dur"] >= 0 for e in slices)
+
+    def test_run_slices_reconstruct_start(self, tmp_path):
+        events = [
+            {"ts": 10.0, "event": "run.completed", "run": "r", "dur_s": 2.0},
+        ]
+        trace = chrome_trace(events)
+        (run_slice,) = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert run_slice["ts"] == 0.0  # 10.0 - 2.0 is the trace origin
+        assert run_slice["dur"] == 2.0e6
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        events = load_profile(synthetic_trace(tmp_path / "e.jsonl")).events
+        out = export_chrome_trace(events, tmp_path / "trace.json")
+        loaded = json.loads(out.read_text())
+        assert "traceEvents" in loaded
