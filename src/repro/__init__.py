@@ -52,7 +52,7 @@ from .machine.chip import Chip, ChipConfig, reference_chip
 from .machine.runner import ChipRunner, RunOptions, RunResult
 from .machine.workload import CurrentProgram, SyncSpec, idle_program
 from .mbench.target import Target, default_target
-from .telemetry import Telemetry, get_telemetry
+from .obs import Telemetry, get_telemetry
 from .errors import ReproError
 
 __version__ = "1.0.0"

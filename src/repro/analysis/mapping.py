@@ -17,8 +17,16 @@ from ..errors import ExperimentError
 from ..machine.chip import N_CORES, Chip
 from ..machine.runner import RunOptions
 from ..machine.workload import CurrentProgram
+from ..plan.spec import RunPlan
 
-__all__ = ["MappingOutcome", "MappingStudy", "enumerate_mappings", "mapping_extremes"]
+__all__ = [
+    "MappingOutcome",
+    "MappingStudy",
+    "plan_enumerate_mappings",
+    "enumerate_mappings",
+    "plan_mapping_extremes",
+    "mapping_extremes",
+]
 
 
 @dataclass
@@ -60,6 +68,48 @@ class MappingStudy:
         return self.worst.worst_noise - self.best.worst_noise
 
 
+def _compile_placements(
+    chip: Chip,
+    program: CurrentProgram,
+    n_workloads: int,
+    idle_current: float | None,
+):
+    """The exact (mappings, tags, placements) enumeration of the
+    C(6, k) placement study — shared by the plan compiler and the
+    executor."""
+    if not 0 <= n_workloads <= N_CORES:
+        raise ExperimentError(f"cannot place {n_workloads} workloads on {N_CORES} cores")
+    if idle_current is None:
+        idle_current = chip.config.core.static_power_w / chip.vnom
+    from ..machine.workload import idle_program
+
+    idle = idle_program(idle_current)
+    placements = list(itertools.combinations(range(N_CORES), n_workloads))
+    mappings = [
+        [program if i in cores else idle for i in range(N_CORES)]
+        for cores in placements
+    ]
+    tags: list[object] = [("mapping", cores) for cores in placements]
+    return mappings, tags, placements
+
+
+def plan_enumerate_mappings(
+    chip: Chip,
+    program: CurrentProgram,
+    n_workloads: int,
+    options: RunOptions | None = None,
+    idle_current: float | None = None,
+    figure: str | None = None,
+) -> RunPlan:
+    """The declarative form of :func:`enumerate_mappings`."""
+    mappings, tags, _ = _compile_placements(
+        chip, program, n_workloads, idle_current
+    )
+    return RunPlan.from_batch(
+        chip, mappings, tags, options or RunOptions(), figure
+    )
+
+
 def enumerate_mappings(
     chip: Chip,
     program: CurrentProgram,
@@ -75,27 +125,32 @@ def enumerate_mappings(
     batch (cached placements replay; misses fan out over the session
     executor — ``--jobs N`` on the Fig. 14/15 sweeps lands here).
     """
-    if not 0 <= n_workloads <= N_CORES:
-        raise ExperimentError(f"cannot place {n_workloads} workloads on {N_CORES} cores")
     session = session or SimulationSession(chip, options)
-    if idle_current is None:
-        idle_current = chip.config.core.static_power_w / chip.vnom
-    from ..machine.workload import idle_program
-
-    idle = idle_program(idle_current)
-    placements = list(itertools.combinations(range(N_CORES), n_workloads))
-    results = session.run_many(
-        [
-            [program if i in cores else idle for i in range(N_CORES)]
-            for cores in placements
-        ],
-        tags=[("mapping", cores) for cores in placements],
+    mappings, tags, placements = _compile_placements(
+        chip, program, n_workloads, idle_current
     )
+    results = session.run_many(mappings, tags=tags)
     outcomes = [
         MappingOutcome(cores=cores, p2p_by_core=result.p2p_by_core)
         for cores, result in zip(placements, results)
     ]
     return MappingStudy(n_workloads=n_workloads, outcomes=outcomes)
+
+
+def plan_mapping_extremes(
+    chip: Chip,
+    program: CurrentProgram,
+    workload_counts: list[int],
+    options: RunOptions | None = None,
+    figure: str | None = None,
+) -> RunPlan:
+    """The declarative form of :func:`mapping_extremes` (Figure 15)."""
+    plan = RunPlan.for_chip(chip)
+    for k in workload_counts:
+        plan.extend(
+            plan_enumerate_mappings(chip, program, k, options, figure=figure)
+        )
+    return plan
 
 
 def mapping_extremes(

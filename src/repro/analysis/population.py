@@ -20,7 +20,7 @@ from ..engine.executor import Executor, make_executor
 from ..engine.resilience import RetryPolicy
 from ..errors import ExecutionError, ExperimentError
 from ..machine.chip import ChipConfig, Chip
-from ..telemetry import get_telemetry
+from ..obs import get_telemetry
 
 __all__ = ["PopulationStatistic", "run_population_study"]
 

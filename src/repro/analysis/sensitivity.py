@@ -1,5 +1,15 @@
 """Sweep drivers for the paper's §V sensitivity studies.
 
+Each sweep is split into a *compiler* and an *executor*: the private
+``_compile_*`` helper enumerates the exact (mappings, tags) workload,
+the public ``plan_*`` function wraps that enumeration into a
+declarative :class:`~repro.plan.spec.RunPlan` (what the campaign
+planner dedups and shards), and the public ``sweep_*`` function
+executes the same enumeration through a session and post-processes the
+results.  Compiler and executor share one code path, so a compiled
+plan's fingerprints are byte-identical to what execution computes —
+the property that makes pre-execution dedup counts exact.
+
 Partial sweeps: every driver accepts ``on_failure`` (forwarded to the
 session it builds).  Under ``"collect"`` a shmoo-style campaign keeps
 the points that worked: runs that exhausted their retry budget are
@@ -24,12 +34,16 @@ from ..errors import ExperimentError
 from ..machine.chip import N_CORES, Chip
 from ..machine.runner import RunOptions
 from ..machine.workload import CurrentProgram, idle_program
+from ..plan.spec import RunPlan
 
 __all__ = [
     "FrequencySweepPoint",
     "default_frequency_grid",
+    "plan_stimulus_frequency",
     "sweep_stimulus_frequency",
+    "plan_misalignment",
     "sweep_misalignment",
+    "plan_delta_i_mappings",
     "sweep_delta_i_mappings",
     "DeltaIMappingPoint",
 ]
@@ -81,6 +95,46 @@ def default_frequency_grid(
     return [float(f) for f in np.logspace(np.log10(f_min), np.log10(f_max), n)]
 
 
+def _compile_fsweep(
+    generator: StressmarkGenerator,
+    frequencies: list[float],
+    synchronize: bool,
+    n_events: int,
+):
+    """The exact (mappings, tags, marks) enumeration of the frequency
+    sweep — shared by the plan compiler and the executor."""
+    marks = [
+        generator.max_didt(
+            freq_hz=freq, synchronize=synchronize, n_events=n_events
+        )
+        for freq in frequencies
+    ]
+    mappings = [[mark.current_program()] * N_CORES for mark in marks]
+    tags: list[object] = [
+        ("fsweep", synchronize, freq) for freq in frequencies
+    ]
+    return mappings, tags, marks
+
+
+def plan_stimulus_frequency(
+    generator: StressmarkGenerator,
+    chip: Chip,
+    frequencies: list[float],
+    synchronize: bool,
+    options: RunOptions | None = None,
+    n_events: int = 1000,
+    figure: str | None = None,
+) -> RunPlan:
+    """The declarative form of :func:`sweep_stimulus_frequency`: the
+    runs the sweep *would* execute, without executing anything."""
+    mappings, tags, _ = _compile_fsweep(
+        generator, frequencies, synchronize, n_events
+    )
+    return RunPlan.from_batch(
+        chip, mappings, tags, options or RunOptions(), figure
+    )
+
+
 def sweep_stimulus_frequency(
     generator: StressmarkGenerator,
     chip: Chip,
@@ -104,16 +158,10 @@ def sweep_stimulus_frequency(
     session = session or SimulationSession(
         chip, options, retry=retry, on_failure=on_failure or "raise"
     )
-    marks = [
-        generator.max_didt(
-            freq_hz=freq, synchronize=synchronize, n_events=n_events
-        )
-        for freq in frequencies
-    ]
-    tags = [("fsweep", synchronize, freq) for freq in frequencies]
-    results = session.run_many(
-        [[mark.current_program()] * N_CORES for mark in marks], tags
+    mappings, tags, marks = _compile_fsweep(
+        generator, frequencies, synchronize, n_events
     )
+    results = session.run_many(mappings, tags)
     kept = _drop_failed_points(results, tags, "fsweep", session)
     return [
         FrequencySweepPoint(
@@ -123,6 +171,60 @@ def sweep_stimulus_frequency(
         )
         for i in kept
     ]
+
+
+def _compile_missweep(
+    generator: StressmarkGenerator,
+    max_misalignments: list[float],
+    freq_hz: float,
+    assignments_sample: int,
+    n_events: int,
+):
+    """The exact (mappings, tags, batches) enumeration of the
+    misalignment sweep — shared by the plan compiler and the executor.
+    """
+    mappings: list[list[CurrentProgram]] = []
+    tags: list[object] = []
+    batches: list[tuple[float, int]] = []  # (misalignment, n_assignments)
+    for max_mis in max_misalignments:
+        offsets = spread_offsets(N_CORES, max_mis)
+        marks = {
+            offset: generator.max_didt(
+                freq_hz=freq_hz,
+                synchronize=True,
+                misalignment=offset,
+                n_events=n_events,
+            ).current_program()
+            for offset in set(offsets)
+        }
+        count = 0
+        for assignment in offset_assignments(
+            offsets, sample=assignments_sample, seed=generator.seed
+        ):
+            mappings.append([marks[offset] for offset in assignment])
+            tags.append(("missweep", max_mis, count))
+            count += 1
+        batches.append((max_mis, count))
+    return mappings, tags, batches
+
+
+def plan_misalignment(
+    generator: StressmarkGenerator,
+    chip: Chip,
+    max_misalignments: list[float],
+    freq_hz: float = 2.6e6,
+    options: RunOptions | None = None,
+    assignments_sample: int = 6,
+    n_events: int = 1000,
+    figure: str | None = None,
+) -> RunPlan:
+    """The declarative form of :func:`sweep_misalignment`."""
+    mappings, tags, _ = _compile_missweep(
+        generator, max_misalignments, freq_hz, assignments_sample, n_events
+    )
+    return RunPlan.from_batch(
+        chip, mappings, tags, options or RunOptions(), figure
+    )
 
 
 def sweep_misalignment(
@@ -151,29 +253,9 @@ def sweep_misalignment(
     session = session or SimulationSession(
         chip, options, retry=retry, on_failure=on_failure or "raise"
     )
-    mappings: list[list[CurrentProgram]] = []
-    tags: list[object] = []
-    batches: list[tuple[float, int]] = []  # (misalignment, n_assignments)
-    for max_mis in max_misalignments:
-        offsets = spread_offsets(N_CORES, max_mis)
-        marks = {
-            offset: generator.max_didt(
-                freq_hz=freq_hz,
-                synchronize=True,
-                misalignment=offset,
-                n_events=n_events,
-            ).current_program()
-            for offset in set(offsets)
-        }
-        count = 0
-        for assignment in offset_assignments(
-            offsets, sample=assignments_sample, seed=generator.seed
-        ):
-            mappings.append([marks[offset] for offset in assignment])
-            tags.append(("missweep", max_mis, count))
-            count += 1
-        batches.append((max_mis, count))
-
+    mappings, tags, batches = _compile_missweep(
+        generator, max_misalignments, freq_hz, assignments_sample, n_events
+    )
     run_results = session.run_many(mappings, tags)
     kept = set(_drop_failed_points(run_results, tags, "missweep", session))
     results: dict[float, list[float]] = {}
@@ -231,6 +313,64 @@ def _distinct_placements(
     return [distinct[int(i)] for i in indices]
 
 
+def _compile_disweep(
+    generator: StressmarkGenerator,
+    freq_hz: float,
+    workload_filter: Callable[[tuple[int, int]], bool] | None,
+    placements_per_distribution: int,
+):
+    """The exact (mappings, tags, planned, full_delta) enumeration of
+    the ΔI mapping dataset — shared by the plan compiler and the
+    executor (and, via the figure tags, by Figures 11a/11b/13a)."""
+    max_prog = generator.max_didt(
+        freq_hz=freq_hz, synchronize=True
+    ).current_program()
+    med_prog = generator.medium_didt(
+        freq_hz=freq_hz, synchronize=True
+    ).current_program()
+    idle = idle_program(generator.target.idle_current)
+    by_level = {"max": max_prog, "medium": med_prog, "idle": idle}
+    full_delta = N_CORES * max_prog.delta_i
+
+    planned: list[tuple[tuple[str, ...], tuple[int, int], float]] = []
+    for n_max in range(0, N_CORES + 1):
+        for n_med in range(0, N_CORES + 1 - n_max):
+            distribution = (n_max, n_med)
+            if workload_filter is not None and not workload_filter(distribution):
+                continue
+            placements = _distinct_placements(
+                n_max, n_med, placements_per_distribution, generator.seed
+            )
+            delta = n_max * max_prog.delta_i + n_med * med_prog.delta_i
+            for placement in placements:
+                planned.append((placement, distribution, delta))
+
+    mappings = [
+        [by_level[level] for level in placement]
+        for placement, _, _ in planned
+    ]
+    tags: list[object] = [("disweep", placement) for placement, _, _ in planned]
+    return mappings, tags, planned, full_delta
+
+
+def plan_delta_i_mappings(
+    generator: StressmarkGenerator,
+    chip: Chip,
+    freq_hz: float = 2.6e6,
+    options: RunOptions | None = None,
+    workload_filter: Callable[[tuple[int, int]], bool] | None = None,
+    placements_per_distribution: int = 4,
+    figure: str | None = None,
+) -> RunPlan:
+    """The declarative form of :func:`sweep_delta_i_mappings`."""
+    mappings, tags, _, _ = _compile_disweep(
+        generator, freq_hz, workload_filter, placements_per_distribution
+    )
+    return RunPlan.from_batch(
+        chip, mappings, tags, options or RunOptions(), figure
+    )
+
+
 def sweep_delta_i_mappings(
     generator: StressmarkGenerator,
     chip: Chip,
@@ -259,32 +399,10 @@ def sweep_delta_i_mappings(
     session = session or SimulationSession(
         chip, options, retry=retry, on_failure=on_failure or "raise"
     )
-    max_prog = generator.max_didt(freq_hz=freq_hz, synchronize=True).current_program()
-    med_prog = generator.medium_didt(
-        freq_hz=freq_hz, synchronize=True
-    ).current_program()
-    idle = idle_program(generator.target.idle_current)
-    by_level = {"max": max_prog, "medium": med_prog, "idle": idle}
-    full_delta = N_CORES * max_prog.delta_i
-
-    planned: list[tuple[tuple[str, ...], tuple[int, int], float]] = []
-    for n_max in range(0, N_CORES + 1):
-        for n_med in range(0, N_CORES + 1 - n_max):
-            distribution = (n_max, n_med)
-            if workload_filter is not None and not workload_filter(distribution):
-                continue
-            placements = _distinct_placements(
-                n_max, n_med, placements_per_distribution, generator.seed
-            )
-            delta = n_max * max_prog.delta_i + n_med * med_prog.delta_i
-            for placement in placements:
-                planned.append((placement, distribution, delta))
-
-    tags = [("disweep", placement) for placement, _, _ in planned]
-    results = session.run_many(
-        [[by_level[level] for level in placement] for placement, _, _ in planned],
-        tags,
+    mappings, tags, planned, full_delta = _compile_disweep(
+        generator, freq_hz, workload_filter, placements_per_distribution
     )
+    results = session.run_many(mappings, tags)
     kept = _drop_failed_points(results, tags, "disweep", session)
     return [
         DeltaIMappingPoint(

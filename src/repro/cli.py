@@ -5,11 +5,29 @@ Subcommands:
 * ``list`` — show the available experiments;
 * ``run <id> [...]`` — run experiments and print their rows/series
   (``run all`` runs the whole suite);
+* ``plan <id> [...]`` — compile the requested figures into one
+  deduplicated campaign plan and report it without running anything:
+  runs requested per figure, unique runs after cross-figure dedup
+  (Fig. 7a/9 share a frequency sweep, Fig. 11/13a share the ΔI
+  dataset), shard-size preview (``--shards N``), and an estimated
+  cold wall clock when a previous campaign's ``telemetry.json``
+  provides a per-run latency baseline (``--telemetry PATH``);
 * ``profile <events.jsonl>`` — render a campaign post-mortem (latency
   percentiles, slowest runs, retry hot spots, span tree) from the
   event log a ``--trace`` campaign wrote; ``--chrome-trace OUT.json``
   additionally exports a Perfetto/``chrome://tracing`` timeline;
+* ``merge-shards DEST SRC [SRC ...]`` — fold the disk caches and
+  campaign manifests of shard runs into DEST, after which an
+  unsharded ``run`` over DEST replays entirely from cache;
 * ``table1 .. fig15`` — shorthand for ``run <id>``.
+
+Sharding: ``run --shard i/N --cache-dir DIR`` executes only the i-th
+of N deterministic slices of the compiled campaign plan (partitioned
+by run fingerprint, so every host computes the same split without
+coordination), checkpointing run-level completion into DIR's manifest
+under a writer lock.  Shards run on any mix of hosts; merge their
+cache directories with ``merge-shards`` and re-run unsharded to export
+bit-identical results.
 
 ``--quick`` swaps in the reduced-cost context (shorter EPI loops, fewer
 sweep points) for smoke runs.  The engine knobs: ``--jobs N`` /
@@ -53,7 +71,7 @@ from .experiments import (
     get_experiment,
     quick_context,
 )
-from .telemetry import get_telemetry
+from .obs import get_telemetry
 
 __all__ = ["main", "build_parser"]
 
@@ -134,6 +152,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
+    plan = sub.add_parser(
+        "plan",
+        help="compile a campaign plan and report it (dry run: dedup "
+        "savings, shard preview, wall-clock estimate)",
+    )
+    plan.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids to plan (e.g. fig7a fig9), or 'all'",
+    )
+    plan.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        default=None,
+        help="preview the run counts of an N-way shard split",
+    )
+    plan.add_argument(
+        "--telemetry",
+        metavar="JSON",
+        default=None,
+        help="telemetry.json of a previous campaign, used as the "
+        "per-run latency baseline for the wall-clock estimate "
+        "(default: telemetry.json in the cache dir, if any)",
+    )
+    merge = sub.add_parser(
+        "merge-shards",
+        help="fold shard cache dirs + manifests into one campaign dir",
+    )
+    merge.add_argument(
+        "dest",
+        metavar="DEST",
+        help="destination campaign directory (cache + manifest)",
+    )
+    merge.add_argument(
+        "sources",
+        metavar="SRC",
+        nargs="+",
+        help="shard campaign directories (each a --cache-dir a "
+        "'run --shard' wrote)",
+    )
     profile = sub.add_parser(
         "profile",
         help="render a campaign post-mortem from a --trace event log",
@@ -180,6 +239,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print engine telemetry (runs, cache hits, wall clock) "
         "after the run",
+    )
+    run.add_argument(
+        "--shard",
+        metavar="I/N",
+        default=None,
+        help="execute only the i-th of N deterministic slices of the "
+        "compiled campaign plan (requires --cache-dir; no drivers or "
+        "exports run — merge the shards' cache dirs afterwards with "
+        "'merge-shards' and re-run unsharded to export)",
     )
     return parser
 
@@ -243,6 +311,219 @@ def _run_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_seconds(seconds: float) -> str:
+    """Human wall clock: seconds under 2 min, h/m above."""
+    if seconds < 120:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m"
+    return f"{minutes}m{secs:02d}s"
+
+
+def _mean_run_seconds(path: Path) -> tuple[float | None, int]:
+    """Per-run latency baseline from a ``telemetry.json`` snapshot:
+    the mean (and sample count) of its ``engine.run.seconds``
+    histogram, or ``(None, 0)`` when the file is missing, unreadable
+    or holds no samples."""
+    import json
+
+    try:
+        snapshot = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None, 0
+    summary = snapshot.get("histograms", {}).get("engine.run.seconds")
+    if not isinstance(summary, dict) or not summary.get("count"):
+        return None, 0
+    try:
+        return float(summary["mean"]), int(summary["count"])
+    except (KeyError, TypeError, ValueError):
+        return None, 0
+
+
+def _requested_ids(args: argparse.Namespace) -> list[str]:
+    """The experiment ids a ``run``/``plan`` invocation names
+    (``all`` expanded)."""
+    requested = args.experiments
+    if requested == ["all"]:
+        return list(all_experiments())
+    return requested
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    """The ``plan`` subcommand: compile → dedup → report, run nothing."""
+    from .experiments import compile_campaign
+
+    context = quick_context() if args.quick else default_context()
+    try:
+        campaign = compile_campaign(_requested_ids(args), context)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    summary = campaign.summary()
+    figures = summary["figures"]
+    print(
+        f"campaign plan {summary['plan'][:16]}…  "
+        f"({len(figures)} figure(s): {', '.join(figures)})"
+    )
+    if figures:
+        print()
+        print(f"  {'figure':<8} {'requested':>9} {'unique':>7} {'exclusive':>9}")
+        for figure in figures:
+            print(
+                f"  {figure:<8} "
+                f"{summary['requested_by_figure'].get(figure, 0):>9} "
+                f"{summary['unique_by_figure'].get(figure, 0):>7} "
+                f"{summary['exclusive_by_figure'].get(figure, 0):>9}"
+            )
+    print()
+    requested = summary["requested"]
+    savings = summary["dedup_savings"]
+    pct = 100.0 * savings / requested if requested else 0.0
+    print(f"requested runs : {requested}")
+    print(f"unique runs    : {summary['unique']}")
+    print(f"dedup savings  : {savings} ({pct:.0f}% of requested)")
+    if args.shards:
+        sizes = campaign.shard_sizes(args.shards)
+        split = " + ".join(str(size) for size in sizes)
+        print(f"shard split    : {args.shards}-way → {split} runs")
+    baseline = Path(args.telemetry) if args.telemetry else None
+    if baseline is None:
+        campaign_dir = _campaign_dir(args)
+        if campaign_dir is not None and (campaign_dir / "telemetry.json").exists():
+            baseline = campaign_dir / "telemetry.json"
+    mean_run_s, samples = (
+        _mean_run_seconds(baseline) if baseline is not None else (None, 0)
+    )
+    jobs = args.jobs or int(os.environ.get("REPRO_JOBS") or 1)
+    estimate = campaign.estimate_seconds(mean_run_s, jobs=jobs)
+    if estimate is not None:
+        print(
+            f"est. cold wall clock: ~{_format_seconds(estimate)} at "
+            f"{jobs} job(s) (mean run {mean_run_s:.3g}s over "
+            f"n={samples}, from {baseline})"
+        )
+    else:
+        print(
+            "est. cold wall clock: n/a — no engine.run.seconds baseline "
+            "(point --telemetry at a previous campaign's telemetry.json)"
+        )
+    return 0
+
+
+def _run_shard(args: argparse.Namespace) -> int:
+    """``run --shard i/N``: execute one deterministic slice of the
+    compiled campaign plan (no drivers, no exports — results land in
+    the disk cache, completion in the manifest)."""
+    from .engine import CampaignManifest
+    from .engine.cache import default_cache_dir
+    from .experiments import compile_campaign
+    from .plan import ShardSpec, execute_plan
+
+    if args.cache_dir is None:
+        print(
+            "error: run --shard needs --cache-dir (the slice's results "
+            "and manifest must be durable to be merged)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = ShardSpec.parse(args.shard)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    context = quick_context() if args.quick else default_context()
+    campaign_dir = (
+        Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    )
+    manifest = CampaignManifest(campaign_dir / "campaign-manifest.json")
+    telemetry = get_telemetry()
+    event_log = _trace_log(args, campaign_dir)
+    if event_log is not None:
+        telemetry.enable_tracing(events=event_log)
+    try:
+        campaign = compile_campaign(_requested_ids(args), context)
+        report = execute_plan(
+            campaign,
+            context.chip,
+            shard=spec,
+            on_failure=args.on_failure
+            or os.environ.get("REPRO_ON_FAILURE")
+            or "raise",
+            manifest=manifest,
+            telemetry=telemetry,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if event_log is not None:
+            event_log.close()
+    print(
+        f"shard {spec} of plan {report.plan[:16]}…: {report.runs} run(s) "
+        f"— {report.executed} executed, {report.replayed} replayed from "
+        f"cache, {report.failed} failed"
+    )
+    print(f"manifest: {manifest.path}")
+    if args.profile:
+        print(telemetry.report())
+    return 1 if report.failed else 0
+
+
+def _run_merge_shards(args: argparse.Namespace) -> int:
+    """``merge-shards``: union shard disk caches and manifests into one
+    campaign directory."""
+    from .engine import CampaignManifest
+    from .engine.cache import merge_cache_dirs
+
+    dest = Path(args.dest)
+    sources = [Path(source) for source in args.sources]
+    missing = [str(source) for source in sources if not source.is_dir()]
+    if missing:
+        print(
+            f"error: no such shard dir(s): {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return 2
+    telemetry = get_telemetry()
+    event_log = _trace_log(args, dest)
+    if event_log is not None:
+        telemetry.enable_tracing(events=event_log)
+    try:
+        copied, skipped = merge_cache_dirs(dest, *sources)
+        shard_manifests = [
+            CampaignManifest(source / "campaign-manifest.json")
+            for source in sources
+            if (source / "campaign-manifest.json").exists()
+        ]
+        absorbed = 0
+        if shard_manifests:
+            absorbed = CampaignManifest(
+                dest / "campaign-manifest.json"
+            ).merge_from(*shard_manifests)
+        telemetry.emit(
+            "shard.merged",
+            dest=str(dest),
+            sources=[str(source) for source in sources],
+            cache_copied=copied,
+            cache_skipped=skipped,
+            manifest_points=absorbed,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if event_log is not None:
+            event_log.close()
+    print(
+        f"merged {len(sources)} shard dir(s) into {dest}: "
+        f"{copied} cache entries copied, {skipped} already present, "
+        f"{absorbed} manifest point(s) absorbed"
+    )
+    return 0
+
+
 def _trace_log(args: argparse.Namespace, campaign_dir: Path | None):
     """Open the JSONL event log when tracing is requested (``--trace``
     / ``--trace-file``); returns None otherwise."""
@@ -264,8 +545,15 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "profile":
         return _run_profile(args)
+    if args.command == "plan":
+        return _run_plan(args)
+    if args.command == "merge-shards":
+        return _run_merge_shards(args)
 
     _configure_engine(args)
+
+    if args.command == "run" and args.shard:
+        return _run_shard(args)
 
     if args.command == "list":
         for experiment_id, title in all_experiments().items():

@@ -29,7 +29,7 @@ from ..mbench.loops import build_sequence_loop
 from ..mbench.target import Target
 from ..measure.powermeter import PowerMeter
 from ..rng import stream
-from ..telemetry import get_telemetry
+from ..obs import get_telemetry
 from .sequences import DEFAULT_SEQUENCE_LENGTH
 
 __all__ = ["GeneticSearchResult", "genetic_max_power_search"]

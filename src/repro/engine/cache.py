@@ -25,13 +25,14 @@ from collections import OrderedDict
 from pathlib import Path
 
 from ..ioutil import atomic_write_bytes
-from ..telemetry import Telemetry, get_telemetry
+from ..obs import Telemetry, get_telemetry
 
 __all__ = [
     "ResultCache",
     "global_cache",
     "configure_cache",
     "default_cache_dir",
+    "merge_cache_dirs",
     "QUARANTINE_MAX_ENTRIES",
     "QUARANTINE_MAX_AGE_S",
 ]
@@ -80,6 +81,10 @@ class ResultCache:
         self._telemetry = telemetry
         self._memory: OrderedDict[str, object] = OrderedDict()
         if self.cache_dir is not None:
+            # Created eagerly: anything else that keys off the cache
+            # directory (a CampaignManifest handed the same path, a
+            # shard merge) must see a directory, not a missing path.
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
             self.prune_quarantine()
 
     @property
@@ -288,3 +293,35 @@ def configure_cache(
         telemetry=current._telemetry,
     )
     return _GLOBAL
+
+
+def merge_cache_dirs(
+    dest: str | Path, *sources: str | Path
+) -> tuple[int, int]:
+    """Fold shard disk caches into *dest*; returns ``(copied, skipped)``.
+
+    Entries are content-addressed, so two shards can never disagree
+    about a key — an entry already present in *dest* is simply skipped.
+    Copies go through the atomic publish path, so a merge racing a
+    reader (or another merge) never exposes a torn pickle.  Quarantine
+    parking lots are deliberately not merged: a corrupt entry is a
+    per-host post-mortem artifact, not campaign state.
+    """
+    dest = Path(dest)
+    copied = skipped = 0
+    for source in sources:
+        source = Path(source)
+        if not source.is_dir():
+            continue
+        for path in sorted(source.glob("??/*.pkl")):
+            target = dest / path.parent.name / path.name
+            if target.exists():
+                skipped += 1
+                continue
+            try:
+                atomic_write_bytes(target, path.read_bytes())
+                copied += 1
+            except OSError:  # unreadable source entry: recomputable
+                skipped += 1
+    get_telemetry().increment("engine.cache.merged_entries", copied)
+    return copied, skipped

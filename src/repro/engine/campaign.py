@@ -8,19 +8,35 @@ know which *points* (experiments) completed so ``--resume`` can skip
 them without re-entering their drivers at all.  The manifest is a tiny
 JSON file, rewritten atomically after every completed point, holding
 per-point status and the engine telemetry snapshot at completion time.
+
+With campaign sharding (:mod:`repro.plan`), several *processes* may
+hold manifests for slices of one campaign: each shard writes its own
+manifest under a writer lock (two live writers to the same path are
+refused with :class:`~repro.errors.ConcurrencyError`), and
+:meth:`CampaignManifest.merge_from` folds shard manifests into one —
+the bookkeeping half of the shard-merge step, next to the disk-cache
+merge (:func:`repro.engine.cache.merge_cache_dirs`).
 """
 
 from __future__ import annotations
 
 import json
+import os
+from contextlib import contextmanager
 from pathlib import Path
+from typing import Iterator
 
+from ..errors import ConcurrencyError, ConfigError
 from ..ioutil import atomic_write_json
 
 __all__ = ["CampaignManifest"]
 
 MANIFEST_VERSION = 1
 MANIFEST_NAME = "campaign-manifest.json"
+
+#: Point-status precedence when merging manifests: completed work wins
+#: over a recorded failure, which wins over a mere start marker.
+_STATUS_RANK = {"complete": 2, "failed": 1, "started": 0}
 
 
 class CampaignManifest:
@@ -36,6 +52,10 @@ class CampaignManifest:
         if path.is_dir():
             path = path / MANIFEST_NAME
         self.path = path
+
+    @property
+    def lock_path(self) -> Path:
+        return self.path.parent / (self.path.name + ".lock")
 
     # -- reading --------------------------------------------------------
     def load(self) -> dict:
@@ -82,11 +102,178 @@ class CampaignManifest:
         resume — a failure is by definition unfinished work)."""
         self._update(point_id, {"status": "failed", "reason": reason})
 
+    def mark_many_complete(self, point_ids: list[str]) -> None:
+        """Record a batch of completed points in one atomic rewrite
+        (what the plan executor does after each run group, instead of
+        an O(n²) rewrite-per-run)."""
+        if not point_ids:
+            return
+        payload = self.load()
+        payload["version"] = MANIFEST_VERSION
+        for point_id in point_ids:
+            payload["points"][point_id] = {"status": "complete"}
+        atomic_write_json(self.path, payload)
+
     def _update(self, point_id: str, entry: dict) -> None:
         payload = self.load()
         payload["version"] = MANIFEST_VERSION
         payload["points"][point_id] = entry
         atomic_write_json(self.path, payload)
+
+    # -- campaign identity ----------------------------------------------
+    @property
+    def campaign(self) -> dict | None:
+        """The campaign identity recorded by :meth:`bind_campaign`
+        (``None`` for a fresh or pre-sharding manifest)."""
+        entry = self.load().get("campaign")
+        return entry if isinstance(entry, dict) else None
+
+    def bind_campaign(self, info: dict) -> None:
+        """Record which campaign (plan fingerprint, shard) this
+        manifest belongs to, so a later merge can refuse to fold
+        manifests of *different* campaigns into one result.
+
+        Rebinding to a different plan fingerprint raises
+        :class:`~repro.errors.ConfigError` — a manifest path reused
+        across campaigns is almost certainly an operator mistake.
+        """
+        current = self.campaign
+        if current and current.get("plan") != info.get("plan"):
+            raise ConfigError(
+                f"manifest {self.path} already belongs to campaign "
+                f"{current.get('plan')!r}; refusing to rebind to "
+                f"{info.get('plan')!r} (use a fresh manifest path)"
+            )
+        payload = self.load()
+        payload["version"] = MANIFEST_VERSION
+        payload["campaign"] = info
+        atomic_write_json(self.path, payload)
+
+    # -- concurrent writers ---------------------------------------------
+    @contextmanager
+    def writer_lock(self) -> Iterator[None]:
+        """Exclusive-writer guard for the manifest path.
+
+        Creates ``<manifest>.lock`` with ``O_CREAT | O_EXCL`` (atomic
+        on POSIX and NFS-safe enough for shard workers on one host); a
+        second live writer gets :class:`~repro.errors.ConcurrencyError`
+        instead of silently interleaving updates.  A lock left behind
+        by a dead process (its recorded pid no longer runs) is broken
+        and re-acquired, so a crashed shard never wedges the campaign.
+        """
+        self.lock_path.parent.mkdir(parents=True, exist_ok=True)
+        acquired = False
+        for attempt in (1, 2):
+            try:
+                fd = os.open(
+                    self.lock_path, os.O_WRONLY | os.O_CREAT | os.O_EXCL
+                )
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(str(os.getpid()))
+                acquired = True
+                break
+            except FileExistsError:
+                holder = self._lock_holder()
+                if holder is not None and self._alive(holder):
+                    raise ConcurrencyError(
+                        f"manifest {self.path} is locked by live writer "
+                        f"pid {holder}; two shard processes must not "
+                        f"share one manifest path"
+                    ) from None
+                # Stale lock (holder dead or unreadable): break it and
+                # retry the atomic create exactly once — if somebody
+                # else wins the re-create race, they are a live writer.
+                try:
+                    os.unlink(self.lock_path)
+                except OSError:
+                    pass
+        if not acquired:  # lost the re-create race both times
+            raise ConcurrencyError(
+                f"manifest {self.path} is locked by a concurrent writer"
+            )
+        try:
+            yield
+        finally:
+            try:
+                os.unlink(self.lock_path)
+            except OSError:  # pragma: no cover - already removed
+                pass
+
+    def _lock_holder(self) -> int | None:
+        try:
+            return int(self.lock_path.read_text().strip())
+        except (OSError, ValueError):
+            return None
+
+    @staticmethod
+    def _alive(pid: int) -> bool:
+        if pid <= 0:
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except (OSError, PermissionError):  # exists, not ours
+            return True
+        return True
+
+    # -- merging shard manifests ----------------------------------------
+    def merge_from(self, *sources: "CampaignManifest") -> int:
+        """Fold shard manifests into this one; returns the number of
+        point entries absorbed.
+
+        Point conflicts resolve by status precedence (``complete`` >
+        ``failed`` > ``started``), so a point that any shard finished
+        is finished in the union.  Sources bound to a *different*
+        campaign fingerprint are refused with
+        :class:`~repro.errors.ConfigError` — merging unrelated
+        campaigns would fabricate a resume state.  The merged manifest
+        is published in one atomic rewrite, under the writer lock.
+        """
+        with self.writer_lock():
+            payload = self.load()
+            payload["version"] = MANIFEST_VERSION
+            points = payload["points"]
+            campaign = payload.get("campaign")
+            absorbed = 0
+            for source in sources:
+                other = source.load()
+                other_campaign = other.get("campaign")
+                if isinstance(other_campaign, dict):
+                    if (
+                        isinstance(campaign, dict)
+                        and campaign.get("plan") != other_campaign.get("plan")
+                    ):
+                        raise ConfigError(
+                            f"refusing to merge {source.path}: campaign "
+                            f"{other_campaign.get('plan')!r} != "
+                            f"{campaign.get('plan')!r}"
+                        )
+                    if campaign is None:
+                        # Adopt the plan identity, but not the shard
+                        # slice: the union is no single shard.
+                        campaign = {
+                            k: v
+                            for k, v in other_campaign.items()
+                            if k != "shard"
+                        }
+                for point_id, entry in other.get("points", {}).items():
+                    if not isinstance(entry, dict):
+                        continue
+                    current = points.get(point_id)
+                    new_rank = _STATUS_RANK.get(entry.get("status"), -1)
+                    old_rank = (
+                        _STATUS_RANK.get(current.get("status"), -1)
+                        if isinstance(current, dict)
+                        else -1
+                    )
+                    if new_rank > old_rank:
+                        points[point_id] = entry
+                        absorbed += 1
+            if campaign is not None:
+                payload["campaign"] = campaign
+            atomic_write_json(self.path, payload)
+        return absorbed
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"CampaignManifest({self.path})"

@@ -43,7 +43,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Sequence, TypeVar
 
 from ..errors import ConfigError
-from ..telemetry import Telemetry, capture_telemetry, get_telemetry
+from ..obs import Telemetry, capture_telemetry, get_telemetry
 from .resilience import GuardedOutcome, RetryPolicy, guarded_call
 
 __all__ = [

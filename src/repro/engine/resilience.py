@@ -178,13 +178,19 @@ class GuardedOutcome:
     """Result of one guarded run: either a value or a failure record,
     plus the attempt/timeout counts (for the retry telemetry) and the
     total wall clock spent across all attempts, including backoff
-    sleeps (feeds the ``engine.run.seconds`` latency histogram)."""
+    sleeps (feeds the ``engine.run.seconds`` latency histogram).
+
+    ``worker`` is the pid of the process that executed the run — the
+    parent itself under the serial backend, a pool worker under the
+    process backend — which is how the Chrome trace exporter lays a
+    ``--jobs N`` campaign out as one lane per worker."""
 
     value: object = None
     failure: RunFailure | None = None
     attempts: int = 1
     timeouts: int = 0
     duration_s: float = 0.0
+    worker: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -254,6 +260,7 @@ def guarded_call(
                 attempts=attempts,
                 timeouts=timeouts,
                 duration_s=time.perf_counter() - started,
+                worker=os.getpid(),
             )
         except (KeyboardInterrupt, SystemExit):
             raise
@@ -271,5 +278,6 @@ def guarded_call(
                     attempts=attempts,
                     timeouts=timeouts,
                     duration_s=time.perf_counter() - started,
+                    worker=os.getpid(),
                 )
             sleep(policy.backoff_s(attempts))

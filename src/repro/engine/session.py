@@ -50,7 +50,7 @@ from ..errors import ConfigError, ExecutionError
 from ..machine.chip import Chip, ChipConfig, N_CORES
 from ..machine.runner import ChipRunner, RunOptions, RunResult
 from ..machine.workload import CurrentProgram
-from ..telemetry import Telemetry, get_telemetry
+from ..obs import Telemetry, get_telemetry
 from .cache import ResultCache, global_cache
 from .executor import Executor, make_executor
 from .fingerprint import canonical, chip_fingerprint, run_fingerprint
@@ -286,6 +286,7 @@ class SimulationSession:
                     fingerprint=keys[index],
                     dur_s=round(outcome.duration_s, 6),
                     attempts=outcome.attempts,
+                    worker=outcome.worker,
                 )
             else:
                 telemetry.emit(
@@ -294,6 +295,7 @@ class SimulationSession:
                     fingerprint=keys[index],
                     dur_s=round(outcome.duration_s, 6),
                     attempts=outcome.attempts,
+                    worker=outcome.worker,
                     error=f"{outcome.failure.error_type}: "
                     f"{outcome.failure.message}",
                 )

@@ -17,6 +17,7 @@ __all__ = [
     "MeasurementError",
     "ExperimentError",
     "ConfigError",
+    "ConcurrencyError",
     "ExecutionError",
     "RunTimeoutError",
 ]
@@ -62,6 +63,11 @@ class MeasurementError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver failed or was queried for an unknown id."""
+
+
+class ConcurrencyError(ReproError):
+    """Two live writers raced for the same durable resource (e.g. two
+    shard processes pointed at one campaign manifest)."""
 
 
 class ExecutionError(ReproError):

@@ -10,12 +10,21 @@ Use :func:`repro.experiments.registry.get_experiment` /
 access, or the ``repro-noise`` CLI.
 """
 
-from .registry import ExperimentResult, all_experiments, get_experiment, run_experiment
+from .registry import (
+    ExperimentResult,
+    all_experiments,
+    compile_campaign,
+    compile_plan,
+    get_experiment,
+    run_experiment,
+)
 from .common import ExperimentContext, default_context, quick_context
 
 __all__ = [
     "ExperimentResult",
     "all_experiments",
+    "compile_campaign",
+    "compile_plan",
     "get_experiment",
     "run_experiment",
     "ExperimentContext",

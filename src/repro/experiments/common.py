@@ -23,11 +23,16 @@ import os
 from dataclasses import dataclass, field
 from functools import lru_cache
 
-from ..analysis.sensitivity import DeltaIMappingPoint, sweep_delta_i_mappings
+from ..analysis.sensitivity import (
+    DeltaIMappingPoint,
+    plan_delta_i_mappings,
+    sweep_delta_i_mappings,
+)
 from ..core.generator import StressmarkGenerator
 from ..engine import SimulationSession
 from ..machine.chip import Chip, reference_chip
 from ..machine.runner import ChipRunner, RunOptions
+from ..plan import RunPlan
 
 __all__ = ["ExperimentContext", "default_context", "quick_context"]
 
@@ -79,6 +84,19 @@ class ExperimentContext:
             options=self.options,
             placements_per_distribution=self.delta_i_placements,
             session=self.session,
+        )
+
+    def plan_delta_i_points(self) -> RunPlan:
+        """The declarative form of :meth:`delta_i_points` — the one
+        dataset Figures 11a, 11b and 13a all compile to, so the
+        campaign planner collapses their requests to a single set of
+        unique runs."""
+        return plan_delta_i_mappings(
+            self.generator,
+            self.chip,
+            freq_hz=self.resonant_freq_hz,
+            options=self.options,
+            placements_per_distribution=self.delta_i_placements,
         )
 
 

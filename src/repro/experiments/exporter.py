@@ -23,7 +23,7 @@ import numpy as np
 
 from ..errors import ExperimentError
 from ..ioutil import atomic_write_json, atomic_write_text
-from ..telemetry import Telemetry, get_telemetry
+from ..obs import Telemetry, get_telemetry
 from .registry import ExperimentResult
 
 __all__ = [

@@ -10,15 +10,32 @@ synchronization effect.
 from __future__ import annotations
 
 from ..analysis.report import render_series
-from ..analysis.sensitivity import sweep_misalignment
+from ..analysis.sensitivity import plan_misalignment, sweep_misalignment
 from ..machine.tod import TOD_STEP
+from ..plan import RunPlan
 from .common import ExperimentContext
-from .registry import ExperimentResult, register
+from .registry import ExperimentResult, register, register_plan
+
+
+def _misalignments() -> list[float]:
+    return [k * TOD_STEP for k in range(0, 11)]  # 0 .. 625 ns
+
+
+@register_plan("fig10")
+def plan_fig10(context: ExperimentContext) -> RunPlan:
+    return plan_misalignment(
+        context.generator,
+        context.chip,
+        _misalignments(),
+        freq_hz=context.resonant_freq_hz,
+        options=context.options,
+        assignments_sample=context.misalignment_assignments,
+    )
 
 
 @register("fig10", "Noise vs. maximum allowed ΔI misalignment")
 def run(context: ExperimentContext) -> ExperimentResult:
-    misalignments = [k * TOD_STEP for k in range(0, 11)]  # 0 .. 625 ns
+    misalignments = _misalignments()
     results = sweep_misalignment(
         context.generator,
         context.chip,

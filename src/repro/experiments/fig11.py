@@ -16,8 +16,19 @@ from collections import defaultdict
 import numpy as np
 
 from ..analysis.report import render_table
+from ..plan import RunPlan
 from .common import ExperimentContext
-from .registry import ExperimentResult, register
+from .registry import ExperimentResult, register, register_plan
+
+
+@register_plan("fig11a")
+def plan_fig11a(context: ExperimentContext) -> RunPlan:
+    return context.plan_delta_i_points()
+
+
+@register_plan("fig11b")
+def plan_fig11b(context: ExperimentContext) -> RunPlan:
+    return context.plan_delta_i_points()
 
 
 @register("fig11a", "Max noise vs. % of maximum ΔI across mappings")

@@ -17,15 +17,49 @@ experiment undervolts to first failure.  Findings to reproduce:
 
 from __future__ import annotations
 
-from ..analysis.margins import customer_margin_line
+from ..analysis.margins import customer_margin_line, plan_customer_margin_line
 from ..analysis.report import render_table
-from ..measure.vmin import run_vmin_experiment
+from ..measure.vmin import plan_vmin_experiment, run_vmin_experiment
+from ..plan import RunPlan
 from ..units import format_freq
 from .common import ExperimentContext
-from .registry import ExperimentResult, register
+from .registry import ExperimentResult, register, register_plan
 
 EVENT_COUNTS = [1, 2, 10, 1000]
 FREQS = [1.0, 3.7e4, 2.6e6, 1e7, 1e8]
+
+
+@register_plan("fig12")
+def plan_fig12(context: ExperimentContext) -> RunPlan:
+    generator = context.generator
+    chip = context.chip
+    plan = RunPlan.for_chip(chip)
+    for freq in FREQS:
+        for count in EVENT_COUNTS:
+            mark = generator.max_didt(
+                freq_hz=freq, synchronize=True, n_events=count
+            )
+            plan.extend(
+                plan_vmin_experiment(
+                    chip, [mark.current_program()] * 6, context.options
+                )
+            )
+        mark = generator.max_didt(freq_hz=freq, synchronize=False)
+        plan.extend(
+            plan_vmin_experiment(
+                chip, [mark.current_program()] * 6, context.options
+            )
+        )
+    plan.extend(
+        plan_customer_margin_line(
+            chip,
+            generator.max_didt(
+                freq_hz=context.resonant_freq_hz, synchronize=False
+            ).current_program(),
+            options=context.options,
+        )
+    )
+    return plan
 
 
 @register("fig12", "Available margin vs. consecutive ΔI events and frequency")

@@ -15,8 +15,15 @@ import numpy as np
 from ..analysis.correlation import correlation_matrix, detect_clusters
 from ..analysis.propagation import propagation_traces
 from ..analysis.report import render_table
+from ..plan import RunPlan
 from .common import ExperimentContext
-from .registry import ExperimentResult, register
+from .registry import ExperimentResult, register, register_plan
+
+
+@register_plan("fig13a")
+def plan_fig13a(context: ExperimentContext) -> RunPlan:
+    # Identical dataset to Fig. 11a/11b — the planner dedups it.
+    return context.plan_delta_i_points()
 
 
 @register("fig13a", "Inter-core noise correlation across mappings")

@@ -7,10 +7,21 @@ from __future__ import annotations
 import numpy as np
 
 from ..analysis.report import render_table
-from ..measure.oscilloscope import capture_trace
+from ..measure.oscilloscope import capture_trace, plan_capture_trace
+from ..plan import RunPlan
 from ..units import format_freq, format_time
 from .common import ExperimentContext
-from .registry import ExperimentResult, register
+from .registry import ExperimentResult, register, register_plan
+
+
+@register_plan("fig8")
+def plan_fig8(context: ExperimentContext) -> RunPlan:
+    program = context.generator.max_didt(
+        freq_hz=context.resonant_freq_hz, synchronize=True
+    ).current_program()
+    return plan_capture_trace(
+        context.chip, [program] * 6, options=context.options
+    )
 
 
 @register("fig8", "Oscilloscope shot of voltage noise on core 0")

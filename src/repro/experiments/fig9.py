@@ -9,10 +9,35 @@ unsynchronized resonant stimulation.
 from __future__ import annotations
 
 from ..analysis.report import render_series
-from ..analysis.sensitivity import default_frequency_grid, sweep_stimulus_frequency
+from ..analysis.sensitivity import (
+    default_frequency_grid,
+    plan_stimulus_frequency,
+    sweep_stimulus_frequency,
+)
+from ..plan import RunPlan
 from ..units import format_freq
 from .common import ExperimentContext
-from .registry import ExperimentResult, register
+from .registry import ExperimentResult, register, register_plan
+
+
+@register_plan("fig9")
+def plan_fig9(context: ExperimentContext) -> RunPlan:
+    freqs = default_frequency_grid(
+        points_per_decade=context.freq_points_per_decade
+    )
+    plan = plan_stimulus_frequency(
+        context.generator, context.chip, freqs,
+        synchronize=True, options=context.options, n_events=1000,
+    )
+    # The unsynchronized reference sweep — identical runs to Fig. 7a,
+    # which is exactly the sharing the campaign planner dedups.
+    plan.extend(
+        plan_stimulus_frequency(
+            context.generator, context.chip, freqs,
+            synchronize=False, options=context.options,
+        )
+    )
+    return plan
 
 
 @register("fig9", "Noise vs. stimulus frequency (synchronized every 4 ms)")

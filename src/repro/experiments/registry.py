@@ -1,21 +1,35 @@
-"""Experiment registry and the shared result record."""
+"""Experiment registry and the shared result record.
+
+Each experiment driver may register two callables: the *executor*
+(:func:`register`) that runs the experiment and renders its result, and
+the *plan compiler* (:func:`register_plan`) that returns the
+declarative :class:`~repro.plan.spec.RunPlan` of exactly the chip runs
+the executor would issue.  :func:`compile_campaign` merges the plans of
+a multi-figure campaign into one deduplicated
+:class:`~repro.plan.planner.CampaignPlan` — the object the
+``repro-noise plan`` dry-run reports on and ``--shard i/N`` slices.
+"""
 
 from __future__ import annotations
 
 import functools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from ..errors import ExperimentError
-from ..telemetry import get_telemetry
+from ..obs import get_telemetry
+from ..plan import CampaignPlan, RunPlan
 from .common import ExperimentContext, default_context
 
 __all__ = [
     "ExperimentResult",
     "register",
+    "register_plan",
     "get_experiment",
     "all_experiments",
     "run_experiment",
+    "compile_plan",
+    "compile_campaign",
 ]
 
 
@@ -46,8 +60,10 @@ class ExperimentResult:
 
 
 ExperimentFn = Callable[[ExperimentContext], ExperimentResult]
+PlanFn = Callable[[ExperimentContext], RunPlan]
 
 _REGISTRY: dict[str, tuple[str, ExperimentFn]] = {}
+_PLANS: dict[str, PlanFn] = {}
 
 
 def register(experiment_id: str, title: str):
@@ -81,6 +97,60 @@ def register(experiment_id: str, title: str):
         return timed
 
     return wrap
+
+
+def register_plan(experiment_id: str):
+    """Decorator registering an experiment's *plan compiler*: a
+    function returning the :class:`RunPlan` of exactly the chip runs
+    the registered executor would issue (same mappings, same tags, same
+    options — fingerprint-identical, which is what makes planner dedup
+    counts match execution counts)."""
+
+    def wrap(fn: PlanFn) -> PlanFn:
+        if experiment_id in _PLANS:
+            raise ExperimentError(
+                f"duplicate plan compiler for {experiment_id!r}"
+            )
+        _PLANS[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def compile_plan(
+    experiment_id: str, context: ExperimentContext | None = None
+) -> RunPlan:
+    """The declarative run plan of one experiment, attributed to its
+    id.  Experiments without chip runs (``fig7b``, ``fig13b``,
+    ``table1`` — pure analysis of the platform) compile to an empty
+    plan."""
+    _ensure_loaded()
+    if experiment_id not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        )
+    context = context or default_context()
+    compiler = _PLANS.get(experiment_id)
+    if compiler is None:
+        return RunPlan.for_chip(context.chip)
+    return compiler(context).tagged(experiment_id)
+
+
+def compile_campaign(
+    experiment_ids: Sequence[str],
+    context: ExperimentContext | None = None,
+) -> CampaignPlan:
+    """Merge the plans of *experiment_ids* into one deduplicated
+    campaign plan (shared runs — e.g. Fig. 7a/9's unsynchronized
+    frequency sweep, Fig. 11/13a's ΔI dataset — collapse here, before
+    execution)."""
+    context = context or default_context()
+    with get_telemetry().span(
+        "plan.compile", experiments=list(experiment_ids)
+    ):
+        plans = [compile_plan(eid, context) for eid in experiment_ids]
+        return CampaignPlan.compile(plans)
 
 
 def _ensure_loaded() -> None:

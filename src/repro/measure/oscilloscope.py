@@ -17,8 +17,35 @@ from ..errors import MeasurementError
 from ..machine.chip import Chip
 from ..machine.runner import RunOptions
 from ..machine.workload import CurrentProgram
+from ..plan.spec import RunPlan
 
-__all__ = ["TraceCapture", "capture_trace"]
+__all__ = ["TraceCapture", "plan_capture_trace", "capture_trace"]
+
+#: The run tag every scope capture executes under.
+SCOPE_RUN_TAG = "oscilloscope"
+
+
+def scope_options(options: RunOptions | None) -> RunOptions:
+    """The scope variant of *options*: waveform collection on, one
+    segment — exactly what :func:`capture_trace`'s derived session
+    runs under, so planned and executed fingerprints agree."""
+    from dataclasses import replace
+
+    return replace(
+        options or RunOptions(), collect_waveforms=True, segments=1
+    )
+
+
+def plan_capture_trace(
+    chip: Chip,
+    mapping: list[CurrentProgram | None],
+    options: RunOptions | None = None,
+    figure: str | None = None,
+) -> RunPlan:
+    """The declarative form of :func:`capture_trace`."""
+    plan = RunPlan.for_chip(chip)
+    plan.add(mapping, SCOPE_RUN_TAG, scope_options(options), figure)
+    return plan
 
 
 @dataclass
@@ -68,7 +95,7 @@ def capture_trace(
     """
     session = session or SimulationSession(chip, options)
     scope = session.derive(collect_waveforms=True, segments=1)
-    result = scope.run(mapping, run_tag="oscilloscope")
+    result = scope.run(mapping, run_tag=SCOPE_RUN_TAG)
     if node not in result.waveforms:
         raise MeasurementError(f"node {node!r} was not recorded")
     times, volts = result.waveforms[node]

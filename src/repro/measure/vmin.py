@@ -25,9 +25,14 @@ from ..machine.chip import Chip
 from ..machine.runner import RunOptions
 from ..machine.system import VOLTAGE_STEP, ServiceElement
 from ..machine.workload import CurrentProgram
+from ..plan.spec import RunPlan
 from .runit import RUnit, RUnitConfig
 
-__all__ = ["VminResult", "run_vmin_experiment"]
+__all__ = ["VminResult", "plan_vmin_experiment", "run_vmin_experiment"]
+
+#: The run tag every Vmin experiment executes under — the plan
+#: compiler and the executor must agree on it byte-for-byte.
+VMIN_RUN_TAG = "vmin"
 
 #: Hardware dwell per voltage step (the paper: 0.5 % every two minutes).
 DWELL_MINUTES_PER_STEP = 2.0
@@ -59,6 +64,20 @@ class VminResult:
     worst_vmin_nominal: float
 
 
+def plan_vmin_experiment(
+    chip: Chip,
+    mapping: list[CurrentProgram | None],
+    options: RunOptions | None = None,
+    figure: str | None = None,
+) -> RunPlan:
+    """The declarative form of :func:`run_vmin_experiment`: the single
+    nominal-bias run it needs (the undervolting walk itself is pure
+    post-processing of that waveform)."""
+    plan = RunPlan.for_chip(chip)
+    plan.add(mapping, VMIN_RUN_TAG, options or RunOptions(), figure)
+    return plan
+
+
 def run_vmin_experiment(
     chip: Chip,
     mapping: list[CurrentProgram | None],
@@ -78,7 +97,7 @@ def run_vmin_experiment(
     if max_steps < 1:
         raise MeasurementError("need at least one undervolt step")
     session = session or SimulationSession(chip, options)
-    result = session.run(mapping, run_tag="vmin")
+    result = session.run(mapping, run_tag=VMIN_RUN_TAG)
     worst_nominal = result.worst_vmin
     droop_below_nominal = chip.vnom - worst_nominal
     if droop_below_nominal < 0:

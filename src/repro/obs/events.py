@@ -17,8 +17,13 @@ Event schema (one object per line)::
 
 * ``run.*`` events carry ``run`` (the run tag, stringified) and
   ``fingerprint`` (the content address); ``run.completed`` /
-  ``run.failed`` add ``dur_s`` and ``attempts``; ``run.retried`` adds
-  ``retries``; ``run.failed`` adds ``error``.
+  ``run.failed`` add ``dur_s``, ``attempts`` and ``worker`` (pid of
+  the executing process — the per-worker lanes of the Chrome trace);
+  ``run.retried`` adds ``retries``; ``run.failed`` adds ``error``.
+* ``plan.compiled`` carries the campaign-plan summary (requested /
+  unique / dedup counts per figure); ``shard.started`` /
+  ``shard.completed`` carry the plan fingerprint and shard label;
+  ``shard.merged`` records a merge of shard caches + manifests.
 * ``experiment.*`` events carry ``experiment``; ``campaign.completed``
   carries the final telemetry ``snapshot`` (merged counters,
   histograms, span summaries).
@@ -60,6 +65,10 @@ EVENT_TYPES = frozenset({
     "run.cached",
     "run.completed",
     "point.dropped",
+    "plan.compiled",
+    "shard.started",
+    "shard.completed",
+    "shard.merged",
     "span",
 })
 

@@ -7,6 +7,13 @@ individual runs become slices on a *runs* track (their start
 reconstructed as ``completion - duration``), and the remaining
 lifecycle events become instants.
 
+Runs carry the pid of the process that executed them (the ``worker``
+field of ``run.completed``), and the exporter lays out **one lane per
+distinct worker** — a ``--jobs N`` campaign renders as N parallel run
+tracks, so pool imbalance and degraded-to-serial phases are visible at
+a glance.  Events from logs predating the worker field still land on
+the single legacy ``runs`` lane.
+
 The exporter is offline-only — it reads the event log the campaign
 already wrote, adding zero cost to the instrumented hot path.
 """
@@ -25,13 +32,41 @@ PID = 1
 TID_SPANS = 1
 TID_RUNS = 2
 TID_EVENTS = 3
+#: Per-worker run lanes start here (clear of the fixed tracks above).
+TID_WORKER_BASE = 10
 
 #: Lifecycle events that already appear as slices elsewhere and would
 #: only clutter the instant track.
 _SKIP_INSTANTS = frozenset({"span", "run.completed"})
 
 
-def _track_names() -> list[dict]:
+def _worker_lanes(events: list[dict]) -> dict[int, int]:
+    """Map each distinct worker pid seen on ``run.completed`` events to
+    its own thread id (sorted, so lane order is stable across
+    exports)."""
+    workers = sorted(
+        {
+            event["worker"]
+            for event in events
+            if event.get("event") == "run.completed"
+            and isinstance(event.get("worker"), int)
+        }
+    )
+    return {
+        worker: TID_WORKER_BASE + lane for lane, worker in enumerate(workers)
+    }
+
+
+def _track_names(lanes: dict[int, int]) -> list[dict]:
+    named = [
+        (TID_SPANS, "spans (campaign/experiment/session)"),
+        (TID_EVENTS, "lifecycle events"),
+    ]
+    if not lanes:
+        named.append((TID_RUNS, "runs"))
+    named.extend(
+        (tid, f"runs (worker {worker})") for worker, tid in lanes.items()
+    )
     return [
         {
             "name": "thread_name",
@@ -40,11 +75,7 @@ def _track_names() -> list[dict]:
             "tid": tid,
             "args": {"name": name},
         }
-        for tid, name in (
-            (TID_SPANS, "spans (campaign/experiment/session)"),
-            (TID_RUNS, "runs"),
-            (TID_EVENTS, "lifecycle events"),
-        )
+        for tid, name in sorted(named)
     ]
 
 
@@ -73,7 +104,8 @@ def chrome_trace(events: Iterable[dict]) -> dict:
     def us(seconds: float) -> float:
         return round((seconds - origin) * 1e6, 1)
 
-    trace_events: list[dict] = list(_track_names())
+    lanes = _worker_lanes(events)
+    trace_events: list[dict] = list(_track_names(lanes))
     for event in events:
         kind = event.get("event")
         ts = event.get("ts")
@@ -101,6 +133,7 @@ def chrome_trace(events: Iterable[dict]) -> dict:
             event.get("dur_s"), (int, float)
         ):
             duration = float(event["dur_s"])
+            worker = event.get("worker")
             trace_events.append({
                 "name": str(event.get("run", "run")),
                 "cat": "run",
@@ -108,10 +141,11 @@ def chrome_trace(events: Iterable[dict]) -> dict:
                 "ts": us(float(ts) - duration),
                 "dur": round(duration * 1e6, 1),
                 "pid": PID,
-                "tid": TID_RUNS,
+                "tid": lanes.get(worker, TID_RUNS),
                 "args": {
                     "attempts": event.get("attempts", 1),
                     "fingerprint": event.get("fingerprint"),
+                    "worker": worker,
                 },
             })
         elif kind not in _SKIP_INSTANTS and isinstance(kind, str):

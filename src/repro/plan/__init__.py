@@ -1,0 +1,43 @@
+"""``repro.plan`` — the declarative run-plan layer.
+
+The paper's characterization is one giant campaign: thousands of chip
+runs shared across Figures 7–15.  This package turns the repo's
+per-figure scripts into a schedulable campaign system by splitting the
+pipeline into **plan → dedup → shard → execute**:
+
+* :mod:`repro.plan.spec` — :class:`PlannedRun` / :class:`RunPlan`:
+  declarative, content-fingerprintable run specifications (what a
+  figure *would* execute);
+* :mod:`repro.plan.planner` — :class:`CampaignPlan`: merge the plans
+  of a multi-figure campaign and deduplicate identical runs *before*
+  execution, so cross-figure sharing (Fig. 7a/9's frequency sweep,
+  Fig. 11/13a's ΔI dataset) is explicit and countable;
+* :mod:`repro.plan.shard` — :class:`ShardSpec`: deterministic
+  hash-of-fingerprint partitioning (``--shard i/N``), so any host can
+  execute any slice with no coordination;
+* :mod:`repro.plan.execute` — :func:`execute_plan`: run a slice
+  through the engine (same cache, same fingerprints), checkpointing
+  through :class:`~repro.engine.campaign.CampaignManifest` so shard
+  caches/manifests merge into a bit-identical unsharded result.
+
+See DESIGN.md §9 for the plan model, the shard partitioning function
+and the merge semantics.
+"""
+
+from .execute import ExecutionReport, execute_plan, run_point_id
+from .planner import CampaignPlan, UniqueRun, merge_plans
+from .shard import ShardSpec
+from .spec import PlannedRun, RunPlan, chip_identity
+
+__all__ = [
+    "PlannedRun",
+    "RunPlan",
+    "chip_identity",
+    "CampaignPlan",
+    "UniqueRun",
+    "merge_plans",
+    "ShardSpec",
+    "ExecutionReport",
+    "execute_plan",
+    "run_point_id",
+]

@@ -1,0 +1,81 @@
+"""Deterministic campaign sharding: hash-of-fingerprint partitioning.
+
+A shard is declared as ``i/N`` (shard *i* of *N*): every unique run of
+a campaign plan belongs to exactly one shard, decided by its content
+fingerprint alone — ``int(fingerprint[:16], 16) % N == i``.  Because
+the fingerprint is a SHA-256 digest of the run's *content* (chip,
+mapping, options, phase identity), the partition is
+
+* **deterministic** — the same campaign shards identically on every
+  host, every platform, every process;
+* **stable under plan composition** — adding a figure to the campaign
+  never moves an existing run to a different shard (only its dedup
+  attribution changes); and
+* **balanced** — digest prefixes are uniform, so shards are equal-sized
+  to within statistical noise.
+
+Any host can therefore execute any slice with no coordination beyond
+agreeing on ``N``, and the union of all shards is exactly the deduped
+campaign — the property the merge step (separate shard caches and
+manifests folded into one) relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+__all__ = ["ShardSpec"]
+
+#: Hex digits of the fingerprint used for partitioning (64 bits: far
+#: more entropy than any realistic shard count needs).
+_PARTITION_DIGITS = 16
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One slice of a sharded campaign: shard ``index`` of ``count``."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigError(f"shard count must be >= 1 (got {self.count})")
+        if not 0 <= self.index < self.count:
+            raise ConfigError(
+                f"shard index must be in [0, {self.count}) "
+                f"(got {self.index})"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "ShardSpec":
+        """Parse the CLI form ``i/N`` (e.g. ``0/2``, ``3/8``)."""
+        parts = str(text).strip().split("/")
+        if len(parts) != 2:
+            raise ConfigError(
+                f"shard must look like 'i/N' (e.g. 0/2); got {text!r}"
+            )
+        try:
+            index, count = int(parts[0]), int(parts[1])
+        except ValueError:
+            raise ConfigError(
+                f"shard must be two integers 'i/N'; got {text!r}"
+            ) from None
+        return cls(index=index, count=count)
+
+    def owns(self, fingerprint: str) -> bool:
+        """True when the run with this content *fingerprint* belongs to
+        this shard."""
+        return self.partition(fingerprint, self.count) == self.index
+
+    @staticmethod
+    def partition(fingerprint: str, count: int) -> int:
+        """The shard index (of *count*) that owns *fingerprint*."""
+        if count < 1:
+            raise ConfigError(f"shard count must be >= 1 (got {count})")
+        return int(fingerprint[:_PARTITION_DIGITS], 16) % count
+
+    def __str__(self) -> str:
+        return f"{self.index}/{self.count}"

@@ -1,16 +1,26 @@
-"""Compatibility façade over :mod:`repro.obs.metrics`.
+"""Deprecated compatibility façade over :mod:`repro.obs.metrics`.
 
 The engine's original flat counter/timer bag lived here; the
 observability layer (PR 3) subsumed it into :mod:`repro.obs`, which
 adds histograms, hierarchical spans, lifecycle events and the
-multiprocess merge.  Every existing import site
-(``from repro.telemetry import Telemetry, get_telemetry``) keeps
-working through this module.
+multiprocess merge.  Existing import sites
+(``from repro.telemetry import Telemetry, get_telemetry``) keep
+working through this module, but new code should import from
+:mod:`repro.obs` — importing this shim emits a
+:class:`DeprecationWarning` (every in-tree consumer has migrated).
 """
 
 from __future__ import annotations
 
-from .obs.metrics import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.telemetry is deprecated; import from repro.obs instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from .obs.metrics import (  # noqa: F401,E402
     RESILIENCE_COUNTERS,
     Histogram,
     Span,

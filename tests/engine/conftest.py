@@ -7,7 +7,7 @@ import pytest
 from repro.engine import ResultCache, SimulationSession
 from repro.machine.runner import RunOptions
 from repro.machine.workload import CurrentProgram, SyncSpec
-from repro.telemetry import Telemetry
+from repro.obs import Telemetry
 
 
 def didt(sync: bool = True, i_high: float = 32.0) -> CurrentProgram:

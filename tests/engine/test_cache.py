@@ -12,7 +12,7 @@ from repro.engine.cache import (
     configure_cache,
     global_cache,
 )
-from repro.telemetry import Telemetry
+from repro.obs import Telemetry
 
 
 @pytest.fixture()
@@ -61,6 +61,14 @@ class TestMemoryTier:
 
 
 class TestDiskTier:
+    def test_cache_dir_created_eagerly(self, tmp_path, telemetry):
+        """The directory must exist from construction — a
+        CampaignManifest handed the same path has to resolve it as a
+        directory, not claim the path as its manifest file."""
+        target = tmp_path / "new" / "cache"
+        ResultCache(cache_dir=target, telemetry=telemetry)
+        assert target.is_dir()
+
     def test_persists_across_instances(self, tmp_path, telemetry):
         first = ResultCache(cache_dir=tmp_path, telemetry=telemetry)
         first.put("deadbeef", {"p2p": 1.5})

@@ -17,7 +17,7 @@ from repro.engine.campaign import MANIFEST_NAME
 from repro.errors import ExperimentError
 from repro.faults import FaultPlan, reset_fault_memo
 from repro.machine.runner import RunOptions
-from repro.telemetry import Telemetry
+from repro.obs import Telemetry
 
 from .conftest import didt
 

@@ -16,7 +16,7 @@ from repro.engine import (
 from repro.faults import FaultPlan, corrupt_cache_entries, reset_fault_memo
 from repro.machine.runner import RunOptions
 from repro.machine.workload import idle_program
-from repro.telemetry import Telemetry
+from repro.obs import Telemetry
 
 from .conftest import didt
 

@@ -15,7 +15,7 @@ from repro.engine.executor import (
 )
 from repro.engine.resilience import RetryPolicy
 from repro.errors import ConfigError
-from repro.telemetry import get_telemetry
+from repro.obs import get_telemetry
 
 
 def square(x):

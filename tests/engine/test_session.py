@@ -5,7 +5,7 @@ import pytest
 from repro.engine import ResultCache, SimulationSession
 from repro.machine.runner import RunOptions
 from repro.machine.workload import idle_program
-from repro.telemetry import Telemetry, set_telemetry
+from repro.obs import Telemetry, set_telemetry
 
 from .conftest import didt
 

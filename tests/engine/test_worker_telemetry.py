@@ -19,7 +19,7 @@ from repro.engine.resilience import RetryPolicy
 from repro.faults import FaultPlan
 from repro.faults.harness import reset_fault_memo
 from repro.machine.runner import RunOptions
-from repro.telemetry import Telemetry
+from repro.obs import Telemetry
 
 from .conftest import didt
 
@@ -106,7 +106,7 @@ class TestExplicitSinkRouting:
         sink = Telemetry()
 
         def records_ambient(x):
-            from repro.telemetry import get_telemetry
+            from repro.obs import get_telemetry
 
             get_telemetry().increment("inside")
             return x
@@ -132,7 +132,7 @@ class TestExplicitSinkRouting:
 
 
 def _count_ambient(x):
-    from repro.telemetry import get_telemetry
+    from repro.obs import get_telemetry
 
     get_telemetry().increment("inside")
     return x

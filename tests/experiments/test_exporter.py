@@ -13,7 +13,7 @@ from repro.experiments.exporter import (
     jsonable,
 )
 from repro.experiments.registry import ExperimentResult
-from repro.telemetry import Telemetry
+from repro.obs import Telemetry
 
 
 def result(eid="figX", data=None):

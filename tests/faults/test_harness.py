@@ -14,7 +14,7 @@ from repro.faults import (
     reset_fault_memo,
 )
 from repro.faults.harness import fault_key
-from repro.telemetry import Telemetry, get_telemetry
+from repro.obs import Telemetry, get_telemetry
 
 
 @pytest.fixture(autouse=True)

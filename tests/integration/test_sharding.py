@@ -1,0 +1,176 @@
+"""End-to-end sharding: the union of N shard runs — separate cache
+directories and manifests, merged afterwards — is bit-identical to an
+unsharded campaign, down to the exported artifacts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import CampaignManifest, ResultCache, SimulationSession
+from repro.engine.cache import merge_cache_dirs
+from repro.experiments import compile_campaign
+from repro.experiments.common import ExperimentContext
+from repro.experiments.exporter import export_results
+from repro.experiments.registry import get_experiment
+from repro.machine.runner import RunOptions
+from repro.obs import Telemetry
+from repro.plan import ShardSpec, execute_plan
+
+FIGURES = ["fig7a", "fig9"]
+N_SHARDS = 2
+
+
+def _tiny_context(generator, chip) -> ExperimentContext:
+    return ExperimentContext(
+        generator=generator,
+        chip=chip,
+        options=RunOptions(segments=2, base_samples=1024),
+        freq_points_per_decade=1,
+        delta_i_placements=1,
+        misalignment_assignments=1,
+    )
+
+
+def _bind_session(context, cache, telemetry) -> None:
+    context._session = SimulationSession(
+        context.chip, context.options, cache=cache,
+        executor="serial", telemetry=telemetry,
+    )
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("sharding")
+
+
+@pytest.fixture(scope="module")
+def context(generator, chip):
+    return _tiny_context(generator, chip)
+
+
+@pytest.fixture(scope="module")
+def campaign(context):
+    return compile_campaign(FIGURES, context)
+
+
+@pytest.fixture(scope="module")
+def shard_reports(campaign, context, workdir):
+    """Execute every shard into its own cache dir + manifest (as N
+    independent hosts would)."""
+    reports = []
+    for index in range(N_SHARDS):
+        shard_dir = workdir / f"shard{index}"
+        shard_dir.mkdir()
+        telemetry = Telemetry()
+        reports.append(
+            execute_plan(
+                campaign,
+                context.chip,
+                shard=ShardSpec(index, N_SHARDS),
+                cache=ResultCache(
+                    cache_dir=shard_dir, telemetry=telemetry
+                ),
+                executor="serial",
+                manifest=CampaignManifest(shard_dir),
+                telemetry=telemetry,
+            )
+        )
+    return reports
+
+
+@pytest.fixture(scope="module")
+def merged_dir(shard_reports, workdir):
+    merged = workdir / "merged"
+    merge_cache_dirs(
+        merged, *(workdir / f"shard{i}" for i in range(N_SHARDS))
+    )
+    CampaignManifest(merged).merge_from(
+        *(CampaignManifest(workdir / f"shard{i}") for i in range(N_SHARDS))
+    )
+    return merged
+
+
+class TestShardExecution:
+    def test_shards_cover_the_plan_disjointly(self, campaign, shard_reports):
+        fingerprints = [
+            fp for report in shard_reports for fp in report.results
+        ]
+        assert len(fingerprints) == campaign.total_unique
+        assert sorted(fingerprints) == sorted(campaign.unique)
+
+    def test_every_shard_run_executed_cold(self, shard_reports):
+        for report in shard_reports:
+            assert report.executed == report.runs
+            assert report.failed == 0
+
+    def test_shard_manifests_bind_the_plan(
+        self, campaign, shard_reports, workdir
+    ):
+        for index in range(N_SHARDS):
+            manifest = CampaignManifest(workdir / f"shard{index}")
+            assert manifest.campaign == {
+                "plan": campaign.fingerprint(),
+                "shard": f"{index}/{N_SHARDS}",
+            }
+
+
+class TestMergedEqualsUnsharded:
+    def test_merged_cache_replays_the_whole_campaign(
+        self, campaign, context, merged_dir
+    ):
+        """After the merge, re-executing the unsharded plan touches the
+        solver zero times."""
+        telemetry = Telemetry()
+        report = execute_plan(
+            campaign,
+            context.chip,
+            cache=ResultCache(cache_dir=merged_dir, telemetry=telemetry),
+            executor="serial",
+            telemetry=telemetry,
+        )
+        assert report.executed == 0
+        assert report.replayed == campaign.total_unique
+        assert telemetry.counter("engine.runs_executed") == 0
+
+    def test_merged_manifest_has_every_run_point(
+        self, campaign, merged_dir
+    ):
+        manifest = CampaignManifest(merged_dir)
+        completed = manifest.completed
+        assert all(f"run:{fp}" in completed for fp in campaign.unique)
+        # The union adopts the plan identity but is no single shard.
+        assert manifest.campaign == {"plan": campaign.fingerprint()}
+
+    def test_exports_bit_identical(
+        self, generator, chip, merged_dir, workdir
+    ):
+        """The acceptance criterion: figure artifacts exported from the
+        merged shard caches are byte-for-byte what an unsharded
+        campaign exports."""
+        export_dirs = []
+        for name, cache_dir in (
+            ("from-merged", merged_dir),
+            ("from-scratch", workdir / "scratch-cache"),
+        ):
+            context = _tiny_context(generator, chip)
+            telemetry = Telemetry()
+            _bind_session(
+                context,
+                ResultCache(cache_dir=cache_dir, telemetry=telemetry),
+                telemetry,
+            )
+            results = [
+                get_experiment(figure)(context) for figure in FIGURES
+            ]
+            out = workdir / name
+            export_results(results, out, telemetry)
+            export_dirs.append(out)
+            if name == "from-merged":
+                # Every run must have come from the merged shard caches.
+                assert telemetry.counter("engine.runs_executed") == 0
+        merged_out, scratch_out = export_dirs
+        for figure in FIGURES:
+            for suffix in (".json", ".txt"):
+                a = (merged_out / f"{figure}{suffix}").read_bytes()
+                b = (scratch_out / f"{figure}{suffix}").read_bytes()
+                assert a == b, f"{figure}{suffix} differs across paths"

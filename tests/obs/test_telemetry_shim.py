@@ -1,0 +1,20 @@
+"""The deprecated ``repro.telemetry`` shim: still re-exports, but warns."""
+
+import importlib
+import sys
+import warnings
+
+
+def test_shim_emits_deprecation_warning_and_reexports():
+    sys.modules.pop("repro.telemetry", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shim = importlib.import_module("repro.telemetry")
+    assert any(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    ), "importing repro.telemetry must emit DeprecationWarning"
+
+    from repro.obs import Telemetry, get_telemetry
+
+    assert shim.Telemetry is Telemetry
+    assert shim.get_telemetry is get_telemetry

@@ -1,0 +1,32 @@
+"""Plan-layer fixtures: a minimal-cost experiment context and cheap
+planned-run building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.machine.runner import RunOptions
+from repro.machine.workload import CurrentProgram, SyncSpec
+
+
+@pytest.fixture(scope="module")
+def tiny_context(generator, chip):
+    """The cheapest context that still exercises every compiler path:
+    one frequency point per decade, one placement per distribution."""
+    return ExperimentContext(
+        generator=generator,
+        chip=chip,
+        options=RunOptions(segments=2, base_samples=1024),
+        freq_points_per_decade=1,
+        delta_i_placements=1,
+        misalignment_assignments=1,
+    )
+
+
+def square_wave(name: str = "m", sync: bool = True) -> CurrentProgram:
+    """A resonant square-wave program (synchronized by default)."""
+    return CurrentProgram(
+        name, i_low=14.0, i_high=32.0, freq_hz=2.6e6, rise_time=11e-9,
+        sync=SyncSpec() if sync else None,
+    )

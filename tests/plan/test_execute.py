@@ -1,0 +1,87 @@
+"""Plan execution: the planner's dedup accounting is exactly what the
+engine executes, and replays are free."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import ResultCache
+from repro.errors import ConfigError
+from repro.experiments import compile_campaign
+from repro.obs import Telemetry
+from repro.plan import execute_plan, run_point_id
+from repro.engine import CampaignManifest
+
+FIGURES = ["fig7a", "fig9", "fig11a"]
+
+
+@pytest.fixture(scope="module")
+def campaign(tiny_context):
+    return compile_campaign(FIGURES, tiny_context)
+
+
+class TestDedupEqualsExecuted:
+    def test_mixed_campaign(self, campaign, tiny_context):
+        """The acceptance property: on a cold cache, the engine executes
+        exactly the planner's deduplicated run count — requested minus
+        dedup savings — for the mixed fig7a+fig9+fig11a campaign."""
+        assert campaign.dedup_savings > 0  # fig7a ⊂ fig9 must overlap
+        telemetry = Telemetry()
+        report = execute_plan(
+            campaign,
+            tiny_context.chip,
+            cache=ResultCache(telemetry=telemetry),
+            executor="serial",
+            telemetry=telemetry,
+        )
+        assert report.runs == campaign.total_unique
+        assert report.executed == campaign.total_unique
+        assert report.executed == campaign.total_requested - campaign.dedup_savings
+        assert report.replayed == 0
+        assert report.failed == 0
+        assert telemetry.counter("engine.runs_executed") == campaign.total_unique
+
+    def test_second_execution_replays_everything(self, campaign, tiny_context):
+        telemetry = Telemetry()
+        cache = ResultCache(telemetry=telemetry)
+        execute_plan(
+            campaign, tiny_context.chip, cache=cache,
+            executor="serial", telemetry=telemetry,
+        )
+        report = execute_plan(
+            campaign, tiny_context.chip, cache=cache,
+            executor="serial", telemetry=telemetry,
+        )
+        assert report.executed == 0
+        assert report.replayed == campaign.total_unique
+
+
+class TestManifestCheckpointing:
+    def test_run_points_recorded(self, campaign, tiny_context, tmp_path):
+        telemetry = Telemetry()
+        manifest = CampaignManifest(tmp_path / "campaign-manifest.json")
+        report = execute_plan(
+            campaign,
+            tiny_context.chip,
+            cache=ResultCache(telemetry=telemetry),
+            executor="serial",
+            manifest=manifest,
+            telemetry=telemetry,
+        )
+        completed = manifest.completed
+        for fingerprint in report.results:
+            assert run_point_id(fingerprint) in completed
+        assert "shard:full" in completed
+        assert manifest.campaign == {
+            "plan": campaign.fingerprint(), "shard": None,
+        }
+        assert not manifest.lock_path.exists()  # released
+
+
+class TestChipMismatch:
+    def test_wrong_chip_refused(self, campaign):
+        from repro.machine.chip import Chip, ChipConfig
+
+        other = Chip(ChipConfig(), chip_id=99)
+        with pytest.raises(ConfigError):
+            execute_plan(campaign, other)

@@ -1,0 +1,141 @@
+"""Campaign planner: merge, dedup accounting, shard partitioning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.machine.chip import ChipConfig
+from repro.machine.runner import RunOptions
+from repro.plan import CampaignPlan, RunPlan, ShardSpec, chip_identity
+
+from .conftest import square_wave
+
+CHIP_FP = chip_identity(ChipConfig(), 0)
+OPTIONS = RunOptions(segments=2)
+
+
+def _plan(figure: str, core_counts: list[int]) -> RunPlan:
+    """One run per entry, loading that many cores (distinct mappings →
+    distinct fingerprints; tags alone would not differentiate
+    deterministic runs)."""
+    plan = RunPlan(chip_fp=CHIP_FP)
+    for count in core_counts:
+        mapping = [square_wave()] * count + [None] * (6 - count)
+        plan.add(mapping, ("mapping", count), OPTIONS, figure)
+    return plan
+
+
+class TestCompileAndDedup:
+    def test_shared_runs_collapse(self):
+        a = _plan("fig7a", [1, 2])
+        b = _plan("fig9", [2, 3])  # the 2-core run is shared with fig7a
+        campaign = CampaignPlan.compile([a, b])
+        assert campaign.total_requested == 4
+        assert campaign.total_unique == 3
+        assert campaign.dedup_savings == 1
+        shared = [
+            entry
+            for entry in campaign.unique.values()
+            if entry.figures == {"fig7a", "fig9"}
+        ]
+        assert len(shared) == 1 and shared[0].requests == 2
+
+    def test_summary_accounting(self):
+        campaign = CampaignPlan.compile(
+            [_plan("fig7a", [1, 2]), _plan("fig9", [2, 3])]
+        )
+        summary = campaign.summary()
+        assert summary["requested_by_figure"] == {"fig7a": 2, "fig9": 2}
+        assert summary["unique_by_figure"] == {"fig7a": 2, "fig9": 2}
+        assert summary["exclusive_by_figure"] == {"fig7a": 1, "fig9": 1}
+        assert summary["requested"] == 4
+        assert summary["unique"] == 3
+        assert summary["dedup_savings"] == 1
+
+    def test_empty_campaign_refused(self):
+        with pytest.raises(ConfigError):
+            CampaignPlan.compile([])
+
+    def test_mixed_chips_refused(self):
+        other = RunPlan(chip_fp=chip_identity(ChipConfig(), 1))
+        with pytest.raises(ConfigError):
+            CampaignPlan.compile([_plan("fig7a", [1]), other])
+
+    def test_fingerprint_independent_of_merge_order(self):
+        a, b = _plan("fig7a", [1, 2]), _plan("fig9", [2, 3])
+        assert (
+            CampaignPlan.compile([a, b]).fingerprint()
+            == CampaignPlan.compile([b, a]).fingerprint()
+        )
+
+    def test_estimate_seconds(self):
+        campaign = CampaignPlan.compile([_plan("fig7a", [1, 2])])
+        assert campaign.estimate_seconds(None) is None
+        assert campaign.estimate_seconds(3.0) == pytest.approx(6.0)
+        assert campaign.estimate_seconds(3.0, jobs=4) == pytest.approx(1.5)
+
+
+class TestSharding:
+    def _campaign(self) -> CampaignPlan:
+        return CampaignPlan.compile(
+            [_plan("fig7a", list(range(1, 7)) + [0])]
+        )
+
+    @pytest.mark.parametrize("count", [1, 2, 3, 5])
+    def test_shards_partition_the_plan(self, count):
+        campaign = self._campaign()
+        seen: list[str] = []
+        for index in range(count):
+            seen.extend(
+                entry.fingerprint
+                for entry in campaign.shard(ShardSpec(index, count))
+            )
+        assert sorted(seen) == sorted(campaign.unique)
+        assert len(seen) == len(set(seen))  # disjoint
+
+    def test_shard_sizes_match_slices(self):
+        campaign = self._campaign()
+        sizes = campaign.shard_sizes(3)
+        assert sizes == [
+            len(campaign.shard(ShardSpec(index, 3))) for index in range(3)
+        ]
+        assert sum(sizes) == campaign.total_unique
+
+    def test_none_shard_is_everything(self):
+        campaign = self._campaign()
+        assert len(campaign.shard(None)) == campaign.total_unique
+
+
+class TestShardSpec:
+    def test_parse_roundtrip(self):
+        spec = ShardSpec.parse("1/3")
+        assert (spec.index, spec.count) == (1, 3)
+        assert str(spec) == "1/3"
+
+    @pytest.mark.parametrize("text", ["", "3", "3/2", "-1/2", "a/b", "1/0"])
+    def test_parse_rejects_bad_specs(self, text):
+        with pytest.raises(ConfigError):
+            ShardSpec.parse(text)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        fingerprint=st.text(alphabet="0123456789abcdef", min_size=16,
+                            max_size=64),
+        count=st.integers(min_value=1, max_value=16),
+    )
+    def test_partition_is_total_and_deterministic(self, fingerprint, count):
+        """Every fingerprint belongs to exactly one shard, and the
+        assignment is a pure function of (fingerprint, count)."""
+        owners = [
+            index
+            for index in range(count)
+            if ShardSpec(index, count).owns(fingerprint)
+        ]
+        assert len(owners) == 1
+        assert owners[0] == ShardSpec.partition(fingerprint, count)
+        assert ShardSpec.partition(fingerprint, count) == ShardSpec.partition(
+            fingerprint, count
+        )

@@ -1,0 +1,153 @@
+"""Plan specs: fingerprint parity with the engine, cross-process
+stability, order-invariance properties."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import SimulationSession
+from repro.engine.fingerprint import chip_fingerprint
+from repro.machine.chip import ChipConfig
+from repro.machine.runner import RunOptions
+from repro.plan import PlannedRun, RunPlan, chip_identity
+
+from .conftest import square_wave
+
+
+class TestChipIdentity:
+    def test_matches_built_chip_fingerprint(self, chip):
+        assert chip_identity(chip.config, chip.chip_id) == chip_fingerprint(chip)
+
+    def test_distinct_chip_ids_distinct_identities(self):
+        config = ChipConfig()
+        assert chip_identity(config, 0) != chip_identity(config, 1)
+
+
+class TestFingerprintParity:
+    def test_planned_run_matches_session_fingerprint(self, chip):
+        """The planner's content address is byte-identical to what the
+        executing session computes — the property pre-execution dedup
+        rests on."""
+        options = RunOptions(segments=2, base_samples=1024)
+        session = SimulationSession(chip, options)
+        mapping = [square_wave()] * 3 + [None] * 3
+        for tag in ("run", ("fsweep", True, 2.6e6)):
+            planned = PlannedRun(
+                mapping=tuple(mapping), tag=tag, options=options
+            )
+            assert planned.fingerprint(
+                chip_identity(chip.config, chip.chip_id)
+            ) == session.fingerprint(mapping, tag)
+
+
+def _spec_script() -> str:
+    """A self-contained script printing the fingerprint of a fixed
+    plan — run in a fresh interpreter to prove process independence."""
+    return textwrap.dedent(
+        """
+        from repro.machine.chip import ChipConfig
+        from repro.machine.runner import RunOptions
+        from repro.machine.workload import CurrentProgram, SyncSpec
+        from repro.plan import RunPlan, chip_identity
+
+        program = CurrentProgram(
+            "m", i_low=14.0, i_high=32.0, freq_hz=2.6e6, rise_time=11e-9,
+            sync=SyncSpec(),
+        )
+        plan = RunPlan(chip_fp=chip_identity(ChipConfig(), 0))
+        plan.add([program] * 6, ("fsweep", True, 2.6e6),
+                 RunOptions(segments=2), figure="fig9")
+        plan.add([program] * 3 + [None] * 3, "vmin",
+                 RunOptions(segments=2), figure="fig12")
+        print(plan.fingerprint())
+        """
+    )
+
+
+class TestCrossProcessStability:
+    def test_fingerprint_stable_across_processes(self):
+        """Two fresh interpreters agree on the plan fingerprint — no
+        per-process hash seeding, id()s or dict-order dependence."""
+        env = dict(os.environ, PYTHONHASHSEED="random")
+        outputs = {
+            subprocess.run(
+                [sys.executable, "-c", _spec_script()],
+                capture_output=True, text=True, check=True, env=env,
+            ).stdout.strip()
+            for _ in range(2)
+        }
+        assert len(outputs) == 1
+        fingerprint = outputs.pop()
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)  # hex content key
+
+
+def _options(draw) -> RunOptions:
+    return RunOptions(
+        segments=draw(st.integers(min_value=1, max_value=8)),
+        base_samples=draw(st.sampled_from([512, 1024, 2048])),
+        seed=draw(st.integers(min_value=0, max_value=3)),
+    )
+
+
+@st.composite
+def planned_runs(draw):
+    n_loaded = draw(st.integers(min_value=1, max_value=6))
+    sync = draw(st.booleans())
+    mapping = tuple(
+        [square_wave(sync=sync)] * n_loaded + [None] * (6 - n_loaded)
+    )
+    tag = draw(
+        st.sampled_from(["run", "vmin", ("fsweep", True, 2.6e6)])
+    )
+    return PlannedRun(mapping=mapping, tag=tag, options=_options(draw))
+
+
+class TestPlanFingerprintProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(runs=st.lists(planned_runs(), min_size=1, max_size=6),
+           seed=st.randoms())
+    def test_order_and_duplication_invariant(self, runs, seed):
+        """A plan's fingerprint depends on the *set* of requested runs,
+        not their order or multiplicity."""
+        chip_fp = chip_identity(ChipConfig(), 0)
+        ordered = RunPlan(chip_fp=chip_fp, runs=list(runs))
+        shuffled_runs = list(runs)
+        seed.shuffle(shuffled_runs)
+        shuffled = RunPlan(chip_fp=chip_fp, runs=shuffled_runs)
+        duplicated = RunPlan(chip_fp=chip_fp, runs=list(runs) + [runs[0]])
+        assert ordered.fingerprint() == shuffled.fingerprint()
+        assert ordered.fingerprint() == duplicated.fingerprint()
+
+    @settings(max_examples=25, deadline=None)
+    @given(run=planned_runs())
+    def test_figures_do_not_change_the_address(self, run):
+        """Figure attribution is metadata: the same run requested by
+        different figures must dedup to one execution."""
+        chip_fp = chip_identity(ChipConfig(), 0)
+        assert run.fingerprint(chip_fp) == run.with_figures(
+            {"fig7a", "fig9"}
+        ).fingerprint(chip_fp)
+
+
+class TestRunPlanStructure:
+    def test_extend_requires_same_chip(self):
+        a = RunPlan(chip_fp=chip_identity(ChipConfig(), 0))
+        b = RunPlan(chip_fp=chip_identity(ChipConfig(), 1))
+        with pytest.raises(ValueError):
+            a.extend(b)
+
+    def test_tagged_attributes_every_run(self):
+        plan = RunPlan(chip_fp=chip_identity(ChipConfig(), 0))
+        plan.add([square_wave()] * 6, "run", RunOptions(segments=2))
+        tagged = plan.tagged("fig9")
+        assert all(run.figures == {"fig9"} for run in tagged)
+        # the original is untouched (tagged() returns a copy)
+        assert all(run.figures == frozenset() for run in plan)
