@@ -17,10 +17,15 @@ measurement study:
   R-Unit, Vmin protocol);
 * :mod:`repro.core` — the paper's contribution: the white-box dI/dt
   stressmark generation methodology, plus a GA baseline;
-* :mod:`repro.engine` / :mod:`repro.telemetry` — the shared run-session
+* :mod:`repro.engine` / :mod:`repro.obs` — the shared run-session
   layer every sweep executes through: content-addressed result caching
   (in-memory + optional disk tier), parallel fan-out over worker
-  processes, and run/cache/solver counters;
+  processes, and structured observability (counters, histograms,
+  spans, JSONL event traces);
+* :mod:`repro.serve` — the always-on simulation service: a TCP/JSON-
+  lines endpoint answering simulation requests through a hot reply
+  tier, the engine cache and a warm session pool, with single-flight
+  request coalescing and bounded-queue backpressure;
 * :mod:`repro.analysis` / :mod:`repro.experiments` — sensitivity
   studies, propagation/correlation analyses, workload-mapping and
   guard-banding optimizations, and one driver per paper table/figure.

@@ -12,10 +12,24 @@ Subcommands:
   dataset), shard-size preview (``--shards N``), and an estimated
   cold wall clock when a previous campaign's ``telemetry.json``
   provides a per-run latency baseline (``--telemetry PATH``);
+  ``--since MANIFEST`` diffs the plan against a campaign manifest and
+  reports only the runs not yet checkpointed as complete;
 * ``profile <events.jsonl>`` — render a campaign post-mortem (latency
   percentiles, slowest runs, retry hot spots, span tree) from the
   event log a ``--trace`` campaign wrote; ``--chrome-trace OUT.json``
   additionally exports a Perfetto/``chrome://tracing`` timeline;
+  ``--follow`` tails the log of a *live* campaign instead, refreshing
+  the summary as events land (torn tail tolerated) until the campaign
+  completes or Ctrl-C;
+* ``serve`` — start the always-on simulation service: a TCP/JSON-lines
+  endpoint that keeps the chip and a warm session pool resident and
+  answers simulation requests through a hot in-memory tier, the
+  engine's disk cache, and batched execution, with single-flight
+  coalescing of identical concurrent requests and bounded-queue
+  backpressure (``busy`` replies carry a ``retry_after_s`` hint);
+* ``query`` — the matching client: submit simulate requests (optionally
+  ``--repeat``/``--concurrency`` for load), or ``--health`` /
+  ``--metrics`` / ``--shutdown`` the running server;
 * ``merge-shards DEST SRC [SRC ...]`` — fold the disk caches and
   campaign manifests of shard runs into DEST, after which an
   unsharded ``run`` over DEST replays entirely from cache;
@@ -177,6 +191,14 @@ def build_parser() -> argparse.ArgumentParser:
         "per-run latency baseline for the wall-clock estimate "
         "(default: telemetry.json in the cache dir, if any)",
     )
+    plan.add_argument(
+        "--since",
+        metavar="MANIFEST",
+        default=None,
+        help="diff the plan against a campaign manifest (a "
+        "campaign-manifest.json or the directory holding one) and "
+        "list only the runs not yet checkpointed as complete",
+    )
     merge = sub.add_parser(
         "merge-shards",
         help="fold shard cache dirs + manifests into one campaign dir",
@@ -215,6 +237,104 @@ def build_parser() -> argparse.ArgumentParser:
         default=5,
         help="how many slowest runs / retry hot spots to list",
     )
+    profile.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail a live campaign's event log, refreshing the "
+        "summary as events arrive (waits for the file to appear; "
+        "stops when the campaign completes or on Ctrl-C)",
+    )
+    profile.add_argument(
+        "--interval",
+        type=float,
+        metavar="SECONDS",
+        default=2.0,
+        help="poll interval for --follow (default: 2.0)",
+    )
+    serve = sub.add_parser(
+        "serve",
+        help="start the always-on simulation service (TCP/JSON-lines: "
+        "hot tier + result cache + warm session pool, with request "
+        "coalescing and backpressure)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=4650,
+        help="bind port; 0 picks an ephemeral port, printed on start "
+        "(default: 4650)",
+    )
+    serve.add_argument(
+        "--queue-limit",
+        type=int,
+        metavar="N",
+        default=32,
+        help="admission-queue bound; requests beyond it get a busy "
+        "reply with a retry_after_s hint (default: 32)",
+    )
+    serve.add_argument(
+        "--hot-entries",
+        type=int,
+        metavar="N",
+        default=256,
+        help="hot-tier LRU capacity, in encoded replies (default: 256)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        metavar="N",
+        default=8,
+        help="queued requests drained into one engine batch "
+        "(default: 8)",
+    )
+    query = sub.add_parser(
+        "query",
+        help="query a running simulation service (simulate / health / "
+        "metrics / shutdown)",
+    )
+    query.add_argument("--host", default="127.0.0.1",
+                       help="server address (default: 127.0.0.1)")
+    query.add_argument("--port", type=int, default=4650,
+                       help="server port (default: 4650)")
+    query.add_argument("--health", action="store_true",
+                       help="print the server's health reply and exit")
+    query.add_argument("--metrics", action="store_true",
+                       help="print the server's metrics reply and exit")
+    query.add_argument("--shutdown", action="store_true",
+                       help="ask the server to stop and exit")
+    query.add_argument("--i-low", type=float, default=5.0, metavar="A",
+                       help="per-core low current (default: 5.0)")
+    query.add_argument("--i-high", type=float, default=25.0, metavar="A",
+                       help="per-core high current (default: 25.0)")
+    query.add_argument("--freq", type=float, default=90e6, metavar="HZ",
+                       help="stimulus frequency (default: 90e6)")
+    query.add_argument("--cores", type=int, default=1, metavar="N",
+                       help="cores running the program (default: 1)")
+    query.add_argument("--tag", default=None,
+                       help="request tag (part of the run fingerprint)")
+    query.add_argument("--repeat", type=int, default=1, metavar="N",
+                       help="submit the request N times (default: 1)")
+    query.add_argument(
+        "--concurrency", type=int, default=1, metavar="K",
+        help="client connections submitting in parallel (default: 1)",
+    )
+    query.add_argument(
+        "--distinct", type=int, default=1, metavar="D",
+        help="spread --repeat over D distinct request variants "
+        "(default: 1 — all identical, exercising coalescing)",
+    )
+    query.add_argument(
+        "--retry-busy", type=int, default=0, metavar="N",
+        help="re-submit up to N times after a busy reply, honouring "
+        "the server's retry_after_s hint (default: 0)",
+    )
+    query.add_argument("--json", action="store_true",
+                       help="print raw JSON replies instead of a summary")
     run = sub.add_parser("run", help="run one or more experiments")
     run.add_argument(
         "experiments",
@@ -291,10 +411,38 @@ def _campaign_dir(args: argparse.Namespace) -> Path | None:
     return None
 
 
+def _follow_profile(args: argparse.Namespace) -> int:
+    """``profile --follow``: live-tail a campaign's event log."""
+    import time
+
+    from .obs import follow_profile, render_profile
+
+    path = Path(args.events)
+    if not path.exists():
+        print(f"waiting for {path} to appear... (Ctrl-C to stop)",
+              file=sys.stderr)
+    try:
+        for profile in follow_profile(path, interval=max(args.interval, 0.1)):
+            stamp = time.strftime("%H:%M:%S")
+            print(f"\n== follow {path} @ {stamp} "
+                  f"({len(profile.events)} events) ==")
+            if profile.events:
+                print(render_profile(profile, top=max(args.top, 1)))
+            else:
+                print("(no events yet)")
+    except KeyboardInterrupt:
+        print("\nfollow stopped", file=sys.stderr)
+        return 0
+    print("\ncampaign completed — follow finished", file=sys.stderr)
+    return 0
+
+
 def _run_profile(args: argparse.Namespace) -> int:
     """The ``profile`` subcommand: post-mortem of a --trace event log."""
     from .obs import export_chrome_trace, load_profile, render_profile
 
+    if args.follow:
+        return _follow_profile(args)
     path = Path(args.events)
     if not path.exists():
         print(f"error: no such event log: {path}", file=sys.stderr)
@@ -384,6 +532,30 @@ def _run_plan(args: argparse.Namespace) -> int:
     print(f"requested runs : {requested}")
     print(f"unique runs    : {summary['unique']}")
     print(f"dedup savings  : {savings} ({pct:.0f}% of requested)")
+    if args.since:
+        from .engine import CampaignManifest
+
+        since = Path(args.since)
+        if not since.exists():
+            print(f"error: no such manifest: {since}", file=sys.stderr)
+            return 2
+        manifest = CampaignManifest(since)
+        remaining = campaign.remaining(manifest.completed)
+        done = campaign.total_unique - len(remaining)
+        print()
+        print(f"-- plan diff vs {manifest.path} --")
+        print(
+            f"complete       : {done} of {campaign.total_unique} "
+            f"unique run(s) already checkpointed"
+        )
+        print(f"remaining      : {len(remaining)} run(s)")
+        shown = remaining[:20]
+        for entry in shown:
+            figures = ",".join(sorted(entry.figures)) or "-"
+            print(f"  {entry.fingerprint[:16]}…  figures={figures}  "
+                  f"tag={entry.run.tag}")
+        if len(remaining) > len(shown):
+            print(f"  ... and {len(remaining) - len(shown)} more")
     if args.shards:
         sizes = campaign.shard_sizes(args.shards)
         split = " + ".join(str(size) for size in sizes)
@@ -539,6 +711,150 @@ def _trace_log(args: argparse.Namespace, campaign_dir: Path | None):
     return EventLog(path)
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: run the simulation service in the
+    foreground until Ctrl-C or a client's ``shutdown`` request."""
+    from .serve import NoiseServer, SimulationService
+
+    context = quick_context() if args.quick else default_context()
+    telemetry = get_telemetry()
+    event_log = _trace_log(args, _campaign_dir(args))
+    if event_log is not None:
+        telemetry.enable_tracing(events=event_log)
+    try:
+        service = SimulationService(
+            context.chip,
+            context.options,
+            queue_limit=args.queue_limit,
+            hot_entries=args.hot_entries,
+            max_batch=args.max_batch,
+            telemetry=telemetry,
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    service.start()
+    server = NoiseServer((args.host, args.port), service)
+    telemetry.emit(
+        "serve.started",
+        host=args.host,
+        port=server.port,
+        chip=service.chip_fp,
+    )
+    print(
+        f"serving on {args.host}:{server.port} "
+        f"(chip {service.chip_fp[:16]}…, queue={args.queue_limit}, "
+        f"hot={args.hot_entries}, executor={service.executor.name})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ninterrupted — shutting down", file=sys.stderr)
+    finally:
+        server.server_close()
+        service.stop()
+        snapshot = service.metrics()["metrics"].get("counters", {})
+        served = {
+            name.split(".", 2)[-1]: count
+            for name, count in sorted(snapshot.items())
+            if name.startswith("serve.tier.")
+        }
+        print(
+            f"served {snapshot.get('serve.requests', 0)} request(s): "
+            + (", ".join(f"{k}={v}" for k, v in served.items()) or "none")
+            + f"; coalesced={snapshot.get('serve.coalesced', 0)}"
+            f" busy={snapshot.get('serve.busy', 0)}"
+        )
+        if event_log is not None:
+            event_log.close()
+        if getattr(args, "profile", False):  # pragma: no cover
+            print(telemetry.report())
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    """The ``query`` subcommand: client of a running service."""
+    import json
+    from concurrent.futures import ThreadPoolExecutor
+
+    from .serve import ServeClient
+
+    try:
+        if args.health or args.metrics or args.shutdown:
+            with ServeClient(args.host, args.port) as client:
+                if args.health:
+                    reply = client.health()
+                elif args.metrics:
+                    reply = client.metrics()
+                else:
+                    reply = client.shutdown()
+            print(json.dumps(reply, indent=2, sort_keys=True))
+            return 0 if reply.get("ok") else 1
+
+        program = {
+            "i_low": args.i_low,
+            "i_high": args.i_high,
+            "freq_hz": args.freq,
+            "name": "query",
+        }
+        distinct = max(args.distinct, 1)
+        requests = []
+        for index in range(max(args.repeat, 1)):
+            variant = dict(program)
+            # Distinct variants perturb the load step so they resolve
+            # to distinct fingerprints (and thus distinct executions).
+            variant["i_high"] = args.i_high + 0.5 * (index % distinct)
+            requests.append([variant] * max(args.cores, 1))
+
+        def submit(mapping):
+            with ServeClient(args.host, args.port) as client:
+                return client.simulate(
+                    mapping, tag=args.tag, retry_busy=args.retry_busy
+                )
+
+        if args.concurrency > 1:
+            with ThreadPoolExecutor(max_workers=args.concurrency) as pool:
+                replies = list(pool.map(submit, requests))
+        else:
+            replies = [submit(mapping) for mapping in requests]
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        for reply in replies:
+            print(json.dumps(reply, sort_keys=True))
+    tiers: dict[str, int] = {}
+    failures = 0
+    slowest = 0.0
+    for reply in replies:
+        if reply.get("ok"):
+            tiers[reply["tier"]] = tiers.get(reply["tier"], 0) + 1
+            slowest = max(slowest, float(reply.get("elapsed_ms", 0.0)))
+        else:
+            failures += 1
+            status = reply.get("status", "error")
+            tiers[status] = tiers.get(status, 0) + 1
+            if not args.json:
+                print(f"  {status}: {reply.get('error', '?')}",
+                      file=sys.stderr)
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(tiers.items()))
+    print(
+        f"{len(replies)} repl{'y' if len(replies) == 1 else 'ies'}: "
+        f"{summary or 'none'}  (slowest server-side "
+        f"{slowest:.2f} ms)"
+    )
+    if failures == 0 and replies and replies[0].get("ok"):
+        body = replies[0]["result"]
+        print(
+            f"first result: max_p2p={body['max_p2p']:.4g}%  "
+            f"worst_vmin={body['worst_vmin']:.4g}V  "
+            f"tier={replies[0]['tier']}"
+        )
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -549,8 +865,13 @@ def main(argv: list[str] | None = None) -> int:
         return _run_plan(args)
     if args.command == "merge-shards":
         return _run_merge_shards(args)
+    if args.command == "query":
+        return _run_query(args)
 
     _configure_engine(args)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command == "run" and args.shard:
         return _run_shard(args)

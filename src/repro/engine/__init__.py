@@ -4,8 +4,8 @@ All sweeps in the library run through a :class:`SimulationSession`:
 it wraps the raw :class:`~repro.machine.runner.ChipRunner` with
 content-addressed result caching (:mod:`repro.engine.cache`), optional
 process-pool fan-out of independent runs (:mod:`repro.engine.executor`)
-and telemetry (:mod:`repro.telemetry`).  See DESIGN.md §5 and the
-module docstrings for the layering.
+and telemetry (:mod:`repro.obs`, the structured observability layer).
+See DESIGN.md §5 and the module docstrings for the layering.
 """
 
 from .cache import ResultCache, configure_cache, default_cache_dir, global_cache

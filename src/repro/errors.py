@@ -20,6 +20,7 @@ __all__ = [
     "ConcurrencyError",
     "ExecutionError",
     "RunTimeoutError",
+    "ProtocolError",
 ]
 
 
@@ -85,4 +86,9 @@ class ExecutionError(ReproError):
 class RunTimeoutError(ExecutionError):
     """A single run exceeded its per-run wall-clock budget
     (``run_timeout_s``)."""
+
+
+class ProtocolError(ReproError):
+    """A malformed simulation-service request or reply (unparseable
+    JSON line, unknown field, non-servable option)."""
 

@@ -38,7 +38,12 @@ from .metrics import (
     get_telemetry,
     set_telemetry,
 )
-from .profile import CampaignProfile, load_profile, render_profile
+from .profile import (
+    CampaignProfile,
+    follow_profile,
+    load_profile,
+    render_profile,
+)
 from .trace import chrome_trace, export_chrome_trace
 
 __all__ = [
@@ -58,6 +63,7 @@ __all__ = [
     "chrome_trace",
     "export_chrome_trace",
     "CampaignProfile",
+    "follow_profile",
     "load_profile",
     "render_profile",
 ]

@@ -27,6 +27,10 @@ Event schema (one object per line)::
 * ``experiment.*`` events carry ``experiment``; ``campaign.completed``
   carries the final telemetry ``snapshot`` (merged counters,
   histograms, span summaries).
+* ``serve.*`` events come from the simulation service
+  (:mod:`repro.serve`): ``serve.request`` carries ``fingerprint``,
+  the answering ``tier`` and ``dur_ms``; ``serve.busy`` records a
+  backpressure rejection with its ``retry_after_s`` hint.
 * ``span`` events carry ``name``, ``span_id``, ``parent_id``,
   ``start_s`` and ``dur_s`` — enough to rebuild the span tree and the
   Chrome trace timeline offline.
@@ -38,6 +42,7 @@ schema check the CI trace-smoke job runs.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from pathlib import Path
 from typing import Iterator
@@ -69,6 +74,10 @@ EVENT_TYPES = frozenset({
     "shard.started",
     "shard.completed",
     "shard.merged",
+    "serve.started",
+    "serve.stopped",
+    "serve.request",
+    "serve.busy",
     "span",
 })
 
@@ -100,23 +109,32 @@ class EventLog:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = self.path.open("a", encoding="utf-8")
+        # The simulation service emits from request-handler threads and
+        # its executor thread at once; serialize so records never tear.
+        self._lock = threading.Lock()
         self.emitted = 0
 
     def emit(self, event: str, **fields) -> None:
-        """Append one event record and flush it to disk immediately."""
-        if self._handle is None:  # pragma: no cover - emit after close
-            return
+        """Append one event record and flush it to disk immediately.
+
+        Thread-safe: one record is written atomically with respect to
+        other emitters on this log."""
         record = {"ts": round(time.time(), 6), "event": event}
         for key, value in fields.items():
             record[key] = _jsonable(value)
-        self._handle.write(json.dumps(record, sort_keys=False) + "\n")
-        self._handle.flush()
-        self.emitted += 1
+        line = json.dumps(record, sort_keys=False) + "\n"
+        with self._lock:
+            if self._handle is None:  # pragma: no cover - emit after close
+                return
+            self._handle.write(line)
+            self._handle.flush()
+            self.emitted += 1
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "EventLog":
         return self

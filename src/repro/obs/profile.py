@@ -13,13 +13,21 @@ midway (the incremental log is readable at any prefix).
 
 from __future__ import annotations
 
+import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable, Iterator
 
 from .events import read_events
 from .metrics import Histogram
 
-__all__ = ["CampaignProfile", "load_profile", "render_profile"]
+__all__ = [
+    "CampaignProfile",
+    "follow_profile",
+    "load_profile",
+    "render_profile",
+]
 
 
 @dataclass
@@ -167,6 +175,64 @@ class CampaignProfile:
 def load_profile(path: str | Path) -> CampaignProfile:
     """Build a :class:`CampaignProfile` from a JSONL trace file."""
     return CampaignProfile.from_events(read_events(path))
+
+
+def follow_profile(
+    path: str | Path,
+    *,
+    interval: float = 2.0,
+    stop: Callable[[], bool] | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[CampaignProfile]:
+    """Tail a live campaign trace, yielding a refreshed profile as
+    events arrive (``repro-noise profile --follow``).
+
+    The log is read incrementally by byte offset: only complete
+    (newline-terminated) lines are consumed, so the torn tail of an
+    in-progress write is buffered until its newline lands rather than
+    being misparsed — the live counterpart of the crash tolerance in
+    :func:`~repro.obs.events.iter_events`.  A file that does not exist
+    yet is waited for.  The generator ends on its own when a
+    ``campaign.completed`` event arrives; *stop* (checked every poll)
+    lets a caller end it earlier.  Unparseable interior lines are
+    skipped, mirroring the offline reader.
+    """
+    path = Path(path)
+    events: list[dict] = []
+    tail = b""
+    offset = 0
+    first = True
+    while True:
+        if stop is not None and stop():
+            return
+        fresh = 0
+        finished = False
+        if path.exists():
+            with path.open("rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+            offset += len(chunk)
+            tail += chunk
+            *lines, tail = tail.split(b"\n")
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    events.append(record)
+                    fresh += 1
+                    if record.get("event") == "campaign.completed":
+                        finished = True
+        if fresh or first:
+            first = False
+            yield CampaignProfile.from_events(list(events))
+        if finished:
+            return
+        sleep(interval)
 
 
 def _fmt_seconds(seconds: float) -> str:

@@ -110,6 +110,27 @@ class CampaignPlan:
         across processes and platforms."""
         return content_key(self.chip_fp, sorted(self.unique))
 
+    def remaining(self, completed: Iterable[str]) -> list[UniqueRun]:
+        """The unique runs *not* yet in *completed*, in first-request
+        order (``repro-noise plan --since <manifest>``).
+
+        *completed* holds finished point ids as a campaign manifest
+        records them — either the bare run fingerprint or the
+        ``run:<fingerprint>`` form the executor checkpoints — so a
+        manifest's ``completed`` set can be passed straight in.
+        """
+        done = set()
+        for point in completed:
+            done.add(point)
+            if isinstance(point, str) and point.startswith("run:"):
+                done.add(point[len("run:"):])
+        return [
+            entry
+            for entry in self.unique.values()
+            if entry.fingerprint not in done
+            and f"run:{entry.fingerprint}" not in done
+        ]
+
     # -- sharding -------------------------------------------------------
     def shard(self, spec: ShardSpec | None) -> list[UniqueRun]:
         """The unique runs shard *spec* owns (everything when ``None``),

@@ -1,0 +1,48 @@
+"""The always-on simulation service (``repro-noise serve``).
+
+A long-running process that keeps one chip and a warm
+:class:`~repro.engine.session.SimulationSession` pool resident and
+answers simulation requests over a threaded TCP/JSON-lines endpoint,
+through three tiers: an in-memory hot LRU of encoded replies, the
+engine's content-addressed :class:`~repro.engine.cache.ResultCache`,
+and actual execution — with single-flight coalescing of identical
+in-flight requests and bounded-queue backpressure in front of the
+engine.  See :mod:`repro.serve.server` for the tier diagram and the
+threading contract.
+"""
+
+from .client import ServeClient
+from .coalesce import Flight, SingleFlight
+from .hot_cache import HotCache
+from .protocol import (
+    OPS,
+    TIERS,
+    SimRequest,
+    decode_program,
+    decode_request,
+    encode_program,
+    encode_result,
+    read_message,
+    write_message,
+)
+from .server import DEFAULT_PORT, NoiseServer, SimulationService, start_server
+
+__all__ = [
+    "DEFAULT_PORT",
+    "Flight",
+    "HotCache",
+    "NoiseServer",
+    "OPS",
+    "ServeClient",
+    "SimRequest",
+    "SimulationService",
+    "SingleFlight",
+    "TIERS",
+    "decode_program",
+    "decode_request",
+    "encode_program",
+    "encode_result",
+    "read_message",
+    "start_server",
+    "write_message",
+]

@@ -1,0 +1,130 @@
+"""A small synchronous client for the simulation service.
+
+Used by ``repro-noise query``, the CI smoke job and the TCP tests.
+One client wraps one persistent connection (JSON-lines, many requests
+per socket); :meth:`ServeClient.simulate` optionally retries ``busy``
+replies after the server's own ``retry_after_s`` hint, which is how a
+polite batch caller rides out a backpressure spike without hammering
+the admission queue.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from ..errors import ProtocolError
+from ..machine.runner import RunOptions
+from ..machine.workload import CurrentProgram
+from .protocol import encode_program, read_message, write_message
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One persistent connection to a :class:`NoiseServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 4650,
+        timeout: float | None = 120.0,
+    ):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+        self._wfile = self._sock.makefile("wb")
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        for stream in (self._rfile, self._wfile):
+            try:
+                stream.close()
+            except OSError:  # pragma: no cover - teardown best effort
+                pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - teardown best effort
+            pass
+
+    # -- raw request -----------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """One request/reply round trip on this connection."""
+        write_message(self._wfile, payload)
+        reply = read_message(self._rfile)
+        if reply is None:
+            raise ProtocolError("server closed the connection mid-request")
+        return reply
+
+    # -- verbs -----------------------------------------------------------
+    def simulate(
+        self,
+        mapping,
+        options: RunOptions | dict | None = None,
+        tag: object = None,
+        *,
+        retry_busy: int = 0,
+    ) -> dict:
+        """Submit one simulation request.
+
+        ``mapping`` is a sequence of :class:`CurrentProgram` / ``None``
+        (or already-encoded program dicts).  ``retry_busy`` re-submits
+        up to that many times after a busy reply, sleeping the server's
+        ``retry_after_s`` hint between attempts.
+        """
+        payload: dict = {
+            "op": "simulate",
+            "mapping": [
+                encode_program(entry)
+                if isinstance(entry, CurrentProgram) or entry is None
+                else entry
+                for entry in mapping
+            ],
+        }
+        if options is not None:
+            payload["options"] = (
+                _encode_options(options)
+                if isinstance(options, RunOptions)
+                else dict(options)
+            )
+        if tag is not None:
+            payload["tag"] = tag
+        attempts = 0
+        while True:
+            reply = self.request(payload)
+            if reply.get("status") != "busy" or attempts >= retry_busy:
+                return reply
+            attempts += 1
+            time.sleep(float(reply.get("retry_after_s") or 0.1))
+
+    def health(self) -> dict:
+        return self.request({"op": "health"})
+
+    def metrics(self) -> dict:
+        return self.request({"op": "metrics"})
+
+    def shutdown(self) -> dict:
+        """Ask the server to stop (it replies, then shuts down)."""
+        return self.request({"op": "shutdown"})
+
+
+def _encode_options(options: RunOptions) -> dict:
+    """The servable subset of a :class:`RunOptions` as a JSON object."""
+    return {
+        "segments": options.segments,
+        "events_cap": options.events_cap,
+        "tail": options.tail,
+        "isolated_edge_spacing": options.isolated_edge_spacing,
+        "base_samples": options.base_samples,
+        "seed": options.seed,
+        "include_ssn": options.include_ssn,
+        "nest_currents": dict(options.nest_currents),
+        "vrm_response": options.vrm_response,
+    }

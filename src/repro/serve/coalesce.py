@@ -1,0 +1,97 @@
+"""Single-flight request coalescing.
+
+When N clients ask for the same (cold) fingerprint concurrently, only
+the first — the *leader* — submits work to the engine; the others
+attach to the leader's in-flight :class:`Flight` and wake up when it
+resolves.  The engine therefore executes each unique run at most once
+per flight no matter how many clients race for it, which is the
+serving-side counterpart of the planner's pre-execution dedup.
+
+A flight resolves exactly once, with either a reply payload or an
+error (including the *busy* rejection: when the leader cannot even be
+admitted to the queue, every rider of its flight gets the same busy
+reply — they were betting on work that never started).
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Flight", "SingleFlight"]
+
+
+class Flight:
+    """One in-flight computation: an event plus its eventual outcome."""
+
+    __slots__ = ("key", "_done", "payload", "tier", "error", "riders")
+
+    def __init__(self, key: str):
+        self.key = key
+        self._done = threading.Event()
+        self.payload: dict | None = None
+        self.tier: str | None = None
+        self.error: dict | None = None
+        self.riders = 0  # followers attached (leader excluded)
+
+    def resolve(self, payload: dict, tier: str) -> None:
+        """Publish a successful outcome and wake every rider."""
+        self.payload = payload
+        self.tier = tier
+        self._done.set()
+
+    def reject(self, error: dict) -> None:
+        """Publish a failure reply (error/busy) and wake every rider."""
+        self.error = error
+        self._done.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the flight resolves; False on timeout."""
+        return self._done.wait(timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+
+class SingleFlight:
+    """The registry of in-flight fingerprints."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[str, Flight] = {}
+
+    def join(self, key: str) -> tuple[bool, Flight]:
+        """Attach to the flight for *key*, creating it if absent.
+
+        Returns ``(leader, flight)``: the leader must eventually
+        :meth:`finish` the flight (resolve or reject), followers just
+        wait on it.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.riders += 1
+                return False, flight
+            flight = self._flights[key] = Flight(key)
+            return True, flight
+
+    def finish(self, flight: Flight) -> None:
+        """Retire a resolved flight so the *next* identical request
+        starts fresh (it will hit the hot tier instead)."""
+        with self._lock:
+            if self._flights.get(flight.key) is flight:
+                del self._flights[flight.key]
+
+    def in_flight(self) -> int:
+        """Number of distinct fingerprints currently flying."""
+        with self._lock:
+            return len(self._flights)
+
+    def riders(self, key: str) -> int:
+        """Followers currently attached to *key* (0 when not flying)."""
+        with self._lock:
+            flight = self._flights.get(key)
+            return flight.riders if flight is not None else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SingleFlight({self.in_flight()} in flight)"

@@ -1,0 +1,79 @@
+"""The hot tier: a thread-safe LRU over *encoded* reply payloads.
+
+The engine's :class:`~repro.engine.cache.ResultCache` stores pickled
+:class:`RunResult` objects and is deliberately single-threaded (it is
+only ever touched from the service's executor thread).  The hot tier
+sits in front of it, inside the request handlers: it maps a run
+fingerprint straight to the JSON-ready ``result`` dict of a previous
+reply, so a repeat query costs one lock + one dict lookup — no engine,
+no queue, no pickle, no re-encode.  That is the path the < 50 ms
+hot-tier latency target rides on.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+__all__ = ["HotCache"]
+
+
+class HotCache:
+    """Bounded thread-safe LRU of fingerprint → encoded reply payload."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> dict | None:
+        """The cached payload for *key* (refreshing its recency), or
+        ``None``."""
+        with self._lock:
+            payload = self._entries.get(key)
+            if payload is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        with self._lock:
+            self._entries[key] = payload
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def stats(self) -> dict:
+        """Occupancy + hit/miss/eviction counters (the ``hot`` block of
+        a ``health`` reply)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"HotCache({len(self)}/{self.max_entries})"

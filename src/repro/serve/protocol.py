@@ -1,0 +1,272 @@
+"""Wire protocol of the simulation service: JSON-lines over TCP.
+
+One request per line, one JSON object per reply.  The protocol is the
+*only* place requests are parsed: both the TCP handler and the
+in-process test harness decode through :func:`decode_request`, so a
+request accepted over the wire and a request handed to the service
+directly are the same object.
+
+Request shape (``op`` defaults to ``"simulate"``)::
+
+    {"op": "simulate",
+     "mapping": [<program>|null, ...],     # per-core; short lists pad idle
+     "options": {"segments": 2, ...},      # RunOptions overrides
+     "tag": "client-tag"}                  # optional; scalar
+
+    {"op": "health"}      → liveness + queue/tier occupancy
+    {"op": "metrics"}     → telemetry snapshot (serve.* + engine.*)
+    {"op": "shutdown"}    → stop the server after replying
+
+A ``<program>`` object mirrors :class:`~repro.machine.workload.
+CurrentProgram`: ``{"name", "i_low", "i_high", "freq_hz", "duty",
+"rise_time", "sync": {"offset", "events_per_sync", "interval"}}`` with
+everything except the currents optional.
+
+Replies carry ``ok`` plus, for simulate, the serving ``tier`` (``hot``
+/ ``cache`` / ``executed`` / ``coalesced``), the run ``fingerprint``
+(the same content address the engine cache uses — computed through
+:class:`repro.plan.spec.PlannedRun`, so the service and the batch
+drivers provably share one key space) and the encoded ``result``.
+Overload is a ``{"ok": false, "status": "busy", "retry_after_s": ...}``
+reply, the 429 of this protocol.
+
+``collect_waveforms`` is rejected: waveforms are numpy arrays, and a
+serving reply must stay JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+from ..errors import ConfigError, ProtocolError
+from ..machine.chip import N_CORES, Chip
+from ..machine.runner import RunOptions, RunResult
+from ..machine.workload import CurrentProgram, SyncSpec
+from ..plan.spec import PlannedRun, chip_identity
+
+__all__ = [
+    "OPS",
+    "TIERS",
+    "SimRequest",
+    "decode_request",
+    "decode_program",
+    "encode_program",
+    "encode_result",
+    "read_message",
+    "write_message",
+]
+
+#: Request verbs the service answers.
+OPS = ("simulate", "health", "metrics", "shutdown")
+
+#: Tiers a simulate reply can be served from.
+TIERS = ("hot", "cache", "executed", "coalesced")
+
+#: RunOptions fields a request may override.  ``collect_waveforms`` is
+#: deliberately absent (non-JSON payload) and ``nest_currents`` is
+#: allowed as a flat name→amps object.
+_OPTION_FIELDS = frozenset({
+    "segments", "events_cap", "tail", "isolated_edge_spacing",
+    "base_samples", "seed", "include_ssn", "nest_currents",
+    "vrm_response",
+})
+
+_SYNC_FIELDS = frozenset({"offset", "events_per_sync", "interval"})
+_PROGRAM_FIELDS = frozenset({
+    "name", "i_low", "i_high", "freq_hz", "duty", "rise_time", "sync",
+})
+
+
+@dataclasses.dataclass(frozen=True)
+class SimRequest:
+    """One decoded simulation request, ready for the engine."""
+
+    mapping: tuple[CurrentProgram | None, ...]
+    options: RunOptions
+    tag: object
+
+    def fingerprint(self, chip: Chip) -> str:
+        """The content address this request resolves to on *chip* —
+        byte-identical to :meth:`SimulationSession.fingerprint`, which
+        is what lets the service answer from the engine's disk cache
+        and lets batch campaigns pre-warm the service."""
+        planned = PlannedRun(
+            mapping=self.mapping, tag=self.tag, options=self.options
+        )
+        return planned.fingerprint(chip_identity(chip.config, chip.chip_id))
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProtocolError(message)
+
+
+def decode_program(payload: dict, core: int) -> CurrentProgram:
+    """A :class:`CurrentProgram` from its JSON form."""
+    _require(
+        isinstance(payload, dict),
+        f"core {core}: program must be an object or null "
+        f"(got {type(payload).__name__})",
+    )
+    unknown = set(payload) - _PROGRAM_FIELDS
+    _require(not unknown, f"core {core}: unknown program field(s) "
+                          f"{sorted(unknown)}")
+    for field in ("i_low", "i_high"):
+        _require(
+            isinstance(payload.get(field), (int, float)),
+            f"core {core}: program needs numeric {field!r}",
+        )
+    sync = payload.get("sync")
+    sync_spec = None
+    if sync is not None:
+        _require(
+            isinstance(sync, dict),
+            f"core {core}: sync must be an object or null",
+        )
+        unknown = set(sync) - _SYNC_FIELDS
+        _require(not unknown, f"core {core}: unknown sync field(s) "
+                              f"{sorted(unknown)}")
+        try:
+            sync_spec = SyncSpec(**sync)
+        except (ConfigError, TypeError) as error:
+            raise ProtocolError(f"core {core}: invalid sync: {error}")
+    kwargs = {
+        key: payload[key]
+        for key in ("name", "freq_hz", "duty", "rise_time")
+        if key in payload
+    }
+    kwargs.setdefault("name", f"serve-core{core}")
+    try:
+        return CurrentProgram(
+            i_low=float(payload["i_low"]),
+            i_high=float(payload["i_high"]),
+            sync=sync_spec,
+            **kwargs,
+        )
+    except (ConfigError, TypeError, ValueError) as error:
+        raise ProtocolError(f"core {core}: invalid program: {error}")
+
+
+def encode_program(program: CurrentProgram | None) -> dict | None:
+    """The JSON form of one per-core program (client-side helper;
+    round-trips through :func:`decode_program`)."""
+    if program is None:
+        return None
+    payload: dict = {
+        "name": program.name,
+        "i_low": program.i_low,
+        "i_high": program.i_high,
+        "freq_hz": program.freq_hz,
+        "duty": program.duty,
+        "rise_time": program.rise_time,
+    }
+    if program.sync is not None:
+        payload["sync"] = {
+            "offset": program.sync.offset,
+            "events_per_sync": program.sync.events_per_sync,
+            "interval": program.sync.interval,
+        }
+    return payload
+
+
+def _decode_options(payload: object, defaults: RunOptions) -> RunOptions:
+    """Request options: *defaults* with the request's overrides applied
+    (the service's context options, so a bare request simulates under
+    the same fidelity the batch CLI would use)."""
+    if payload is None:
+        return dataclasses.replace(defaults)
+    _require(isinstance(payload, dict), "options must be an object")
+    if "collect_waveforms" in payload:
+        raise ProtocolError(
+            "collect_waveforms is not servable (waveforms are not JSON); "
+            "use the batch CLI for fig8-style runs"
+        )
+    unknown = set(payload) - _OPTION_FIELDS
+    _require(not unknown, f"unknown option field(s) {sorted(unknown)}")
+    try:
+        return dataclasses.replace(defaults, **payload)
+    except (ConfigError, TypeError) as error:
+        raise ProtocolError(f"invalid options: {error}")
+
+
+def decode_request(
+    payload: dict, defaults: RunOptions | None = None
+) -> SimRequest:
+    """Validate and compile one ``simulate`` request."""
+    _require(isinstance(payload, dict), "request must be a JSON object")
+    mapping_payload = payload.get("mapping")
+    _require(
+        isinstance(mapping_payload, (list, tuple)),
+        "request needs a 'mapping' array (one entry per core)",
+    )
+    _require(
+        0 < len(mapping_payload) <= N_CORES,
+        f"mapping must name 1..{N_CORES} cores "
+        f"(got {len(mapping_payload)})",
+    )
+    mapping: list[CurrentProgram | None] = []
+    for core, entry in enumerate(mapping_payload):
+        mapping.append(
+            None if entry is None else decode_program(entry, core)
+        )
+    # Short mappings pad with idle cores — the common "load one core"
+    # query should not have to spell out five nulls.
+    mapping.extend([None] * (N_CORES - len(mapping)))
+    options = _decode_options(payload.get("options"), defaults or RunOptions())
+    tag = payload.get("tag", "serve")
+    _require(
+        tag is None or isinstance(tag, (str, int, float)),
+        f"tag must be a scalar (got {type(tag).__name__})",
+    )
+    return SimRequest(
+        mapping=tuple(mapping), options=options, tag=tag or "serve"
+    )
+
+
+def encode_result(result: RunResult) -> dict:
+    """The JSON body of a simulate reply (stable across tiers: an
+    encoded hot-tier replay is byte-identical to the encoding of the
+    freshly computed result — the tier-equality acceptance test)."""
+    return {
+        "max_p2p": result.max_p2p,
+        "worst_vmin": result.worst_vmin,
+        "measurements": [
+            {
+                "core": m.core,
+                "p2p_pct": m.p2p_pct,
+                "v_min": m.v_min,
+                "v_max": m.v_max,
+                "droop": m.droop,
+                "coherent_delta_i": m.coherent_delta_i,
+            }
+            for m in result.measurements
+        ],
+    }
+
+
+# -- JSON-lines framing ---------------------------------------------------
+
+def write_message(stream, payload: dict) -> None:
+    """Write one JSON object as a single line and flush it."""
+    stream.write((json.dumps(payload) + "\n").encode("utf-8"))
+    stream.flush()
+
+
+def read_message(stream) -> dict | None:
+    """Read one JSON line; ``None`` on a closed stream.
+
+    A syntactically broken line raises :class:`ProtocolError` — the
+    server turns that into a ``bad-request`` reply instead of dropping
+    the connection.
+    """
+    line = stream.readline()
+    if not line:
+        return None
+    try:
+        payload = json.loads(line)
+    except ValueError:
+        raise ProtocolError("request is not valid JSON")
+    if not isinstance(payload, dict):
+        raise ProtocolError("request must be a JSON object")
+    return payload

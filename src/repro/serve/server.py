@@ -1,0 +1,533 @@
+"""The always-on simulation service: three tiers, one warm engine.
+
+``repro-noise serve`` keeps a chip (modal decomposition + response
+library) and a :class:`~repro.engine.session.SimulationSession` pool
+warm in one long-running process, and answers simulation requests over
+a threaded TCP/JSON-lines endpoint.  A request travels::
+
+    handler thread                        executor thread
+    --------------                        ---------------
+    decode + fingerprint
+    [1] hot tier (HotCache) ── hit ─▶ reply "hot" (lock + dict lookup)
+    [2] single-flight join ── follower ─▶ wait, reply "coalesced"
+    [3] admission queue ── full ─▶ reply "busy" (+retry_after_s)
+            │ leader
+            ▼
+        bounded queue ────────────▶ [4] ResultCache (memory+disk)
+                                        ── hit ─▶ reply "cache"
+                                    [5] SimulationSession.run_many
+                                        (batched misses, warm pool,
+                                         retry/degradation semantics)
+                                        ─▶ reply "executed"
+
+Every tier transition is accounted in :mod:`repro.obs` (``serve.*``
+counters, a request-latency histogram, ``serve.request`` events and
+``serve.batch`` spans under ``--trace``), so the running service
+answers its own ``metrics`` verb with the same telemetry shape the
+batch CLI exports.
+
+Threading contract: request handler threads touch only thread-safe
+state (the hot tier, the single-flight registry, the admission queue,
+lock-guarded counters).  The engine — sessions, the result cache, the
+process pool — is owned by the single executor thread, which also
+gives the service its graceful-degradation story for free: a worker
+process dying mid-request is absorbed by the session's retry/degrade
+path, and a run that still fails permanently becomes a structured
+``error`` reply for exactly the requests riding on it, never a dead
+server.
+"""
+
+from __future__ import annotations
+
+import queue
+import socketserver
+import threading
+import time
+
+from ..engine.cache import ResultCache, global_cache
+from ..engine.executor import Executor, make_executor
+from ..engine.fingerprint import canonical, content_key
+from ..engine.resilience import RetryPolicy, RunFailure
+from ..engine.session import SimulationSession
+from ..errors import ConfigError, ProtocolError
+from ..machine.chip import Chip
+from ..machine.runner import RunOptions
+from ..obs import Telemetry, get_telemetry
+from ..plan.spec import chip_identity
+from .coalesce import Flight, SingleFlight
+from .hot_cache import HotCache
+from .protocol import (
+    OPS,
+    decode_request,
+    encode_result,
+    read_message,
+    write_message,
+)
+
+__all__ = ["SimulationService", "NoiseServer", "start_server"]
+
+#: Default TCP port (none of the IANA well-knowns; "VN" on a phone pad).
+DEFAULT_PORT = 4650
+
+_UNSET = object()
+_STOP = object()
+
+
+class _WorkItem:
+    """One admitted leader request, queued for the executor thread."""
+
+    __slots__ = ("fingerprint", "request", "flight", "admitted_s")
+
+    def __init__(self, fingerprint, request, flight):
+        self.fingerprint = fingerprint
+        self.request = request
+        self.flight = flight
+        self.admitted_s = time.perf_counter()
+
+
+class SimulationService:
+    """Tiered request answering over one warm chip.
+
+    Parameters
+    ----------
+    chip:
+        The chip every request of this service simulates on (its
+        identity is part of every fingerprint).
+    default_options:
+        Options applied when a request omits them (the serving
+        equivalent of the batch CLI's context options).
+    cache:
+        Engine result cache (tier 2); the process-global cache when
+        omitted, so ``--cache-dir`` wires the disk tier in exactly as
+        for batch runs.
+    executor / jobs:
+        The warm fan-out backend shared by every session (tier 3).
+    retry:
+        Per-run fault-isolation policy (environment default when
+        omitted).
+    queue_limit:
+        Bound of the admission queue.  A leader that cannot be
+        admitted — and every follower riding its flight — gets a
+        ``busy`` reply with a ``retry_after_s`` hint instead of
+        unbounded queueing: load sheds at the edge, not in the engine.
+    hot_entries:
+        Bound of the hot tier.
+    max_batch:
+        How many queued requests the executor thread drains into one
+        ``run_many`` call (distinct fingerprints in one batch fan out
+        across the worker pool together).
+    max_wait_s:
+        Hard ceiling a handler waits on a flight before replying with
+        an error (defends clients against a wedged engine).
+    """
+
+    def __init__(
+        self,
+        chip: Chip,
+        default_options: RunOptions | None = None,
+        *,
+        cache: ResultCache | None = None,
+        executor: Executor | str | None = None,
+        jobs: int | None = None,
+        retry: RetryPolicy | None = None,
+        faults: object = _UNSET,
+        queue_limit: int = 32,
+        hot_entries: int = 256,
+        max_batch: int = 8,
+        max_wait_s: float = 600.0,
+        telemetry: Telemetry | None = None,
+    ):
+        if queue_limit < 1:
+            raise ConfigError(f"queue_limit must be >= 1 (got {queue_limit})")
+        if max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1 (got {max_batch})")
+        self.chip = chip
+        # Digest of the canonical chip identity: what health replies,
+        # events and banners show (the raw identity string is long).
+        self.chip_fp = content_key(chip_identity(chip.config, chip.chip_id))
+        self.default_options = default_options or RunOptions()
+        self.cache = cache if cache is not None else global_cache()
+        if isinstance(executor, (str, type(None))):
+            executor = make_executor(executor, jobs)
+        self.executor = executor
+        self.retry = retry or RetryPolicy.from_env()
+        self._faults = faults
+        self.hot = HotCache(hot_entries)
+        self.flights = SingleFlight()
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self.telemetry = telemetry or get_telemetry()
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
+        self._sessions: dict[str, SimulationSession] = {}
+        self._metrics_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._closing = False
+        self._started_s = time.time()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "SimulationService":
+        """Start the executor thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._closing = False
+            self._thread = threading.Thread(
+                target=self._drain, name="repro-serve-exec", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop accepting work, drain the queue, join the executor."""
+        if self._thread is None:
+            return
+        self._closing = True
+        self._queue.put(_STOP)
+        self._thread.join(timeout)
+        self._thread = None
+        self.telemetry.emit("serve.stopped", uptime_s=self.uptime_s)
+
+    @property
+    def uptime_s(self) -> float:
+        return time.time() - self._started_s
+
+    # -- request entry point --------------------------------------------
+    def handle(self, payload: dict) -> dict:
+        """Answer one decoded JSON request (the TCP handler and the
+        in-process tests both enter here)."""
+        op = payload.get("op", "simulate")
+        if op == "health":
+            return self.health()
+        if op == "metrics":
+            return self.metrics()
+        if op == "shutdown":
+            # The transport layer owns actually stopping the server;
+            # an in-process caller just gets the acknowledgement.
+            return {"ok": True, "status": "ok", "stopping": True}
+        if op != "simulate":
+            self._count("serve.bad_requests")
+            return {
+                "ok": False,
+                "status": "bad-request",
+                "error": f"unknown op {op!r}; expected one of {list(OPS)}",
+            }
+        return self._simulate(payload)
+
+    def _simulate(self, payload: dict) -> dict:
+        start = time.perf_counter()
+        self._count("serve.requests")
+        try:
+            request = decode_request(payload, self.default_options)
+        except (ProtocolError, ConfigError) as error:
+            self._count("serve.bad_requests")
+            return {"ok": False, "status": "bad-request", "error": str(error)}
+        fingerprint = request.fingerprint(self.chip)
+
+        # Tier 1: hot replay, entirely inside the handler thread.
+        hot = self.hot.get(fingerprint)
+        if hot is not None:
+            return self._reply(fingerprint, hot, "hot", start)
+
+        if self._closing:
+            self._count("serve.busy")
+            return self._busy_reply()
+
+        # Tier 2/3 admission: coalesce onto one flight per fingerprint.
+        leader, flight = self.flights.join(fingerprint)
+        if leader:
+            item = _WorkItem(fingerprint, request, flight)
+            try:
+                self._queue.put_nowait(item)
+            except queue.Full:
+                self._count("serve.busy")
+                flight.reject(self._busy_reply())
+                self.flights.finish(flight)
+        else:
+            self._count("serve.coalesced")
+
+        if not flight.wait(self.max_wait_s):
+            self._count("serve.wait_timeouts")
+            return {
+                "ok": False,
+                "status": "error",
+                "error": f"timed out after {self.max_wait_s:g}s waiting "
+                f"for execution",
+                "fingerprint": fingerprint,
+            }
+        if flight.error is not None:
+            return dict(flight.error)
+        tier = flight.tier if leader else "coalesced"
+        return self._reply(fingerprint, flight.payload, tier, start)
+
+    # -- verbs ----------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness + occupancy (the ``/healthz`` of this protocol)."""
+        return {
+            "ok": True,
+            "status": "closing" if self._closing else "ok",
+            "uptime_s": round(self.uptime_s, 3),
+            "chip": self.chip_fp,
+            "queue_depth": self._queue.qsize(),
+            "queue_limit": self._queue.maxsize,
+            "in_flight": self.flights.in_flight(),
+            "hot": self.hot.stats(),
+            "sessions": len(self._sessions),
+            "executor": getattr(self.executor, "name", "custom"),
+        }
+
+    def metrics(self) -> dict:
+        """The telemetry snapshot (serve.* + engine.*) plus tier stats
+        (the ``/metrics`` of this protocol)."""
+        return {
+            "ok": True,
+            "status": "ok",
+            "uptime_s": round(self.uptime_s, 3),
+            "hot": self.hot.stats(),
+            "metrics": self._safe_snapshot(),
+        }
+
+    def _safe_snapshot(self) -> dict:
+        # The executor thread mutates counters while we copy them; a
+        # dict that changes size mid-copy raises — retry, it settles.
+        for _ in range(8):
+            try:
+                return self.telemetry.snapshot()
+            except RuntimeError:
+                continue
+        return {"counters": {}}  # pragma: no cover - pathological churn
+
+    # -- executor thread -------------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                break
+            batch = [item]
+            while len(batch) < self.max_batch:
+                try:
+                    extra = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is _STOP:
+                    self._queue.put(_STOP)  # re-arm for the outer loop
+                    break
+                batch.append(extra)
+            try:
+                self._process(batch)
+            except BaseException as error:  # noqa: BLE001 - keep serving
+                for entry in batch:
+                    if not entry.flight.done:
+                        entry.flight.reject({
+                            "ok": False,
+                            "status": "error",
+                            "error": f"{type(error).__name__}: {error}",
+                            "fingerprint": entry.fingerprint,
+                        })
+                        self.flights.finish(entry.flight)
+                self._count("serve.batch_errors")
+
+    def _process(self, batch: list[_WorkItem]) -> None:
+        with self.telemetry.span("serve.batch", requests=len(batch)):
+            # Tier 2: the engine result cache (memory LRU + disk).
+            misses: list[_WorkItem] = []
+            for item in batch:
+                cached = self.cache.get(item.fingerprint)
+                if cached is not None:
+                    self._settle(item, encode_result(cached), "cache")
+                else:
+                    misses.append(item)
+            if not misses:
+                return
+            # Tier 3: execute, batched per options set so distinct
+            # concurrent requests fan out over the warm pool together.
+            groups: dict[str, list[_WorkItem]] = {}
+            for item in misses:
+                groups.setdefault(
+                    canonical(item.request.options), []
+                ).append(item)
+            for key, items in groups.items():
+                self._execute_group(self._session_for(key, items[0]), items)
+
+    def _execute_group(
+        self, session: SimulationSession, items: list[_WorkItem]
+    ) -> None:
+        results = session.run_many(
+            [list(item.request.mapping) for item in items],
+            [item.request.tag for item in items],
+        )
+        for item, result in zip(items, results):
+            if isinstance(result, RunFailure):
+                self._count("serve.failures")
+                flight = item.flight
+                flight.reject({
+                    "ok": False,
+                    "status": "error",
+                    "error": result.describe(),
+                    "fingerprint": item.fingerprint,
+                })
+                self.flights.finish(flight)
+                self.telemetry.emit(
+                    "serve.request",
+                    fingerprint=item.fingerprint,
+                    tier="error",
+                    error=result.describe(),
+                )
+            else:
+                self._count("serve.executed")
+                self._settle(item, encode_result(result), "executed")
+
+    def _session_for(self, key: str, item: _WorkItem) -> SimulationSession:
+        """The warm session for one canonical options set (created on
+        first use, then reused for the lifetime of the service)."""
+        session = self._sessions.get(key)
+        if session is None:
+            kwargs = {}
+            if self._faults is not _UNSET:
+                kwargs["faults"] = self._faults
+            session = SimulationSession(
+                self.chip,
+                item.request.options,
+                cache=self.cache,
+                executor=self.executor,
+                retry=self.retry,
+                on_failure="collect",
+                telemetry=self.telemetry,
+                **kwargs,
+            )
+            self._sessions[key] = session
+            self._count("serve.sessions_built")
+        return session
+
+    def _settle(self, item: _WorkItem, payload: dict, tier: str) -> None:
+        """Publish a finished computation: hot tier first, then the
+        flight, then retire it — so there is no instant where a repeat
+        request finds neither a hot entry nor an in-flight future."""
+        self.hot.put(item.fingerprint, payload)
+        item.flight.resolve(payload, tier)
+        self.flights.finish(item.flight)
+
+    # -- accounting ------------------------------------------------------
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._metrics_lock:
+            self.telemetry.increment(name, amount)
+
+    def _reply(
+        self, fingerprint: str, payload: dict, tier: str, start: float
+    ) -> dict:
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        with self._metrics_lock:
+            self.telemetry.increment(f"serve.tier.{tier}")
+            self.telemetry.observe("serve.request.seconds", elapsed_ms / 1e3)
+        self.telemetry.emit(
+            "serve.request",
+            fingerprint=fingerprint,
+            tier=tier,
+            dur_ms=round(elapsed_ms, 3),
+        )
+        return {
+            "ok": True,
+            "tier": tier,
+            "fingerprint": fingerprint,
+            "elapsed_ms": round(elapsed_ms, 3),
+            "result": payload,
+        }
+
+    def _busy_reply(self) -> dict:
+        retry_after = self._retry_after_s()
+        self.telemetry.emit("serve.busy", retry_after_s=retry_after)
+        return {
+            "ok": False,
+            "status": "busy",
+            "error": "admission queue is full",
+            "retry_after_s": retry_after,
+        }
+
+    def _retry_after_s(self) -> float:
+        """Backpressure hint: roughly how long the current queue takes
+        to drain, from the measured per-run latency."""
+        histogram = self.telemetry.histogram("engine.run.seconds")
+        mean = histogram.mean if histogram is not None else None
+        per_run = mean if mean else 0.25
+        estimate = max(1, self._queue.qsize()) * per_run
+        return round(min(max(estimate, 0.1), 30.0), 3)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SimulationService(chip={self.chip_fp[:12]}…, "
+            f"queue={self._queue.qsize()}/{self._queue.maxsize})"
+        )
+
+
+# -- TCP transport --------------------------------------------------------
+
+
+class _RequestHandler(socketserver.StreamRequestHandler):
+    """One persistent JSON-lines connection (many requests per
+    socket); the service logic lives entirely in the handler's
+    :class:`SimulationService`."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via TCP tests
+        service: SimulationService = self.server.service  # type: ignore[attr-defined]
+        while True:
+            try:
+                payload = read_message(self.rfile)
+            except ProtocolError as error:
+                write_message(
+                    self.wfile,
+                    {"ok": False, "status": "bad-request",
+                     "error": str(error)},
+                )
+                continue
+            if payload is None:
+                return
+            if payload.get("op") == "shutdown":
+                write_message(
+                    self.wfile, {"ok": True, "status": "ok", "stopping": True}
+                )
+                self.server.initiate_shutdown()  # type: ignore[attr-defined]
+                return
+            try:
+                response = service.handle(payload)
+            except BrokenPipeError:  # client went away mid-wait
+                return
+            try:
+                write_message(self.wfile, response)
+            except (BrokenPipeError, ConnectionResetError):
+                return
+
+
+class NoiseServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP front end over one :class:`SimulationService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: SimulationService):
+        super().__init__(address, _RequestHandler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def initiate_shutdown(self) -> None:
+        """Stop ``serve_forever`` from inside a handler thread (a
+        direct ``shutdown()`` call would deadlock the handler on its
+        own serve loop)."""
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+def start_server(
+    service: SimulationService, host: str = "127.0.0.1", port: int = 0
+) -> tuple[NoiseServer, threading.Thread]:
+    """Start *service* behind a TCP endpoint in a background thread;
+    returns the bound server (``server.port`` is the actual port when
+    0 was requested) and the serving thread."""
+    service.start()
+    service.telemetry.emit(
+        "serve.started", host=host, port=port, chip=service.chip_fp
+    )
+    server = NoiseServer((host, port), service)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-tcp", daemon=True
+    )
+    thread.start()
+    return server, thread

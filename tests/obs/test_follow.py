@@ -1,0 +1,110 @@
+"""``follow_profile``: live-tailing a campaign trace (profile --follow)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import follow_profile
+
+
+def _record(event: str, **fields) -> str:
+    payload = {"ts": 1.0, "event": event}
+    payload.update(fields)
+    return json.dumps(payload) + "\n"
+
+
+def _drive(path, steps, *, interval=0.0):
+    """Run follow_profile deterministically: each sleep() applies the
+    next scripted append, so 'time passing' is fully scripted."""
+    script = iter(steps)
+    done = {"flag": False}
+
+    def sleep(_):
+        try:
+            step = next(script)
+        except StopIteration:
+            done["flag"] = True
+            return
+        step()
+
+    profiles = []
+    for profile in follow_profile(
+        path, interval=interval, stop=lambda: done["flag"], sleep=sleep
+    ):
+        profiles.append(profile)
+    return profiles
+
+
+def test_waits_for_missing_file_then_reads(tmp_path):
+    path = tmp_path / "events.jsonl"
+
+    def create():
+        path.write_text(
+            _record("campaign.started")
+            + _record("run.completed", run="a", dur_s=0.5, attempts=1)
+        )
+
+    profiles = _drive(path, [create, lambda: None])
+    # First yield: empty (file absent); later: both events.
+    assert len(profiles[0].events) == 0
+    assert len(profiles[-1].events) == 2
+    assert len(profiles[-1].completed_runs) == 1
+
+
+def test_incremental_refresh_only_on_new_events(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text(_record("run.completed", run="a", dur_s=0.1, attempts=1))
+
+    def append():
+        with path.open("a") as handle:
+            handle.write(
+                _record("run.completed", run="b", dur_s=0.2, attempts=1)
+            )
+
+    idle = lambda: None  # noqa: E731 - scripted no-op step
+    profiles = _drive(path, [idle, append, idle, idle])
+    # Yields only when something changed: initial read, then the append.
+    assert [len(p.events) for p in profiles] == [1, 2]
+
+
+def test_torn_tail_buffered_until_newline(tmp_path):
+    """A half-written record (the live-writer race) must not be parsed
+    or dropped: it completes on a later poll."""
+    path = tmp_path / "events.jsonl"
+    full = _record("run.completed", run="a", dur_s=0.5, attempts=1)
+    head, tail = full[:25], full[25:]
+    path.write_text(_record("campaign.started") + head)
+
+    def finish_line():
+        with path.open("a") as handle:
+            handle.write(tail)
+
+    profiles = _drive(path, [finish_line, lambda: None])
+    assert len(profiles[0].events) == 1  # torn line withheld
+    assert len(profiles[-1].events) == 2  # ...and later completed intact
+    assert profiles[-1].completed_runs[0]["run"] == "a"
+
+
+def test_stops_on_campaign_completed(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text(
+        _record("campaign.started") + _record("campaign.completed", status=0)
+    )
+    # No stop callable, no scripted steps: termination must come from
+    # the campaign.completed event itself.
+    profiles = list(follow_profile(path, interval=0.0, sleep=lambda _: None))
+    assert len(profiles) == 1
+    assert profiles[0].events[-1]["event"] == "campaign.completed"
+
+
+def test_malformed_interior_line_skipped(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text(
+        _record("campaign.started")
+        + "{broken json}\n"
+        + _record("campaign.completed", status=0)
+    )
+    profiles = list(follow_profile(path, interval=0.0, sleep=lambda _: None))
+    assert [e["event"] for e in profiles[-1].events] == [
+        "campaign.started", "campaign.completed"
+    ]

@@ -1,6 +1,8 @@
-"""The deprecated ``repro.telemetry`` shim: still re-exports, but warns."""
+"""The deprecated ``repro.telemetry`` shim: still re-exports, but warns
+exactly once per process (module-level warning, cached import)."""
 
 import importlib
+import subprocess
 import sys
 import warnings
 
@@ -10,11 +12,55 @@ def test_shim_emits_deprecation_warning_and_reexports():
     with warnings.catch_warnings(record=True) as caught:
         warnings.simplefilter("always")
         shim = importlib.import_module("repro.telemetry")
-    assert any(
-        issubclass(w.category, DeprecationWarning) for w in caught
-    ), "importing repro.telemetry must emit DeprecationWarning"
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1, (
+        "importing repro.telemetry must emit exactly one "
+        f"DeprecationWarning (got {len(deprecations)})"
+    )
+    assert "repro.obs" in str(deprecations[0].message)
 
     from repro.obs import Telemetry, get_telemetry
 
     assert shim.Telemetry is Telemetry
     assert shim.get_telemetry is get_telemetry
+
+
+def test_shim_warns_exactly_once_across_reimports():
+    """A second import of the (cached) shim must stay silent — the
+    warning fires at module execution, not at every import site."""
+    sys.modules.pop("repro.telemetry", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        importlib.import_module("repro.telemetry")
+        importlib.import_module("repro.telemetry")
+        from repro import telemetry  # noqa: F401 - third import site
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1, (
+        "re-importing the cached shim must not warn again "
+        f"(got {len(deprecations)} warnings)"
+    )
+
+
+def test_no_internal_consumer_triggers_the_shim():
+    """Importing the whole library (and the serve/CLI layers) in a
+    fresh interpreter must not pull in repro.telemetry: every in-tree
+    consumer has migrated to repro.obs."""
+    code = (
+        "import sys, warnings\n"
+        "warnings.simplefilter('error', DeprecationWarning)\n"
+        "import repro, repro.cli, repro.serve, repro.engine, repro.obs\n"
+        "assert 'repro.telemetry' not in sys.modules\n"
+        "print('clean')\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "clean" in result.stdout

@@ -1,0 +1,89 @@
+"""Single-flight registry: leader election, riders, rejection."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve import SingleFlight
+
+
+def test_first_join_leads_second_follows():
+    flights = SingleFlight()
+    leader, flight = flights.join("fp")
+    assert leader
+    follower, same = flights.join("fp")
+    assert not follower
+    assert same is flight
+    assert flights.riders("fp") == 1
+    assert flights.in_flight() == 1
+
+
+def test_finish_retires_the_flight():
+    flights = SingleFlight()
+    _, flight = flights.join("fp")
+    flight.resolve({"v": 1}, "executed")
+    flights.finish(flight)
+    assert flights.in_flight() == 0
+    # The next identical request starts a fresh flight (it would hit
+    # the hot tier first in the real service).
+    leader, fresh = flights.join("fp")
+    assert leader
+    assert fresh is not flight
+
+
+def test_finish_is_idempotent_and_flight_scoped():
+    flights = SingleFlight()
+    _, first = flights.join("fp")
+    flights.finish(first)
+    _, second = flights.join("fp")
+    flights.finish(first)  # stale retire must not evict the new flight
+    assert flights.in_flight() == 1
+    flights.finish(second)
+    assert flights.in_flight() == 0
+
+
+def test_followers_receive_leader_resolution():
+    flights = SingleFlight()
+    _, flight = flights.join("fp")
+    seen: list[dict] = []
+
+    def follower():
+        _, shared = flights.join("fp")
+        assert shared.wait(5.0)
+        seen.append(shared.payload)
+
+    threads = [threading.Thread(target=follower) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    while flights.riders("fp") < 3:
+        pass
+    flight.resolve({"v": 42}, "executed")
+    for thread in threads:
+        thread.join(5.0)
+    assert seen == [{"v": 42}] * 3
+    assert flight.tier == "executed"
+
+
+def test_rejected_leader_rejects_riders_too():
+    """A leader that cannot be admitted (busy) takes its riders down
+    with it — they were waiting on work that never started."""
+    flights = SingleFlight()
+    _, flight = flights.join("fp")
+    outcomes: list[dict] = []
+
+    def follower():
+        _, shared = flights.join("fp")
+        assert shared.wait(5.0)
+        outcomes.append(shared.error)
+
+    thread = threading.Thread(target=follower)
+    thread.start()
+    while flights.riders("fp") < 1:
+        pass
+    busy = {"ok": False, "status": "busy", "retry_after_s": 0.5}
+    flight.reject(busy)
+    flights.finish(flight)
+    thread.join(5.0)
+    assert outcomes == [busy]
+    assert flight.payload is None
+    assert flight.done

@@ -1,0 +1,83 @@
+"""Hot tier: LRU semantics, bounds, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import HotCache
+
+
+def test_get_put_and_stats():
+    cache = HotCache(max_entries=4)
+    assert cache.get("a") is None
+    cache.put("a", {"v": 1})
+    assert cache.get("a") == {"v": 1}
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["capacity"] == 4
+
+
+def test_lru_eviction_order():
+    cache = HotCache(max_entries=2)
+    cache.put("a", {"v": 1})
+    cache.put("b", {"v": 2})
+    cache.get("a")  # refresh a → b is now the LRU victim
+    cache.put("c", {"v": 3})
+    assert "a" in cache
+    assert "b" not in cache
+    assert "c" in cache
+    assert cache.stats()["evictions"] == 1
+
+
+def test_put_overwrites_in_place():
+    cache = HotCache(max_entries=2)
+    cache.put("a", {"v": 1})
+    cache.put("a", {"v": 2})
+    assert len(cache) == 1
+    assert cache.get("a") == {"v": 2}
+
+
+def test_clear():
+    cache = HotCache(max_entries=2)
+    cache.put("a", {"v": 1})
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("a") is None
+
+
+def test_capacity_validated():
+    with pytest.raises(ValueError):
+        HotCache(max_entries=0)
+
+
+def test_concurrent_access_stays_consistent():
+    """Hammer one bounded cache from many threads: no lost structure,
+    occupancy never exceeds capacity, accounting adds up."""
+    cache = HotCache(max_entries=8)
+    errors: list[BaseException] = []
+
+    def worker(base: int) -> None:
+        try:
+            for i in range(300):
+                key = f"k{(base * 7 + i) % 24}"
+                cache.put(key, {"v": i})
+                cache.get(key)
+                assert len(cache) <= 8
+        except BaseException as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(n,)) for n in range(6)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    stats = cache.stats()
+    assert stats["entries"] <= 8
+    assert stats["hits"] + stats["misses"] == 6 * 300
