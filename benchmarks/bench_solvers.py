@@ -2,13 +2,20 @@
 
 The exact modal engine and the trapezoidal MNA engine must tell the
 same story about the chip's step response — and the modal path is the
-one fast enough to power the experiment suite.
+one fast enough to power the experiment suite.  The precompiled batched
+chip kernel must in turn reproduce the modal runner's waveforms within
+its pinned tolerance, while amortizing a one-time compile across a
+whole sweep of runs.
 """
 
 import time
 
 import numpy as np
 
+from repro.machine.chip import reference_chip
+from repro.machine.runner import ChipRunner, RunOptions
+from repro.machine.workload import CurrentProgram, SyncSpec
+from repro.pdn.kernels import KERNEL_TOLERANCE_V, compile_kernel
 from repro.pdn.mna import simulate_transient
 from repro.pdn.state_space import ModalSystem, build_state_space
 from repro.pdn.topology import build_chip_netlist
@@ -45,3 +52,55 @@ def test_solver_agreement(benchmark):
     print(f"modal build {t_build*1e3:.0f} ms, modal eval {t_eval*1e3:.1f} ms, "
           f"MNA transient {t_mna*1e3:.0f} ms")
     assert err < 0.05
+
+
+def _didt(freq_hz):
+    return CurrentProgram(
+        name="bench-didt",
+        i_low=14.0,
+        i_high=32.0,
+        freq_hz=freq_hz,
+        rise_time=11e-9,
+        sync=SyncSpec(offset=0.0, events_per_sync=1000),
+    )
+
+
+def _kernel_cross_validate():
+    chip = reference_chip()
+    runner = ChipRunner(chip)
+    options = RunOptions(segments=4, base_samples=1536, collect_waveforms=True)
+    mappings = [[_didt(freq)] * 6 for freq in (1.3e6, 2.6e6, 5.2e6, 10.4e6)]
+    tags = [f"bench{i}" for i in range(len(mappings))]
+
+    t0 = time.perf_counter()
+    reference = [
+        runner.run(mapping, options, tag)
+        for mapping, tag in zip(mappings, tags)
+    ]
+    t_reference = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    kernel = compile_kernel(chip.response_library)
+    t_compile = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batched = runner.run_batch(mappings, options, run_tags=tags, kernel=kernel)
+    t_batched = time.perf_counter() - t0
+
+    worst = 0.0
+    for ref, fast in zip(reference, batched):
+        for node, (_, v_ref) in ref.waveforms.items():
+            worst = max(worst, np.abs(fast.waveforms[node][1] - v_ref).max())
+    return worst, t_reference, t_compile, t_batched
+
+
+def test_batched_kernel_agreement(benchmark):
+    """The compiled-kernel fast path vs the per-run reference solve:
+    waveforms agree within the kernel's pinned tolerance."""
+    worst, t_reference, t_compile, t_batched = benchmark.pedantic(
+        _kernel_cross_validate, rounds=1, iterations=1
+    )
+    print(f"\nworst |dv| kernel vs reference: {worst:.3e} V "
+          f"(budget {KERNEL_TOLERANCE_V:.0e} V)")
+    print(f"reference solve {t_reference*1e3:.0f} ms, kernel compile "
+          f"{t_compile*1e3:.0f} ms, batched solve {t_batched*1e3:.0f} ms")
+    assert worst < KERNEL_TOLERANCE_V

@@ -46,6 +46,11 @@ bit-identical results.
 ``--quick`` swaps in the reduced-cost context (shorter EPI loops, fewer
 sweep points) for smoke runs.  The engine knobs: ``--jobs N`` /
 ``--executor process`` fan cache misses out over worker processes,
+``--backend batched`` routes every solve through the precompiled
+per-chip kernel (``reference`` keeps the per-run transient solver;
+the default ``auto`` compiles and falls back on failure — the choice
+never enters run fingerprints, so caches written under one backend
+replay under any other),
 ``--cache-dir DIR`` persists the result cache across invocations, and
 ``run --profile`` prints the engine telemetry (run counts, cache
 hits/misses, latency histograms, solver calls, per-experiment wall
@@ -117,6 +122,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("serial", "process"),
         default=None,
         help="sweep execution backend (default: $REPRO_EXECUTOR or serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "reference", "batched"),
+        default=None,
+        help="solve path for every session: 'batched' dispatches runs "
+        "through the precompiled per-chip kernel, 'reference' keeps the "
+        "per-run transient solver, 'auto' compiles the kernel and falls "
+        "back to the reference path if compilation fails (default: "
+        "$REPRO_BACKEND or auto); never part of run fingerprints, so "
+        "caches stay interchangeable across backends",
     )
     parser.add_argument(
         "--cache-dir",
@@ -387,6 +403,8 @@ def _configure_engine(args: argparse.Namespace) -> None:
             args.executor = "process"
     if args.executor is not None:
         os.environ["REPRO_EXECUTOR"] = args.executor
+    if args.backend is not None:
+        os.environ["REPRO_BACKEND"] = args.backend
     if args.max_retries is not None:
         os.environ["REPRO_MAX_RETRIES"] = str(args.max_retries)
     if args.run_timeout is not None:
@@ -470,24 +488,35 @@ def _format_seconds(seconds: float) -> str:
     return f"{minutes}m{secs:02d}s"
 
 
-def _mean_run_seconds(path: Path) -> tuple[float | None, int]:
+def _mean_run_seconds(
+    path: Path, backend: str = "auto"
+) -> tuple[float | None, int, str]:
     """Per-run latency baseline from a ``telemetry.json`` snapshot:
-    the mean (and sample count) of its ``engine.run.seconds``
-    histogram, or ``(None, 0)`` when the file is missing, unreadable
-    or holds no samples."""
+    the mean, sample count and histogram name used.  With an explicit
+    *backend*, that backend's per-run histogram
+    (``engine.run.<backend>.seconds``) is preferred — a reference-era
+    baseline would wildly overestimate a batched campaign and vice
+    versa — falling back to the aggregate ``engine.run.seconds``.
+    Returns ``(None, 0, name)`` when the file is missing, unreadable or
+    holds no samples."""
     import json
 
+    names = ["engine.run.seconds"]
+    if backend in ("reference", "batched"):
+        names.insert(0, f"engine.run.{backend}.seconds")
     try:
         snapshot = json.loads(path.read_text())
     except (OSError, ValueError):
-        return None, 0
-    summary = snapshot.get("histograms", {}).get("engine.run.seconds")
-    if not isinstance(summary, dict) or not summary.get("count"):
-        return None, 0
-    try:
-        return float(summary["mean"]), int(summary["count"])
-    except (KeyError, TypeError, ValueError):
-        return None, 0
+        return None, 0, names[-1]
+    for name in names:
+        summary = snapshot.get("histograms", {}).get(name)
+        if not isinstance(summary, dict) or not summary.get("count"):
+            continue
+        try:
+            return float(summary["mean"]), int(summary["count"]), name
+        except (KeyError, TypeError, ValueError):
+            continue
+    return None, 0, names[-1]
 
 
 def _requested_ids(args: argparse.Namespace) -> list[str]:
@@ -565,20 +594,25 @@ def _run_plan(args: argparse.Namespace) -> int:
         campaign_dir = _campaign_dir(args)
         if campaign_dir is not None and (campaign_dir / "telemetry.json").exists():
             baseline = campaign_dir / "telemetry.json"
-    mean_run_s, samples = (
-        _mean_run_seconds(baseline) if baseline is not None else (None, 0)
+    from .engine import resolve_backend_name
+
+    backend = resolve_backend_name(args.backend)
+    mean_run_s, samples, source = (
+        _mean_run_seconds(baseline, backend)
+        if baseline is not None
+        else (None, 0, "engine.run.seconds")
     )
     jobs = args.jobs or int(os.environ.get("REPRO_JOBS") or 1)
     estimate = campaign.estimate_seconds(mean_run_s, jobs=jobs)
     if estimate is not None:
         print(
             f"est. cold wall clock: ~{_format_seconds(estimate)} at "
-            f"{jobs} job(s) (mean run {mean_run_s:.3g}s over "
+            f"{jobs} job(s) (mean {source} {mean_run_s:.3g}s over "
             f"n={samples}, from {baseline})"
         )
     else:
         print(
-            "est. cold wall clock: n/a — no engine.run.seconds baseline "
+            f"est. cold wall clock: n/a — no {source} baseline "
             "(point --telemetry at a previous campaign's telemetry.json)"
         )
     return 0
@@ -625,6 +659,7 @@ def _run_shard(args: argparse.Namespace) -> int:
             or "raise",
             manifest=manifest,
             telemetry=telemetry,
+            backend=args.backend,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -729,6 +764,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             hot_entries=args.hot_entries,
             max_batch=args.max_batch,
             telemetry=telemetry,
+            backend=args.backend,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)

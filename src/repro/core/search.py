@@ -17,8 +17,9 @@ from ..mbench.target import Target
 from ..measure.powermeter import PowerMeter
 from .candidates import select_candidates
 from .epi import EpiProfile
-from .filters import FilterConstraints, FilterStats, ipc_filter, microarch_filter
-from .sequences import DEFAULT_SEQUENCE_LENGTH, enumerate_sequences
+from .filters import FilterConstraints, FilterStats
+from .seqspace import search_sequence_space
+from .sequences import DEFAULT_SEQUENCE_LENGTH, sequence_space_size
 
 __all__ = ["MaxPowerSearchResult", "search_max_power_sequence"]
 
@@ -76,10 +77,6 @@ def search_max_power_sequence(
     meter = meter or PowerMeter(target)
     candidates = select_candidates(profile, max_candidates=max_candidates)
 
-    enumerated = list(enumerate_sequences(candidates, length=length))
-    survivors, micro_stats = microarch_filter(enumerated, target.core, constraints)
-    if not survivors:
-        raise GenerationError("microarchitectural filter rejected every sequence")
     # Tie-break metric for the IPC filter: an energy-per-µop proxy built
     # purely from the EPI profiling run's own measurements ("power and
     # performance metrics are gathered"): the dynamic share of the
@@ -92,9 +89,19 @@ def search_max_power_sequence(
         / max(entry.ipc, 1e-6)
         for entry in profile.entries
     }
-    finalists, ipc_stats = ipc_filter(
-        survivors, target.core, keep=ipc_keep, epi_weights=epi_weights
+    # The enumeration + both filters run vectorized over the index
+    # space (bit-identical to the scalar microarch_filter/ipc_filter
+    # chain); only the finalists are materialized as tuples.
+    finalists, micro_stats, ipc_stats = search_sequence_space(
+        candidates,
+        target.core,
+        constraints,
+        length=length,
+        keep=ipc_keep,
+        epi_weights=epi_weights,
     )
+    if not finalists:
+        raise GenerationError("microarchitectural filter rejected every sequence")
 
     best_power = -1.0
     best_sequence: tuple[InstructionDef, ...] | None = None
@@ -119,7 +126,7 @@ def search_max_power_sequence(
         sequence=best_sequence,
         power_w=best_power,
         candidates=candidates,
-        enumerated=len(enumerated),
+        enumerated=sequence_space_size(len(candidates), length),
         microarch_stats=micro_stats,
         ipc_stats=ipc_stats,
         evaluated=len(finalists),

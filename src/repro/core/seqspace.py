@@ -1,0 +1,226 @@
+"""Vectorized sequence-space search (paper Figure 5, steps 2-4 fused).
+
+The scalar pipeline — :func:`~repro.core.sequences.enumerate_sequences`
+into :func:`~repro.core.filters.microarch_filter` into
+:func:`~repro.core.filters.ipc_filter` — materializes every one of the
+9^6 = 531 441 candidate tuples and walks each through the group-forming
+automaton and the throughput model one Python call at a time.  That
+enumeration dominates stressmark generation wall clock, which in turn
+dominates a cold batched campaign (the solves themselves are served by
+the compiled chip kernel).
+
+This module evaluates the same funnel over the *index space* instead:
+sequences are rows of digits indexing the (small) candidate pool, so
+every per-sequence quantity is a gather from a per-candidate attribute
+table and the whole space is filtered and scored with array arithmetic.
+Only the final ``keep`` winners are materialized as instruction tuples.
+
+Exact-parity contract with the scalar filters (enforced by tests):
+
+* enumeration order is the lexicographic order of
+  ``itertools.product`` — digit 0 varies slowest;
+* the structural constraints are totals-based (the scalar early-return
+  is just short-circuiting of the same threshold checks);
+* the dispatch-group automaton is stepped position-by-position with
+  vector state, mirroring :func:`~repro.uarch.grouping.form_groups`
+  decision for decision;
+* IPC scores accumulate per-position in position order (adding 0.0 for
+  non-contributing positions, which is exact for the non-negative
+  terms involved), so every score is bit-identical to
+  :func:`~repro.uarch.throughput.analyze_loop`'s, and the final
+  ranking uses the same ``(-ipc, -weight, index)`` key with the unique
+  enumeration index as tie-break.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import GenerationError
+from ..isa.instruction import InstructionDef
+from ..uarch.resources import CoreConfig
+from .filters import FilterConstraints, FilterStats
+from .sequences import DEFAULT_SEQUENCE_LENGTH
+
+__all__ = ["search_sequence_space"]
+
+
+def _attribute_tables(
+    candidates: Sequence[InstructionDef], config: CoreConfig
+) -> dict[str, np.ndarray]:
+    """Per-candidate attribute vectors the index-space filters gather
+    from."""
+    alone = np.array([c.group_alone for c in candidates], dtype=bool)
+    ends = np.array([c.ends_group for c in candidates], dtype=bool)
+    mem = np.array([c.memory for c in candidates], dtype=bool)
+    branch = np.array([c.is_branch for c in candidates], dtype=bool)
+    pipelined = np.array([c.pipelined for c in candidates], dtype=bool)
+    serializing = np.array([c.serializing for c in candidates], dtype=bool)
+    uops = np.array([c.uops for c in candidates], dtype=np.int64)
+    latency = np.array([float(c.latency) for c in candidates])
+    occupancy = np.where(pipelined, 1.0, latency)
+    units = list(dict.fromkeys(c.unit for c in candidates))
+    unit_id = np.array([units.index(c.unit) for c in candidates])
+    # Same expression, same operand types as the scalar model's
+    # ``inst.uops * occupancy / config.unit_count(inst.unit)`` — one
+    # float64 value per candidate, reused for every occurrence.
+    unit_term = np.array([
+        c.uops * (float(c.latency) if not c.pipelined else 1.0)
+        / config.unit_count(c.unit)
+        for c in candidates
+    ])
+    penalty = np.where(serializing, latency - 1.0, 0.0)
+    classes = list(dict.fromkeys(c.issue_class for c in candidates))
+    class_id = np.array([classes.index(c.issue_class) for c in candidates])
+    return {
+        "alone": alone, "ends": ends, "mem": mem, "branch": branch,
+        "pipelined": pipelined, "uops": uops, "unit_id": unit_id,
+        "n_units": np.int64(len(units)), "unit_term": unit_term,
+        "penalty": penalty, "class_id": class_id,
+        "n_classes": np.int64(len(classes)),
+    }
+
+
+def _group_counts(
+    idx: np.ndarray, attrs: dict[str, np.ndarray], config: CoreConfig
+) -> np.ndarray:
+    """Dispatch groups per sequence: :func:`form_groups` stepped with
+    vector state over every sequence at once."""
+    length, count = idx.shape
+    cur = np.zeros(count, dtype=np.int16)       # instructions in the open group
+    mic = np.zeros(count, dtype=np.int16)       # memory ops in the open group
+    groups = np.zeros(count, dtype=np.int32)
+    width = config.dispatch_width
+    max_mem = config.max_memory_per_group
+    for position in range(length):
+        digit = idx[position]
+        alone = attrs["alone"][digit]
+        memory = attrs["mem"][digit]
+        ends = attrs["ends"][digit]
+        # group_alone: close the open group, dispatch alone.
+        groups += np.where(alone, (cur > 0).astype(np.int32) + 1, 0)
+        cur[alone] = 0
+        mic[alone] = 0
+        rest = ~alone
+        # close at dispatch width (the group is non-empty by definition)
+        full = rest & (cur >= width)
+        groups += full
+        cur[full] = 0
+        mic[full] = 0
+        # close at the per-group memory budget (a no-op on an already
+        # empty group, exactly like the scalar close())
+        mem_full = rest & memory & (mic >= max_mem)
+        groups += mem_full & (cur > 0)
+        cur[mem_full] = 0
+        mic[mem_full] = 0
+        # append
+        cur += rest
+        mic += rest & memory
+        # a group-ending instruction closes the (now non-empty) group
+        closing = rest & ends
+        groups += closing
+        cur[closing] = 0
+        mic[closing] = 0
+    groups += (cur > 0)
+    return groups
+
+
+def search_sequence_space(
+    candidates: Sequence[InstructionDef],
+    config: CoreConfig,
+    constraints: FilterConstraints | None = None,
+    length: int = DEFAULT_SEQUENCE_LENGTH,
+    keep: int = 1000,
+    epi_weights: dict[str, float] | None = None,
+) -> tuple[list[tuple[InstructionDef, ...]], FilterStats, FilterStats]:
+    """Run enumeration + microarchitectural filter + IPC filter over
+    the full ``len(candidates) ** length`` space.
+
+    Returns ``(finalists, microarch_stats, ipc_stats)`` — element-wise
+    identical to chaining the scalar
+    :func:`~repro.core.sequences.enumerate_sequences` /
+    :func:`~repro.core.filters.microarch_filter` /
+    :func:`~repro.core.filters.ipc_filter` pipeline.
+    """
+    if not candidates:
+        raise GenerationError("empty candidate pool")
+    if length < 1:
+        raise GenerationError("sequence length must be positive")
+    if keep < 1:
+        raise GenerationError("must keep at least one sequence")
+    constraints = constraints or FilterConstraints()
+    weights = epi_weights or {}
+    attrs = _attribute_tables(candidates, config)
+    pool = len(candidates)
+    total = pool ** length
+
+    # Index space, lexicographic: digit 0 varies slowest, matching
+    # itertools.product enumeration order.
+    idx = np.indices((pool,) * length, dtype=np.int32).reshape(length, total)
+
+    # -- microarchitectural filter (totals-based structural checks) --
+    ok = (
+        (attrs["branch"][idx].sum(axis=0) <= constraints.max_branches)
+        & (attrs["mem"][idx].sum(axis=0) <= constraints.max_memory)
+        & ((~attrs["pipelined"])[idx].sum(axis=0)
+           <= constraints.max_nonpipelined)
+    )
+    class_digits = attrs["class_id"][idx]
+    for issue_class in range(int(attrs["n_classes"])):
+        ok &= (
+            (class_digits == issue_class).sum(axis=0)
+            <= constraints.max_per_issue_class
+        )
+    del class_digits
+    groups = _group_counts(idx, attrs, config)
+    ok &= (length / groups) >= constraints.required_group_size
+    micro_stats = FilterStats(examined=total, accepted=int(ok.sum()))
+    if not micro_stats.accepted:
+        return [], micro_stats, FilterStats()
+
+    survivors = np.flatnonzero(ok)          # ascending = enumeration order
+    sidx = idx[:, survivors]
+    sgroups = groups[survivors].astype(float)
+    del idx, groups, ok
+    n_survivors = survivors.size
+
+    # -- IPC scoring (bit-identical to analyze_loop, see module doc) --
+    uops_total = np.zeros(n_survivors, dtype=np.int64)
+    for position in range(length):
+        uops_total += attrs["uops"][sidx[position]]
+    cycles = sgroups
+    for unit in range(int(attrs["n_units"])):
+        load = np.zeros(n_survivors)
+        for position in range(length):
+            digit = sidx[position]
+            load = load + np.where(
+                attrs["unit_id"][digit] == unit,
+                attrs["unit_term"][digit],
+                0.0,
+            )
+        cycles = np.maximum(cycles, load)
+    penalty = np.zeros(n_survivors)
+    for position in range(length):
+        penalty = penalty + attrs["penalty"][sidx[position]]
+    cycles = cycles + penalty
+    ipc = uops_total / cycles
+
+    weight_table = np.array(
+        [weights.get(c.mnemonic, 0.0) for c in candidates]
+    )
+    weight_sum = np.zeros(n_survivors)
+    for position in range(length):
+        weight_sum = weight_sum + weight_table[sidx[position]]
+
+    # sort by (-ipc, -weight, survivor index); lexsort's last key is
+    # primary and the unique index makes the order total, so stability
+    # semantics cannot diverge from the scalar sort.
+    order = np.lexsort((np.arange(n_survivors), -weight_sum, -ipc))
+    top = order[: min(keep, n_survivors)]
+    finalists = [
+        tuple(candidates[digit] for digit in sidx[:, row]) for row in top
+    ]
+    ipc_stats = FilterStats(examined=n_survivors, accepted=len(finalists))
+    return finalists, micro_stats, ipc_stats

@@ -31,10 +31,12 @@ from .resilience import (
     call_with_timeout,
     guarded_call,
 )
-from .session import SimulationSession
+from .session import BACKENDS, SimulationSession, resolve_backend_name
 
 __all__ = [
     "SimulationSession",
+    "BACKENDS",
+    "resolve_backend_name",
     "ResultCache",
     "global_cache",
     "configure_cache",

@@ -15,6 +15,7 @@ from functools import cached_property
 
 from ..errors import ConfigError
 from ..measure.skitter import SkitterConfig, SkitterMacro
+from ..pdn.kernels import CompiledChipKernel, compile_kernel
 from ..pdn.netlist import Netlist
 from ..pdn.response import ResponseLibrary
 from ..pdn.state_space import ModalSystem, build_state_space
@@ -149,6 +150,15 @@ class Chip:
             rise_time=self.config.core.ramp_time,
             modal=self.modal,
         )
+
+    @cached_property
+    def compiled_kernel(self) -> CompiledChipKernel:
+        """The chip's batched solve kernel (process-memoized by content
+        fingerprint, so identical chips share one compiled artifact).
+        Raises :class:`~repro.errors.SolverError` if the chip's spectrum
+        does not compile — callers on the ``auto`` backend catch that
+        and fall back to the reference solver."""
+        return compile_kernel(self.response_library)
 
     def reset_skitters(self) -> None:
         """Clear all sticky skitter state (between experiments)."""

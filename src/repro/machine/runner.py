@@ -31,12 +31,24 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import ConfigError, MeasurementError
+from ..pdn.kernels import CompiledChipKernel, SampleGrid
 from ..pdn.superposition import EdgeTrain, assemble_voltage, edges_from_square_wave
 from ..rng import stream
 from .chip import N_CORES, Chip
 from .workload import CurrentProgram
 
-__all__ = ["RunOptions", "CoreMeasurement", "RunResult", "ChipRunner"]
+__all__ = [
+    "RunOptions",
+    "CoreMeasurement",
+    "RunResult",
+    "SegmentStimulus",
+    "StimulusBatch",
+    "ChipRunner",
+    "WAVEFORM_EXTRA_NODES",
+]
+
+#: Non-core nodes additionally recorded when waveforms are collected.
+WAVEFORM_EXTRA_NODES = ("dom_n", "dom_s", "l3")
 
 
 @dataclass
@@ -151,8 +163,52 @@ class RunResult:
         raise MeasurementError(f"no measurement for core {core}")
 
 
+@dataclass
+class SegmentStimulus:
+    """One observation window's worth of stimulus: the edge trains of
+    every bursting core, the composite sample grid, and the per-core
+    coherent-ΔI figures.  Pure data — both solve paths consume it."""
+
+    index: int
+    trains: list[EdgeTrain]
+    samples: SampleGrid
+    coherent: list[float]
+
+    @property
+    def times(self) -> np.ndarray:
+        return self.samples.times
+
+
+@dataclass
+class StimulusBatch:
+    """Everything a mapping run needs *before* any waveform is solved:
+    validated mapping, options, the VRM-regulated DC operating point and
+    one :class:`SegmentStimulus` per observation window.
+
+    Built by :meth:`ChipRunner.build_stimulus`; consumed identically by
+    the reference superposition path and the compiled-kernel path, which
+    is what makes the two backends comparable run-for-run.
+    """
+
+    mapping: list[CurrentProgram | None]
+    options: RunOptions
+    run_tag: object
+    dc_levels: dict[str, float]
+    segments: list[SegmentStimulus]
+
+
 class ChipRunner:
-    """Runs workload mappings on one :class:`~repro.machine.chip.Chip`."""
+    """Runs workload mappings on one :class:`~repro.machine.chip.Chip`.
+
+    The run pipeline is split into three phases — *build stimulus*
+    (edge trains, sample grids, coherent ΔI), *solve* (voltage
+    deviation waveforms per node) and *measure* (sticky skitter
+    accumulation) — so the solve phase is pluggable: the default is the
+    reference per-edge superposition; passing a
+    :class:`~repro.pdn.kernels.CompiledChipKernel` routes it through the
+    batched fast path instead, with identical stimulus and measurement
+    phases on both sides.
+    """
 
     def __init__(self, chip: Chip):
         self.chip = chip
@@ -163,18 +219,51 @@ class ChipRunner:
         mapping: Sequence[CurrentProgram | None],
         options: RunOptions | None = None,
         run_tag: object = "run",
+        *,
+        kernel: CompiledChipKernel | None = None,
     ) -> RunResult:
         """Execute *mapping* (one entry per core, ``None`` = idle core).
 
         ``run_tag`` differentiates the random phase draws of repeated
-        runs of the same mapping.
+        runs of the same mapping.  With *kernel*, the solve phase uses
+        the chip's compiled batched kernel instead of the reference
+        per-edge superposition (equivalent within the kernel's pinned
+        tolerance).
         """
+        batch = self.build_stimulus(mapping, options, run_tag)
+        return self.execute(batch, kernel=kernel)
+
+    def run_batch(
+        self,
+        mappings: Sequence[Sequence[CurrentProgram | None]],
+        options: RunOptions | None = None,
+        run_tags: Sequence[object] | None = None,
+        *,
+        kernel: CompiledChipKernel | None = None,
+    ) -> list[RunResult]:
+        """Execute several mappings back to back (shared options, one
+        stimulus-build + solve + measure cycle per mapping)."""
+        if run_tags is None:
+            run_tags = [f"run{i}" for i in range(len(mappings))]
+        if len(run_tags) != len(mappings):
+            raise ConfigError("run_tags and mappings must have equal length")
+        return [
+            self.run(mapping, options, tag, kernel=kernel)
+            for mapping, tag in zip(mappings, run_tags)
+        ]
+
+    # -- phase 1: stimulus construction --------------------------------
+    def build_stimulus(
+        self,
+        mapping: Sequence[CurrentProgram | None],
+        options: RunOptions | None = None,
+        run_tag: object = "run",
+    ) -> StimulusBatch:
+        """Construct the full stimulus of one run without solving it."""
         options = options or RunOptions()
         if len(mapping) != N_CORES:
             raise ConfigError(f"mapping must cover all {N_CORES} cores")
         chip = self.chip
-        chip.reset_skitters()
-        library = chip.response_library
 
         idle_amps = chip.config.core.static_power_w / chip.vnom
         baseline = dict(options.nest_currents)
@@ -185,31 +274,69 @@ class ChipRunner:
         dc_levels = self._dc_levels(
             baseline, self._slow_average(mapping, baseline, options)
         )
-        waveforms: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        segments = []
+        for segment in range(options.segments):
+            trains = self._build_trains(mapping, options, run_tag, segment)
+            samples = self._sample_times(trains, options)
+            coherent = self._coherent_delta_i(mapping, trains, options)
+            segments.append(
+                SegmentStimulus(
+                    index=segment,
+                    trains=trains,
+                    samples=samples,
+                    coherent=coherent,
+                )
+            )
+        return StimulusBatch(
+            mapping=list(mapping),
+            options=options,
+            run_tag=run_tag,
+            dc_levels=dc_levels,
+            segments=segments,
+        )
 
+    # -- phase 2 + 3: solve and measure ---------------------------------
+    def execute(
+        self,
+        batch: StimulusBatch,
+        *,
+        kernel: CompiledChipKernel | None = None,
+    ) -> RunResult:
+        """Solve a prepared :class:`StimulusBatch` and measure it."""
+        chip = self.chip
+        options = batch.options
+        chip.reset_skitters()
+        core_nodes = chip.core_nodes
+        deviations = self._solve(batch, core_nodes, kernel)
+        collect = bool(options.collect_waveforms and batch.segments)
+        extra: list[np.ndarray] = []
+        if collect:
+            extra = self._solve_extra(batch.segments[0], kernel)
+
+        dc_levels = batch.dc_levels
+        waveforms: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         sticky = [
             {"v_min": np.inf, "v_max": -np.inf, "coherent": 0.0}
             for _ in range(N_CORES)
         ]
-
-        for segment in range(options.segments):
-            trains = self._build_trains(mapping, options, run_tag, segment)
-            times = self._sample_times(trains, options)
-            coherent = self._coherent_delta_i(mapping, trains, options)
+        for segment, rows in zip(batch.segments, deviations):
+            times = segment.times
             for core in range(N_CORES):
-                node = chip.core_nodes[core]
-                deviation = assemble_voltage(library, node, trains, times)
-                volts = dc_levels[node] + deviation
+                node = core_nodes[core]
+                volts = dc_levels[node] + rows[core]
                 state = sticky[core]
                 state["v_min"] = min(state["v_min"], float(volts.min()))
                 state["v_max"] = max(state["v_max"], float(volts.max()))
-                state["coherent"] = max(state["coherent"], coherent[core])
-                if options.collect_waveforms and segment == 0:
+                state["coherent"] = max(
+                    state["coherent"], segment.coherent[core]
+                )
+                if collect and segment.index == 0:
                     waveforms[node] = (times.copy(), volts)
-            if options.collect_waveforms and segment == 0:
-                for node in ("dom_n", "dom_s", "l3"):
-                    deviation = assemble_voltage(library, node, trains, times)
-                    waveforms[node] = (times.copy(), dc_levels[node] + deviation)
+            if collect and segment.index == 0:
+                for node, deviation in zip(WAVEFORM_EXTRA_NODES, extra):
+                    waveforms[node] = (
+                        times.copy(), dc_levels[node] + deviation
+                    )
 
         measurements: list[CoreMeasurement] = []
         for core in range(N_CORES):
@@ -231,8 +358,52 @@ class ChipRunner:
                 )
             )
         return RunResult(
-            measurements=measurements, mapping=list(mapping), waveforms=waveforms
+            measurements=measurements,
+            mapping=list(batch.mapping),
+            waveforms=waveforms,
         )
+
+    def _solve(
+        self,
+        batch: StimulusBatch,
+        nodes: list[str],
+        kernel: CompiledChipKernel | None,
+    ) -> list[list[np.ndarray]]:
+        """Per-segment deviation waveforms for *nodes*: the pluggable
+        solve phase.  The kernel path evaluates every segment of the
+        run as one stacked batch; the reference path assembles each
+        (segment, node) waveform by per-edge table superposition."""
+        if kernel is not None:
+            return kernel.solve_batch(
+                [(seg.trains, seg.samples) for seg in batch.segments],
+                nodes=nodes,
+            )
+        library = self.chip.response_library
+        return [
+            [
+                assemble_voltage(library, node, seg.trains, seg.times)
+                for node in nodes
+            ]
+            for seg in batch.segments
+        ]
+
+    def _solve_extra(
+        self, segment: SegmentStimulus, kernel: CompiledChipKernel | None
+    ) -> list[np.ndarray]:
+        """Waveform-collection extras (nest nodes, first segment only)."""
+        if kernel is not None:
+            return list(
+                kernel.evaluate(
+                    segment.trains,
+                    segment.samples,
+                    nodes=list(WAVEFORM_EXTRA_NODES),
+                )
+            )
+        library = self.chip.response_library
+        return [
+            assemble_voltage(library, node, segment.trains, segment.times)
+            for node in WAVEFORM_EXTRA_NODES
+        ]
 
     # ------------------------------------------------------------------
     def _slow_average(
@@ -330,8 +501,14 @@ class ChipRunner:
 
     def _sample_times(
         self, trains: list[EdgeTrain], options: RunOptions
-    ) -> np.ndarray:
-        """Dense-near-edges composite sampling grid for one segment."""
+    ) -> SampleGrid:
+        """Dense-near-edges composite sampling grid for one segment.
+
+        The grid records its own construction (base linspace, per-edge
+        probe anchors/offsets, the ``unique`` gather) so the kernel
+        backend can build phase matrices multiplicatively; the sample
+        *values* are identical to simply uniquing the concatenation.
+        """
         if trains:
             t_end = max(train.times.max() for train in trains) + options.tail
             edge_times = np.concatenate([train.times for train in trains])
@@ -340,7 +517,12 @@ class ChipRunner:
             edge_times = np.empty(0)
         base = np.linspace(0.0, t_end, options.base_samples)
         if edge_times.size == 0:
-            return base
+            return SampleGrid(
+                times=base,
+                t_end=t_end,
+                n_base=options.base_samples,
+                first_index=np.arange(base.size),
+            )
         probe_offsets = np.concatenate(
             [
                 np.linspace(0.0, 30e-9, 13),
@@ -348,8 +530,19 @@ class ChipRunner:
             ]
         )
         probes = (edge_times[:, None] + probe_offsets[None, :]).ravel()
-        probes = probes[(probes >= 0.0) & (probes <= t_end)]
-        return np.unique(np.concatenate([base, probes]))
+        keep = (probes >= 0.0) & (probes <= t_end)
+        times, first_index = np.unique(
+            np.concatenate([base, probes[keep]]), return_index=True
+        )
+        return SampleGrid(
+            times=times,
+            t_end=t_end,
+            n_base=options.base_samples,
+            anchors=edge_times,
+            offsets=probe_offsets,
+            probe_mask=keep,
+            first_index=first_index,
+        )
 
     def _coherent_delta_i(
         self,
@@ -358,10 +551,20 @@ class ChipRunner:
         options: RunOptions,
     ) -> list[float]:
         """Per-core maximum weighted rising-ΔI within the coherence
-        window, over the whole segment."""
-        events: list[tuple[float, int, float]] = []  # (time, core, amps)
-        port_to_core = {port: i for i, port in enumerate(self.chip.core_ports)}
-        window = self.chip.config.ssn_window
+        window, over the whole segment.
+
+        The sliding window is evaluated as dense (event × event)
+        matrices — with at most ``N_CORES × events_cap`` rising edges
+        per segment the quadratic form is small, and it replaces the
+        per-window Python scan that used to dominate stimulus
+        construction.
+        """
+        chip = self.chip
+        window = chip.config.ssn_window
+        port_to_core = {port: i for i, port in enumerate(chip.core_ports)}
+        t_parts: list[np.ndarray] = []
+        c_parts: list[np.ndarray] = []
+        a_parts: list[np.ndarray] = []
         for train in trains:
             core = port_to_core[train.port]
             rising = train.deltas > 0
@@ -376,28 +579,35 @@ class ChipRunner:
                 impulsiveness = min(1.0, period / (2.0 * window))
             else:
                 impulsiveness = 1.0
-            for t, amps in zip(times, train.deltas[rising]):
-                events.append((float(t), core, float(amps) * impulsiveness))
-        if not events:
+            t_parts.append(times.astype(float))
+            c_parts.append(np.full(times.size, core, dtype=np.intp))
+            a_parts.append(train.deltas[rising] * impulsiveness)
+        if not t_parts:
             return [0.0] * N_CORES
-        events.sort()
-        result = [0.0] * N_CORES
-        left = 0
-        for right in range(len(events)):
-            while events[right][0] - events[left][0] > window:
-                left += 1
-            # At most one edge per source core counts within a window:
-            # the delay line integrates a single traversal, it does not
-            # accumulate a core's repeated events.
-            per_core: dict[int, float] = {}
-            for _, core, amps in events[left : right + 1]:
-                if amps > per_core.get(core, 0.0):
-                    per_core[core] = amps
-            for observer in range(N_CORES):
-                total = sum(
-                    amps * self.chip.coupling_weight(observer, core)
-                    for core, amps in per_core.items()
-                )
-                if total > result[observer]:
-                    result[observer] = total
-        return result
+        t = np.concatenate(t_parts)
+        if t.size == 0:
+            return [0.0] * N_CORES
+        order = np.argsort(t, kind="stable")
+        t, c, a = t[order], np.concatenate(c_parts)[order], np.concatenate(a_parts)[order]
+
+        # One window per event (ending at it): membership is "no newer
+        # than the window end, no older than the coherence span".
+        idx = np.arange(t.size)
+        in_win = (idx[None, :] <= idx[:, None]) & (
+            t[None, :] >= (t[:, None] - window)
+        )
+        amps = np.where(in_win, a[None, :], 0.0)
+        # At most one edge per source core counts within a window: the
+        # delay line integrates a single traversal, it does not
+        # accumulate a core's repeated events.
+        per_core = np.zeros((t.size, N_CORES))
+        for core in range(N_CORES):
+            cols = amps[:, c == core]
+            if cols.size:
+                per_core[:, core] = cols.max(axis=1)
+        weights = np.array([
+            [chip.coupling_weight(observer, core) for core in range(N_CORES)]
+            for observer in range(N_CORES)
+        ])
+        totals = per_core @ weights.T           # (windows, observers)
+        return [float(v) for v in totals.max(axis=0)]

@@ -38,12 +38,28 @@ class Target:
         return EnergyModel(self.isa, self.core)
 
     def profile(self, program: Program) -> LoopProfile:
-        """Steady-state throughput profile of *program*'s loop."""
-        return analyze_loop(program.loop_definitions, self.core)
+        """Steady-state throughput profile of *program*'s loop.
+
+        The profile is memoized on the program object (keyed by this
+        target's core config): generated programs are immutable after
+        construction, and one EPI measurement reads the same program's
+        profile from the meter, the counters and the energy model —
+        re-deriving a 4000-instruction profile three times per ISA
+        entry dominates generation wall clock."""
+        memo = getattr(program, "_profile_memo", None)
+        if memo is not None and memo[0] is self.core:
+            return memo[1]
+        profile = analyze_loop(program.loop_definitions, self.core)
+        program._profile_memo = (self.core, profile)
+        return profile
 
     def power(self, program: Program) -> PowerEstimate:
         """Steady-state power estimate of *program*'s loop."""
-        return estimate_loop_power(program.loop_definitions, self.energy_model)
+        return estimate_loop_power(
+            program.loop_definitions,
+            self.energy_model,
+            profile=self.profile(program),
+        )
 
     @property
     def idle_current(self) -> float:

@@ -5,9 +5,7 @@ macros, power metering, a service element to read them out); this
 package is the reproduction's equivalent for its *own* execution:
 
 * :mod:`repro.obs.metrics` — counters, timers, **histograms** and
-  hierarchical **spans** in one mergeable :class:`Telemetry` sink
-  (subsumes the old flat ``repro.telemetry`` bag, which now re-exports
-  from here);
+  hierarchical **spans** in one mergeable :class:`Telemetry` sink;
 * :mod:`repro.obs.events` — an incremental **JSONL event log** of run
   lifecycle events (scheduled, started, retried, failed, cached,
   completed) plus schema validation;

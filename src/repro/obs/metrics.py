@@ -1,9 +1,9 @@
 """Metric primitives of the observability layer: counters, timers,
 histograms and hierarchical spans, in one :class:`Telemetry` sink.
 
-This module subsumes the original flat counter bag of
-``repro.telemetry`` (which now re-exports from here) and extends it
-with the two instruments a parallel campaign cannot be tuned without:
+This module subsumes the engine's original flat counter bag and
+extends it with the two instruments a parallel campaign cannot be
+tuned without:
 
 * **histograms** — latency *distributions* (per-run wall clock, cache
   lookup latency, attempts per run) instead of accumulated totals, so

@@ -13,7 +13,11 @@ ways:
   cross-checked against the modal solution in the test suite;
 * by linear superposition of precomputed step/ramp responses
   (:mod:`.superposition`), which is how full multi-core stressmark
-  runs are assembled efficiently.
+  runs are assembled efficiently;
+* by precompiled per-chip batched kernels (:mod:`.kernels`), which
+  factor that same superposition into modal prefix sums so N stimuli
+  against one chip amortize to a single stacked solve — the engine's
+  ``batched`` backend.
 
 :mod:`.topology` builds the multi-core chip network of the paper's
 evaluation platform (two on-chip voltage domains, six cores, the large
@@ -29,6 +33,14 @@ from .mna import TransientResult, simulate_transient
 from .impedance import ImpedanceProfile, impedance_profile, find_resonances
 from .response import ResponseLibrary
 from .superposition import EdgeTrain, assemble_voltage, edges_from_square_wave
+from .kernels import (
+    KERNEL_TOLERANCE_V,
+    CompiledChipKernel,
+    SampleGrid,
+    clear_kernel_cache,
+    compile_kernel,
+    library_fingerprint,
+)
 from .topology import ChipPdnParameters, build_chip_netlist, core_node, core_port
 from .zec12 import reference_chip_parameters
 
@@ -47,6 +59,12 @@ __all__ = [
     "impedance_profile",
     "find_resonances",
     "ResponseLibrary",
+    "CompiledChipKernel",
+    "SampleGrid",
+    "compile_kernel",
+    "clear_kernel_cache",
+    "library_fingerprint",
+    "KERNEL_TOLERANCE_V",
     "EdgeTrain",
     "assemble_voltage",
     "edges_from_square_wave",

@@ -48,8 +48,8 @@ from ..engine.cache import ResultCache, global_cache
 from ..engine.executor import Executor, make_executor
 from ..engine.fingerprint import canonical, content_key
 from ..engine.resilience import RetryPolicy, RunFailure
-from ..engine.session import SimulationSession
-from ..errors import ConfigError, ProtocolError
+from ..engine.session import SimulationSession, resolve_backend_name
+from ..errors import ConfigError, ProtocolError, SolverError
 from ..machine.chip import Chip
 from ..machine.runner import RunOptions
 from ..obs import Telemetry, get_telemetry
@@ -119,6 +119,12 @@ class SimulationService:
     max_wait_s:
         Hard ceiling a handler waits on a flight before replying with
         an error (defends clients against a wedged engine).
+    backend:
+        Solve path of every warm session (``auto``/``reference``/
+        ``batched``; environment default when omitted).  On any
+        non-reference backend, :meth:`start` pre-compiles the warm
+        chip's kernel, so even the service's first cold request skips
+        the kernel-build cost.
     """
 
     def __init__(
@@ -136,6 +142,7 @@ class SimulationService:
         max_batch: int = 8,
         max_wait_s: float = 600.0,
         telemetry: Telemetry | None = None,
+        backend: str | None = None,
     ):
         if queue_limit < 1:
             raise ConfigError(f"queue_limit must be >= 1 (got {queue_limit})")
@@ -156,6 +163,7 @@ class SimulationService:
         self.flights = SingleFlight()
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
+        self.backend = resolve_backend_name(backend)
         self.telemetry = telemetry or get_telemetry()
         self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
         self._sessions: dict[str, SimulationSession] = {}
@@ -166,7 +174,10 @@ class SimulationService:
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "SimulationService":
-        """Start the executor thread (idempotent)."""
+        """Start the executor thread (idempotent), pre-warming the
+        chip's compiled kernel on any non-reference backend so the
+        first cold request pays a solve, not a kernel build."""
+        self._warm_kernel()
         if self._thread is None or not self._thread.is_alive():
             self._closing = False
             self._thread = threading.Thread(
@@ -174,6 +185,24 @@ class SimulationService:
             )
             self._thread.start()
         return self
+
+    def _warm_kernel(self) -> None:
+        if self.backend == "reference":
+            return
+        try:
+            with self.telemetry.time("engine.kernel.compile_seconds"):
+                self.chip.compiled_kernel
+        except SolverError as error:
+            # 'auto' sessions fall back to the reference path on their
+            # own (and account for it); an explicit 'batched' service
+            # must refuse to start rather than silently degrade.
+            if self.backend == "batched":
+                raise
+            self.telemetry.emit(
+                "kernel.fallback",
+                chip=self.chip_fp,
+                error=f"{type(error).__name__}: {error}",
+            )
 
     def stop(self, timeout: float = 30.0) -> None:
         """Stop accepting work, drain the queue, join the executor."""
@@ -271,6 +300,7 @@ class SimulationService:
             "hot": self.hot.stats(),
             "sessions": len(self._sessions),
             "executor": getattr(self.executor, "name", "custom"),
+            "backend": self.backend,
         }
 
     def metrics(self) -> dict:
@@ -390,6 +420,7 @@ class SimulationService:
                 retry=self.retry,
                 on_failure="collect",
                 telemetry=self.telemetry,
+                backend=self.backend,
                 **kwargs,
             )
             self._sessions[key] = session

@@ -71,9 +71,16 @@ class EnergyModel:
         """Dynamic energy of one loop iteration (joules)."""
         return sum(self.epi(inst) * inst.uops for inst in body)
 
-    def dynamic_power(self, body: Sequence[InstructionDef]) -> float:
-        """Steady-state dynamic power of an endless loop over *body* (W)."""
-        profile = analyze_loop(body, self.config)
+    def dynamic_power(
+        self, body: Sequence[InstructionDef], profile=None
+    ) -> float:
+        """Steady-state dynamic power of an endless loop over *body* (W).
+
+        Callers that already hold *body*'s throughput profile pass it
+        in to skip re-deriving it (profiling a 4000-instruction EPI
+        skeleton is not free)."""
+        if profile is None:
+            profile = analyze_loop(body, self.config)
         seconds_per_iteration = profile.cycles * self.config.cycle_time
         return self.iteration_energy(body) / seconds_per_iteration
 

@@ -45,11 +45,17 @@ class PowerEstimate:
 
 
 def estimate_loop_power(
-    body: Sequence[InstructionDef], model: EnergyModel
+    body: Sequence[InstructionDef],
+    model: EnergyModel,
+    profile: LoopProfile | None = None,
 ) -> PowerEstimate:
-    """Estimate the sustained power of an endless loop over *body*."""
-    profile = analyze_loop(body, model.config)
-    dynamic = model.dynamic_power(body)
+    """Estimate the sustained power of an endless loop over *body*.
+
+    An already-derived throughput *profile* of *body* short-circuits
+    both this function's and the energy model's analysis pass."""
+    if profile is None:
+        profile = analyze_loop(body, model.config)
+    dynamic = model.dynamic_power(body, profile=profile)
     total = model.config.static_power_w + dynamic
     return PowerEstimate(
         watts=total,

@@ -1,0 +1,120 @@
+"""The vectorized sequence-space search must be an exact drop-in for
+the scalar enumerate → microarch_filter → ipc_filter chain: same
+finalists, same order, same funnel statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.candidates import select_candidates
+from repro.core.filters import FilterConstraints, ipc_filter, microarch_filter
+from repro.core.seqspace import search_sequence_space
+from repro.core.sequences import enumerate_sequences
+from repro.errors import GenerationError
+
+
+@pytest.fixture(scope="module")
+def candidates(generator):
+    return select_candidates(generator.epi_profile)
+
+
+@pytest.fixture(scope="module")
+def epi_weights(generator):
+    static_share = 0.98
+    return {
+        entry.mnemonic: max(entry.normalized_power - static_share, 0.0)
+        / max(entry.ipc, 1e-6)
+        for entry in generator.epi_profile.entries
+    }
+
+
+def scalar_chain(pool, config, constraints, length, keep, epi_weights):
+    survivors, micro_stats = microarch_filter(
+        enumerate_sequences(pool, length=length), config, constraints
+    )
+    finalists, ipc_stats = ipc_filter(
+        survivors, config, keep=keep, epi_weights=epi_weights
+    )
+    return finalists, micro_stats, ipc_stats
+
+
+def assert_same_funnel(vector, scalar):
+    v_final, v_micro, v_ipc = vector
+    s_final, s_micro, s_ipc = scalar
+    assert (v_micro.examined, v_micro.accepted) == (
+        s_micro.examined,
+        s_micro.accepted,
+    )
+    assert (v_ipc.examined, v_ipc.accepted) == (s_ipc.examined, s_ipc.accepted)
+    assert len(v_final) == len(s_final)
+    for fast, slow in zip(v_final, s_final):
+        assert fast == slow  # InstructionDef tuples, position for position
+
+
+class TestParity:
+    @pytest.mark.parametrize("pool_size,length", [(6, 4), (9, 3)])
+    def test_matches_scalar_chain(
+        self, candidates, core_config, epi_weights, pool_size, length
+    ):
+        pool = candidates[:pool_size]
+        args = (pool, core_config, None, length, 50, epi_weights)
+        assert_same_funnel(
+            search_sequence_space(
+                pool, core_config, None, length=length, keep=50,
+                epi_weights=epi_weights,
+            ),
+            scalar_chain(*args),
+        )
+
+    def test_matches_without_weights(self, candidates, core_config):
+        """Tie-breaking falls back to pure enumeration order when no
+        EPI weights are supplied — in both implementations."""
+        pool = candidates[:5]
+        assert_same_funnel(
+            search_sequence_space(pool, core_config, None, length=4, keep=25),
+            scalar_chain(pool, core_config, None, 4, 25, None),
+        )
+
+    def test_matches_custom_constraints(
+        self, candidates, core_config, epi_weights
+    ):
+        constraints = FilterConstraints(
+            required_group_size=2.0,
+            max_branches=1,
+            max_per_issue_class=3,
+            max_memory=2,
+        )
+        pool = candidates[:6]
+        assert_same_funnel(
+            search_sequence_space(
+                pool, core_config, constraints, length=4, keep=40,
+                epi_weights=epi_weights,
+            ),
+            scalar_chain(pool, core_config, constraints, 4, 40, epi_weights),
+        )
+
+    def test_keep_larger_than_survivors(self, candidates, core_config):
+        """keep beyond the survivor count returns every survivor."""
+        pool = candidates[:4]
+        finalists, micro, ipc = search_sequence_space(
+            pool, core_config, None, length=3, keep=10**6
+        )
+        assert ipc.accepted == micro.accepted == len(finalists)
+
+
+class TestErrors:
+    def test_empty_pool(self, core_config):
+        with pytest.raises(GenerationError):
+            search_sequence_space([], core_config, None)
+
+    def test_bad_length(self, candidates, core_config):
+        with pytest.raises(GenerationError):
+            search_sequence_space(
+                candidates[:3], core_config, None, length=0
+            )
+
+    def test_bad_keep(self, candidates, core_config):
+        with pytest.raises(GenerationError):
+            search_sequence_space(
+                candidates[:3], core_config, None, keep=0
+            )

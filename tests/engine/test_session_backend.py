@@ -1,0 +1,183 @@
+"""The session backend layer: selection, fallback, batched dispatch,
+and — above all — cache-key neutrality (the backend must never change a
+run's fingerprint, so either path reads and writes the same entries).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import (
+    BACKENDS,
+    ResultCache,
+    SimulationSession,
+    resolve_backend_name,
+)
+from repro.errors import ConfigError, SolverError
+from repro.machine.chip import Chip
+from repro.machine.runner import RunOptions
+from repro.pdn.kernels import KERNEL_TOLERANCE_V
+
+from .conftest import didt
+
+
+def make_session(chip, telemetry, cache=None, **kwargs):
+    return SimulationSession(
+        chip,
+        RunOptions(segments=2, base_samples=1024),
+        cache=cache if cache is not None else ResultCache(telemetry=telemetry),
+        executor="serial",
+        telemetry=telemetry,
+        **kwargs,
+    )
+
+
+def break_kernel_compile(monkeypatch, chip):
+    """Force ``chip.compiled_kernel`` to raise SolverError for the
+    duration of one test (clearing the memoized instance value and
+    shadowing the class descriptor)."""
+
+    def boom(self):
+        raise SolverError("injected kernel compile failure")
+
+    monkeypatch.delitem(chip.__dict__, "compiled_kernel", raising=False)
+    monkeypatch.setattr(Chip, "compiled_kernel", property(boom))
+
+
+class TestSelection:
+    def test_invalid_name_rejected(self, chip, telemetry):
+        with pytest.raises(ConfigError, match="backend"):
+            resolve_backend_name("vectorized")
+        with pytest.raises(ConfigError, match="backend"):
+            make_session(chip, telemetry, backend="turbo")
+
+    @pytest.mark.parametrize("name", BACKENDS)
+    def test_explicit_names_accepted(self, chip, telemetry, name):
+        assert make_session(chip, telemetry, backend=name).backend == name
+
+    def test_env_default(self, chip, telemetry, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "batched")
+        assert resolve_backend_name(None) == "batched"
+        assert make_session(chip, telemetry).backend == "batched"
+        # An explicit argument wins over the environment.
+        assert resolve_backend_name("reference") == "reference"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert resolve_backend_name(None) == "auto"
+
+    def test_derive_carries_backend(self, chip, telemetry):
+        session = make_session(chip, telemetry, backend="batched")
+        sibling = session.derive(segments=4)
+        assert sibling.backend == "batched"
+        assert sibling.options.segments == 4
+        assert session.options.segments == 2
+
+
+class TestCacheNeutrality:
+    def test_fingerprint_ignores_backend(self, chip, telemetry):
+        mapping = [didt()] * 6
+        fingerprints = {
+            make_session(chip, telemetry, backend=name).fingerprint(mapping)
+            for name in BACKENDS
+        }
+        assert len(fingerprints) == 1
+
+    def test_backends_share_cache_entries(self, chip, telemetry):
+        """A run executed under one backend replays from the cache
+        under the other — in both directions."""
+        cache = ResultCache(telemetry=telemetry)
+        batched = make_session(chip, telemetry, cache=cache, backend="batched")
+        reference = make_session(
+            chip, telemetry, cache=cache, backend="reference"
+        )
+        warm = [didt()] * 6
+        batched.run(warm, "shared")
+        executed = telemetry.counter("engine.runs_executed")
+        replay = reference.run(warm, "shared")
+        assert telemetry.counter("engine.runs_executed") == executed
+        assert replay.p2p_by_core == batched.run(warm, "shared").p2p_by_core
+
+        cold = [didt(i_high=30.0)] * 6
+        reference.run(cold, "shared2")
+        executed = telemetry.counter("engine.runs_executed")
+        batched.run(cold, "shared2")
+        assert telemetry.counter("engine.runs_executed") == executed
+
+
+class TestFallback:
+    def test_auto_falls_back_to_reference(self, chip, telemetry, monkeypatch):
+        break_kernel_compile(monkeypatch, chip)
+        session = make_session(chip, telemetry, backend="auto")
+        result = session.run([didt()] * 6)
+        assert result.max_p2p > 0
+        assert session._resolve_backend() == "reference"
+        assert telemetry.counter("engine.kernel.fallbacks") == 1
+
+    def test_explicit_batched_propagates_error(
+        self, chip, telemetry, monkeypatch
+    ):
+        break_kernel_compile(monkeypatch, chip)
+        session = make_session(chip, telemetry, backend="batched")
+        with pytest.raises(SolverError, match="injected"):
+            session.run([didt()] * 6)
+        assert telemetry.counter("engine.kernel.fallbacks") == 0
+
+
+class TestBatchedDispatch:
+    MAPPINGS = [
+        [didt()] * 6,
+        [didt(i_high=28.0)] * 6,
+        [didt(sync=False)] * 6,
+    ]
+
+    def test_run_many_matches_reference(self, chip, telemetry):
+        fast = make_session(chip, telemetry, backend="batched").run_many(
+            self.MAPPINGS
+        )
+        slow = make_session(chip, telemetry, backend="reference").run_many(
+            self.MAPPINGS
+        )
+        assert telemetry.histogram("engine.run.batched.seconds") is not None
+        assert telemetry.histogram("engine.run.reference.seconds") is not None
+        for quick, ref in zip(fast, slow):
+            for a, b in zip(quick.measurements, ref.measurements):
+                assert a.coherent_delta_i == b.coherent_delta_i
+                assert abs(a.v_min - b.v_min) < KERNEL_TOLERANCE_V
+                assert abs(a.v_max - b.v_max) < KERNEL_TOLERANCE_V
+
+    def test_solver_accounting_parity(self, chip, telemetry):
+        """Batched dispatch reports the same per-run solver counters as
+        the guarded path."""
+        session = make_session(chip, telemetry, backend="batched")
+        session.run_many(self.MAPPINGS)
+        assert telemetry.counter("engine.solver.invocations") == len(
+            self.MAPPINGS
+        )
+        assert telemetry.counter("engine.runs_executed") == len(self.MAPPINGS)
+
+    def test_batch_failure_degrades_to_guarded(
+        self, chip, telemetry, monkeypatch
+    ):
+        session = make_session(chip, telemetry, backend="batched")
+        monkeypatch.setattr(
+            session.runner,
+            "run_batch",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("batch boom")),
+        )
+        results = session.run_many(self.MAPPINGS)
+        assert len(results) == len(self.MAPPINGS)
+        assert all(r.max_p2p > 0 for r in results)
+        assert telemetry.counter("engine.batch.degraded") == 1
+        assert telemetry.counter("engine.runs_executed") == len(self.MAPPINGS)
+
+    def test_single_run_skips_batching(self, chip, telemetry, monkeypatch):
+        """One miss never pays batch-dispatch overhead: run_batch is
+        not consulted."""
+        session = make_session(chip, telemetry, backend="batched")
+        monkeypatch.setattr(
+            session.runner,
+            "run_batch",
+            lambda *a, **k: (_ for _ in ()).throw(AssertionError("unused")),
+        )
+        result = session.run([didt()] * 6)
+        assert result.max_p2p > 0
+        assert telemetry.counter("engine.batch.degraded") == 0
