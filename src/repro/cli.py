@@ -351,6 +351,94 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--json", action="store_true",
                        help="print raw JSON replies instead of a summary")
+    fleet = sub.add_parser(
+        "fleet",
+        help="run a campaign on an elastic worker fleet: N workers "
+        "claim runs under heartbeat-renewed leases from one shared "
+        "manifest, steal expired leases from dead workers, and fold "
+        "their caches at the end (crash-tolerant alternative to "
+        "static 'run --shard')",
+    )
+    fleet.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids to campaign over (e.g. fig7a fig9), or 'all'",
+    )
+    fleet.add_argument(
+        "--output",
+        metavar="DIR",
+        required=True,
+        help="campaign directory: shared claim manifest, per-worker "
+        "state under workers/, and the folded cache + event log",
+    )
+    fleet.add_argument(
+        "--workers", type=int, default=4, metavar="N",
+        help="fleet size (default: 4)",
+    )
+    fleet.add_argument(
+        "--batch", type=int, default=4, metavar="N",
+        help="runs claimed per batch (default: 4)",
+    )
+    fleet.add_argument(
+        "--lease", type=float, default=20.0, metavar="SECONDS",
+        help="claim lease duration; a lease not renewed within it is "
+        "stolen by a surviving worker (default: 20)",
+    )
+    fleet.add_argument(
+        "--heartbeat", type=float, default=None, metavar="SECONDS",
+        help="lease renewal period (default: lease/4)",
+    )
+    fleet.add_argument(
+        "--poison-after", type=int, default=3, metavar="K",
+        help="bench a run after its lease expired under K distinct "
+        "workers (default: 3)",
+    )
+    fleet.add_argument(
+        "--respawn", type=int, default=8, metavar="N",
+        help="total crashed-worker respawns granted (default: 8)",
+    )
+    fleet.add_argument(
+        "--fleet-timeout", type=float, default=None, metavar="SECONDS",
+        help="hard wall-clock ceiling; workers are drained and the "
+        "partial state folded (default: unlimited)",
+    )
+    fleet.add_argument(
+        "--serve", metavar="HOST:PORT", default=None,
+        help="probe a running 'repro-noise serve' endpoint's cache "
+        "tier before executing each claimed run",
+    )
+    fleet.add_argument(
+        "--ssh-template", metavar="TEMPLATE", default=None,
+        help="remote transport: wrap each worker command through this "
+        "template, e.g. 'ssh {host} {command}' ({command} is the "
+        "shell-quoted local invocation; default: local subprocesses)",
+    )
+    fleet.add_argument(
+        "--hosts", metavar="H1,H2,...", default=None,
+        help="comma-separated hosts workers round-robin over "
+        "(requires --ssh-template)",
+    )
+    fleet.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the fleet-merged engine telemetry after the fold",
+    )
+    worker = sub.add_parser(
+        "fleet-worker",
+        help="(internal) one fleet worker process; spawned by "
+        "'fleet', not meant to be invoked by hand",
+    )
+    worker.add_argument("experiments", nargs="+")
+    worker.add_argument("--campaign-dir", required=True, metavar="DIR",
+                        help="shared campaign directory (claim manifest)")
+    worker.add_argument("--worker-id", required=True, metavar="ID")
+    worker.add_argument("--workdir", required=True, metavar="DIR",
+                        help="private directory (cache, manifest, events)")
+    worker.add_argument("--batch", type=int, default=4)
+    worker.add_argument("--lease", type=float, default=20.0)
+    worker.add_argument("--heartbeat", type=float, default=None)
+    worker.add_argument("--poison-after", type=int, default=3)
+    worker.add_argument("--serve", metavar="HOST:PORT", default=None)
     run = sub.add_parser("run", help="run one or more experiments")
     run.add_argument(
         "experiments",
@@ -731,6 +819,172 @@ def _run_merge_shards(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_endpoint(spec: str) -> tuple[str, int]:
+    """``host:port`` → ``(host, port)`` (host defaults to loopback for
+    a bare ``:port`` or plain port)."""
+    host, _, port = spec.rpartition(":")
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise ReproError(f"bad endpoint {spec!r}; expected host:port")
+
+
+def _fleet_worker_command(args: argparse.Namespace) -> list[str]:
+    """The ``fleet-worker`` invocation every worker is spawned with
+    (the dispatcher appends ``--worker-id``/``--workdir``): the user's
+    context/engine flags are re-spelled so the workers see exactly the
+    configuration the ``fleet`` command was given."""
+    command = [sys.executable, "-m", "repro"]
+    if args.quick:
+        command.append("--quick")
+    if args.backend is not None:
+        command += ["--backend", args.backend]
+    if args.max_retries is not None:
+        command += ["--max-retries", str(args.max_retries)]
+    if args.run_timeout is not None:
+        command += ["--run-timeout", str(args.run_timeout)]
+    command += [
+        "fleet-worker",
+        "--campaign-dir", str(Path(args.output)),
+        "--batch", str(args.batch),
+        "--lease", str(args.lease),
+        "--poison-after", str(args.poison_after),
+    ]
+    if args.heartbeat is not None:
+        command += ["--heartbeat", str(args.heartbeat)]
+    if args.serve is not None:
+        command += ["--serve", args.serve]
+    command += _requested_ids(args)
+    return command
+
+
+def _run_fleet(args: argparse.Namespace) -> int:
+    """The ``fleet`` subcommand: dispatch an elastic worker fleet over
+    one campaign and fold the results."""
+    from .experiments import compile_campaign
+    from .fleet import FleetDispatcher
+
+    context = quick_context() if args.quick else default_context()
+    campaign_dir = Path(args.output)
+    telemetry = get_telemetry()
+    event_log = _trace_log(args, campaign_dir)
+    if event_log is not None:
+        telemetry.enable_tracing(events=event_log)
+    try:
+        campaign = compile_campaign(_requested_ids(args), context)
+        hosts = [h for h in (args.hosts or "").split(",") if h] or None
+        dispatcher = FleetDispatcher(
+            campaign,
+            context.chip,
+            campaign_dir,
+            _fleet_worker_command(args),
+            workers=args.workers,
+            hosts=hosts,
+            ssh_template=args.ssh_template,
+            respawn=args.respawn,
+            timeout_s=args.fleet_timeout,
+            telemetry=telemetry,
+        )
+        report = dispatcher.run()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if event_log is not None:
+            event_log.close()
+    summary = report.summary()
+    print(
+        f"fleet campaign {report.plan[:16]}…: {report.runs} run(s) — "
+        f"{report.executed} executed, {report.replayed} replayed, "
+        f"{report.failed} failed, {summary.get('stolen', 0)} stolen"
+    )
+    for worker, tally in summary.get("by_worker", {}).items():
+        print(
+            f"  {worker:<8} completed={tally['completed']:<4} "
+            f"stolen={tally['stolen']:<3} failed={tally['failed']}"
+        )
+    counters = telemetry.snapshot().get("counters", {})
+    fleet_counters = ", ".join(
+        f"{name.removeprefix('fleet.')}={count}"
+        for name, count in sorted(counters.items())
+        if name.startswith("fleet.")
+    )
+    if fleet_counters:
+        print(f"fleet counters: {fleet_counters}")
+    print(f"campaign dir: {campaign_dir} (folded cache in cache/)")
+    if args.profile:
+        print(telemetry.report())
+    if dispatcher.unfinished:
+        benched = (
+            f" ({len(dispatcher.poisoned)} poisoned)"
+            if dispatcher.poisoned
+            else ""
+        )
+        print(
+            f"error: {len(dispatcher.unfinished)} run(s) did not "
+            f"complete{benched}",
+            file=sys.stderr,
+        )
+        return 1
+    return 1 if report.failed else 0
+
+
+def _run_fleet_worker(args: argparse.Namespace) -> int:
+    """The (internal) ``fleet-worker`` subcommand: one claim/execute/
+    renew loop over the shared campaign manifest."""
+    import json
+    import signal
+
+    from .engine import CampaignManifest
+    from .engine.cache import ResultCache
+    from .experiments import compile_campaign
+    from .fleet import FleetWorker
+    from .ioutil import atomic_write_json
+    from .obs import EventLog
+
+    context = quick_context() if args.quick else default_context()
+    workdir = Path(args.workdir)
+    (workdir / "cache").mkdir(parents=True, exist_ok=True)
+    telemetry = get_telemetry()
+    event_log = EventLog(workdir / "events.jsonl")
+    telemetry.enable_tracing(events=event_log)
+    try:
+        campaign = compile_campaign(_requested_ids(args), context)
+        private = CampaignManifest(workdir / "campaign-manifest.json")
+        private.bind_campaign({
+            "plan": campaign.fingerprint(),
+            "shard": f"fleet:{args.worker_id}",
+        })
+        worker = FleetWorker(
+            campaign,
+            context.chip,
+            CampaignManifest(Path(args.campaign_dir)),
+            worker_id=args.worker_id,
+            cache=ResultCache(cache_dir=workdir / "cache"),
+            private_manifest=private,
+            batch=args.batch,
+            lease_s=args.lease,
+            heartbeat_s=args.heartbeat,
+            poison_after=args.poison_after,
+            serve=_parse_endpoint(args.serve) if args.serve else None,
+            backend=args.backend,
+            telemetry=telemetry,
+        )
+        signal.signal(signal.SIGTERM, lambda *_: worker.drain())
+        summary = worker.run()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        event_log.close()
+        # The merge-payload snapshot the dispatcher folds fleet-wide.
+        atomic_write_json(
+            workdir / "fleet-telemetry.json", telemetry.merge_payload()
+        )
+    print(json.dumps(summary, sort_keys=True))
+    return 0
+
+
 def _trace_log(args: argparse.Namespace, campaign_dir: Path | None):
     """Open the JSONL event log when tracing is requested (``--trace``
     / ``--trace-file``); returns None otherwise."""
@@ -908,6 +1162,12 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "fleet":
+        return _run_fleet(args)
+
+    if args.command == "fleet-worker":
+        return _run_fleet_worker(args)
 
     if args.command == "run" and args.shard:
         return _run_shard(args)

@@ -135,6 +135,24 @@ class ResultCache:
         self._memory_put(key, value)
         self._disk_put(key, value)
 
+    def peek_bytes(self, key: str) -> bytes | None:
+        """The raw pickled disk-tier payload for *key*, or ``None``.
+
+        A pure read: no LRU mutation, no unpickling, no quarantine —
+        safe to call from any thread (the serve layer answers ``fetch``
+        requests with it from handler threads while the executor thread
+        owns the live cache object).  The receiver unpickles, so a torn
+        payload fails on *their* side and their own corruption
+        quarantine handles it.
+        """
+        path = self._disk_path(key)
+        if path is None:
+            return None
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
     def clear(self) -> None:
         """Drop the memory tier (the disk tier, being a durable
         artifact store, is left alone)."""

@@ -29,10 +29,11 @@ from .harness import (
     corrupt_cache_entries,
     reset_fault_memo,
 )
-from .plan import FaultPlan
+from .plan import HOST_KINDS, FaultPlan
 
 __all__ = [
     "FaultPlan",
+    "HOST_KINDS",
     "FaultyExecutor",
     "InjectedFault",
     "InjectedCrash",

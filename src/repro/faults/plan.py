@@ -18,10 +18,16 @@ from dataclasses import dataclass, fields
 
 from ..errors import ConfigError
 
-__all__ = ["FaultPlan"]
+__all__ = ["FaultPlan", "HOST_KINDS"]
 
-#: Injection kinds, in threshold order.
+#: Run-level injection kinds, in threshold order (they partition one
+#: uniform draw, so their rates must sum to <= 1).
 KINDS = ("crash", "hang", "exception")
+
+#: Host-level injection kinds (fleet chaos).  Each draws independently
+#: per ``(kind, key)`` — a worker can be told to die *and* to corrupt a
+#: lease in one campaign.
+HOST_KINDS = ("worker_kill", "lease_corrupt", "heartbeat_stall")
 
 
 @dataclass(frozen=True)
@@ -57,6 +63,20 @@ class FaultPlan:
         Simulated host interruption: raise ``KeyboardInterrupt`` after
         this many successful injected-executor calls in the current
         process (``None`` disables).  Used to test checkpoint/resume.
+    worker_kill_rate:
+        Host-level (fleet chaos): fraction of ``(worker, claimed run)``
+        pairs for which the whole fleet worker process dies right after
+        committing its claim — the lease expires and a survivor must
+        steal the run.
+    lease_corrupt_rate:
+        Host-level: fraction of ``(worker, claimed run)`` pairs whose
+        claim entry the worker scribbles garbage over after claiming —
+        the manifest must treat the malformed lease as expired rather
+        than wedging the run.
+    heartbeat_stall_rate:
+        Host-level: fraction of heartbeat cycles a worker silently
+        skips (a wedged-but-alive worker); long stalls let the lease
+        expire and the run be stolen out from under a live process.
     """
 
     seed: int = 0
@@ -67,10 +87,18 @@ class FaultPlan:
     hang_seconds: float = 30.0
     transient: bool = True
     abort_after: int | None = None
+    worker_kill_rate: float = 0.0
+    lease_corrupt_rate: float = 0.0
+    heartbeat_stall_rate: float = 0.0
 
     def __post_init__(self) -> None:
         rates = (self.crash_rate, self.hang_rate, self.exception_rate)
-        if any(rate < 0.0 or rate > 1.0 for rate in rates):
+        host_rates = (
+            self.worker_kill_rate,
+            self.lease_corrupt_rate,
+            self.heartbeat_stall_rate,
+        )
+        if any(rate < 0.0 or rate > 1.0 for rate in rates + host_rates):
             raise ConfigError("fault rates must be within [0, 1]")
         if sum(rates) > 1.0:
             raise ConfigError(
@@ -93,6 +121,16 @@ class FaultPlan:
             or self.exception_rate > 0
             or self.corrupt_entries > 0
             or self.abort_after is not None
+            or self.host_active
+        )
+
+    @property
+    def host_active(self) -> bool:
+        """True when the plan injects host-level (fleet) faults."""
+        return (
+            self.worker_kill_rate > 0
+            or self.lease_corrupt_rate > 0
+            or self.heartbeat_stall_rate > 0
         )
 
     def draw(self, key: str) -> float:
@@ -112,6 +150,20 @@ class FaultPlan:
             if draw < threshold:
                 return kind
         return None
+
+    def decide_host(self, kind: str, key: str) -> bool:
+        """Whether host-level fault *kind* fires for *key* (e.g. a
+        ``worker:point`` pair or a ``worker:cycle`` heartbeat tick).
+        Each kind draws independently on a kind-salted key, so one key
+        can trigger several host faults — unlike run-level kinds,
+        which partition a single draw."""
+        if kind not in HOST_KINDS:
+            raise ConfigError(
+                f"unknown host fault kind {kind!r}; expected one of "
+                f"{HOST_KINDS}"
+            )
+        rate = getattr(self, f"{kind}_rate")
+        return rate > 0 and self.draw(f"{kind}|{key}") < rate
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -138,6 +190,9 @@ class FaultPlan:
             "hang": "hang_rate",
             "exception": "exception_rate",
             "corrupt": "corrupt_entries",
+            "kill": "worker_kill_rate",
+            "lease_corrupt": "lease_corrupt_rate",
+            "stall": "heartbeat_stall_rate",
         }
         field_types = {f.name: f.type for f in fields(cls)}
         kwargs: dict = {}
@@ -178,6 +233,10 @@ class FaultPlan:
                 parts.append(f"{kind}={rate:g}")
         if self.corrupt_entries:
             parts.append(f"corrupt={self.corrupt_entries}")
+        for kind, alias in zip(HOST_KINDS, ("kill", "lease_corrupt", "stall")):
+            rate = getattr(self, f"{kind}_rate")
+            if rate:
+                parts.append(f"{alias}={rate:g}")
         if self.abort_after is not None:
             parts.append(f"abort_after={self.abort_after}")
         if not self.transient:

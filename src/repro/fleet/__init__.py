@@ -1,0 +1,36 @@
+"""``repro.fleet`` — elastic, crash-tolerant multi-worker campaigns.
+
+`repro.plan` shards a campaign *statically*: each process owns a fixed
+hash slice, and a dead host's slice simply never finishes.  This
+package replaces ownership with **leases**: every worker pulls
+unfinished runs in small batches from one shared
+:class:`~repro.engine.campaign.CampaignManifest` (the claim table),
+heartbeats to keep its leases alive, and executes claim → execute →
+checkpoint → renew until the campaign is exhausted.  A worker that
+dies — or wedges long enough for its lease to expire — has its runs
+*stolen* by survivors, and a run that keeps killing workers is benched
+(poisoned) instead of wedging the fleet.
+
+Determinism makes stealing safe: results are content-addressed, so a
+stolen run raced by a not-quite-dead original worker produces the
+*same* bytes on both sides and the cache publish is atomic — the
+fleet's exports are byte-identical to a serial fault-free execution,
+which is the chaos acceptance test in CI.
+
+* :class:`FleetWorker` — the claim/execute/renew loop (one process).
+* :class:`FleetDispatcher` — spawns and monitors N workers (local
+  subprocesses, or remote via an ssh command template), respawns
+  crashed ones within a budget, and folds the per-worker caches and
+  manifests into the campaign result with
+  :func:`~repro.engine.cache.merge_cache_dirs` /
+  :meth:`~repro.engine.campaign.CampaignManifest.merge_from`.
+
+Chaos is injected through :mod:`repro.faults` host-level kinds
+(``kill=…,stall=…,lease_corrupt=…`` in ``$REPRO_FAULTS``), seeded and
+content-keyed like every other fault in this tree.
+"""
+
+from .dispatcher import FleetDispatcher
+from .worker import KILL_EXIT_STATUS, FleetWorker
+
+__all__ = ["FleetDispatcher", "FleetWorker", "KILL_EXIT_STATUS"]

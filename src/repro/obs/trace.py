@@ -40,24 +40,40 @@ TID_WORKER_BASE = 10
 _SKIP_INSTANTS = frozenset({"span", "run.completed"})
 
 
-def _worker_lanes(events: list[dict]) -> dict[int, int]:
-    """Map each distinct worker pid seen on ``run.completed`` events to
-    its own thread id (sorted, so lane order is stable across
-    exports)."""
-    workers = sorted(
-        {
-            event["worker"]
-            for event in events
-            if event.get("event") == "run.completed"
-            and isinstance(event.get("worker"), int)
-        }
+def _worker_lanes(events: list[dict]) -> dict:
+    """Map each distinct worker seen on ``run.completed`` events — an
+    executing pid, or a fleet worker-id string — to its own thread id
+    (pids first, then names, each sorted, so lane order is stable
+    across exports)."""
+    workers = {
+        event["worker"]
+        for event in events
+        if event.get("event") == "run.completed"
+        and isinstance(event.get("worker"), (int, str))
+    }
+    ordered = sorted(
+        workers, key=lambda worker: (isinstance(worker, str), str(worker))
     )
     return {
-        worker: TID_WORKER_BASE + lane for lane, worker in enumerate(workers)
+        worker: TID_WORKER_BASE + lane for lane, worker in enumerate(ordered)
     }
 
 
-def _track_names(lanes: dict[int, int]) -> list[dict]:
+def _fleet_names(events: list[dict]) -> dict:
+    """Executing pid → fleet worker id, from ``fleet.worker.started``
+    events — so a folded fleet event log labels each pid lane with the
+    worker that owned it."""
+    return {
+        event["pid"]: event["worker"]
+        for event in events
+        if event.get("event") == "fleet.worker.started"
+        and isinstance(event.get("pid"), int)
+        and isinstance(event.get("worker"), str)
+    }
+
+
+def _track_names(lanes: dict, fleet: dict | None = None) -> list[dict]:
+    fleet = fleet or {}
     named = [
         (TID_SPANS, "spans (campaign/experiment/session)"),
         (TID_EVENTS, "lifecycle events"),
@@ -65,7 +81,13 @@ def _track_names(lanes: dict[int, int]) -> list[dict]:
     if not lanes:
         named.append((TID_RUNS, "runs"))
     named.extend(
-        (tid, f"runs (worker {worker})") for worker, tid in lanes.items()
+        (
+            tid,
+            f"runs ({fleet[worker]} · worker {worker})"
+            if worker in fleet
+            else f"runs (worker {worker})",
+        )
+        for worker, tid in lanes.items()
     )
     return [
         {
@@ -105,7 +127,7 @@ def chrome_trace(events: Iterable[dict]) -> dict:
         return round((seconds - origin) * 1e6, 1)
 
     lanes = _worker_lanes(events)
-    trace_events: list[dict] = list(_track_names(lanes))
+    trace_events: list[dict] = list(_track_names(lanes, _fleet_names(events)))
     for event in events:
         kind = event.get("event")
         ts = event.get("ts")

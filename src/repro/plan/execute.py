@@ -53,9 +53,14 @@ class ExecutionReport:
     replayed: int = 0              # served from cache
     failed: int = 0                # exhausted their retry budget
     results: dict = field(default_factory=dict)  # fingerprint -> result
+    #: Per-worker accounting for fleet executions: worker id →
+    #: {"completed", "stolen", "failed"} (see
+    #: :meth:`CampaignManifest.fleet_accounting`).  Empty for
+    #: single-process executions.
+    by_worker: dict = field(default_factory=dict)
 
     def summary(self) -> dict:
-        return {
+        summary = {
             "plan": self.plan,
             "shard": self.shard,
             "runs": self.runs,
@@ -63,6 +68,15 @@ class ExecutionReport:
             "replayed": self.replayed,
             "failed": self.failed,
         }
+        if self.by_worker:
+            summary["by_worker"] = {
+                worker: dict(tally)
+                for worker, tally in sorted(self.by_worker.items())
+            }
+            summary["stolen"] = sum(
+                tally.get("stolen", 0) for tally in self.by_worker.values()
+            )
+        return summary
 
 
 def execute_plan(

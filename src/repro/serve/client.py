@@ -10,6 +10,7 @@ the admission queue.
 
 from __future__ import annotations
 
+import base64
 import socket
 import time
 
@@ -103,6 +104,21 @@ class ServeClient:
                 return reply
             attempts += 1
             time.sleep(float(reply.get("retry_after_s") or 0.1))
+
+    def fetch(self, fingerprint: str) -> bytes | None:
+        """The raw pickled result payload for an engine cache key, or
+        ``None`` on a miss — the fleet-worker verb: a worker probes the
+        service's disk tier before executing a claimed run, so a fleet
+        and the always-on service share one answer space."""
+        reply = self.request({"op": "fetch", "fingerprint": fingerprint})
+        if not reply.get("ok"):
+            raise ProtocolError(
+                f"fetch failed: {reply.get('error', 'unknown error')}"
+            )
+        payload = reply.get("payload")
+        if payload is None:
+            return None
+        return base64.b64decode(payload)
 
     def health(self) -> dict:
         return self.request({"op": "health"})

@@ -57,8 +57,11 @@ __all__ = [
     "write_message",
 ]
 
-#: Request verbs the service answers.
-OPS = ("simulate", "health", "metrics", "shutdown")
+#: Request verbs the service answers.  ``fetch`` is the fleet-worker
+#: verb: ``{"op": "fetch", "fingerprint": <engine cache key>}`` returns
+#: the raw disk-tier payload (base64 pickle bytes) when the service has
+#: it, so a fleet sharing a serve endpoint shares one answer space.
+OPS = ("simulate", "fetch", "health", "metrics", "shutdown")
 
 #: Tiers a simulate reply can be served from.
 TIERS = ("hot", "cache", "executed", "coalesced")

@@ -39,6 +39,7 @@ server.
 
 from __future__ import annotations
 
+import base64
 import queue
 import socketserver
 import threading
@@ -223,6 +224,8 @@ class SimulationService:
         """Answer one decoded JSON request (the TCP handler and the
         in-process tests both enter here)."""
         op = payload.get("op", "simulate")
+        if op == "fetch":
+            return self._fetch(payload)
         if op == "health":
             return self.health()
         if op == "metrics":
@@ -285,6 +288,37 @@ class SimulationService:
             return dict(flight.error)
         tier = flight.tier if leader else "coalesced"
         return self._reply(fingerprint, flight.payload, tier, start)
+
+    def _fetch(self, payload: dict) -> dict:
+        """Answer a fleet worker's cache probe: the raw disk-tier
+        payload for a fingerprint, base64-encoded (pickle bytes are
+        not JSON).  Runs entirely in the handler thread —
+        :meth:`ResultCache.peek_bytes` is a pure disk read, so this
+        never competes with the executor thread for the engine."""
+        fingerprint = payload.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            self._count("serve.bad_requests")
+            return {
+                "ok": False,
+                "status": "bad-request",
+                "error": "fetch needs a 'fingerprint' string",
+            }
+        raw = self.cache.peek_bytes(fingerprint)
+        if raw is None:
+            self._count("serve.fetch_misses")
+            return {
+                "ok": True,
+                "status": "miss",
+                "fingerprint": fingerprint,
+                "payload": None,
+            }
+        self._count("serve.fetch_hits")
+        return {
+            "ok": True,
+            "status": "hit",
+            "fingerprint": fingerprint,
+            "payload": base64.b64encode(raw).decode("ascii"),
+        }
 
     # -- verbs ----------------------------------------------------------
     def health(self) -> dict:

@@ -1,0 +1,221 @@
+"""Lease-based claiming on the campaign manifest: batching, renewal,
+stealing, quarantine, release, and the fleet accounting view.
+
+Every test drives :meth:`CampaignManifest.claim_batch` with an explicit
+``now`` so lease expiry is a pure function of the inputs — no sleeps.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.campaign import CampaignManifest, ClaimDecision
+from repro.errors import ConfigError
+from repro.ioutil import atomic_write_json
+
+POINTS = [f"run:{i:02d}" for i in range(6)]
+T0 = 1000.0
+
+
+@pytest.fixture()
+def manifest(tmp_path):
+    return CampaignManifest(tmp_path / "campaign-manifest.json")
+
+
+class TestClaimBatch:
+    def test_limit_and_remaining(self, manifest):
+        decision = manifest.claim_batch(
+            POINTS, worker="a", limit=4, lease_s=30.0,
+            host="h1", pid=111, now=T0,
+        )
+        assert decision.claimed == POINTS[:4]
+        assert decision.remaining == 2
+        assert decision.pending == 0
+        assert not decision.stolen and not decision.poisoned
+        assert not decision.exhausted
+        claims = manifest.claims()
+        assert set(claims) == set(POINTS[:4])
+        assert claims[POINTS[0]] == {
+            "worker": "a", "deadline": T0 + 30.0, "host": "h1", "pid": 111,
+        }
+        assert not manifest.lock_path.exists()  # released
+
+    def test_validation(self, manifest):
+        with pytest.raises(ConfigError):
+            manifest.claim_batch(POINTS, worker="a", limit=0)
+        with pytest.raises(ConfigError):
+            manifest.claim_batch(POINTS, worker="a", lease_s=0.0)
+
+    def test_terminal_points_not_claimable(self, manifest):
+        manifest.mark_complete(POINTS[0])
+        manifest.mark_failed(POINTS[1], "boom")
+        decision = manifest.claim_batch(
+            POINTS[:2], worker="a", limit=4, now=T0
+        )
+        assert decision.claimed == []
+        assert decision.exhausted
+
+    def test_live_foreign_lease_is_pending(self, manifest):
+        manifest.claim_batch(POINTS[:1], worker="a", lease_s=30.0, now=T0)
+        decision = manifest.claim_batch(
+            POINTS[:1], worker="b", lease_s=30.0, now=T0 + 10.0
+        )
+        assert decision.claimed == []
+        assert decision.pending == 1
+        assert not decision.exhausted  # someone is working; poll again
+
+    def test_reclaiming_own_lease_renews_without_steal(self, manifest):
+        manifest.claim_batch(POINTS[:1], worker="a", lease_s=30.0, now=T0)
+        decision = manifest.claim_batch(
+            POINTS[:1], worker="a", lease_s=30.0, now=T0 + 100.0
+        )
+        assert decision.claimed == POINTS[:1]
+        assert decision.stolen == []
+        assert manifest.claims()[POINTS[0]]["deadline"] == T0 + 130.0
+
+    def test_expired_lease_is_stolen(self, manifest):
+        manifest.claim_batch(POINTS[:1], worker="a", lease_s=30.0, now=T0)
+        decision = manifest.claim_batch(
+            POINTS[:1], worker="b", lease_s=30.0, now=T0 + 31.0
+        )
+        assert decision.claimed == POINTS[:1]
+        assert decision.stolen == POINTS[:1]
+        entry = manifest.load()["points"][POINTS[0]]
+        assert entry["claim"]["worker"] == "b"
+        assert entry["claim"]["stolen_from"] == "a"
+        assert entry["steals"] == 1
+        assert entry["victims"] == ["a"]
+
+    def test_corrupt_lease_counts_as_expired(self, manifest):
+        """A scribbled claim entry (lease corruption chaos) must be
+        immediately stealable, never claimable-by-nobody forever."""
+        manifest.claim_batch(POINTS[:1], worker="a", lease_s=30.0, now=T0)
+        payload = manifest.load()
+        payload["points"][POINTS[0]]["claim"] = {
+            "worker": "a", "deadline": "0xGARBAGE",
+        }
+        atomic_write_json(manifest.path, payload)
+        decision = manifest.claim_batch(
+            POINTS[:1], worker="b", lease_s=30.0, now=T0 + 1.0
+        )
+        assert decision.stolen == POINTS[:1]
+
+    def test_poisoned_after_distinct_victims(self, manifest):
+        """A run whose lease keeps expiring under fresh workers is
+        benched after ``poison_after`` distinct victims."""
+        point = POINTS[:1]
+        now = T0
+        for victim in ("a", "b", "c"):
+            decision = manifest.claim_batch(
+                point, worker=victim, lease_s=10.0,
+                poison_after=3, now=now,
+            )
+            assert decision.claimed == point
+            now += 11.0  # the lease expires unheartbeaten
+        decision = manifest.claim_batch(
+            point, worker="d", poison_after=3, now=now
+        )
+        assert decision.poisoned == point
+        assert decision.claimed == []
+        entry = manifest.load()["points"][point[0]]
+        assert entry["status"] == "poisoned"
+        assert entry["victims"] == ["a", "b", "c"]
+        assert "3 distinct workers" in entry["reason"]
+        # Poisoned is terminal: nobody gets it again.
+        after = manifest.claim_batch(point, worker="e", now=now + 1.0)
+        assert after.claimed == [] and after.exhausted
+
+    def test_exhausted_only_when_nothing_left(self):
+        assert ClaimDecision().exhausted
+        assert not ClaimDecision(claimed=["run:0"]).exhausted
+        assert not ClaimDecision(pending=1).exhausted
+        assert not ClaimDecision(remaining=1).exhausted
+
+
+class TestRenewRelease:
+    def test_renew_extends_deadline(self, manifest):
+        manifest.claim_batch(POINTS[:2], worker="a", lease_s=30.0, now=T0)
+        renewed = manifest.renew_claims(
+            POINTS[:2], worker="a", lease_s=30.0, now=T0 + 20.0
+        )
+        assert renewed == POINTS[:2]
+        assert manifest.claims()[POINTS[0]]["deadline"] == T0 + 50.0
+
+    def test_renew_skips_stolen_and_finished(self, manifest):
+        manifest.claim_batch(POINTS[:3], worker="a", lease_s=10.0, now=T0)
+        # One point stolen by b, one completed; only the third renews.
+        manifest.claim_batch(
+            POINTS[:1], worker="b", lease_s=30.0, now=T0 + 11.0
+        )
+        manifest.mark_many_complete(POINTS[1:2], worker="a")
+        renewed = manifest.renew_claims(
+            POINTS[:3], worker="a", now=T0 + 12.0
+        )
+        assert renewed == POINTS[2:3]
+
+    def test_release_returns_points_to_the_pool(self, manifest):
+        manifest.claim_batch(POINTS[:2], worker="a", lease_s=3600.0, now=T0)
+        assert manifest.release_claims(POINTS[:2], worker="a") == 2
+        assert manifest.claims() == {}
+        # Claimable again immediately — and NOT as a steal (released,
+        # not expired).
+        decision = manifest.claim_batch(
+            POINTS[:2], worker="b", now=T0 + 1.0
+        )
+        assert decision.claimed == POINTS[:2]
+        assert decision.stolen == []
+
+    def test_release_only_touches_own_claims(self, manifest):
+        manifest.claim_batch(POINTS[:1], worker="a", lease_s=3600.0, now=T0)
+        assert manifest.release_claims(POINTS[:1], worker="b") == 0
+        assert manifest.claims()[POINTS[0]]["worker"] == "a"
+
+    def test_release_preserves_steal_history(self, manifest):
+        manifest.claim_batch(POINTS[:1], worker="a", lease_s=10.0, now=T0)
+        manifest.claim_batch(
+            POINTS[:1], worker="b", lease_s=10.0, now=T0 + 11.0
+        )
+        manifest.release_claims(POINTS[:1], worker="b")
+        entry = manifest.load()["points"][POINTS[0]]
+        assert entry["status"] == "started"
+        assert entry["victims"] == ["a"]
+        assert entry["steals"] == 1
+
+
+class TestFleetAccounting:
+    def test_per_worker_tallies(self, manifest):
+        manifest.claim_batch(POINTS[:2], worker="a", lease_s=30.0, now=T0)
+        manifest.mark_many_complete(POINTS[:2], worker="a")
+        manifest.mark_failed(POINTS[2], "boom", worker="a")
+        # b steals an expired lease of c, then completes it.
+        manifest.claim_batch(POINTS[3:4], worker="c", lease_s=10.0, now=T0)
+        manifest.claim_batch(
+            POINTS[3:4], worker="b", lease_s=30.0, now=T0 + 11.0
+        )
+        manifest.mark_many_complete(POINTS[3:4], worker="b")
+        assert manifest.fleet_accounting() == {
+            "a": {"completed": 2, "stolen": 0, "failed": 1},
+            "b": {"completed": 1, "stolen": 1, "failed": 0},
+        }
+
+    def test_completion_preserves_steals(self, manifest):
+        """mark_many_complete keeps the steal count recorded on the
+        claim entry — the provenance the accounting reads."""
+        manifest.claim_batch(POINTS[:1], worker="a", lease_s=10.0, now=T0)
+        manifest.claim_batch(
+            POINTS[:1], worker="b", lease_s=30.0, now=T0 + 11.0
+        )
+        manifest.mark_many_complete(POINTS[:1], worker="b")
+        entry = manifest.load()["points"][POINTS[0]]
+        assert entry == {"status": "complete", "steals": 1, "worker": "b"}
+
+    def test_json_payload_stays_plain(self, manifest):
+        """The claim table round-trips through plain JSON (no custom
+        encoders) — what keeps it mergeable and greppable."""
+        manifest.claim_batch(
+            POINTS, worker="a", limit=3, host="h", pid=1, now=T0
+        )
+        parsed = json.loads(manifest.path.read_text())
+        assert parsed["points"][POINTS[0]]["status"] == "claimed"

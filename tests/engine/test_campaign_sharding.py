@@ -112,11 +112,17 @@ class TestMergeFrom:
         with pytest.raises(ConfigError):
             manifest.merge_from(other)
 
-    def test_merge_is_locked(self, manifest, tmp_path):
+    def test_merge_reentrant_under_own_lock(self, manifest, tmp_path):
+        # The writer lock is reentrant within the owning thread, so a
+        # caller already holding the lock may fold shards; exclusion
+        # against *other* writers is TestWriterLock's
+        # test_second_live_writer_refused.
         a = self._shard(tmp_path, "0of2")
+        a.mark_many_complete(["run:1"])
         with manifest.writer_lock():
-            with pytest.raises(ConcurrencyError):
-                manifest.merge_from(a)
+            assert manifest.merge_from(a) >= 1
+        assert not manifest.lock_path.exists()
+        assert manifest.is_complete("run:1")
 
 
 class TestMergeCacheDirs:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigError
-from repro.faults import FaultPlan
+from repro.faults import HOST_KINDS, FaultPlan
 
 
 class TestValidation:
@@ -108,3 +108,63 @@ class TestSpecParsing:
         assert "crash=0.2" in text
         assert "corrupt=1" in text
         assert "permanent" in text
+
+
+class TestHostKinds:
+    @pytest.mark.parametrize("field", [f"{kind}_rate" for kind in HOST_KINDS])
+    def test_host_rates_bounded(self, field):
+        with pytest.raises(ConfigError):
+            FaultPlan(**{field: -0.1})
+        with pytest.raises(ConfigError):
+            FaultPlan(**{field: 1.5})
+
+    def test_host_active_flag(self):
+        assert not FaultPlan(crash_rate=0.5).host_active
+        assert FaultPlan(worker_kill_rate=0.1).host_active
+        assert FaultPlan(lease_corrupt_rate=0.1).host_active
+        assert FaultPlan(heartbeat_stall_rate=0.1).host_active
+        # Host kinds make the plan active overall too.
+        assert FaultPlan(worker_kill_rate=0.1).active
+
+    def test_host_kinds_do_not_sum_with_run_kinds(self):
+        """Host rates draw independently — a full host rate next to
+        full run rates is legal (run rates alone must sum <= 1)."""
+        FaultPlan(crash_rate=1.0, worker_kill_rate=1.0,
+                  lease_corrupt_rate=1.0)
+
+    def test_decide_host_deterministic_and_rate_extremes(self):
+        plan = FaultPlan(seed=7, worker_kill_rate=0.3)
+        keys = [f"w0|run:{i}" for i in range(50)]
+        first = [plan.decide_host("worker_kill", k) for k in keys]
+        assert first == [plan.decide_host("worker_kill", k) for k in keys]
+        always = FaultPlan(worker_kill_rate=1.0)
+        never = FaultPlan(seed=7)
+        assert all(always.decide_host("worker_kill", k) for k in keys)
+        assert not any(never.decide_host("worker_kill", k) for k in keys)
+
+    def test_kinds_draw_independently(self):
+        """Each host kind salts its own draw: the set of keys that kill
+        and the set that corrupt differ at equal rates (unlike run
+        kinds, which partition one draw and never overlap)."""
+        plan = FaultPlan(
+            seed=3, worker_kill_rate=0.5, lease_corrupt_rate=0.5
+        )
+        keys = [f"w0|run:{i}" for i in range(200)]
+        kills = {k for k in keys if plan.decide_host("worker_kill", k)}
+        corrupts = {k for k in keys if plan.decide_host("lease_corrupt", k)}
+        assert kills != corrupts
+        assert kills & corrupts  # independence implies some overlap
+
+    def test_unknown_kind_refused(self):
+        with pytest.raises(ConfigError):
+            FaultPlan().decide_host("meteor_strike", "k")
+
+    def test_spec_aliases_and_describe(self):
+        plan = FaultPlan.from_spec("kill=0.2,lease_corrupt=0.1,stall=0.05")
+        assert plan.worker_kill_rate == 0.2
+        assert plan.lease_corrupt_rate == 0.1
+        assert plan.heartbeat_stall_rate == 0.05
+        text = plan.describe()
+        assert "kill=0.2" in text
+        assert "lease_corrupt=0.1" in text
+        assert "stall=0.05" in text

@@ -1,0 +1,28 @@
+"""Fleet test fixtures: a minimal compiled campaign over the cheap
+experiment context (6 unique runs — small enough to execute in-process
+several times, large enough to batch, steal, and account)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import compile_campaign
+from repro.experiments.common import ExperimentContext
+from repro.machine.runner import RunOptions
+
+
+@pytest.fixture(scope="module")
+def tiny_context(generator, chip):
+    return ExperimentContext(
+        generator=generator,
+        chip=chip,
+        options=RunOptions(segments=2, base_samples=1024),
+        freq_points_per_decade=1,
+        delta_i_placements=1,
+        misalignment_assignments=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign(tiny_context):
+    return compile_campaign(["fig7a"], tiny_context)

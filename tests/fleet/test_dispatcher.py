@@ -1,0 +1,184 @@
+"""The fleet dispatcher: spawn-command transports, validation, and the
+end-of-campaign fold.
+
+Subprocess spawning itself is exercised by the CI chaos job (each
+worker process rebuilds the experiment context — far too heavy for the
+unit tier); here the fold runs over worker directories produced by
+in-process :class:`FleetWorker` runs, which is the same contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import CampaignManifest, ResultCache
+from repro.engine.campaign import MANIFEST_NAME
+from repro.errors import ConfigError
+from repro.fleet import FleetDispatcher, FleetWorker
+from repro.obs import Telemetry
+from repro.plan import run_point_id
+
+
+def make_dispatcher(campaign, chip, tmp_path, **kwargs):
+    kwargs.setdefault("telemetry", Telemetry())
+    return FleetDispatcher(
+        campaign, chip, tmp_path / "fleet", ["worker", "cmd"], **kwargs
+    )
+
+
+class TestValidation:
+    def test_needs_at_least_one_worker(self, campaign, tiny_context,
+                                       tmp_path):
+        with pytest.raises(ConfigError):
+            make_dispatcher(campaign, tiny_context.chip, tmp_path, workers=0)
+
+    def test_ssh_template_needs_command_slot(self, campaign, tiny_context,
+                                             tmp_path):
+        with pytest.raises(ConfigError):
+            make_dispatcher(
+                campaign, tiny_context.chip, tmp_path,
+                ssh_template="ssh {host} run-it",
+            )
+
+    def test_hosts_need_a_transport(self, campaign, tiny_context, tmp_path):
+        with pytest.raises(ConfigError):
+            make_dispatcher(
+                campaign, tiny_context.chip, tmp_path, hosts=["a", "b"]
+            )
+
+
+class TestSpawnCommand:
+    def test_local_command_appends_worker_identity(self, campaign,
+                                                   tiny_context, tmp_path):
+        dispatcher = make_dispatcher(campaign, tiny_context.chip, tmp_path)
+        command = dispatcher._spawn_command("w0", 0)
+        assert command == [
+            "worker", "cmd",
+            "--worker-id", "w0",
+            "--workdir", str(dispatcher.worker_dir("w0")),
+        ]
+
+    def test_ssh_template_wraps_and_round_robins_hosts(self, campaign,
+                                                       tiny_context,
+                                                       tmp_path):
+        dispatcher = make_dispatcher(
+            campaign, tiny_context.chip, tmp_path,
+            hosts=["alpha", "beta"], ssh_template="ssh {host} {command}",
+        )
+        first = dispatcher._spawn_command("w0", 0)
+        second = dispatcher._spawn_command("w1", 1)
+        third = dispatcher._spawn_command("w2", 2)
+        assert first[:2] == ["ssh", "alpha"]
+        assert second[:2] == ["ssh", "beta"]
+        assert third[:2] == ["ssh", "alpha"]  # wraps around
+        assert first[2:] == [
+            "worker", "cmd",
+            "--worker-id", "w0",
+            "--workdir", str(dispatcher.worker_dir("w0")),
+        ]
+
+
+class TestFold:
+    def _worker_run(self, campaign, chip, dispatcher, worker_id,
+                    telemetry=None):
+        """One in-process worker writing the exact directory layout a
+        subprocess worker would leave behind."""
+        workdir = dispatcher.worker_dir(worker_id)
+        workdir.mkdir(parents=True, exist_ok=True)
+        telemetry = telemetry or Telemetry()
+        private = CampaignManifest(workdir / MANIFEST_NAME)
+        private.bind_campaign({
+            "plan": campaign.fingerprint(), "shard": f"fleet:{worker_id}",
+        })
+        worker = FleetWorker(
+            campaign, chip, dispatcher.manifest,
+            worker_id=worker_id,
+            cache=ResultCache(cache_dir=workdir / "cache"),
+            private_manifest=private,
+            batch=2, faults=None, telemetry=telemetry,
+        )
+        summary = worker.run()
+        (workdir / "fleet-telemetry.json").write_text(
+            json.dumps(telemetry.merge_payload())
+        )
+        (workdir / "events.jsonl").write_text(
+            json.dumps({
+                "event": "fleet.worker.started", "ts": 1.0,
+                "worker": worker_id, "pid": 1000, "host": "h",
+            }) + "\n"
+        )
+        return summary
+
+    def test_fold_unions_caches_manifests_and_telemetry(self, campaign,
+                                                        tiny_context,
+                                                        tmp_path):
+        dispatcher = make_dispatcher(campaign, tiny_context.chip, tmp_path)
+        plan_fp = campaign.fingerprint()
+        dispatcher.campaign_dir.mkdir(parents=True)
+        dispatcher.manifest.bind_campaign({"plan": plan_fp, "shard": None})
+        first = self._worker_run(
+            campaign, tiny_context.chip, dispatcher, "w0"
+        )
+        second = self._worker_run(
+            campaign, tiny_context.chip, dispatcher, "w1"
+        )
+        # w0 drained the campaign; w1 found it exhausted.
+        assert first["completed"] == campaign.total_unique
+        assert second["completed"] == 0
+
+        report = dispatcher._fold(plan_fp)
+        assert report.runs == campaign.total_unique
+        assert report.executed == campaign.total_unique
+        assert report.failed == 0
+        assert dispatcher.unfinished == []
+        assert dispatcher.poisoned == []
+        assert report.by_worker["w0"]["completed"] == campaign.total_unique
+        summary = report.summary()
+        assert summary["by_worker"]["w0"]["completed"] == campaign.total_unique
+        assert summary["stolen"] == 0
+        # The folded cache holds every run of the campaign.
+        folded = ResultCache(cache_dir=dispatcher.campaign_dir / "cache")
+        assert all(
+            folded.peek_bytes(fp) is not None for fp in campaign.unique
+        )
+        # The healed shared manifest records everything, plus the fold.
+        completed = dispatcher.manifest.completed
+        assert {run_point_id(fp) for fp in campaign.unique} <= completed
+        assert "shard:fleet" in completed
+        # Worker telemetry folded into the dispatcher's counters.
+        assert dispatcher.telemetry.counter("fleet.claims") == (
+            campaign.total_unique
+        )
+        # Event logs concatenated, one start line per worker.
+        lines = [
+            json.loads(line)
+            for line in (dispatcher.campaign_dir / "events.jsonl")
+            .read_text().splitlines()
+        ]
+        assert {e["worker"] for e in lines
+                if e["event"] == "fleet.worker.started"} == {"w0", "w1"}
+
+    def test_fold_reports_unfinished_and_poisoned(self, campaign,
+                                                  tiny_context, tmp_path):
+        dispatcher = make_dispatcher(campaign, tiny_context.chip, tmp_path)
+        plan_fp = campaign.fingerprint()
+        dispatcher.campaign_dir.mkdir(parents=True)
+        dispatcher.manifest.bind_campaign({"plan": plan_fp, "shard": None})
+        points = [run_point_id(fp) for fp in campaign.unique]
+        # Poison one point the hard way: three expired victims.
+        now = 1000.0
+        for victim in ("a", "b", "c"):
+            dispatcher.manifest.claim_batch(
+                points[:1], worker=victim, lease_s=1.0, now=now
+            )
+            now += 10.0
+        decision = dispatcher.manifest.claim_batch(
+            points[:1], worker="d", poison_after=3, now=now
+        )
+        assert decision.poisoned == points[:1]
+        report = dispatcher._fold(plan_fp)
+        assert len(dispatcher.unfinished) == campaign.total_unique
+        assert len(dispatcher.poisoned) == 1
+        assert report.executed == 0

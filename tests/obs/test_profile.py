@@ -152,3 +152,55 @@ class TestChromeTrace:
         out = export_chrome_trace(events, tmp_path / "trace.json")
         loaded = json.loads(out.read_text())
         assert "traceEvents" in loaded
+
+
+class TestFleetLanes:
+    def _names(self, trace) -> dict:
+        return {
+            e["tid"]: e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e.get("ph") == "M"
+        }
+
+    def test_one_lane_per_fleet_worker_id(self):
+        """run.completed may carry a fleet worker-id string instead of
+        a pid; each distinct id gets its own named lane."""
+        events = [
+            {"ts": 1.0, "event": "run.completed", "run": "a",
+             "dur_s": 0.5, "worker": "w0"},
+            {"ts": 2.0, "event": "run.completed", "run": "b",
+             "dur_s": 0.5, "worker": "w1"},
+        ]
+        trace = chrome_trace(events)
+        names = self._names(trace)
+        assert "runs (worker w0)" in names.values()
+        assert "runs (worker w1)" in names.values()
+        slices = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len({e["tid"] for e in slices}) == 2
+
+    def test_started_events_label_pid_lanes(self):
+        """A folded fleet log maps executing pids back to the worker
+        ids that owned them via fleet.worker.started."""
+        events = [
+            {"ts": 0.5, "event": "fleet.worker.started",
+             "worker": "w7", "pid": 4242, "host": "h"},
+            {"ts": 1.0, "event": "run.completed", "run": "a",
+             "dur_s": 0.5, "worker": 4242},
+        ]
+        names = self._names(chrome_trace(events))
+        assert "runs (w7 · worker 4242)" in names.values()
+
+    def test_pid_lanes_sort_before_name_lanes(self):
+        events = [
+            {"ts": 1.0, "event": "run.completed", "run": "a",
+             "dur_s": 0.1, "worker": "w0"},
+            {"ts": 2.0, "event": "run.completed", "run": "b",
+             "dur_s": 0.1, "worker": 99},
+        ]
+        trace = chrome_trace(events)
+        lanes = {
+            e["args"]["worker"]: e["tid"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert lanes[99] < lanes["w0"]

@@ -3,6 +3,8 @@ engine executes, and replays are free."""
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.engine import ResultCache
@@ -102,6 +104,30 @@ class TestManifestCheckpointing:
             "plan": campaign.fingerprint(), "shard": None,
         }
         assert not manifest.lock_path.exists()  # released
+
+
+class TestByWorkerSummary:
+    def test_fleet_accounting_rides_in_the_summary(self):
+        from repro.plan.execute import ExecutionReport
+
+        report = ExecutionReport(
+            plan="p", shard=None, runs=4, executed=4,
+            by_worker={
+                "w1": {"completed": 1, "stolen": 1, "failed": 0},
+                "w0": {"completed": 3, "stolen": 0, "failed": 0},
+            },
+        )
+        summary = report.summary()
+        assert list(summary["by_worker"]) == ["w0", "w1"]  # sorted
+        assert summary["stolen"] == 1
+        assert json.loads(json.dumps(summary)) == summary
+
+    def test_single_process_summary_stays_lean(self):
+        from repro.plan.execute import ExecutionReport
+
+        summary = ExecutionReport(plan="p", shard=None, runs=1).summary()
+        assert "by_worker" not in summary
+        assert "stolen" not in summary
 
 
 class TestChipMismatch:
