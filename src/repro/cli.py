@@ -215,6 +215,15 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign-manifest.json or the directory holding one) and "
         "list only the runs not yet checkpointed as complete",
     )
+    plan.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        default=None,
+        help="scale the wall-clock estimate to an N-worker fleet "
+        "(default: auto-detect from the live-status.json next to "
+        "--since, else 1)",
+    )
     merge = sub.add_parser(
         "merge-shards",
         help="fold shard cache dirs + manifests into one campaign dir",
@@ -267,6 +276,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=2.0,
         help="poll interval for --follow (default: 2.0)",
     )
+    top = sub.add_parser(
+        "top",
+        help="live terminal dashboard over the metrics plane: tail a "
+        "fleet campaign's live-status.json and/or a serve endpoint's "
+        "metrics, refreshed in place",
+    )
+    top.add_argument(
+        "--campaign",
+        metavar="DIR",
+        default=None,
+        help="fleet campaign directory to tail (its live-status.json)",
+    )
+    top.add_argument(
+        "--serve",
+        metavar="HOST:PORT",
+        default=None,
+        help="running 'repro-noise serve' endpoint to poll for "
+        "metrics (tiers, latency percentiles, SLO burn)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        metavar="SECONDS",
+        default=2.0,
+        help="refresh period (default: 2.0)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
     serve = sub.add_parser(
         "serve",
         help="start the always-on simulation service (TCP/JSON-lines: "
@@ -308,6 +348,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="queued requests drained into one engine batch "
         "(default: 8)",
     )
+    serve.add_argument(
+        "--metrics-window",
+        type=float,
+        metavar="SECONDS",
+        default=5.0,
+        help="windowed-telemetry tick period driving rolling rates, "
+        "percentiles and SLO burn; 0 disables the ticker "
+        "(default: 5.0)",
+    )
+    serve.add_argument(
+        "--slo",
+        metavar="JSON",
+        default=None,
+        help="SLO policy file evaluated each metrics window "
+        "(default: built-in per-tier latency + error-rate SLOs)",
+    )
+    serve.add_argument(
+        "--http-metrics",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="also expose Prometheus text metrics over plain HTTP on "
+        "this port (GET /metrics; 0 picks an ephemeral port, printed "
+        "on start; default: off)",
+    )
     query = sub.add_parser(
         "query",
         help="query a running simulation service (simulate / health / "
@@ -321,6 +386,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the server's health reply and exit")
     query.add_argument("--metrics", action="store_true",
                        help="print the server's metrics reply and exit")
+    query.add_argument("--metrics-text", action="store_true",
+                       help="print the server's Prometheus text "
+                       "exposition and exit")
     query.add_argument("--shutdown", action="store_true",
                        help="ask the server to stop and exit")
     query.add_argument("--i-low", type=float, default=5.0, metavar="A",
@@ -439,6 +507,10 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--heartbeat", type=float, default=None)
     worker.add_argument("--poison-after", type=int, default=3)
     worker.add_argument("--serve", metavar="HOST:PORT", default=None)
+    worker.add_argument("--flush-s", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="live-telemetry sidecar flush period; "
+                        "0 disables the sidecar (default: 2.0)")
     run = sub.add_parser("run", help="run one or more experiments")
     run.add_argument(
         "experiments",
@@ -616,6 +688,38 @@ def _requested_ids(args: argparse.Namespace) -> list[str]:
     return requested
 
 
+#: Worker states that still contribute execution capacity to an ETA.
+_ACTIVE_WORKER_STATES = frozenset(
+    {"starting", "claiming", "executing", "idle"}
+)
+
+
+def _plan_workers(args: argparse.Namespace) -> tuple[int, str]:
+    """Fleet size for the ``plan`` wall-clock estimate: the explicit
+    ``--workers`` when given, else the count of live (non-draining)
+    workers in the ``live-status.json`` next to ``--since`` — so an
+    estimate against a running fleet campaign reflects its actual
+    capacity — else 1.  Returns ``(workers, provenance suffix)``."""
+    if args.workers is not None:
+        return max(args.workers, 1), ""
+    if args.since:
+        from .fleet import load_live_status
+
+        since = Path(args.since)
+        campaign_dir = since if since.is_dir() else since.parent
+        status = load_live_status(campaign_dir)
+        if status and isinstance(status.get("workers"), dict):
+            live = sum(
+                1
+                for record in status["workers"].values()
+                if isinstance(record, dict)
+                and record.get("state") in _ACTIVE_WORKER_STATES
+            )
+            if live:
+                return live, " [live fleet]"
+    return 1, ""
+
+
 def _run_plan(args: argparse.Namespace) -> int:
     """The ``plan`` subcommand: compile → dedup → report, run nothing."""
     from .experiments import compile_campaign
@@ -691,11 +795,16 @@ def _run_plan(args: argparse.Namespace) -> int:
         else (None, 0, "engine.run.seconds")
     )
     jobs = args.jobs or int(os.environ.get("REPRO_JOBS") or 1)
-    estimate = campaign.estimate_seconds(mean_run_s, jobs=jobs)
+    workers, workers_source = _plan_workers(args)
+    estimate = campaign.estimate_seconds(mean_run_s, jobs=jobs,
+                                         workers=workers)
     if estimate is not None:
+        fleet = (
+            f" x {workers} worker(s){workers_source}" if workers > 1 else ""
+        )
         print(
             f"est. cold wall clock: ~{_format_seconds(estimate)} at "
-            f"{jobs} job(s) (mean {source} {mean_run_s:.3g}s over "
+            f"{jobs} job(s){fleet} (mean {source} {mean_run_s:.3g}s over "
             f"n={samples}, from {baseline})"
         )
     else:
@@ -938,7 +1047,7 @@ def _run_fleet_worker(args: argparse.Namespace) -> int:
     from .engine import CampaignManifest
     from .engine.cache import ResultCache
     from .experiments import compile_campaign
-    from .fleet import FleetWorker
+    from .fleet import LIVE_SIDECAR_NAME, FleetWorker
     from .ioutil import atomic_write_json
     from .obs import EventLog
 
@@ -969,6 +1078,10 @@ def _run_fleet_worker(args: argparse.Namespace) -> int:
             serve=_parse_endpoint(args.serve) if args.serve else None,
             backend=args.backend,
             telemetry=telemetry,
+            live_path=(
+                workdir / LIVE_SIDECAR_NAME if args.flush_s > 0 else None
+            ),
+            flush_s=args.flush_s,
         )
         signal.signal(signal.SIGTERM, lambda *_: worker.drain())
         summary = worker.run()
@@ -1003,13 +1116,21 @@ def _trace_log(args: argparse.Namespace, campaign_dir: Path | None):
 def _run_serve(args: argparse.Namespace) -> int:
     """The ``serve`` subcommand: run the simulation service in the
     foreground until Ctrl-C or a client's ``shutdown`` request."""
-    from .serve import NoiseServer, SimulationService
+    from .obs import SloPolicy
+    from .serve import NoiseServer, SimulationService, start_metrics_http
 
     context = quick_context() if args.quick else default_context()
     telemetry = get_telemetry()
     event_log = _trace_log(args, _campaign_dir(args))
     if event_log is not None:
         telemetry.enable_tracing(events=event_log)
+    slo_policy = None
+    if args.slo:
+        try:
+            slo_policy = SloPolicy.from_file(args.slo)
+        except (OSError, ValueError, ReproError) as error:
+            print(f"error: bad --slo file: {error}", file=sys.stderr)
+            return 2
     try:
         service = SimulationService(
             context.chip,
@@ -1019,12 +1140,19 @@ def _run_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             telemetry=telemetry,
             backend=args.backend,
+            window_s=args.metrics_window,
+            slo=slo_policy,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     service.start()
     server = NoiseServer((args.host, args.port), service)
+    scrape_server = scrape_thread = None
+    if args.http_metrics is not None:
+        scrape_server, scrape_thread = start_metrics_http(
+            service, host=args.host, port=args.http_metrics
+        )
     telemetry.emit(
         "serve.started",
         host=args.host,
@@ -1037,11 +1165,21 @@ def _run_serve(args: argparse.Namespace) -> int:
         f"hot={args.hot_entries}, executor={service.executor.name})",
         flush=True,
     )
+    if scrape_server is not None:
+        print(
+            f"metrics on http://{args.host}:{scrape_server.port}/metrics "
+            f"(Prometheus text, window {args.metrics_window:g}s)",
+            flush=True,
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         print("\ninterrupted — shutting down", file=sys.stderr)
     finally:
+        if scrape_server is not None:
+            scrape_server.shutdown()
+            scrape_server.server_close()
+            scrape_thread.join(timeout=2.0)
         server.server_close()
         service.stop()
         snapshot = service.metrics()["metrics"].get("counters", {})
@@ -1071,6 +1209,10 @@ def _run_query(args: argparse.Namespace) -> int:
     from .serve import ServeClient
 
     try:
+        if args.metrics_text:
+            with ServeClient(args.host, args.port) as client:
+                print(client.metrics_text(), end="")
+            return 0
         if args.health or args.metrics or args.shutdown:
             with ServeClient(args.host, args.port) as client:
                 if args.health:
@@ -1145,6 +1287,68 @@ def _run_query(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _run_top(args: argparse.Namespace) -> int:
+    """The ``top`` subcommand: clear-and-reprint dashboard loop over
+    the live aggregates (:func:`repro.obs.top.render_top` frames)."""
+    import time
+
+    from .obs.top import render_top
+
+    if not args.campaign and not args.serve:
+        print("error: top needs --campaign and/or --serve",
+              file=sys.stderr)
+        return 2
+    endpoint = None
+    if args.serve:
+        try:
+            endpoint = _parse_endpoint(args.serve)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    interval = max(args.interval, 0.1)
+    try:
+        while True:
+            errors: list[str] = []
+            fleet_status = None
+            if args.campaign:
+                from .fleet import load_live_status
+
+                fleet_status = load_live_status(args.campaign)
+                if fleet_status is None:
+                    errors.append(
+                        f"campaign {args.campaign}: no live-status.json "
+                        "yet (is a fleet running there?)"
+                    )
+            serve_metrics = None
+            if endpoint is not None:
+                from .serve import ServeClient
+
+                try:
+                    with ServeClient(*endpoint) as client:
+                        serve_metrics = client.metrics()
+                except (ReproError, OSError) as error:
+                    errors.append(f"serve {args.serve}: {error}")
+            frame = render_top(fleet_status, serve_metrics, errors=errors)
+            if args.once:
+                print(frame, end="")
+                return 0
+            sys.stdout.write("\x1b[H\x1b[2J" + frame)
+            sys.stdout.flush()
+            # A folded campaign is finished output; keep polling only
+            # when a serve endpoint is also being watched.
+            if (
+                fleet_status
+                and fleet_status.get("phase") == "folded"
+                and endpoint is None
+            ):
+                print("campaign folded — exiting")
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -1157,6 +1361,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_merge_shards(args)
     if args.command == "query":
         return _run_query(args)
+    if args.command == "top":
+        return _run_top(args)
 
     _configure_engine(args)
 

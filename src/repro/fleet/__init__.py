@@ -28,9 +28,29 @@ which is the chaos acceptance test in CI.
 Chaos is injected through :mod:`repro.faults` host-level kinds
 (``kill=…,stall=…,lease_corrupt=…`` in ``$REPRO_FAULTS``), seeded and
 content-keyed like every other fault in this tree.
+
+* :class:`FleetLiveAggregator` — the live status plane: folds the
+  workers' periodic ``live-telemetry.json`` sidecars and the shared
+  lease table into ``live-status.json`` *during* the campaign
+  (state transitions, observed steals, live completion rate — what
+  ``repro-noise top --campaign`` renders).
 """
 
 from .dispatcher import FleetDispatcher
+from .live import (
+    LIVE_SIDECAR_NAME,
+    LIVE_STATUS_NAME,
+    FleetLiveAggregator,
+    load_live_status,
+)
 from .worker import KILL_EXIT_STATUS, FleetWorker
 
-__all__ = ["FleetDispatcher", "FleetWorker", "KILL_EXIT_STATUS"]
+__all__ = [
+    "FleetDispatcher",
+    "FleetWorker",
+    "FleetLiveAggregator",
+    "KILL_EXIT_STATUS",
+    "LIVE_SIDECAR_NAME",
+    "LIVE_STATUS_NAME",
+    "load_live_status",
+]

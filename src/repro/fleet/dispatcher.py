@@ -7,10 +7,12 @@ campaign directory::
       campaign-manifest.json     shared claim table (all workers)
       cache/                     folded result cache (after the fold)
       events.jsonl               folded event log (after the fold)
+      live-status.json           in-flight aggregate (during the run)
       workers/<id>/
         cache/                   the worker's private result cache
         campaign-manifest.json   the worker's private completion record
         events.jsonl             the worker's event log
+        live-telemetry.json      the worker's live sidecar (periodic)
         log.txt                  the worker's stdout/stderr
 
 spawns N ``fleet-worker`` subprocesses (locally, or through an ssh
@@ -48,6 +50,7 @@ from ..machine.chip import Chip
 from ..obs import Telemetry, get_telemetry
 from ..plan.execute import ExecutionReport, run_point_id
 from ..plan.planner import CampaignPlan
+from .live import FleetLiveAggregator
 
 __all__ = ["FleetDispatcher"]
 
@@ -82,6 +85,12 @@ class FleetDispatcher:
         Monitor poll period and optional hard wall-clock ceiling
         (workers are terminated and the fold still runs, reporting the
         partial state).
+    live_s:
+        Period of the in-flight aggregation: every ``live_s`` the
+        monitor folds the worker sidecars + the shared lease table
+        into ``live-status.json`` (state transitions, steals, live
+        completion rate) *while the campaign runs*.  ``0`` disables
+        live aggregation.
     """
 
     def __init__(
@@ -97,6 +106,7 @@ class FleetDispatcher:
         respawn: int = 8,
         poll_s: float = 0.2,
         timeout_s: float | None = None,
+        live_s: float = 1.0,
         telemetry: Telemetry | None = None,
     ):
         if workers < 1:
@@ -120,6 +130,16 @@ class FleetDispatcher:
         self.timeout_s = timeout_s
         self.telemetry = telemetry or get_telemetry()
         self.manifest = CampaignManifest(self.campaign_dir / MANIFEST_NAME)
+        self.live_s = live_s
+        self.live: FleetLiveAggregator | None = (
+            FleetLiveAggregator(
+                self.campaign_dir,
+                manifest=self.manifest,
+                total_runs=campaign.total_unique,
+                telemetry=self.telemetry,
+            )
+            if live_s > 0 else None
+        )
         self.unfinished: list[str] = []
         self.poisoned: list[str] = []
         self._procs: dict[str, subprocess.Popen] = {}
@@ -215,7 +235,14 @@ class FleetDispatcher:
 
     def _monitor(self, deadline: float | None) -> None:
         slot = self.workers
+        next_live = time.monotonic()
         while True:
+            if self.live is not None and time.monotonic() >= next_live:
+                next_live = time.monotonic() + self.live_s
+                try:
+                    self.live.poll()
+                except Exception:  # noqa: BLE001 - observer must not kill
+                    self.telemetry.increment("fleet.live.poll_errors")
             live = 0
             for worker_id, proc in list(self._procs.items()):
                 status = proc.poll()
@@ -299,6 +326,13 @@ class FleetDispatcher:
         report.replayed = complete - report.executed
         report.failed = failed
         self.manifest.mark_complete("shard:fleet", meta=report.summary())
+        if self.live is not None:
+            # Final status write: phase "folded" tells a tailing `top`
+            # the campaign is over (and records what it folded to).
+            try:
+                self.live.finalize(report.summary())
+            except Exception:  # noqa: BLE001 - observer must not kill
+                self.telemetry.increment("fleet.live.poll_errors")
         self.telemetry.emit(
             "fleet.dispatcher.completed",
             plan=plan_fp,

@@ -1,0 +1,228 @@
+"""In-flight campaign aggregation: the fleet's live status plane.
+
+PR 7's dispatcher only learned what its workers did at the
+end-of-campaign fold.  This module closes the gap: each worker
+periodically rewrites a ``live-telemetry.json`` sidecar in its workdir
+(state, held leases, accounting, telemetry merge payload — see
+:meth:`~repro.fleet.worker.FleetWorker.live_snapshot`), and the
+dispatcher's monitor loop drives a :class:`FleetLiveAggregator` that
+
+* folds every sidecar plus the shared manifest's lease table into one
+  ``live-status.json`` under the campaign directory (atomic rewrite —
+  what ``repro-noise top --campaign`` tails),
+* detects **per-worker state transitions** (claiming → executing →
+  idle → stopped …) and **lease steals** as they happen, emitting
+  ``fleet.transition`` events and ``fleet.live.*`` counters *during*
+  the campaign, not after it, and
+* feeds the summed worker counters into a
+  :class:`~repro.obs.series.TelemetrySeries`, so the status file
+  carries live fleet-wide rates (runs completed per second).
+
+Everything here reads only atomic-rename artifacts (sidecars, the
+manifest) — a torn read is impossible by construction, a missing file
+just means that worker has not flushed yet.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from ..engine.campaign import MANIFEST_NAME, CampaignManifest
+from ..obs import Telemetry, get_telemetry
+from ..obs.series import TelemetrySeries
+from .. import ioutil
+
+__all__ = [
+    "LIVE_SIDECAR_NAME",
+    "LIVE_STATUS_NAME",
+    "FleetLiveAggregator",
+    "load_live_status",
+]
+
+#: Per-worker sidecar filename (inside ``workers/<id>/``).
+LIVE_SIDECAR_NAME = "live-telemetry.json"
+
+#: Aggregated status filename (inside the campaign directory).
+LIVE_STATUS_NAME = "live-status.json"
+
+#: Bound on retained transition records in the status file.
+MAX_TRANSITIONS = 128
+
+#: Summary fields surfaced per worker in the status file.
+_SUMMARY_FIELDS = (
+    "claimed", "stolen", "completed", "failed",
+    "released", "poisoned", "serve_hits", "lost_leases",
+)
+
+
+class FleetLiveAggregator:
+    """Fold worker sidecars + the shared lease table into a live
+    campaign status, tracking transitions across polls."""
+
+    def __init__(
+        self,
+        campaign_dir: str | Path,
+        *,
+        manifest: CampaignManifest | None = None,
+        total_runs: int | None = None,
+        telemetry: Telemetry | None = None,
+    ):
+        self.campaign_dir = Path(campaign_dir)
+        self.manifest = manifest or CampaignManifest(
+            self.campaign_dir / MANIFEST_NAME
+        )
+        self.total_runs = total_runs
+        self.telemetry = telemetry or get_telemetry()
+        self.status_path = self.campaign_dir / LIVE_STATUS_NAME
+        self.series = TelemetrySeries()
+        self.ticks = 0
+        self.observed_steals = 0
+        self.transitions: list[dict] = []
+        self._last_states: dict[str, str] = {}
+        self._last_steals = 0
+
+    # -- reading ---------------------------------------------------------
+    def _read_sidecars(self) -> dict[str, dict]:
+        sidecars: dict[str, dict] = {}
+        workers_dir = self.campaign_dir / "workers"
+        if not workers_dir.is_dir():
+            return sidecars
+        for path in sorted(workers_dir.glob(f"*/{LIVE_SIDECAR_NAME}")):
+            try:
+                record = json.loads(path.read_text())
+            except (OSError, ValueError):  # not flushed yet / vanished
+                continue
+            if isinstance(record, dict) and record.get("worker"):
+                sidecars[str(record["worker"])] = record
+        return sidecars
+
+    def _manifest_steals(self) -> int:
+        """Total steals recorded in the shared lease table (survives
+        the thief dying before its next sidecar flush)."""
+        steals = 0
+        for entry in self.manifest.load()["points"].values():
+            if isinstance(entry, dict):
+                steals += int(entry.get("steals", 0) or 0)
+        return steals
+
+    # -- polling ---------------------------------------------------------
+    def poll(self, now: float | None = None) -> dict:
+        """One aggregation step: read, diff, account, write, return the
+        status dict."""
+        now = time.time() if now is None else float(now)
+        self.ticks += 1
+        sidecars = self._read_sidecars()
+        statuses = self.manifest.statuses()
+        claims = self.manifest.claims()
+
+        # -- per-worker view + state transitions ------------------------
+        workers: dict[str, dict] = {}
+        for worker_id, record in sidecars.items():
+            state = str(record.get("state", "?"))
+            summary = record.get("summary") or {}
+            workers[worker_id] = {
+                "state": state,
+                "pid": record.get("pid"),
+                "host": record.get("host"),
+                "point": record.get("point"),
+                "held": len(record.get("held") or ()),
+                "age_s": round(max(now - float(record.get("ts", now)), 0.0), 3),
+                **{k: int(summary.get(k, 0)) for k in _SUMMARY_FIELDS},
+            }
+            previous = self._last_states.get(worker_id)
+            if previous != state:
+                self._last_states[worker_id] = state
+                transition = {
+                    "ts": round(now, 6),
+                    "worker": worker_id,
+                    "from": previous,
+                    "to": state,
+                }
+                self.transitions.append(transition)
+                self.telemetry.increment("fleet.live.transitions")
+                self.telemetry.emit("fleet.transition", **transition)
+
+        # -- steals observed mid-campaign --------------------------------
+        total_steals = max(
+            self._manifest_steals(),
+            sum(w["stolen"] for w in workers.values()),
+        )
+        if total_steals > self._last_steals:
+            delta = total_steals - self._last_steals
+            self._last_steals = total_steals
+            self.telemetry.increment("fleet.live.observed_steals", delta)
+        self.observed_steals = max(self.observed_steals, total_steals)
+        del self.transitions[:-MAX_TRANSITIONS]
+
+        # -- fleet-wide rates from summed worker counters ----------------
+        summed: dict[str, float] = {}
+        for record in sidecars.values():
+            payload = record.get("telemetry") or {}
+            for name, value in (payload.get("counters") or {}).items():
+                summed[name] = summed.get(name, 0) + value
+        window = self.series.tick_state(
+            {"counters": summed, "timers": {}, "histograms": {}}, now
+        )
+
+        # -- status census -----------------------------------------------
+        tally = {"complete": 0, "failed": 0, "claimed": 0, "poisoned": 0}
+        for point_id, status in statuses.items():
+            if point_id.startswith("run:") and status in tally:
+                tally[status] += 1
+        status = {
+            "ts": round(now, 6),
+            "tick": self.ticks,
+            "phase": "running",
+            "plan": (self.manifest.campaign or {}).get("plan"),
+            "total_runs": self.total_runs,
+            "workers": workers,
+            "counts": tally,
+            "leases": {
+                "live": len(claims),
+                "by_worker": _claims_by_worker(claims),
+            },
+            "observed_steals": self.observed_steals,
+            "completion_rate": (
+                round(window.rate("fleet.completed"), 4)
+                if window is not None else None
+            ),
+            "transitions": list(self.transitions),
+        }
+        self._write(status)
+        return status
+
+    def finalize(self, report_summary: dict | None = None) -> dict:
+        """Mark the status file folded (``top`` exits on this phase)."""
+        status = self.poll()
+        status["phase"] = "folded"
+        if report_summary:
+            status["report"] = report_summary
+        self._write(status)
+        return status
+
+    def _write(self, status: dict) -> None:
+        try:
+            ioutil.atomic_write_json(self.status_path, status)
+        except OSError:  # pragma: no cover - disk full / dir vanished
+            self.telemetry.increment("fleet.live.write_errors")
+
+
+def _claims_by_worker(claims: dict[str, dict]) -> dict[str, int]:
+    by_worker: dict[str, int] = {}
+    for claim in claims.values():
+        worker = str(claim.get("worker", "?"))
+        by_worker[worker] = by_worker.get(worker, 0) + 1
+    return by_worker
+
+
+def load_live_status(campaign_dir: str | Path) -> dict | None:
+    """The current ``live-status.json`` of a campaign directory, or
+    ``None`` when no aggregator has written one yet."""
+    path = Path(campaign_dir) / LIVE_STATUS_NAME
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return record if isinstance(record, dict) else None

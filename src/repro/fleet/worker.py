@@ -99,6 +99,12 @@ class FleetWorker:
         default); only its ``worker_kill`` / ``lease_corrupt`` /
         ``heartbeat_stall`` decisions are consulted here — run-level
         kinds keep flowing through the session layer as usual.
+    live_path / flush_s:
+        When ``live_path`` is set, a background thread atomically
+        rewrites that file every ``flush_s`` seconds with the worker's
+        live sidecar snapshot (state, held leases, accounting summary,
+        telemetry merge payload) — what the dispatcher's in-flight
+        aggregator and ``repro-noise top`` read *during* the campaign.
     exit_fn:
         How an injected worker kill dies (``os._exit``; tests inject a
         recording stub so the suite survives its own chaos).
@@ -125,6 +131,8 @@ class FleetWorker:
         faults: object = _UNSET,
         serve: tuple[str, int] | None = None,
         telemetry: Telemetry | None = None,
+        live_path=None,
+        flush_s: float = 2.0,
         exit_fn=os._exit,
     ):
         self.campaign = campaign
@@ -157,6 +165,11 @@ class FleetWorker:
         self._held_lock = threading.Lock()
         self._draining = threading.Event()
         self._hb_stop = threading.Event()
+        self.live_path = live_path
+        self.flush_s = flush_s
+        self.state = "starting"
+        self.current_point: str | None = None
+        self._flush_stop = threading.Event()
         self.summary: dict = {
             "worker": worker_id,
             "claimed": 0,
@@ -192,10 +205,20 @@ class FleetWorker:
             daemon=True,
         )
         heartbeat.start()
+        flusher: threading.Thread | None = None
+        if self.live_path is not None:
+            self._flush_live()  # first sidecar before any claim
+            flusher = threading.Thread(
+                target=self._flush_loop,
+                name=f"fleet-flush-{self.worker_id}",
+                daemon=True,
+            )
+            flusher.start()
         cycle = 0
         try:
             while not self._draining.is_set():
                 cycle += 1
+                self.state = "claiming"
                 try:
                     decision = self.manifest.claim_batch(
                         candidates,
@@ -218,6 +241,7 @@ class FleetWorker:
                         break
                     # Everything unfinished is under someone else's
                     # live lease; poll again after a decorrelated nap.
+                    self.state = "idle"
                     time.sleep(self.poll_s * _poll_jitter(self.worker_id, cycle))
                     continue
                 with self._held_lock:
@@ -229,6 +253,7 @@ class FleetWorker:
                         break
                     self._execute(point)
         finally:
+            self.state = "draining" if self._draining.is_set() else "stopped"
             self._hb_stop.set()
             heartbeat.join(timeout=5.0)
             with self._held_lock:
@@ -241,6 +266,12 @@ class FleetWorker:
                     )
                 except ConcurrencyError:  # pragma: no cover - best effort
                     pass
+            self.state = "stopped"
+            self._flush_stop.set()
+            if flusher is not None:
+                flusher.join(timeout=5.0)
+            if self.live_path is not None:
+                self._flush_live()  # final sidecar carries the summary
             self.telemetry.emit(
                 "fleet.worker.stopped",
                 worker=self.worker_id,
@@ -328,6 +359,8 @@ class FleetWorker:
     def _execute(self, point: str) -> None:
         fingerprint = point.removeprefix("run:")
         entry = self.campaign.unique.get(fingerprint)
+        self.state = "executing"
+        self.current_point = point
         try:
             if entry is None:  # defensive: claim table named a stranger
                 self.manifest.mark_failed(
@@ -364,6 +397,7 @@ class FleetWorker:
                         [point], worker=self.worker_id
                     )
         finally:
+            self.current_point = None
             with self._held_lock:
                 self._held.discard(point)
 
@@ -459,6 +493,44 @@ class FleetWorker:
                 # byte-identical — but account for the loss.
                 self.summary["lost_leases"] += len(lost)
                 self._count("fleet.lease_lost", len(lost))
+
+    # -- live sidecar ----------------------------------------------------
+    def live_snapshot(self) -> dict:
+        """The worker's live sidecar record: lease state + accounting
+        + a telemetry merge payload the aggregator can fold."""
+        with self._held_lock:
+            held = sorted(self._held)
+        return {
+            "ts": round(time.time(), 6),
+            "worker": self.worker_id,
+            "pid": os.getpid(),
+            "host": self.host,
+            "state": self.state,
+            "point": self.current_point,
+            "held": held,
+            "summary": dict(self.summary),
+            "telemetry": self._safe_merge_payload(),
+        }
+
+    def _safe_merge_payload(self) -> dict:
+        # The main thread mutates counters while the flush thread
+        # copies them; retry the snapshot until it settles.
+        for _ in range(8):
+            try:
+                return self.telemetry.merge_payload()
+            except RuntimeError:
+                continue
+        return {"counters": {}}  # pragma: no cover - pathological churn
+
+    def _flush_live(self) -> None:
+        try:
+            ioutil.atomic_write_json(self.live_path, self.live_snapshot())
+        except OSError:  # pragma: no cover - disk full / dir vanished
+            self._count("fleet.flush_errors")
+
+    def _flush_loop(self) -> None:
+        while not self._flush_stop.wait(self.flush_s):
+            self._flush_live()
 
     # -- accounting ------------------------------------------------------
     def _count(self, name: str, amount: int = 1) -> None:

@@ -13,10 +13,19 @@ package is the reproduction's equivalent for its *own* execution:
   exporter over the event log;
 * :mod:`repro.obs.profile` — the ``repro-noise profile`` campaign
   post-mortem (latency percentiles, slowest runs, retry hot spots,
-  span tree).
+  span tree);
+* :mod:`repro.obs.series` — the **live metrics plane**: windowed
+  snapshot deltas (rates + rolling percentiles from exact bucket
+  counts) in a bounded ring buffer;
+* :mod:`repro.obs.slo` — declarative **SLOs** with per-window
+  burn-rate evaluation and structured violation events;
+* :mod:`repro.obs.expose` — **Prometheus text exposition** (and a
+  strict parser for CI assertions);
+* :mod:`repro.obs.top` — the ``repro-noise top`` terminal dashboard
+  renderer.
 
 See DESIGN.md §7 for the span model, the event schema and the
-multiprocess merge semantics.
+multiprocess merge semantics, and §13 for the live metrics plane.
 """
 
 from .events import (
@@ -27,7 +36,9 @@ from .events import (
     validate_event,
     validate_event_log,
 )
+from .expose import parse_prometheus_text, prometheus_text
 from .metrics import (
+    BUCKET_BOUNDS,
     RESILIENCE_COUNTERS,
     Histogram,
     Span,
@@ -42,6 +53,13 @@ from .profile import (
     load_profile,
     render_profile,
 )
+from .series import (
+    SeriesWindow,
+    TelemetrySeries,
+    bucket_percentile,
+    series_state,
+)
+from .slo import SLO, SloPolicy, SloStatus, default_serve_slos
 from .trace import chrome_trace, export_chrome_trace
 
 __all__ = [
@@ -51,6 +69,7 @@ __all__ = [
     "get_telemetry",
     "set_telemetry",
     "capture_telemetry",
+    "BUCKET_BOUNDS",
     "RESILIENCE_COUNTERS",
     "EventLog",
     "EVENT_TYPES",
@@ -64,4 +83,14 @@ __all__ = [
     "follow_profile",
     "load_profile",
     "render_profile",
+    "TelemetrySeries",
+    "SeriesWindow",
+    "series_state",
+    "bucket_percentile",
+    "SLO",
+    "SloPolicy",
+    "SloStatus",
+    "default_serve_slos",
+    "prometheus_text",
+    "parse_prometheus_text",
 ]

@@ -31,6 +31,15 @@ Event schema (one object per line)::
   (:mod:`repro.serve`): ``serve.request`` carries ``fingerprint``,
   the answering ``tier`` and ``dur_ms``; ``serve.busy`` records a
   backpressure rejection with its ``retry_after_s`` hint.
+* ``fleet.*`` events come from the elastic campaign fleet
+  (:mod:`repro.fleet`): worker/dispatcher lifecycle, lease steals and
+  poisonings, injected host faults; ``fleet.transition`` records a
+  live per-worker state change observed by the dispatcher's in-flight
+  aggregator (``worker``, ``from``/``to`` states, ``steals``).
+* ``slo.violation`` events come from the SLO layer
+  (:mod:`repro.obs.slo`): one per objective breached in one series
+  window, carrying ``slo``, ``sli``, ``burn_rate``, ``budget``,
+  ``events`` and ``window_s``.
 * ``span`` events carry ``name``, ``span_id``, ``parent_id``,
   ``start_s`` and ``dur_s`` — enough to rebuild the span tree and the
   Chrome trace timeline offline.
@@ -78,6 +87,21 @@ EVENT_TYPES = frozenset({
     "serve.stopped",
     "serve.request",
     "serve.busy",
+    "kernel.fallback",
+    "fleet.worker.started",
+    "fleet.worker.stopped",
+    "fleet.stolen",
+    "fleet.poisoned",
+    "fleet.serve.unavailable",
+    "fleet.fault.worker_kill",
+    "fleet.fault.lease_corrupt",
+    "fleet.fault.heartbeat_stall",
+    "fleet.dispatcher.spawned",
+    "fleet.dispatcher.started",
+    "fleet.dispatcher.crashed",
+    "fleet.dispatcher.completed",
+    "fleet.transition",
+    "slo.violation",
     "span",
 })
 

@@ -1,0 +1,213 @@
+"""Prometheus text-format exposition of a telemetry snapshot.
+
+Dependency-free rendering of the `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_ the
+whole monitoring ecosystem scrapes:
+
+* counters → ``repro_<name>_total`` (dotted names sanitized to the
+  ``[a-zA-Z0-9_:]`` alphabet);
+* timers → ``repro_<name>_seconds_total`` (accumulated seconds are a
+  monotone counter);
+* histograms → textbook ``_bucket{le="..."}`` / ``_sum`` / ``_count``
+  families, with cumulative ``le`` buckets computed from the exact
+  log-spaced bucket counts (:data:`~repro.obs.metrics.BUCKET_BOUNDS`);
+* caller-supplied **gauges** (queue depth, hit ratios, qps, SLO burn
+  rates) → ``repro_<name>`` gauge samples.
+
+Every sample can carry a shared label set (e.g. ``chip="1f2e…"``);
+label values are escaped per the spec.  The module also ships
+:func:`parse_prometheus_text` — a strict parser for the same format —
+so tests and the CI ``metrics-smoke`` job can assert counter
+monotonicity and label hygiene between two scrapes without any
+external Prometheus tooling.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .metrics import BUCKET_BOUNDS
+
+__all__ = [
+    "prometheus_text",
+    "parse_prometheus_text",
+    "sanitize_metric_name",
+]
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_VALID_METRIC = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_VALID_LABEL = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<ts>-?\d+))?$"
+)
+_LABEL_PAIR = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro") -> str:
+    """Map a dotted telemetry name onto the Prometheus alphabet
+    (``serve.request.seconds`` → ``repro_serve_request_seconds``)."""
+    cleaned = _INVALID_CHARS.sub("_", str(name)).strip("_")
+    if prefix:
+        cleaned = f"{prefix}_{cleaned}" if cleaned else prefix
+    if not cleaned or not _VALID_METRIC.match(cleaned):
+        raise ValueError(f"cannot build a valid metric name from {name!r}")
+    return cleaned
+
+
+def _escape_label_value(value) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _fmt(value) -> str:
+    """A float the format (and its parsers) round-trips: integral
+    values render bare, everything else with repr precision."""
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return format(number, ".10g")
+
+
+def _render_labels(labels: dict, extra: dict | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    for key in merged:
+        if not _VALID_LABEL.match(key):
+            raise ValueError(f"invalid label name {key!r}")
+    pairs = ",".join(
+        f'{key}="{_escape_label_value(value)}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + pairs + "}"
+
+
+def prometheus_text(
+    snapshot: dict,
+    *,
+    prefix: str = "repro",
+    labels: dict | None = None,
+    gauges: dict | None = None,
+) -> str:
+    """Render a ``Telemetry.snapshot()``-shaped dict (plus optional
+    gauges) as Prometheus text exposition (version 0.0.4)."""
+    labels = dict(labels or {})
+    lines: list[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        metric = sanitize_metric_name(name, prefix) + "_total"
+        lines.append(f"# HELP {metric} Cumulative count of {name}.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(
+            f"{metric}{_render_labels(labels)} "
+            f"{_fmt(snapshot['counters'][name])}"
+        )
+
+    for name in sorted(snapshot.get("timers", {})):
+        metric = sanitize_metric_name(name, prefix)
+        if not metric.endswith("_seconds"):
+            metric += "_seconds"
+        metric += "_total"
+        lines.append(f"# HELP {metric} Accumulated seconds of {name}.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(
+            f"{metric}{_render_labels(labels)} "
+            f"{_fmt(snapshot['timers'][name])}"
+        )
+
+    for name in sorted(snapshot.get("histograms", {})):
+        summary = snapshot["histograms"][name]
+        if not isinstance(summary, dict) or not summary.get("count"):
+            continue
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# HELP {metric} Distribution of {name}.")
+        lines.append(f"# TYPE {metric} histogram")
+        count = int(summary["count"])
+        buckets = summary.get("buckets")
+        if buckets:
+            cumulative = 0
+            for bound, bucket_count in zip(BUCKET_BOUNDS, buckets):
+                cumulative += int(bucket_count)
+                lines.append(
+                    f"{metric}_bucket"
+                    f"{_render_labels(labels, {'le': _fmt(bound)})} "
+                    f"{cumulative}"
+                )
+            lines.append(
+                f"{metric}_bucket{_render_labels(labels, {'le': '+Inf'})} "
+                f"{count}"
+            )
+        lines.append(
+            f"{metric}_sum{_render_labels(labels)} "
+            f"{_fmt(summary.get('total', 0.0))}"
+        )
+        lines.append(f"{metric}_count{_render_labels(labels)} {count}")
+
+    for name in sorted(gauges or {}):
+        value = gauges[name]
+        if value is None:
+            continue
+        metric = sanitize_metric_name(name, prefix)
+        lines.append(f"# HELP {metric} Gauge {name}.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{_render_labels(labels)} {_fmt(value)}")
+
+    return "\n".join(lines) + "\n"
+
+
+def _parse_label_block(block: str) -> dict:
+    labels: dict = {}
+    remainder = block.strip()
+    while remainder:
+        match = _LABEL_PAIR.match(remainder)
+        if not match:
+            raise ValueError(f"malformed label block: {block!r}")
+        raw = match.group("value")
+        labels[match.group("key")] = (
+            raw.replace(r"\n", "\n").replace(r"\"", '"').replace(r"\\", "\\")
+        )
+        remainder = remainder[match.end():].lstrip()
+        if remainder.startswith(","):
+            remainder = remainder[1:].lstrip()
+        elif remainder:
+            raise ValueError(f"malformed label block: {block!r}")
+    return labels
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse text exposition back into
+    ``{metric_name: {frozenset(label_items): value}}``.
+
+    Strict on purpose: a malformed sample line, metric name or label
+    raises ``ValueError`` — this doubles as the label-hygiene check in
+    the CI ``metrics-smoke`` job.
+    """
+    samples: dict = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        name = match.group("name")
+        labels = _parse_label_block(match.group("labels") or "")
+        try:
+            value = float(match.group("value"))
+        except ValueError as error:
+            raise ValueError(
+                f"line {lineno}: bad sample value {raw!r}"
+            ) from error
+        samples.setdefault(name, {})[frozenset(labels.items())] = value
+    return samples

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import math
 import time
+from bisect import bisect_left
 from collections import defaultdict
 from contextlib import contextmanager, nullcontext
 from typing import Iterator
@@ -39,6 +40,7 @@ __all__ = [
     "get_telemetry",
     "set_telemetry",
     "capture_telemetry",
+    "BUCKET_BOUNDS",
     "RESILIENCE_COUNTERS",
 ]
 
@@ -59,6 +61,15 @@ RESILIENCE_COUNTERS = (
 #: representative at fixed memory.
 HISTOGRAM_MAX_SAMPLES = 8192
 
+#: Fixed log-spaced bucket upper bounds (seconds-flavoured but
+#: unit-agnostic): 100 µs … ~839 s, doubling per bucket, plus an
+#: implicit +Inf overflow bucket.  Bucket *counts* — unlike the sample
+#: reservoir, which decimates — are exact monotone counters, so the
+#: windowed series layer can difference two snapshots and recover the
+#: distribution of just that window, and the Prometheus exposition can
+#: publish textbook cumulative ``le`` buckets.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(1e-4 * 2.0 ** i for i in range(24))
+
 #: Bound on retained completed root spans (a campaign has a handful;
 #: the bound only guards against a pathological span-per-run pattern).
 MAX_ROOT_SPANS = 512
@@ -75,7 +86,7 @@ class Histogram:
 
     __slots__ = (
         "count", "total", "min", "max",
-        "samples", "max_samples", "_stride", "_pending",
+        "samples", "max_samples", "buckets", "_stride", "_pending",
     )
 
     def __init__(self, max_samples: int = HISTOGRAM_MAX_SAMPLES):
@@ -87,6 +98,9 @@ class Histogram:
         self.max: float | None = None
         self.samples: list[float] = []
         self.max_samples = max_samples
+        # Per-bucket (non-cumulative) counts over BUCKET_BOUNDS, last
+        # slot is the +Inf overflow; exact, never decimated.
+        self.buckets: list[int] = [0] * (len(BUCKET_BOUNDS) + 1)
         self._stride = 1
         self._pending = 0
 
@@ -99,6 +113,7 @@ class Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self.buckets[bisect_left(BUCKET_BOUNDS, value)] += 1
         self._pending += 1
         if self._pending >= self._stride:
             self._pending = 0
@@ -139,6 +154,7 @@ class Histogram:
             "p50": round(self.percentile(50), 6),
             "p95": round(self.percentile(95), 6),
             "p99": round(self.percentile(99), 6),
+            "buckets": list(self.buckets),
         }
 
     # -- merging --------------------------------------------------------
@@ -150,6 +166,7 @@ class Histogram:
             "min": self.min,
             "max": self.max,
             "samples": list(self.samples),
+            "buckets": list(self.buckets),
         }
 
     def merge_dump(self, payload: dict) -> None:
@@ -171,6 +188,11 @@ class Histogram:
             self.samples.append(float(sample))
         while len(self.samples) >= self.max_samples:
             self._decimate()
+        # Dumps from pre-bucket builds fold bucket-free; counts stay
+        # consistent with whatever was actually recorded per bucket.
+        for index, bucket_count in enumerate(payload.get("buckets", ())):
+            if index < len(self.buckets):
+                self.buckets[index] += int(bucket_count)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Histogram(count={self.count}, retained={len(self.samples)})"

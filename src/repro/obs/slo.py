@@ -1,0 +1,282 @@
+"""Declarative service-level objectives over the windowed series.
+
+An :class:`SLO` names a target over the live metrics plane — "p95 of
+the hot tier stays under 50 ms", "the serve error rate stays under
+1%" — plus an **error budget**: the fraction of events allowed to miss
+the target.  Each :class:`~repro.obs.series.SeriesWindow` is evaluated
+into an :class:`SloStatus` carrying the window's service-level
+indicator (bad-event fraction) and its **burn rate** — SLI divided by
+budget, the standard multiplier of "how fast is this window spending
+the budget" (1.0 = exactly on budget, 10 = burning ten windows' worth
+in one).
+
+Two SLO kinds cover the operational surface:
+
+* ``latency`` — over a histogram: the SLI is the fraction of the
+  window's observations above ``threshold_s``, computed exactly from
+  the log-spaced bucket deltas (no samples involved).
+* ``error_rate`` — over counters: the SLI is a numerator counter delta
+  divided by the summed denominator deltas.
+
+Violations (burn rate > 1 on a non-empty window) are emitted as
+structured ``slo.violation`` events and counted under
+``slo.violations`` so the event log, the Prometheus exposition and
+``repro-noise top`` all see the same signal.
+
+Policies are declarative: built in code, from a list of dicts
+(:meth:`SloPolicy.from_spec`), or from a JSON file
+(:meth:`SloPolicy.from_file` — what ``repro-noise serve --slo`` loads).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .series import SeriesWindow
+
+__all__ = [
+    "SLO",
+    "SloStatus",
+    "SloPolicy",
+    "default_serve_slos",
+]
+
+_KINDS = ("latency", "error_rate")
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One declarative objective.
+
+    ``budget`` is the allowed bad-event fraction (0.01 → 1% of events
+    may miss the target before the budget is burning).
+    """
+
+    name: str
+    kind: str
+    budget: float
+    # latency kind
+    histogram: str | None = None
+    threshold_s: float | None = None
+    # error_rate kind
+    numerator: str | None = None
+    denominator: tuple = ()
+    description: str = ""
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"SLO {self.name!r}: kind must be one of {_KINDS} "
+                f"(got {self.kind!r})"
+            )
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError(
+                f"SLO {self.name!r}: budget must be in (0, 1] "
+                f"(got {self.budget})"
+            )
+        if self.kind == "latency":
+            if not self.histogram or self.threshold_s is None:
+                raise ValueError(
+                    f"latency SLO {self.name!r} needs 'histogram' and "
+                    f"'threshold_s'"
+                )
+            if self.threshold_s <= 0:
+                raise ValueError(
+                    f"SLO {self.name!r}: threshold_s must be > 0 "
+                    f"(got {self.threshold_s})"
+                )
+        else:
+            if not self.numerator or not self.denominator:
+                raise ValueError(
+                    f"error_rate SLO {self.name!r} needs 'numerator' and "
+                    f"'denominator'"
+                )
+        # JSON specs carry lists; freeze for hashability.
+        if not isinstance(self.denominator, tuple):
+            object.__setattr__(self, "denominator", tuple(self.denominator))
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "SLO":
+        known = {
+            "name", "kind", "budget", "histogram", "threshold_s",
+            "numerator", "denominator", "description",
+        }
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(
+                f"SLO spec has unknown fields {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        if "name" not in spec or "kind" not in spec or "budget" not in spec:
+            raise ValueError(
+                "SLO spec needs at least 'name', 'kind' and 'budget'"
+            )
+        return cls(
+            name=str(spec["name"]),
+            kind=str(spec["kind"]),
+            budget=float(spec["budget"]),
+            histogram=spec.get("histogram"),
+            threshold_s=(
+                float(spec["threshold_s"])
+                if spec.get("threshold_s") is not None else None
+            ),
+            numerator=spec.get("numerator"),
+            denominator=tuple(spec.get("denominator", ())),
+            description=str(spec.get("description", "")),
+        )
+
+    def to_dict(self) -> dict:
+        record = {"name": self.name, "kind": self.kind, "budget": self.budget}
+        if self.kind == "latency":
+            record["histogram"] = self.histogram
+            record["threshold_s"] = self.threshold_s
+        else:
+            record["numerator"] = self.numerator
+            record["denominator"] = list(self.denominator)
+        if self.description:
+            record["description"] = self.description
+        return record
+
+    # -- evaluation -----------------------------------------------------
+    def evaluate(self, window: SeriesWindow) -> "SloStatus":
+        """This objective's status over one window."""
+        if self.kind == "latency":
+            events = window.hist_count(self.histogram)
+            sli = (
+                window.over_threshold_fraction(self.histogram, self.threshold_s)
+                if events else 0.0
+            )
+        else:
+            events = int(
+                sum(window.counters.get(name, 0) for name in self.denominator)
+            )
+            sli = window.ratio(self.numerator, list(self.denominator))
+        burn_rate = sli / self.budget
+        return SloStatus(
+            slo=self,
+            t_end=window.t_end,
+            window_s=window.duration_s,
+            events=events,
+            sli=sli,
+            burn_rate=burn_rate,
+            violated=bool(events) and burn_rate > 1.0,
+        )
+
+
+@dataclass(frozen=True)
+class SloStatus:
+    """One SLO evaluated over one window."""
+
+    slo: SLO
+    t_end: float
+    window_s: float
+    events: int
+    sli: float
+    burn_rate: float
+    violated: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "slo": self.slo.name,
+            "kind": self.slo.kind,
+            "budget": self.slo.budget,
+            "t_end": round(self.t_end, 6),
+            "window_s": round(self.window_s, 3),
+            "events": self.events,
+            "sli": round(self.sli, 6),
+            "burn_rate": round(self.burn_rate, 4),
+            "violated": self.violated,
+        }
+
+
+class SloPolicy:
+    """An ordered set of SLOs evaluated together per window."""
+
+    def __init__(self, slos=()):
+        self.slos: list[SLO] = list(slos)
+        names = [slo.name for slo in self.slos]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO names in policy: {names}")
+
+    @classmethod
+    def from_spec(cls, spec) -> "SloPolicy":
+        """Build from a list of SLO dicts (or ``{"slos": [...]}``)."""
+        if isinstance(spec, dict):
+            spec = spec.get("slos", [])
+        return cls([SLO.from_dict(entry) for entry in spec])
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "SloPolicy":
+        return cls.from_spec(json.loads(Path(path).read_text()))
+
+    def evaluate(self, window: SeriesWindow | None) -> list[SloStatus]:
+        if window is None:
+            return []
+        return [slo.evaluate(window) for slo in self.slos]
+
+    def evaluate_and_emit(self, window, telemetry) -> list[SloStatus]:
+        """Evaluate one window and account the outcome on *telemetry*:
+        ``slo.evaluations``/``slo.violations`` counters plus one
+        structured ``slo.violation`` event per breached objective."""
+        statuses = self.evaluate(window)
+        if not statuses:
+            return statuses
+        telemetry.increment("slo.evaluations")
+        for status in statuses:
+            if not status.violated:
+                continue
+            telemetry.increment("slo.violations")
+            telemetry.increment(f"slo.violations.{status.slo.name}")
+            telemetry.emit("slo.violation", **status.to_dict())
+        return statuses
+
+    def __len__(self) -> int:
+        return len(self.slos)
+
+    def __iter__(self):
+        return iter(self.slos)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SloPolicy({[slo.name for slo in self.slos]})"
+
+
+def default_serve_slos() -> SloPolicy:
+    """The serving layer's stock objectives: per-tier latency targets
+    scaled to the tier's nature (hot replay is a dict lookup; executed
+    requests run the engine) plus an overall error budget."""
+    return SloPolicy([
+        SLO(
+            name="hot-latency",
+            kind="latency",
+            histogram="serve.request.hot.seconds",
+            threshold_s=0.05,
+            budget=0.05,
+            description="95% of hot-tier replies within 50 ms",
+        ),
+        SLO(
+            name="cache-latency",
+            kind="latency",
+            histogram="serve.request.cache.seconds",
+            threshold_s=0.5,
+            budget=0.05,
+            description="95% of disk-tier replies within 500 ms",
+        ),
+        SLO(
+            name="executed-latency",
+            kind="latency",
+            histogram="serve.request.executed.seconds",
+            threshold_s=60.0,
+            budget=0.10,
+            description="90% of cold executions within 60 s",
+        ),
+        SLO(
+            name="error-rate",
+            kind="error_rate",
+            numerator="serve.failures",
+            denominator=("serve.requests",),
+            budget=0.01,
+            description="fewer than 1% of requests fail",
+        ),
+    ])

@@ -1,0 +1,192 @@
+"""``repro-noise top`` — the live terminal dashboard.
+
+Pure rendering over the two live aggregates the metrics plane
+produces:
+
+* a fleet campaign's ``live-status.json``
+  (:class:`~repro.fleet.live.FleetLiveAggregator`): per-worker states,
+  held/stolen leases, progress, recent transitions;
+* a serve endpoint's ``metrics`` verb: tier counters, latency
+  percentiles, SLO burn.
+
+:func:`render_top` is a pure function ``(status dicts) → frame
+string`` so tests assert on content without a terminal; the CLI loop
+(:mod:`repro.cli`) clears the screen and reprints the frame in place
+every ``--interval`` seconds, exiting when a tailed campaign reports
+phase ``folded``.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["render_top"]
+
+#: Worker states in display order (unknown states sort last).
+_STATE_ORDER = {
+    "executing": 0, "claiming": 1, "idle": 2,
+    "starting": 3, "draining": 4, "stopped": 5,
+}
+
+#: Marker per state for the worker table.
+_STATE_MARKS = {
+    "executing": "▶", "claiming": "…", "idle": "·",
+    "starting": "○", "draining": "↓", "stopped": "■",
+}
+
+
+def _fmt_latency(seconds) -> str:
+    if seconds is None:
+        return "-"
+    seconds = float(seconds)
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def _bar(fraction: float, width: int = 24) -> str:
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def _fleet_lines(status: dict, now: float) -> list[str]:
+    lines: list[str] = []
+    phase = status.get("phase", "?")
+    counts = status.get("counts") or {}
+    total = status.get("total_runs")
+    complete = counts.get("complete", 0)
+    header = f"fleet · phase={phase} · tick {status.get('tick', 0)}"
+    age = now - float(status.get("ts", now))
+    if age > 0.5:
+        header += f" · {age:.1f}s ago"
+    lines.append(header)
+    if total:
+        fraction = complete / total
+        lines.append(
+            f"  progress {_bar(fraction)} {complete}/{total} "
+            f"({100.0 * fraction:.0f}%)"
+            + (
+                f" · {status['completion_rate']:.2f} runs/s"
+                if status.get("completion_rate") else ""
+            )
+        )
+    lines.append(
+        "  leases live={live} · claimed={claimed} failed={failed} "
+        "poisoned={poisoned} · steals observed={steals}".format(
+            live=(status.get("leases") or {}).get("live", 0),
+            claimed=counts.get("claimed", 0),
+            failed=counts.get("failed", 0),
+            poisoned=counts.get("poisoned", 0),
+            steals=status.get("observed_steals", 0),
+        )
+    )
+    workers = status.get("workers") or {}
+    if workers:
+        lines.append(
+            f"  {'worker':<10} {'state':<11} {'held':>4} {'done':>5} "
+            f"{'stole':>5} {'fail':>4}  point"
+        )
+        ordered = sorted(
+            workers.items(),
+            key=lambda kv: (_STATE_ORDER.get(kv[1].get("state"), 9), kv[0]),
+        )
+        for worker_id, w in ordered:
+            state = w.get("state", "?")
+            mark = _STATE_MARKS.get(state, "?")
+            point = w.get("point") or ""
+            if len(point) > 24:
+                point = point[:21] + "…"
+            lines.append(
+                f"  {worker_id:<10} {mark} {state:<9} "
+                f"{w.get('held', 0):>4} {w.get('completed', 0):>5} "
+                f"{w.get('stolen', 0):>5} {w.get('failed', 0):>4}  {point}"
+            )
+    transitions = status.get("transitions") or []
+    if transitions:
+        lines.append("  recent transitions:")
+        for t in transitions[-4:]:
+            lines.append(
+                f"    {t.get('worker')}: "
+                f"{t.get('from') or '∅'} → {t.get('to')}"
+            )
+    return lines
+
+
+def _serve_lines(reply: dict) -> list[str]:
+    lines: list[str] = []
+    snapshot = reply.get("metrics") or {}
+    counters = snapshot.get("counters") or {}
+    requests = counters.get("serve.requests", 0)
+    lines.append(
+        f"serve · up {float(reply.get('uptime_s', 0.0)):.0f}s · "
+        f"{requests} requests · windows={reply.get('windows', 0)}"
+        f"@{reply.get('window_s', 0):g}s"
+    )
+    hot = reply.get("hot") or {}
+    lines.append(
+        "  tiers hot={h} cache={c} coalesced={co} executed={e} busy={b} "
+        "· hot-lru {entries}/{capacity}".format(
+            h=counters.get("serve.tier.hot", 0),
+            c=counters.get("serve.tier.cache", 0),
+            co=counters.get("serve.tier.coalesced", 0),
+            e=counters.get("serve.tier.executed", 0),
+            b=counters.get("serve.busy", 0),
+            entries=hot.get("entries", 0),
+            capacity=hot.get("capacity", 0),
+        )
+    )
+    percentiles = reply.get("percentiles") or {}
+    if percentiles:
+        lines.append(
+            f"  {'latency':<28} {'n':>6} {'p50':>9} {'p95':>9} {'p99':>9}"
+        )
+        for name in sorted(percentiles):
+            entry = percentiles[name]
+            label = name.removeprefix("serve.request.").removesuffix(
+                ".seconds"
+            ).removesuffix("seconds") or "all"
+            lines.append(
+                f"  {label:<28} {entry.get('count', 0):>6} "
+                f"{_fmt_latency(entry.get('p50')):>9} "
+                f"{_fmt_latency(entry.get('p95')):>9} "
+                f"{_fmt_latency(entry.get('p99')):>9}"
+            )
+    slo = reply.get("slo") or []
+    if slo:
+        lines.append("  slo burn (last window):")
+        for status in slo:
+            flag = "VIOLATED" if status.get("violated") else "ok"
+            lines.append(
+                f"    {status.get('slo'):<20} burn={status.get('burn_rate', 0):>8.2f} "
+                f"sli={status.get('sli', 0):.4f} "
+                f"events={status.get('events', 0)} {flag}"
+            )
+    violations = counters.get("slo.violations", 0)
+    if violations:
+        lines.append(f"  slo violations since start: {violations}")
+    return lines
+
+
+def render_top(
+    fleet_status: dict | None = None,
+    serve_metrics: dict | None = None,
+    *,
+    now: float | None = None,
+    errors: list[str] | None = None,
+) -> str:
+    """One dashboard frame over whatever live aggregates exist."""
+    now = time.time() if now is None else float(now)
+    lines = ["repro-noise top — live metrics plane", ""]
+    if fleet_status:
+        lines.extend(_fleet_lines(fleet_status, now))
+        lines.append("")
+    if serve_metrics:
+        lines.extend(_serve_lines(serve_metrics))
+        lines.append("")
+    if errors:
+        lines.extend(f"! {error}" for error in errors)
+        lines.append("")
+    if not fleet_status and not serve_metrics and not errors:
+        lines.append("(nothing to watch: pass --campaign and/or --serve)")
+    return "\n".join(lines).rstrip() + "\n"

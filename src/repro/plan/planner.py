@@ -153,14 +153,20 @@ class CampaignPlan:
         mean_run_s: float | None,
         jobs: int = 1,
         shard: ShardSpec | None = None,
+        workers: int = 1,
     ) -> float | None:
         """Estimated cold wall-clock of (a shard of) this campaign,
         from a measured mean per-run latency (the ``engine.run.seconds``
         histogram of a previous campaign); ``None`` without a baseline.
+        *jobs* is intra-process parallelism, *workers* the fleet size —
+        a fleet of W workers at J jobs each divides the serial wall
+        clock by ``W * J`` (leases are cheap next to a run, so the
+        ideal-speedup model stays honest enough for an ETA).
         """
         if mean_run_s is None:
             return None
-        return len(self.shard(shard)) * mean_run_s / max(jobs, 1)
+        parallelism = max(jobs, 1) * max(workers, 1)
+        return len(self.shard(shard)) * mean_run_s / parallelism
 
     def summary(self) -> dict:
         """JSON-friendly digest (what ``repro-noise plan`` renders and

@@ -25,12 +25,14 @@ from .protocol import (
     read_message,
     write_message,
 )
+from .scrape import MetricsHTTPServer, start_metrics_http
 from .server import DEFAULT_PORT, NoiseServer, SimulationService, start_server
 
 __all__ = [
     "DEFAULT_PORT",
     "Flight",
     "HotCache",
+    "MetricsHTTPServer",
     "NoiseServer",
     "OPS",
     "ServeClient",
@@ -38,6 +40,7 @@ __all__ = [
     "SimulationService",
     "SingleFlight",
     "TIERS",
+    "start_metrics_http",
     "decode_program",
     "decode_request",
     "encode_program",

@@ -126,6 +126,16 @@ class ServeClient:
     def metrics(self) -> dict:
         return self.request({"op": "metrics"})
 
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of the service's telemetry
+        (what the optional plain-HTTP scrape endpoint serves)."""
+        reply = self.request({"op": "metrics_text"})
+        if not reply.get("ok"):
+            raise ProtocolError(
+                f"metrics_text failed: {reply.get('error', 'unknown error')}"
+            )
+        return reply.get("text", "")
+
     def shutdown(self) -> dict:
         """Ask the server to stop (it replies, then shuts down)."""
         return self.request({"op": "shutdown"})

@@ -61,7 +61,7 @@ __all__ = [
 #: verb: ``{"op": "fetch", "fingerprint": <engine cache key>}`` returns
 #: the raw disk-tier payload (base64 pickle bytes) when the service has
 #: it, so a fleet sharing a serve endpoint shares one answer space.
-OPS = ("simulate", "fetch", "health", "metrics", "shutdown")
+OPS = ("simulate", "fetch", "health", "metrics", "metrics_text", "shutdown")
 
 #: Tiers a simulate reply can be served from.
 TIERS = ("hot", "cache", "executed", "coalesced")

@@ -1,0 +1,90 @@
+"""Optional plain-HTTP Prometheus scrape endpoint for the service.
+
+The native transport of :mod:`repro.serve` is JSON-lines over TCP —
+great for clients, opaque to a Prometheus scraper.  This module bolts a
+minimal stdlib HTTP server (``http.server``, no new dependencies) next
+to the native endpoint::
+
+    GET /metrics   → text/plain Prometheus exposition (metrics_text)
+    GET /healthz   → application/json health verb
+
+Started by ``repro-noise serve --http-metrics PORT``; both endpoints
+read only thread-safe service state (the telemetry snapshot, gauges),
+so a scrape never competes with the executor thread for the engine.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+__all__ = ["MetricsHTTPServer", "start_metrics_http"]
+
+
+class _ScrapeHandler(BaseHTTPRequestHandler):
+    server_version = "repro-noise-metrics/1.0"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path in ("/", "/metrics"):
+            reply = service.metrics_text()
+            if not reply.get("ok"):
+                self._send(500, "text/plain; charset=utf-8",
+                           reply.get("error", "exposition failed"))
+                return
+            self._send(
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                reply["text"],
+            )
+        elif path == "/healthz":
+            self._send(
+                200,
+                "application/json; charset=utf-8",
+                json.dumps(service.health()),
+            )
+        else:
+            self._send(404, "text/plain; charset=utf-8",
+                       f"no such path {path!r}; try /metrics or /healthz")
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        data = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def log_message(self, *args) -> None:  # noqa: D102 - silence stderr
+        pass
+
+
+class MetricsHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP front end over one :class:`SimulationService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service):
+        super().__init__(address, _ScrapeHandler)
+        self.service = service
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def start_metrics_http(
+    service, host: str = "127.0.0.1", port: int = 0
+) -> tuple[MetricsHTTPServer, threading.Thread]:
+    """Serve ``/metrics`` + ``/healthz`` for *service* in a background
+    thread; returns the bound server (``server.port`` resolves port 0)
+    and its thread."""
+    server = MetricsHTTPServer((host, port), service)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-serve-scrape", daemon=True
+    )
+    thread.start()
+    return server, thread

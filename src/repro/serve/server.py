@@ -53,7 +53,9 @@ from ..engine.session import SimulationSession, resolve_backend_name
 from ..errors import ConfigError, ProtocolError, SolverError
 from ..machine.chip import Chip
 from ..machine.runner import RunOptions
-from ..obs import Telemetry, get_telemetry
+from ..obs import Telemetry, get_telemetry, prometheus_text
+from ..obs.series import SERIES_CAPACITY, TelemetrySeries, series_state
+from ..obs.slo import SloPolicy, default_serve_slos
 from ..plan.spec import chip_identity
 from .coalesce import Flight, SingleFlight
 from .hot_cache import HotCache
@@ -126,6 +128,15 @@ class SimulationService:
         non-reference backend, :meth:`start` pre-compiles the warm
         chip's kernel, so even the service's first cold request skips
         the kernel-build cost.
+    window_s:
+        Period of the live metrics ticker: every ``window_s`` the
+        service snapshots its telemetry into the windowed series
+        (rates, rolling percentiles) and evaluates the SLO policy
+        against the fresh window.  ``0`` disables the ticker (tests
+        drive :meth:`tick_metrics` directly).
+    slo:
+        The :class:`~repro.obs.slo.SloPolicy` the ticker evaluates
+        (:func:`~repro.obs.slo.default_serve_slos` when omitted).
     """
 
     def __init__(
@@ -144,11 +155,15 @@ class SimulationService:
         max_wait_s: float = 600.0,
         telemetry: Telemetry | None = None,
         backend: str | None = None,
+        window_s: float = 5.0,
+        slo: SloPolicy | None = None,
     ):
         if queue_limit < 1:
             raise ConfigError(f"queue_limit must be >= 1 (got {queue_limit})")
         if max_batch < 1:
             raise ConfigError(f"max_batch must be >= 1 (got {max_batch})")
+        if window_s < 0:
+            raise ConfigError(f"window_s must be >= 0 (got {window_s})")
         self.chip = chip
         # Digest of the canonical chip identity: what health replies,
         # events and banners show (the raw identity string is long).
@@ -172,6 +187,14 @@ class SimulationService:
         self._thread: threading.Thread | None = None
         self._closing = False
         self._started_s = time.time()
+        # Live metrics plane: windowed series + SLO policy, driven by
+        # the ticker thread (or tick_metrics() directly in tests).
+        self.window_s = float(window_s)
+        self.series = TelemetrySeries(capacity=SERIES_CAPACITY)
+        self.slo_policy = slo if slo is not None else default_serve_slos()
+        self._slo_status: list = []
+        self._ticker: threading.Thread | None = None
+        self._ticker_stop = threading.Event()
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "SimulationService":
@@ -185,6 +208,14 @@ class SimulationService:
                 target=self._drain, name="repro-serve-exec", daemon=True
             )
             self._thread.start()
+        if self.window_s > 0 and (
+            self._ticker is None or not self._ticker.is_alive()
+        ):
+            self._ticker_stop.clear()
+            self._ticker = threading.Thread(
+                target=self._tick_loop, name="repro-serve-ticker", daemon=True
+            )
+            self._ticker.start()
         return self
 
     def _warm_kernel(self) -> None:
@@ -207,6 +238,10 @@ class SimulationService:
 
     def stop(self, timeout: float = 30.0) -> None:
         """Stop accepting work, drain the queue, join the executor."""
+        self._ticker_stop.set()
+        if self._ticker is not None:
+            self._ticker.join(min(timeout, 2.0))
+            self._ticker = None
         if self._thread is None:
             return
         self._closing = True
@@ -230,6 +265,8 @@ class SimulationService:
             return self.health()
         if op == "metrics":
             return self.metrics()
+        if op == "metrics_text":
+            return self.metrics_text()
         if op == "shutdown":
             # The transport layer owns actually stopping the server;
             # an in-process caller just gets the acknowledgement.
@@ -338,15 +375,118 @@ class SimulationService:
         }
 
     def metrics(self) -> dict:
-        """The telemetry snapshot (serve.* + engine.*) plus tier stats
-        (the ``/metrics`` of this protocol)."""
+        """The telemetry snapshot (serve.* + engine.*) plus tier stats,
+        request-latency percentiles and the latest SLO evaluation (the
+        ``/metrics`` of this protocol)."""
         return {
             "ok": True,
             "status": "ok",
             "uptime_s": round(self.uptime_s, 3),
             "hot": self.hot.stats(),
             "metrics": self._safe_snapshot(),
+            "percentiles": self.request_percentiles(),
+            "slo": [status.to_dict() for status in self._slo_status],
+            "window_s": self.window_s,
+            "windows": len(self.series),
         }
+
+    def metrics_text(self) -> dict:
+        """The same telemetry as Prometheus text exposition — the
+        ``metrics_text`` verb and the body of the optional plain-HTTP
+        ``GET /metrics`` scrape endpoint."""
+        try:
+            text = prometheus_text(
+                self._safe_snapshot(),
+                labels={"chip": self.chip_fp[:12]},
+                gauges=self.gauges(),
+            )
+        except ValueError as error:  # pragma: no cover - defensive
+            return {"ok": False, "status": "error", "error": str(error)}
+        return {"ok": True, "status": "ok", "text": text}
+
+    def request_percentiles(self) -> dict:
+        """Cumulative p50/p95/p99 of the overall and per-tier request
+        latency histograms (only the ones that recorded anything)."""
+        out: dict = {}
+        names = ["serve.request.seconds"] + [
+            f"serve.request.{tier}.seconds"
+            for tier in ("hot", "cache", "coalesced", "executed")
+        ]
+        for name in names:
+            histogram = self.telemetry.histogram(name)
+            if histogram is None or not histogram.count:
+                continue
+            summary = histogram.summary()
+            summary.pop("buckets", None)
+            out[name] = summary
+        return out
+
+    def gauges(self) -> dict:
+        """Instantaneous operational gauges for the exposition: queue
+        occupancy, hot-tier occupancy and hit ratio, live qps and
+        windowed p95 (from the series), SLO burn rates."""
+        hot = self.hot.stats()
+        counters = self.telemetry.counters
+        answered = sum(
+            counters.get(f"serve.tier.{tier}", 0)
+            for tier in ("hot", "cache", "coalesced", "executed")
+        )
+        served_without_engine = sum(
+            counters.get(f"serve.tier.{tier}", 0)
+            for tier in ("hot", "cache", "coalesced")
+        )
+        gauges = {
+            "serve.uptime.seconds": round(self.uptime_s, 3),
+            "serve.queue.depth": self._queue.qsize(),
+            "serve.queue.limit": self._queue.maxsize,
+            "serve.in.flight": self.flights.in_flight(),
+            "serve.hot.entries": hot["entries"],
+            "serve.hot.capacity": hot["capacity"],
+            "serve.sessions.warm": len(self._sessions),
+            "serve.window.seconds": self.window_s,
+            "serve.tier.hit.ratio": (
+                round(served_without_engine / answered, 6) if answered else 0.0
+            ),
+            # Smoothed over the last 3 windows so a scrape between
+            # bursts does not read 0.
+            "serve.qps": round(self.series.rate("serve.requests", k=3), 6),
+        }
+        p95 = self.series.percentile("serve.request.seconds", 95, k=3)
+        if p95 is not None:
+            gauges["serve.request.p95.seconds"] = round(p95, 6)
+        for status in list(self._slo_status):
+            slug = status.slo.name.replace("-", "_")
+            gauges[f"serve.slo.{slug}.burn.rate"] = round(status.burn_rate, 4)
+            gauges[f"serve.slo.{slug}.sli"] = round(status.sli, 6)
+        return gauges
+
+    # -- live metrics ticker ---------------------------------------------
+    def tick_metrics(self, now: float | None = None):
+        """One live-metrics step: snapshot → window delta → SLO
+        evaluation.  The ticker thread calls this every ``window_s``;
+        tests call it directly with pinned timestamps."""
+        state = self._safe_series_state()
+        window = self.series.tick_state(state, now)
+        if window is not None:
+            self._slo_status = self.slo_policy.evaluate_and_emit(
+                window, self.telemetry
+            )
+        return window
+
+    def _tick_loop(self) -> None:
+        while not self._ticker_stop.wait(self.window_s):
+            try:
+                self.tick_metrics()
+            except Exception:  # noqa: BLE001 - keep ticking
+                self._count("serve.tick_errors")
+
+    def _safe_series_state(self) -> dict:
+        for _ in range(8):
+            try:
+                return series_state(self.telemetry)
+            except RuntimeError:
+                continue
+        return {"counters": {}, "timers": {}, "histograms": {}}  # pragma: no cover
 
     def _safe_snapshot(self) -> dict:
         # The executor thread mutates counters while we copy them; a
@@ -481,6 +621,11 @@ class SimulationService:
         with self._metrics_lock:
             self.telemetry.increment(f"serve.tier.{tier}")
             self.telemetry.observe("serve.request.seconds", elapsed_ms / 1e3)
+            # Per-tier latency distribution: what the tier SLOs and the
+            # BENCH_serve hot/warm/cold percentiles are built from.
+            self.telemetry.observe(
+                f"serve.request.{tier}.seconds", elapsed_ms / 1e3
+            )
         self.telemetry.emit(
             "serve.request",
             fingerprint=fingerprint,

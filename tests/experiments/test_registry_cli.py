@@ -58,3 +58,75 @@ class TestCli:
         assert main(["--quick", "run", "fig7b"]) == 0
         out = capsys.readouterr().out
         assert "resonant bands" in out
+
+
+class TestMetricsPlaneCli:
+    def test_parser_accepts_new_observability_flags(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "serve", "--http-metrics", "0", "--metrics-window", "2.5",
+            "--slo", "slo.json",
+        ])
+        assert args.http_metrics == 0
+        assert args.metrics_window == 2.5
+        assert args.slo == "slo.json"
+        args = parser.parse_args([
+            "top", "--campaign", "dir", "--serve", ":4650", "--once",
+        ])
+        assert args.campaign == "dir"
+        assert args.once
+        args = parser.parse_args(["plan", "fig7a", "--workers", "8"])
+        assert args.workers == 8
+        args = parser.parse_args(["query", "--metrics-text"])
+        assert args.metrics_text
+
+    def test_top_needs_a_target(self, capsys):
+        assert main(["top", "--once"]) == 2
+        assert "--campaign and/or --serve" in capsys.readouterr().err
+
+    def test_top_once_renders_live_status(self, tmp_path, capsys):
+        import json
+
+        status = {
+            "ts": 0.0, "tick": 3, "phase": "folded", "total_runs": 6,
+            "counts": {"complete": 6, "failed": 0, "claimed": 0,
+                       "poisoned": 0},
+            "leases": {"live": 0, "by_worker": {}},
+            "observed_steals": 1, "completion_rate": None,
+            "workers": {}, "transitions": [],
+        }
+        (tmp_path / "live-status.json").write_text(json.dumps(status))
+        assert main(["top", "--campaign", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "phase=folded" in out
+        assert "6/6" in out
+        assert "steals observed=1" in out
+
+    def test_plan_workers_autodetected_from_live_status(
+        self, tmp_path, capsys
+    ):
+        """`plan --since <fleet dir>` scales the ETA by the campaign's
+        live (non-draining) worker census."""
+        import json
+
+        from repro.engine import CampaignManifest
+
+        CampaignManifest(tmp_path).mark_complete("run:x")
+        (tmp_path / "live-status.json").write_text(json.dumps({
+            "phase": "running",
+            "workers": {
+                "w0": {"state": "executing"},
+                "w1": {"state": "idle"},
+                "w2": {"state": "stopped"},
+            },
+        }))
+        baseline = tmp_path / "telemetry.json"
+        baseline.write_text(json.dumps({
+            "histograms": {"engine.run.seconds": {"count": 4, "mean": 2.0}}
+        }))
+        assert main([
+            "--quick", "plan", "fig7b", "--since", str(tmp_path),
+            "--telemetry", str(baseline),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "x 2 worker(s) [live fleet]" in out

@@ -1,0 +1,173 @@
+"""The fleet live plane: worker sidecars and in-flight aggregation."""
+
+from __future__ import annotations
+
+import json
+
+from repro.engine import CampaignManifest
+from repro.fleet import (
+    LIVE_SIDECAR_NAME,
+    LIVE_STATUS_NAME,
+    FleetLiveAggregator,
+    load_live_status,
+)
+from repro.obs import Telemetry
+
+from .test_worker import make_worker
+
+
+def _write_sidecar(campaign_dir, worker_id, state, *, summary=None,
+                   counters=None, ts=0.0, point=None, held=()):
+    record = {
+        "ts": ts,
+        "worker": worker_id,
+        "pid": 1234,
+        "host": "testhost",
+        "state": state,
+        "point": point,
+        "held": list(held),
+        "summary": {"worker": worker_id, "claimed": 0, "stolen": 0,
+                    "completed": 0, "failed": 0, "released": 0,
+                    "poisoned": 0, "serve_hits": 0, "lost_leases": 0,
+                    **(summary or {})},
+        "telemetry": {"counters": dict(counters or {}), "timers": {},
+                      "histograms": {}, "events": []},
+    }
+    workdir = campaign_dir / "workers" / worker_id
+    workdir.mkdir(parents=True, exist_ok=True)
+    (workdir / LIVE_SIDECAR_NAME).write_text(json.dumps(record))
+
+
+class _Sink:
+    def __init__(self):
+        self.records = []
+
+    def emit(self, event, **fields):
+        self.records.append({"event": event, **fields})
+
+
+class TestAggregator:
+    def test_transitions_detected_across_polls(self, tmp_path):
+        telemetry = Telemetry()
+        sink = _Sink()
+        telemetry.enable_tracing(events=sink)
+        agg = FleetLiveAggregator(tmp_path, telemetry=telemetry)
+
+        _write_sidecar(tmp_path, "w0", "claiming", ts=0.0)
+        status = agg.poll(now=1.0)
+        assert status["workers"]["w0"]["state"] == "claiming"
+        assert [(t["from"], t["to"]) for t in status["transitions"]] == [
+            (None, "claiming")
+        ]
+
+        _write_sidecar(tmp_path, "w0", "executing", ts=1.5,
+                       point="run:abc", held=["run:abc"])
+        status = agg.poll(now=2.0)
+        assert [(t["from"], t["to"]) for t in status["transitions"]] == [
+            (None, "claiming"), ("claiming", "executing")
+        ]
+        assert status["workers"]["w0"]["point"] == "run:abc"
+        assert status["workers"]["w0"]["held"] == 1
+        assert telemetry.counter("fleet.live.transitions") == 2
+        events = [r for r in sink.records if r["event"] == "fleet.transition"]
+        assert [e["to"] for e in events] == ["claiming", "executing"]
+
+        # A poll with no change adds no transition.
+        status = agg.poll(now=3.0)
+        assert len(status["transitions"]) == 2
+
+    def test_steals_observed_from_sidecars_and_manifest(self, tmp_path):
+        """Steals surface mid-campaign from *either* side: the thief's
+        sidecar summary, or the shared lease table (which survives the
+        thief dying before its next flush)."""
+        telemetry = Telemetry()
+        agg = FleetLiveAggregator(tmp_path, telemetry=telemetry)
+        _write_sidecar(tmp_path, "w1", "executing",
+                       summary={"stolen": 2})
+        status = agg.poll(now=1.0)
+        assert status["observed_steals"] == 2
+        assert telemetry.counter("fleet.live.observed_steals") == 2
+
+        # The manifest now records more steals than any sidecar.
+        manifest = CampaignManifest(tmp_path)
+        manifest._update("run:x", {"status": "complete", "steals": 3})
+        manifest._update("run:y", {"status": "complete", "steals": 1})
+        status = agg.poll(now=2.0)
+        assert status["observed_steals"] == 4
+        assert telemetry.counter("fleet.live.observed_steals") == 4
+
+    def test_status_file_counts_and_finalize(self, tmp_path):
+        manifest = CampaignManifest(tmp_path)
+        manifest._update("run:a", {"status": "complete"})
+        manifest._update("run:b", {"status": "failed"})
+        manifest._update("run:c", {"status": "poisoned"})
+        agg = FleetLiveAggregator(tmp_path, total_runs=4,
+                                  telemetry=Telemetry())
+        status = agg.poll(now=5.0)
+        assert status["phase"] == "running"
+        assert status["counts"] == {"complete": 1, "failed": 1,
+                                    "claimed": 0, "poisoned": 1}
+        assert status["total_runs"] == 4
+        # The file on disk is the same dict `top` will read.
+        assert load_live_status(tmp_path) == status
+
+        final = agg.finalize({"executed": 4})
+        assert final["phase"] == "folded"
+        assert final["report"] == {"executed": 4}
+        assert load_live_status(tmp_path)["phase"] == "folded"
+
+    def test_completion_rate_from_summed_worker_counters(self, tmp_path):
+        agg = FleetLiveAggregator(tmp_path, telemetry=Telemetry())
+        _write_sidecar(tmp_path, "w0", "executing",
+                       counters={"fleet.completed": 0})
+        assert agg.poll(now=0.0)["completion_rate"] is None  # baseline
+        _write_sidecar(tmp_path, "w0", "executing",
+                       counters={"fleet.completed": 10})
+        status = agg.poll(now=4.0)
+        assert status["completion_rate"] == 2.5
+
+    def test_unreadable_sidecar_skipped(self, tmp_path):
+        workdir = tmp_path / "workers" / "w9"
+        workdir.mkdir(parents=True)
+        (workdir / LIVE_SIDECAR_NAME).write_text("{torn")
+        status = FleetLiveAggregator(
+            tmp_path, telemetry=Telemetry()
+        ).poll(now=1.0)
+        assert status["workers"] == {}
+
+    def test_load_live_status_missing_is_none(self, tmp_path):
+        assert load_live_status(tmp_path) is None
+        (tmp_path / LIVE_STATUS_NAME).write_text("[1,2]")
+        assert load_live_status(tmp_path) is None
+
+
+class TestWorkerSidecar:
+    def test_worker_flushes_live_sidecar_through_its_run(
+        self, campaign, tiny_context, tmp_path
+    ):
+        live_path = tmp_path / "workers" / "w0" / LIVE_SIDECAR_NAME
+        live_path.parent.mkdir(parents=True)
+        private = CampaignManifest(tmp_path / "w0-manifest.json")
+        worker = make_worker(
+            campaign, tiny_context.chip, tmp_path,
+            private_manifest=private,
+            live_path=live_path,
+            flush_s=0.05,
+        )
+        summary = worker.run()
+        record = json.loads(live_path.read_text())
+        # The final flush happens after the summary is complete.
+        assert record["worker"] == "w0"
+        assert record["state"] == "stopped"
+        assert record["summary"]["completed"] == summary["completed"]
+        assert record["held"] == []
+        assert record["point"] is None
+        counters = record["telemetry"]["counters"]
+        assert counters["fleet.completed"] == campaign.total_unique
+
+        # The aggregator folds the real sidecar without adaptation.
+        agg = FleetLiveAggregator(tmp_path, telemetry=Telemetry(),
+                                  total_runs=campaign.total_unique)
+        status = agg.poll()
+        assert status["workers"]["w0"]["completed"] == summary["completed"]
+        assert status["counts"]["complete"] == campaign.total_unique

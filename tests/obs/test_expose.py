@@ -1,0 +1,137 @@
+"""Prometheus text exposition: rendering, parsing, label hygiene."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    BUCKET_BOUNDS,
+    Telemetry,
+    parse_prometheus_text,
+    prometheus_text,
+)
+from repro.obs.expose import sanitize_metric_name
+
+
+def test_sanitize_maps_dotted_names_onto_prometheus_alphabet():
+    assert (sanitize_metric_name("serve.request.seconds")
+            == "repro_serve_request_seconds")
+    assert sanitize_metric_name("a-b c", prefix="x") == "x_a_b_c"
+    with pytest.raises(ValueError):
+        sanitize_metric_name("...", prefix="")
+
+
+def test_counters_render_as_total_and_round_trip():
+    telemetry = Telemetry()
+    telemetry.increment("serve.requests", 7)
+    text = prometheus_text(telemetry.snapshot())
+    assert "# TYPE repro_serve_requests_total counter" in text
+    samples = parse_prometheus_text(text)
+    assert samples["repro_serve_requests_total"][frozenset()] == 7
+
+
+def test_timers_render_as_seconds_total():
+    telemetry = Telemetry()
+    telemetry.observe_seconds("engine.solver", 1.25)
+    samples = parse_prometheus_text(prometheus_text(telemetry.snapshot()))
+    assert samples["repro_engine_solver_seconds_total"][frozenset()] == (
+        pytest.approx(1.25)
+    )
+
+
+def test_histogram_renders_cumulative_le_buckets():
+    telemetry = Telemetry()
+    for value in (0.001, 0.001, 0.5):
+        telemetry.observe("lat", value)
+    text = prometheus_text(telemetry.snapshot())
+    samples = parse_prometheus_text(text)
+    buckets = samples["repro_lat_bucket"]
+    # Cumulative in le: every finite bound count <= the +Inf count.
+    inf_count = buckets[frozenset({("le", "+Inf")})]
+    assert inf_count == 3
+    finite = [
+        (dict(labels)["le"], count)
+        for labels, count in buckets.items()
+        if dict(labels)["le"] != "+Inf"
+    ]
+    by_bound = sorted(finite, key=lambda item: float(item[0]))
+    counts = [count for _, count in by_bound]
+    assert counts == sorted(counts)  # monotone non-decreasing
+    assert counts[-1] == 3
+    assert len(by_bound) == len(BUCKET_BOUNDS)
+    assert samples["repro_lat_count"][frozenset()] == 3
+    assert samples["repro_lat_sum"][frozenset()] == pytest.approx(0.502)
+
+
+def test_labels_render_escaped_and_parse_back():
+    telemetry = Telemetry()
+    telemetry.increment("x")
+    tricky = 'chip "a"\\b\nend'
+    text = prometheus_text(telemetry.snapshot(), labels={"chip": tricky})
+    samples = parse_prometheus_text(text)
+    (labels,) = samples["repro_x_total"]
+    assert dict(labels)["chip"] == tricky
+
+
+def test_gauges_render_and_none_skipped():
+    text = prometheus_text(
+        {"counters": {}, "timers": {}, "histograms": {}},
+        gauges={"serve.qps": 12.5, "serve.p95": None},
+    )
+    samples = parse_prometheus_text(text)
+    assert samples["repro_serve_qps"][frozenset()] == 12.5
+    assert "repro_serve_p95" not in samples
+    assert "# TYPE repro_serve_qps gauge" in text
+
+
+def test_invalid_label_name_rejected_at_render_time():
+    with pytest.raises(ValueError):
+        prometheus_text(
+            {"counters": {"x": 1}, "timers": {}, "histograms": {}},
+            labels={"bad-label": "v"},
+        )
+
+
+@pytest.mark.parametrize("line", [
+    "no spaces or value",
+    'metric{unclosed="v" 1',
+    'metric{k=unquoted} 1',
+    "metric notanumber",
+    "0leading_digit 1",
+])
+def test_parser_rejects_malformed_lines(line):
+    with pytest.raises(ValueError):
+        parse_prometheus_text(line + "\n")
+
+
+def test_parser_ignores_comments_and_blanks():
+    text = "# HELP x y\n\n# TYPE x counter\nx 1\n"
+    assert parse_prometheus_text(text) == {"x": {frozenset(): 1.0}}
+
+
+def test_full_telemetry_exposition_is_hygienic():
+    """Every metric a busy Telemetry produces must pass the strict
+    parser — the exact property the CI metrics-smoke job scrapes for."""
+    telemetry = Telemetry()
+    telemetry.increment("serve.requests", 3)
+    telemetry.increment("serve.tier.hot")
+    telemetry.observe_seconds("engine.solver", 0.2)
+    for value in (0.001, 0.05, 2.0):
+        telemetry.observe("serve.request.seconds", value)
+    text = prometheus_text(
+        telemetry.snapshot(),
+        labels={"chip": "abc123"},
+        gauges={"serve.queue.depth": 0, "serve.tier.hit.ratio": 0.75},
+    )
+    samples = parse_prometheus_text(text)
+    for name in (
+        "repro_serve_requests_total",
+        "repro_serve_request_seconds_bucket",
+        "repro_serve_request_seconds_count",
+        "repro_serve_tier_hit_ratio",
+    ):
+        assert name in samples
+    # The shared label set reaches every sample.
+    for name, by_labels in samples.items():
+        for labels in by_labels:
+            assert dict(labels).get("chip") == "abc123", name

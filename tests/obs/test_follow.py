@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import json
+import threading
 
-from repro.obs import follow_profile
+from repro.obs import EventLog, follow_profile
 
 
 def _record(event: str, **fields) -> str:
@@ -95,6 +96,44 @@ def test_stops_on_campaign_completed(tmp_path):
     profiles = list(follow_profile(path, interval=0.0, sleep=lambda _: None))
     assert len(profiles) == 1
     assert profiles[0].events[-1]["event"] == "campaign.completed"
+
+
+def test_concurrent_eventlog_writer_never_tears_a_record(tmp_path):
+    """A real EventLog writer racing a real --follow reader: every
+    record the reader ever surfaces must be complete and in order —
+    the torn-tail buffering and the log's per-record flush together
+    guarantee it."""
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+    total = 200
+    started = threading.Event()
+
+    def write():
+        started.set()
+        for index in range(total):
+            log.emit("run.completed", run=f"r{index}", dur_s=0.01,
+                     attempts=1, seq=index)
+        log.emit("campaign.completed", status=0)
+        log.close()
+
+    writer = threading.Thread(target=write)
+    writer.start()
+    started.wait(5.0)
+    # Real polling loop: terminates via the campaign.completed record.
+    profiles = list(follow_profile(path, interval=0.001))
+    writer.join(timeout=10.0)
+    assert not writer.is_alive()
+
+    for profile in profiles:
+        # Any intermediate view is a clean prefix: fully-parsed records
+        # with every field intact (a torn tail would have dropped keys
+        # or raised in json parsing and been skipped → gaps).
+        seqs = [e["seq"] for e in profile.events
+                if e["event"] == "run.completed"]
+        assert seqs == list(range(len(seqs)))
+    final = profiles[-1].events
+    assert final[-1]["event"] == "campaign.completed"
+    assert sum(e["event"] == "run.completed" for e in final) == total
 
 
 def test_malformed_interior_line_skipped(tmp_path):

@@ -1,0 +1,162 @@
+"""Declarative SLOs: validation, burn-rate evaluation, emission."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SLO,
+    SloPolicy,
+    Telemetry,
+    TelemetrySeries,
+    default_serve_slos,
+)
+
+
+def _latency_slo(threshold_s=0.01, budget=0.1, name="lat"):
+    return SLO(name=name, kind="latency", budget=budget,
+               histogram="lat", threshold_s=threshold_s)
+
+
+def _window(observations=(), counters=None, duration=5.0):
+    """A SeriesWindow built the way production builds them: two ticks
+    of a real Telemetry."""
+    telemetry = Telemetry()
+    series = TelemetrySeries(telemetry)
+    series.tick(now=0.0)
+    for value in observations:
+        telemetry.observe("lat", value)
+    for name, count in (counters or {}).items():
+        telemetry.increment(name, count)
+    return series.tick(now=duration)
+
+
+# -- validation -----------------------------------------------------------
+def test_slo_rejects_bad_kind_budget_and_missing_fields():
+    with pytest.raises(ValueError):
+        SLO(name="x", kind="availability", budget=0.1)
+    with pytest.raises(ValueError):
+        SLO(name="x", kind="latency", budget=0.0,
+            histogram="h", threshold_s=1.0)
+    with pytest.raises(ValueError):
+        SLO(name="x", kind="latency", budget=0.1)  # no histogram
+    with pytest.raises(ValueError):
+        SLO(name="x", kind="error_rate", budget=0.1)  # no numerator
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown fields"):
+        SLO.from_dict({"name": "x", "kind": "latency", "budget": 0.1,
+                       "histogram": "h", "threshold_s": 1.0,
+                       "serverity": "high"})
+
+
+def test_policy_rejects_duplicate_names():
+    with pytest.raises(ValueError, match="duplicate"):
+        SloPolicy([_latency_slo(), _latency_slo()])
+
+
+# -- evaluation -----------------------------------------------------------
+def test_latency_slo_within_budget():
+    window = _window([0.001] * 99 + [1.0])  # 1% slow vs 10% budget
+    status = _latency_slo(budget=0.1).evaluate(window)
+    assert status.events == 100
+    assert status.sli == pytest.approx(0.01)
+    assert status.burn_rate == pytest.approx(0.1)
+    assert not status.violated
+
+
+def test_latency_slo_burns_and_violates():
+    window = _window([0.001] * 50 + [1.0] * 50)  # 50% slow vs 10% budget
+    status = _latency_slo(budget=0.1).evaluate(window)
+    assert status.burn_rate == pytest.approx(5.0)
+    assert status.violated
+
+
+def test_empty_window_never_violates():
+    window = _window([])  # no observations at all
+    status = _latency_slo().evaluate(window)
+    assert status.events == 0
+    assert status.sli == 0.0
+    assert not status.violated
+
+
+def test_error_rate_slo():
+    window = _window(counters={"fail": 3, "ok": 97, "total": 100})
+    slo = SLO(name="errors", kind="error_rate", budget=0.01,
+              numerator="fail", denominator=("total",))
+    status = slo.evaluate(window)
+    assert status.sli == pytest.approx(0.03)
+    assert status.burn_rate == pytest.approx(3.0)
+    assert status.violated
+    assert status.events == 100
+
+
+def test_status_to_dict_is_json_friendly():
+    status = _latency_slo().evaluate(_window([1.0]))
+    record = status.to_dict()
+    json.dumps(record)
+    assert record["slo"] == "lat"
+    assert record["violated"] is True
+    assert record["kind"] == "latency"
+
+
+# -- policy ---------------------------------------------------------------
+def test_policy_from_spec_and_file_round_trip(tmp_path):
+    spec = {"slos": [
+        {"name": "lat", "kind": "latency", "budget": 0.05,
+         "histogram": "serve.request.seconds", "threshold_s": 0.25},
+        {"name": "err", "kind": "error_rate", "budget": 0.01,
+         "numerator": "serve.failures",
+         "denominator": ["serve.requests"]},
+    ]}
+    path = tmp_path / "slo.json"
+    path.write_text(json.dumps(spec))
+    policy = SloPolicy.from_file(path)
+    assert len(policy) == 2
+    assert [slo.to_dict() for slo in policy] == [
+        SLO.from_dict(entry).to_dict() for entry in spec["slos"]
+    ]
+
+
+def test_policy_evaluate_none_window_is_empty():
+    assert SloPolicy([_latency_slo()]).evaluate(None) == []
+
+
+class _Sink:
+    """Minimal event sink (the EventLog seam `Telemetry.emit` writes to)."""
+
+    def __init__(self):
+        self.records = []
+
+    def emit(self, event, **fields):
+        self.records.append({"event": event, **fields})
+
+
+def test_evaluate_and_emit_accounts_violations():
+    telemetry = Telemetry()
+    sink = _Sink()
+    telemetry.enable_tracing(events=sink)
+    policy = SloPolicy([_latency_slo(budget=0.01, name="tight"),
+                        _latency_slo(budget=1.0, name="loose")])
+    window = _window([1.0] * 10)  # everything slow
+    statuses = policy.evaluate_and_emit(window, telemetry)
+    assert [s.violated for s in statuses] == [True, False]
+    assert telemetry.counters["slo.evaluations"] == 1
+    assert telemetry.counters["slo.violations"] == 1
+    assert telemetry.counters["slo.violations.tight"] == 1
+    violations = [r for r in sink.records if r["event"] == "slo.violation"]
+    assert len(violations) == 1
+    assert violations[0]["slo"] == "tight"
+
+
+def test_default_serve_slos_cover_tiers_and_errors():
+    policy = default_serve_slos()
+    names = [slo.name for slo in policy]
+    assert "hot-latency" in names
+    assert "error-rate" in names
+    # All default objectives are valid by construction and evaluable.
+    window = _window([])
+    assert len(policy.evaluate(window)) == len(policy)

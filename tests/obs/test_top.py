@@ -1,0 +1,114 @@
+"""`repro-noise top` frame rendering (pure, no terminal)."""
+
+from __future__ import annotations
+
+from repro.obs.top import render_top
+
+
+def _fleet_status(**overrides) -> dict:
+    status = {
+        "ts": 100.0,
+        "tick": 7,
+        "phase": "running",
+        "total_runs": 50,
+        "counts": {"complete": 25, "failed": 1, "claimed": 4,
+                   "poisoned": 0},
+        "leases": {"live": 4, "by_worker": {"w0": 2, "w1": 2}},
+        "observed_steals": 3,
+        "completion_rate": 2.5,
+        "workers": {
+            "w0": {"state": "executing", "held": 2, "completed": 12,
+                   "stolen": 3, "failed": 0,
+                   "point": "run:" + "f" * 40},
+            "w1": {"state": "idle", "held": 2, "completed": 13,
+                   "stolen": 0, "failed": 1, "point": None},
+        },
+        "transitions": [
+            {"ts": 99.0, "worker": "w0", "from": None, "to": "starting"},
+            {"ts": 99.5, "worker": "w0", "from": "starting",
+             "to": "executing"},
+        ],
+    }
+    status.update(overrides)
+    return status
+
+
+def _serve_reply() -> dict:
+    return {
+        "ok": True,
+        "uptime_s": 30.0,
+        "window_s": 5.0,
+        "windows": 6,
+        "hot": {"entries": 3, "capacity": 256},
+        "metrics": {"counters": {
+            "serve.requests": 10, "serve.tier.hot": 6,
+            "serve.tier.executed": 4, "slo.violations": 2,
+        }},
+        "percentiles": {
+            "serve.request.seconds":
+                {"count": 10, "p50": 0.002, "p95": 0.5, "p99": 0.5},
+            "serve.request.hot.seconds":
+                {"count": 6, "p50": 0.001, "p95": 0.001, "p99": 0.001},
+        },
+        "slo": [
+            {"slo": "hot-latency", "burn_rate": 0.2, "sli": 0.01,
+             "events": 6, "violated": False},
+            {"slo": "error-rate", "burn_rate": 4.0, "sli": 0.04,
+             "events": 10, "violated": True},
+        ],
+    }
+
+
+def test_empty_frame_points_at_flags():
+    frame = render_top()
+    assert "nothing to watch" in frame
+
+
+def test_fleet_frame_shows_progress_steals_and_workers():
+    frame = render_top(fleet_status=_fleet_status(), now=100.0)
+    assert "phase=running" in frame
+    assert "25/50" in frame
+    assert "(50%)" in frame
+    assert "steals observed=3" in frame
+    assert "2.50 runs/s" in frame
+    # Executing workers sort above idle ones.
+    assert frame.index("w0") < frame.index("w1")
+    assert "starting → executing" in frame
+    # Long point ids are truncated, not wrapped.
+    assert "f" * 40 not in frame
+
+
+def test_fleet_frame_marks_stale_status():
+    frame = render_top(fleet_status=_fleet_status(ts=90.0), now=100.0)
+    assert "10.0s ago" in frame
+
+
+def test_serve_frame_shows_tiers_percentiles_and_slo_burn():
+    frame = render_top(serve_metrics=_serve_reply())
+    assert "10 requests" in frame
+    assert "hot=6" in frame
+    assert "executed=4" in frame
+    assert "hot-lru 3/256" in frame
+    # Sub-second latencies render in ms.
+    assert "2.0ms" in frame
+    assert "500.0ms" in frame
+    assert "VIOLATED" in frame
+    assert "slo violations since start: 2" in frame
+
+
+def test_combined_frame_holds_both_sections_and_errors():
+    frame = render_top(
+        fleet_status=_fleet_status(),
+        serve_metrics=_serve_reply(),
+        now=100.0,
+        errors=["serve :4650: connection refused"],
+    )
+    assert "fleet · phase=running" in frame
+    assert "serve · up 30s" in frame
+    assert "! serve :4650: connection refused" in frame
+
+
+def test_folded_phase_renders():
+    frame = render_top(fleet_status=_fleet_status(phase="folded"),
+                       now=100.0)
+    assert "phase=folded" in frame

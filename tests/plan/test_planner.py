@@ -77,6 +77,16 @@ class TestCompileAndDedup:
         assert campaign.estimate_seconds(3.0) == pytest.approx(6.0)
         assert campaign.estimate_seconds(3.0, jobs=4) == pytest.approx(1.5)
 
+    def test_estimate_seconds_scales_by_fleet_size(self):
+        campaign = CampaignPlan.compile([_plan("fig7a", [1, 2])])
+        assert campaign.estimate_seconds(3.0, workers=2) == pytest.approx(3.0)
+        # Fleet workers and per-worker jobs compose multiplicatively.
+        assert campaign.estimate_seconds(
+            3.0, jobs=2, workers=3
+        ) == pytest.approx(1.0)
+        # Degenerate sizes clamp to serial rather than dividing by zero.
+        assert campaign.estimate_seconds(3.0, workers=0) == pytest.approx(6.0)
+
 
 class TestSharding:
     def _campaign(self) -> CampaignPlan:
