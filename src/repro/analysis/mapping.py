@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 from ..engine import SimulationSession
 from ..errors import ExperimentError
-from ..machine.chip import N_CORES, Chip
+from ..machine.chip import Chip
 from ..machine.runner import RunOptions
 from ..machine.workload import CurrentProgram
 from ..plan.spec import RunPlan
@@ -75,18 +75,21 @@ def _compile_placements(
     idle_current: float | None,
 ):
     """The exact (mappings, tags, placements) enumeration of the
-    C(6, k) placement study — shared by the plan compiler and the
+    C(n, k) placement study — shared by the plan compiler and the
     executor."""
-    if not 0 <= n_workloads <= N_CORES:
-        raise ExperimentError(f"cannot place {n_workloads} workloads on {N_CORES} cores")
+    n_cores = chip.n_cores
+    if not 0 <= n_workloads <= n_cores:
+        raise ExperimentError(
+            f"cannot place {n_workloads} workloads on {n_cores} cores"
+        )
     if idle_current is None:
         idle_current = chip.config.core.static_power_w / chip.vnom
     from ..machine.workload import idle_program
 
     idle = idle_program(idle_current)
-    placements = list(itertools.combinations(range(N_CORES), n_workloads))
+    placements = list(itertools.combinations(range(n_cores), n_workloads))
     mappings = [
-        [program if i in cores else idle for i in range(N_CORES)]
+        [program if i in cores else idle for i in range(n_cores)]
         for cores in placements
     ]
     tags: list[object] = [("mapping", cores) for cores in placements]

@@ -17,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ExperimentError
-from ..machine.chip import N_CORES, Chip
+from ..machine.chip import Chip
 
 __all__ = ["PropagationTrace", "propagation_traces"]
 
@@ -47,14 +47,14 @@ def propagation_traces(
     samples: int = 3000,
 ) -> PropagationTrace:
     """Inject a ΔI step at *source_core* and record every core."""
-    if not 0 <= source_core < N_CORES:
+    if not 0 <= source_core < chip.n_cores:
         raise ExperimentError(f"no core {source_core}")
     if delta_i <= 0 or horizon <= 0:
         raise ExperimentError("delta_i and horizon must be positive")
     times = np.linspace(0.0, horizon, samples)
     port = chip.core_ports[source_core]
     responses = chip.modal.step_response(port, chip.core_nodes, times)
-    volts = [delta_i * responses[i] for i in range(N_CORES)]
+    volts = [delta_i * responses[i] for i in range(chip.n_cores)]
 
     peaks = [float(-wave.min()) for wave in volts]
     times_to_10pct: list[float] = []

@@ -31,7 +31,7 @@ from ..core.sync import offset_assignments, spread_offsets
 from ..engine import SimulationSession
 from ..engine.resilience import RetryPolicy, RunFailure
 from ..errors import ExperimentError
-from ..machine.chip import N_CORES, Chip
+from ..machine.chip import Chip
 from ..machine.runner import RunOptions
 from ..machine.workload import CurrentProgram, idle_program
 from ..plan.spec import RunPlan
@@ -100,6 +100,7 @@ def _compile_fsweep(
     frequencies: list[float],
     synchronize: bool,
     n_events: int,
+    n_cores: int,
 ):
     """The exact (mappings, tags, marks) enumeration of the frequency
     sweep — shared by the plan compiler and the executor."""
@@ -109,7 +110,7 @@ def _compile_fsweep(
         )
         for freq in frequencies
     ]
-    mappings = [[mark.current_program()] * N_CORES for mark in marks]
+    mappings = [[mark.current_program()] * n_cores for mark in marks]
     tags: list[object] = [
         ("fsweep", synchronize, freq) for freq in frequencies
     ]
@@ -128,7 +129,7 @@ def plan_stimulus_frequency(
     """The declarative form of :func:`sweep_stimulus_frequency`: the
     runs the sweep *would* execute, without executing anything."""
     mappings, tags, _ = _compile_fsweep(
-        generator, frequencies, synchronize, n_events
+        generator, frequencies, synchronize, n_events, chip.n_cores
     )
     return RunPlan.from_batch(
         chip, mappings, tags, options or RunOptions(), figure
@@ -159,7 +160,7 @@ def sweep_stimulus_frequency(
         chip, options, retry=retry, on_failure=on_failure or "raise"
     )
     mappings, tags, marks = _compile_fsweep(
-        generator, frequencies, synchronize, n_events
+        generator, frequencies, synchronize, n_events, chip.n_cores
     )
     results = session.run_many(mappings, tags)
     kept = _drop_failed_points(results, tags, "fsweep", session)
@@ -179,6 +180,7 @@ def _compile_missweep(
     freq_hz: float,
     assignments_sample: int,
     n_events: int,
+    n_cores: int,
 ):
     """The exact (mappings, tags, batches) enumeration of the
     misalignment sweep — shared by the plan compiler and the executor.
@@ -187,7 +189,7 @@ def _compile_missweep(
     tags: list[object] = []
     batches: list[tuple[float, int]] = []  # (misalignment, n_assignments)
     for max_mis in max_misalignments:
-        offsets = spread_offsets(N_CORES, max_mis)
+        offsets = spread_offsets(n_cores, max_mis)
         marks = {
             offset: generator.max_didt(
                 freq_hz=freq_hz,
@@ -220,7 +222,8 @@ def plan_misalignment(
 ) -> RunPlan:
     """The declarative form of :func:`sweep_misalignment`."""
     mappings, tags, _ = _compile_missweep(
-        generator, max_misalignments, freq_hz, assignments_sample, n_events
+        generator, max_misalignments, freq_hz, assignments_sample, n_events,
+        chip.n_cores,
     )
     return RunPlan.from_batch(
         chip, mappings, tags, options or RunOptions(), figure
@@ -254,14 +257,15 @@ def sweep_misalignment(
         chip, options, retry=retry, on_failure=on_failure or "raise"
     )
     mappings, tags, batches = _compile_missweep(
-        generator, max_misalignments, freq_hz, assignments_sample, n_events
+        generator, max_misalignments, freq_hz, assignments_sample, n_events,
+        chip.n_cores,
     )
     run_results = session.run_many(mappings, tags)
     kept = set(_drop_failed_points(run_results, tags, "missweep", session))
     results: dict[float, list[float]] = {}
     cursor = 0
     for max_mis, count in batches:
-        accumulator = np.zeros(N_CORES)
+        accumulator = np.zeros(chip.n_cores)
         solved = 0
         for index in range(cursor, cursor + count):
             if index in kept:
@@ -296,14 +300,15 @@ class DeltaIMappingPoint:
 
 
 def _distinct_placements(
-    n_max: int, n_med: int, cap: int, seed: int
+    n_max: int, n_med: int, cap: int, seed: int, n_cores: int
 ) -> list[tuple[str, ...]]:
     """Distinct workload placements of a (max, medium) distribution on
-    the six cores; capped by a deterministic sample when there are many."""
+    the chip's cores; capped by a deterministic sample when there are
+    many."""
     import itertools
 
     base = ["max"] * n_max + ["medium"] * n_med + ["idle"] * (
-        N_CORES - n_max - n_med
+        n_cores - n_max - n_med
     )
     distinct = sorted(set(itertools.permutations(base)))
     if len(distinct) <= cap:
@@ -318,6 +323,7 @@ def _compile_disweep(
     freq_hz: float,
     workload_filter: Callable[[tuple[int, int]], bool] | None,
     placements_per_distribution: int,
+    n_cores: int,
 ):
     """The exact (mappings, tags, planned, full_delta) enumeration of
     the ΔI mapping dataset — shared by the plan compiler and the
@@ -330,16 +336,17 @@ def _compile_disweep(
     ).current_program()
     idle = idle_program(generator.target.idle_current)
     by_level = {"max": max_prog, "medium": med_prog, "idle": idle}
-    full_delta = N_CORES * max_prog.delta_i
+    full_delta = n_cores * max_prog.delta_i
 
     planned: list[tuple[tuple[str, ...], tuple[int, int], float]] = []
-    for n_max in range(0, N_CORES + 1):
-        for n_med in range(0, N_CORES + 1 - n_max):
+    for n_max in range(0, n_cores + 1):
+        for n_med in range(0, n_cores + 1 - n_max):
             distribution = (n_max, n_med)
             if workload_filter is not None and not workload_filter(distribution):
                 continue
             placements = _distinct_placements(
-                n_max, n_med, placements_per_distribution, generator.seed
+                n_max, n_med, placements_per_distribution, generator.seed,
+                n_cores,
             )
             delta = n_max * max_prog.delta_i + n_med * med_prog.delta_i
             for placement in placements:
@@ -364,7 +371,8 @@ def plan_delta_i_mappings(
 ) -> RunPlan:
     """The declarative form of :func:`sweep_delta_i_mappings`."""
     mappings, tags, _, _ = _compile_disweep(
-        generator, freq_hz, workload_filter, placements_per_distribution
+        generator, freq_hz, workload_filter, placements_per_distribution,
+        chip.n_cores,
     )
     return RunPlan.from_batch(
         chip, mappings, tags, options or RunOptions(), figure
@@ -400,7 +408,8 @@ def sweep_delta_i_mappings(
         chip, options, retry=retry, on_failure=on_failure or "raise"
     )
     mappings, tags, planned, full_delta = _compile_disweep(
-        generator, freq_hz, workload_filter, placements_per_distribution
+        generator, freq_hz, workload_filter, placements_per_distribution,
+        chip.n_cores,
     )
     results = session.run_many(mappings, tags)
     kept = _drop_failed_points(results, tags, "disweep", session)

@@ -1,0 +1,48 @@
+"""repro.chips — declarative chip specs and named chip families.
+
+The family layer turns chip identity from an ambient global (the one
+:func:`~repro.machine.chip.reference_chip`) into an explicit, validated
+parameter: a :class:`ChipSpec` compiles to a full
+:class:`~repro.machine.chip.ChipConfig` and fingerprints through the
+same content address the planner, engine cache and serving layer
+already share, and a :class:`ChipFamily` expands a named sweep
+(``cores``, ``decap``, ``nodes`` …) into fingerprinted member specs.
+
+The default spec compiles byte-identically to the pre-family default
+chip — no existing cache key, plan fingerprint or wire fingerprint
+moves (see :mod:`repro.chips.spec` for the guarantee and ``tests/
+chips`` for the pinned regression digest).
+"""
+
+from .family import (
+    FAMILIES,
+    ChipFamily,
+    build_chip,
+    get_family,
+    list_families,
+)
+from .scaling import (
+    REFERENCE_NODE,
+    SCALING_MODELS,
+    TECH_NODES,
+    energy_factor,
+    freq_factor,
+    vdd_factor,
+)
+from .spec import ChipSpec, reference_spec
+
+__all__ = [
+    "ChipSpec",
+    "reference_spec",
+    "ChipFamily",
+    "FAMILIES",
+    "get_family",
+    "list_families",
+    "build_chip",
+    "REFERENCE_NODE",
+    "TECH_NODES",
+    "SCALING_MODELS",
+    "vdd_factor",
+    "freq_factor",
+    "energy_factor",
+]

@@ -1,0 +1,207 @@
+"""Named chip families: declarative sweeps over :class:`ChipSpec` axes.
+
+A :class:`ChipFamily` is a base spec plus one or more *axes* — spec
+fields with the value list each member takes.  Expansion is the
+cartesian product in declared axis order, each member named
+deterministically (``family/cores4-decap0.5``), so a family member can
+be addressed stably from the CLI, a campaign manifest or a serving
+roster.
+
+Builtin families cover the sweeps the figures ask for: the core-count
+sweep behind the resonance-shift discussion (Figure 7: more cores →
+more switched capacitance → lower resonant frequency), the decap-budget
+ablation, the tech-node projection, and a three-member ``quick`` family
+small enough for CI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field as dataclass_field
+from functools import lru_cache
+from itertools import product
+
+from ..errors import ConfigError
+from ..machine.chip import Chip
+from .spec import ChipSpec
+
+__all__ = [
+    "ChipFamily",
+    "FAMILIES",
+    "get_family",
+    "list_families",
+    "build_chip",
+]
+
+#: Spec fields a family may sweep.  ``name`` is derived, ``chip_id``
+#: names an instance rather than a design — sweeping either would make
+#: member naming ambiguous.
+_SWEEPABLE = frozenset(
+    f.name for f in dataclasses.fields(ChipSpec)
+) - {"name"}
+
+
+def _axis_label(field: str, value: object) -> str:
+    """Compact member-name fragment for one axis value."""
+    short = {
+        "n_cores": "cores",
+        "decap_scale": "decap",
+        "package_l_scale": "pkgl",
+        "package_r_scale": "pkgr",
+        "tech_node": "node",
+        "scaling_model": "",
+        "seed": "seed",
+        "chip_id": "chip",
+    }.get(field, field)
+    if isinstance(value, float):
+        return f"{short}{value:g}"
+    return f"{short}{value}"
+
+
+@dataclass(frozen=True)
+class ChipFamily:
+    """One named sweep over chip-spec axes.
+
+    Attributes
+    ----------
+    name:
+        The family's registry name (also the member-name prefix).
+    description:
+        One line for ``repro-noise family list``.
+    axes:
+        ``((field, (value, ...)), ...)`` — expansion is the cartesian
+        product in this order.
+    base:
+        The spec every member starts from; axes override its fields.
+    """
+
+    name: str
+    description: str
+    axes: tuple[tuple[str, tuple], ...]
+    base: ChipSpec = dataclass_field(default_factory=ChipSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("chip family needs a name")
+        if not self.axes:
+            raise ConfigError("chip family needs at least one axis")
+        seen: set[str] = set()
+        for axis_field, values in self.axes:
+            if axis_field not in _SWEEPABLE:
+                raise ConfigError(
+                    f"family {self.name!r}: cannot sweep {axis_field!r}; "
+                    f"sweepable fields are {sorted(_SWEEPABLE)}"
+                )
+            if axis_field in seen:
+                raise ConfigError(
+                    f"family {self.name!r}: duplicate axis {axis_field!r}"
+                )
+            seen.add(axis_field)
+            if not values:
+                raise ConfigError(
+                    f"family {self.name!r}: axis {axis_field!r} has no values"
+                )
+            if len(set(values)) != len(values):
+                raise ConfigError(
+                    f"family {self.name!r}: axis {axis_field!r} repeats values"
+                )
+
+    def members(self) -> tuple[ChipSpec, ...]:
+        """All member specs, in cartesian-product order."""
+        fields = [axis_field for axis_field, _ in self.axes]
+        out = []
+        for combo in product(*(values for _, values in self.axes)):
+            overrides = dict(zip(fields, combo))
+            label = "-".join(
+                _axis_label(axis_field, value)
+                for axis_field, value in overrides.items()
+            )
+            out.append(
+                dataclasses.replace(
+                    self.base, name=f"{self.name}/{label}", **overrides
+                )
+            )
+        return tuple(out)
+
+    def member(self, name: str) -> ChipSpec:
+        """The member a full or label-only name addresses."""
+        for spec in self.members():
+            if spec.name == name or spec.name.split("/", 1)[1] == name:
+                return spec
+        raise ConfigError(
+            f"family {self.name!r} has no member {name!r}; members are "
+            f"{[spec.name for spec in self.members()]}"
+        )
+
+    def __len__(self) -> int:
+        size = 1
+        for _, values in self.axes:
+            size *= len(values)
+        return size
+
+
+#: Builtin families.  ``quick`` is the CI family: three members around
+#: the reference core count, one of which (cores6) *is* the reference
+#: chip — the neutrality canary.
+FAMILIES: dict[str, ChipFamily] = {
+    family.name: family
+    for family in (
+        ChipFamily(
+            name="quick",
+            description="3-member CI family: 4/6/8 cores around the "
+                        "reference part (cores6 is the reference chip)",
+            axes=(("n_cores", (4, 6, 8)),),
+        ),
+        ChipFamily(
+            name="cores",
+            description="core-count sweep 4..16: resonance shift and "
+                        "guard-band growth with switched capacitance",
+            axes=(("n_cores", (4, 6, 8, 10, 12, 14, 16)),),
+        ),
+        ChipFamily(
+            name="decap",
+            description="on-chip decap budget ablation at 0.5/0.75/1.0 "
+                        "of the reference deep-trench budget",
+            axes=(("decap_scale", (0.5, 0.75, 1.0)),),
+        ),
+        ChipFamily(
+            name="nodes",
+            description="tech-node projection 45/32/22/16 nm under ITRS "
+                        "scaling (vdd, clock, energy per instruction)",
+            axes=(("tech_node", (45, 32, 22, 16)),),
+        ),
+        ChipFamily(
+            name="cores-decap",
+            description="joint sweep: 4/6/8 cores x 0.5/1.0 decap budget",
+            axes=(
+                ("n_cores", (4, 6, 8)),
+                ("decap_scale", (0.5, 1.0)),
+            ),
+        ),
+    )
+}
+
+
+def get_family(name: str) -> ChipFamily:
+    """The builtin family *name* addresses."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown chip family {name!r}; builtin families are "
+            f"{sorted(FAMILIES)}"
+        ) from None
+
+
+def list_families() -> list[ChipFamily]:
+    """All builtin families, in registry order."""
+    return list(FAMILIES.values())
+
+
+@lru_cache(maxsize=8)
+def build_chip(spec: ChipSpec) -> Chip:
+    """The memoized chip instance of *spec*: one process-wide build per
+    spec, so every layer (experiments, plan execution, serving) shares
+    the heavy solver artifacts of a family member instead of rebuilding
+    them per call site."""
+    return spec.build()

@@ -1,0 +1,84 @@
+"""Technology-node scaling tables for chip-family variants.
+
+The paper's evaluation platform is a 32 nm mainframe part; family
+variants at other nodes scale the supply voltage, core clock and
+per-instruction energy with published projections.  Two models are
+carried, following the Lumos dark-silicon framework's convention:
+
+* ``itrs`` — aggressive ITRS roadmap scaling;
+* ``cons`` — conservative scaling (Borkar-style, voltage nearly flat).
+
+The raw tables are normalized to the 45 nm node, as published.  The
+factors this module exposes are re-based to the **32 nm reference
+node**, so the reference chip scales by exactly ``1.0`` on every axis
+(``x / x == 1.0`` in IEEE arithmetic) — the fingerprint-neutrality
+guarantee of the spec layer rests on that exactness.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+__all__ = [
+    "REFERENCE_NODE",
+    "TECH_NODES",
+    "SCALING_MODELS",
+    "vdd_factor",
+    "freq_factor",
+    "energy_factor",
+]
+
+#: The evaluation platform's technology node (nm); all factors are 1.0
+#: here by construction.
+REFERENCE_NODE = 32
+
+#: Nodes the projection tables cover (nm), largest feature size first.
+TECH_NODES = (45, 32, 22, 16, 11, 8)
+
+#: Supported scaling models.
+SCALING_MODELS = ("itrs", "cons")
+
+# Raw projections, normalized at 45 nm (ITRS 2010 tables / conservative
+# scaling as tabulated by the Lumos framework).
+_VDD_SCALE = {
+    "itrs": {45: 1.0, 32: 0.93, 22: 0.84, 16: 0.75, 11: 0.68, 8: 0.62},
+    "cons": {45: 1.0, 32: 0.93, 22: 0.88, 16: 0.86, 11: 0.84, 8: 0.84},
+}
+_FREQ_SCALE = {
+    "itrs": {45: 1.0, 32: 1.09, 22: 2.38, 16: 3.21, 11: 4.17, 8: 3.85},
+    "cons": {45: 1.0, 32: 1.10, 22: 1.19, 16: 1.25, 11: 1.30, 8: 1.34},
+}
+_ENERGY_SCALE = {
+    "itrs": {45: 1.0, 32: 0.66, 22: 0.54, 16: 0.38, 11: 0.25, 8: 0.12},
+    "cons": {45: 1.0, 32: 0.71, 22: 0.52, 16: 0.39, 11: 0.29, 8: 0.22},
+}
+
+
+def _factor(table: dict[str, dict[int, float]], node: int, model: str) -> float:
+    if model not in SCALING_MODELS:
+        raise ConfigError(
+            f"unknown scaling model {model!r}; pick one of {SCALING_MODELS}"
+        )
+    column = table[model]
+    if node not in column:
+        raise ConfigError(
+            f"no projection for tech node {node} nm; "
+            f"tabulated nodes are {TECH_NODES}"
+        )
+    return column[node] / column[REFERENCE_NODE]
+
+
+def vdd_factor(node: int, model: str = "itrs") -> float:
+    """Supply-voltage multiplier at *node*, relative to 32 nm."""
+    return _factor(_VDD_SCALE, node, model)
+
+
+def freq_factor(node: int, model: str = "itrs") -> float:
+    """Core-clock multiplier at *node*, relative to 32 nm."""
+    return _factor(_FREQ_SCALE, node, model)
+
+
+def energy_factor(node: int, model: str = "itrs") -> float:
+    """Per-instruction-energy (and hence core-power) multiplier at
+    *node*, relative to 32 nm."""
+    return _factor(_ENERGY_SCALE, node, model)

@@ -1,0 +1,211 @@
+"""Declarative chip specifications.
+
+A :class:`ChipSpec` is the small, validated, JSON-round-trippable
+description of one chip-family member: core count and topology row
+rule, decap budget, package RLC scaling, technology node and variation
+seed.  It *compiles* to the full :class:`~repro.machine.chip.ChipConfig`
+(every element value resolved against the calibrated reference chip)
+and fingerprints through the same content-address the planner, engine
+cache and serving layer already share.
+
+The neutrality guarantee
+------------------------
+``ChipSpec()`` — the default spec — compiles to a configuration that is
+canonically **byte-identical** to ``ChipConfig()``, the ambient default
+every pre-family call site used.  All scale factors default to exactly
+``1.0`` and multiplication by 1.0 is exact in IEEE arithmetic, so
+threading the spec layer through machine → experiments → plan → serve
+perturbs no existing cache key, plan fingerprint or wire fingerprint
+for the default chip.  ``tests/chips`` pins the digest as a regression
+constant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, replace
+
+from ..engine.fingerprint import content_key
+from ..errors import ConfigError
+from ..machine.chip import Chip, ChipConfig
+from ..pdn.topology import MAX_CORES
+from ..pdn.zec12 import reference_chip_parameters
+from ..uarch.resources import default_core_config
+from .scaling import (
+    REFERENCE_NODE,
+    SCALING_MODELS,
+    TECH_NODES,
+    energy_factor,
+    freq_factor,
+    vdd_factor,
+)
+
+__all__ = ["ChipSpec", "reference_spec"]
+
+#: Sanity bound on the multiplicative scale knobs: a family member an
+#: order of magnitude off the calibrated part is a typo, not a design.
+_MAX_SCALE = 10.0
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """One declarative chip-family member.
+
+    Attributes
+    ----------
+    name:
+        Human label (family expansion fills it in); **not** part of the
+        chip fingerprint — two specs differing only in name are the
+        same silicon.
+    n_cores:
+        Core count; the two-row topology rule (even ids north, odd ids
+        south) extends the reference floorplan.
+    decap_scale:
+        Multiplier on the per-node on-chip decap budget (core grid,
+        domain, deep-trench L3, nest units).
+    package_l_scale, package_r_scale:
+        Multipliers on the package interconnect RLC (board→package and
+        C4 inductances / resistances).
+    tech_node:
+        Technology node in nm; scales vdd, core clock and energy per
+        instruction through :mod:`repro.chips.scaling`.
+    scaling_model:
+        ``"itrs"`` (aggressive) or ``"cons"`` (conservative).
+    seed:
+        Root seed of the process-variation and measurement-noise draw.
+    chip_id:
+        Which manufactured instance of this design (selects the
+        variation stream, exactly as :class:`Chip` does).
+    """
+
+    name: str = "reference"
+    n_cores: int = 6
+    decap_scale: float = 1.0
+    package_l_scale: float = 1.0
+    package_r_scale: float = 1.0
+    tech_node: int = REFERENCE_NODE
+    scaling_model: str = "itrs"
+    seed: int = 17
+    chip_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ConfigError("chip spec needs a non-empty name")
+        if not isinstance(self.n_cores, int) or isinstance(self.n_cores, bool):
+            raise ConfigError("n_cores must be an integer")
+        if not 2 <= self.n_cores <= MAX_CORES:
+            raise ConfigError(
+                f"n_cores must be in 2..{MAX_CORES} (got {self.n_cores})"
+            )
+        for knob in ("decap_scale", "package_l_scale", "package_r_scale"):
+            value = getattr(self, knob)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ConfigError(f"{knob} must be a number")
+            if not 0 < value <= _MAX_SCALE:
+                raise ConfigError(
+                    f"{knob} must be in (0, {_MAX_SCALE}] (got {value})"
+                )
+        if self.tech_node not in TECH_NODES:
+            raise ConfigError(
+                f"tech_node must be one of {TECH_NODES} (got {self.tech_node})"
+            )
+        if self.scaling_model not in SCALING_MODELS:
+            raise ConfigError(
+                f"scaling_model must be one of {SCALING_MODELS} "
+                f"(got {self.scaling_model!r})"
+            )
+        for knob in ("seed", "chip_id"):
+            value = getattr(self, knob)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ConfigError(f"{knob} must be a non-negative integer")
+
+    # -- compilation ----------------------------------------------------
+    def compile(self) -> ChipConfig:
+        """The fully-resolved :class:`ChipConfig` this spec names.
+
+        Every knob is applied as a multiplier on the calibrated
+        reference values; the default spec multiplies everything by
+        exactly 1.0 and therefore compiles to a config canonically
+        identical to ``ChipConfig()``.
+        """
+        vdd = vdd_factor(self.tech_node, self.scaling_model)
+        freq = freq_factor(self.tech_node, self.scaling_model)
+        energy = energy_factor(self.tech_node, self.scaling_model)
+
+        pdn = reference_chip_parameters()
+        pdn = replace(
+            pdn,
+            n_cores=self.n_cores,
+            vnom=pdn.vnom * vdd,
+            c_core=pdn.c_core * self.decap_scale,
+            c_dom=pdn.c_dom * self.decap_scale,
+            c_l3=pdn.c_l3 * self.decap_scale,
+            c_unit=pdn.c_unit * self.decap_scale,
+            l_mb=pdn.l_mb * self.package_l_scale,
+            l_c4=pdn.l_c4 * self.package_l_scale,
+            r_mb=pdn.r_mb * self.package_r_scale,
+            r_c4=pdn.r_c4 * self.package_r_scale,
+        )
+        core = default_core_config()
+        core = replace(
+            core,
+            clock_hz=core.clock_hz * freq,
+            vnom=core.vnom * vdd,
+            static_power_w=core.static_power_w * energy,
+            floor_power_w=core.floor_power_w * energy,
+        )
+        return ChipConfig(pdn=pdn, core=core, seed=self.seed)
+
+    def build(self) -> Chip:
+        """A concrete :class:`Chip` instance of this spec (prefer the
+        memoized :func:`repro.chips.build_chip` in hot paths)."""
+        return Chip(self.compile(), self.chip_id)
+
+    # -- identity -------------------------------------------------------
+    def identity(self) -> str:
+        """The canonical chip-identity string — byte-identical to
+        :func:`~repro.plan.spec.chip_identity` of the compiled config
+        and to :func:`~repro.engine.fingerprint.chip_fingerprint` of
+        the built chip, without building anything heavy."""
+        from ..plan.spec import chip_identity
+
+        return chip_identity(self.compile(), self.chip_id)
+
+    def fingerprint(self) -> str:
+        """The stable chip fingerprint digest (SHA-256 of the identity
+        string) — what the serving layer keys chip rosters on and the
+        family campaign groups sessions by."""
+        return content_key(self.identity())
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-ready dict; round-trips through :meth:`from_dict`."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ChipSpec":
+        """The spec a :meth:`to_dict` payload names; rejects unknown
+        keys so a typo'd knob cannot silently fall back to defaults."""
+        if not isinstance(payload, dict):
+            raise ConfigError("chip spec payload must be an object")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown chip spec field(s) {sorted(unknown)}; "
+                f"known fields are {sorted(known)}"
+            )
+        try:
+            return cls(**payload)
+        except TypeError as error:
+            raise ConfigError(f"invalid chip spec: {error}")
+
+
+def reference_spec() -> ChipSpec:
+    """The default spec: the paper's calibrated six-core 32 nm part.
+
+    ``reference_spec().build()`` is the same silicon as
+    :func:`repro.machine.chip.reference_chip`, and its fingerprint is
+    the regression constant ``tests/chips`` pins.
+    """
+    return ChipSpec()

@@ -33,6 +33,15 @@ Subcommands:
 * ``merge-shards DEST SRC [SRC ...]`` — fold the disk caches and
   campaign manifests of shard runs into DEST, after which an
   unsharded ``run`` over DEST replays entirely from cache;
+* ``family`` — chip-family sweeps over declarative
+  :mod:`repro.chips` specs: ``family list`` / ``family expand NAME``
+  show the named families and their member fingerprints, ``family
+  plan NAME ID...`` compiles the per-member campaign report, and
+  ``family run NAME ID... --output DIR`` executes the experiments
+  across every member (global ``--shard i/N`` slices supported),
+  exporting per-member artifacts plus a ``family-results.json``
+  result set (resonance frequency, worst Vmin and peak noise vs.
+  core count);
 * ``table1 .. fig15`` — shorthand for ``run <id>``.
 
 Sharding: ``run --shard i/N --cache-dir DIR`` executes only the i-th
@@ -373,6 +382,25 @@ def build_parser() -> argparse.ArgumentParser:
         "this port (GET /metrics; 0 picks an ephemeral port, printed "
         "on start; default: off)",
     )
+    serve.add_argument(
+        "--chips",
+        metavar="FAMILY[,MEMBER,...]",
+        default=None,
+        help="additionally host these chip identities: a family name "
+        "('quick' hosts every member) and/or comma-separated member "
+        "names ('cores/cores8'); requests select one with their "
+        "'chip' field ('query --chip'), requests without it hit the "
+        "default chip exactly as before (default: default chip only)",
+    )
+    serve.add_argument(
+        "--max-resident-chips",
+        type=int,
+        metavar="N",
+        default=2,
+        help="non-default chips kept built at once; building one more "
+        "evicts the least-recently-used cold chip (its hot tier "
+        "survives; default: 2)",
+    )
     query = sub.add_parser(
         "query",
         help="query a running simulation service (simulate / health / "
@@ -399,6 +427,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stimulus frequency (default: 90e6)")
     query.add_argument("--cores", type=int, default=1, metavar="N",
                        help="cores running the program (default: 1)")
+    query.add_argument("--chip", metavar="NAME", default=None,
+                       help="chip identity to simulate on, when the "
+                       "server hosts several (--chips): a spec name, "
+                       "family member label or fingerprint digest "
+                       "(default: the server's default chip)")
     query.add_argument("--tag", default=None,
                        help="request tag (part of the run fingerprint)")
     query.add_argument("--repeat", type=int, default=1, metavar="N",
@@ -487,6 +520,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(requires --ssh-template)",
     )
     fleet.add_argument(
+        "--slurm-template", metavar="TEMPLATE", default=None,
+        help="cluster transport: launch each worker through this "
+        "foreground scheduler command, e.g. 'srun --ntasks=1 "
+        "--job-name={job} {command}' ({command} is the shell-quoted "
+        "worker invocation, {job} a per-worker job name; mutually "
+        "exclusive with --ssh-template; default: local subprocesses)",
+    )
+    fleet.add_argument(
         "--profile",
         action="store_true",
         help="print the fleet-merged engine telemetry after the fold",
@@ -511,6 +552,69 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="SECONDS",
                         help="live-telemetry sidecar flush period; "
                         "0 disables the sidecar (default: 2.0)")
+    family = sub.add_parser(
+        "family",
+        help="chip-family sweeps: list the named families, expand one "
+        "into its member specs, or run experiments across every "
+        "member (per-member exports plus a family-indexed result set)",
+    )
+    family.add_argument(
+        "action",
+        choices=("list", "expand", "plan", "run"),
+        help="'list' the named families; 'expand' one into member "
+        "specs and fingerprints; 'plan' a per-member campaign report "
+        "(dry run); 'run' experiments across every member",
+    )
+    family.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        metavar="FAMILY",
+        help="family name (see 'family list'); required for every "
+        "action but 'list'",
+    )
+    family.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids to run across the family (e.g. fig7a "
+        "fig11a), or 'all'; required for 'plan' and 'run'",
+    )
+    family.add_argument(
+        "--members",
+        metavar="M1,M2,...",
+        default=None,
+        help="restrict to these members (labels like 'cores4' or full "
+        "names; default: the whole family)",
+    )
+    family.add_argument(
+        "--output",
+        metavar="DIR",
+        default=None,
+        help="export per-member artifacts into DIR/<member>/ (the "
+        "exact files a standalone run over that chip exports) plus a "
+        "family-results.json index: per member, the resonance "
+        "frequency, worst Vmin and peak noise vs. core count",
+    )
+    family.add_argument(
+        "--shard",
+        metavar="I/N",
+        default=None,
+        help="execute only the i-th of N global slices of the family "
+        "campaign (the union of every member's shard i/N; requires "
+        "--cache-dir, no drivers or exports run — merge and re-run "
+        "as with 'run --shard')",
+    )
+    family.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON ('expand' and 'plan')",
+    )
+    family.add_argument(
+        "--profile",
+        action="store_true",
+        help="print engine telemetry after the family run",
+    )
     run = sub.add_parser("run", help="run one or more experiments")
     run.add_argument(
         "experiments",
@@ -875,6 +979,319 @@ def _run_shard(args: argparse.Namespace) -> int:
     return 1 if report.failed else 0
 
 
+def _member_label(name: str) -> str:
+    """Short member label (``quick/cores4`` → ``cores4``) — used for
+    per-member export directories and compact tables."""
+    return name.split("/", 1)[1] if "/" in name else name
+
+
+def _family_members(args: argparse.Namespace, family):
+    """The member specs a ``--members`` restriction selects (``None``
+    for the whole family)."""
+    if args.members is None:
+        return None
+    return [
+        family.member(label.strip())
+        for label in args.members.split(",")
+        if label.strip()
+    ]
+
+
+def _family_member_metrics(context, results: dict) -> dict:
+    """Per-member headline metrics for ``family-results.json``: the
+    resonance frequency, peak noise and worst Vmin the member's own
+    Fig. 7a sweep measured (its peak run replays from the session
+    cache, so the Vmin probe costs no extra solve), plus the ΔI
+    ceiling when Fig. 11a ran."""
+    metrics: dict = {
+        "resonance_freq_hz": None,
+        "peak_p2p_pct": None,
+        "worst_vmin_v": None,
+        "max_noise_pct": None,
+    }
+    fig7a = results.get("fig7a")
+    if fig7a is not None:
+        peak_freq = fig7a.data["peak_freq_hz"]
+        metrics["resonance_freq_hz"] = peak_freq
+        metrics["peak_p2p_pct"] = fig7a.data["peak_p2p"]
+        mapping = [
+            context.generator.max_didt(
+                freq_hz=peak_freq, synchronize=False
+            ).current_program()
+        ] * context.chip.n_cores
+        replay = context.session.run_many(
+            [mapping], [("fsweep", False, peak_freq)]
+        )[0]
+        metrics["worst_vmin_v"] = float(replay.worst_vmin)
+    fig11a = results.get("fig11a")
+    if fig11a is not None:
+        metrics["max_noise_pct"] = fig11a.data["max_noise"]
+    return metrics
+
+
+def _run_family(args: argparse.Namespace) -> int:
+    """The ``family`` subcommand: list/expand the named chip families,
+    or plan/run experiments across every member of one."""
+    import json
+
+    from .chips import get_family, list_families
+    from .experiments import compile_family_campaign, context_for_spec
+    from .ioutil import atomic_write_json
+    from .plan import ShardSpec, execute_family
+
+    if args.action == "list":
+        for family in list_families():
+            print(
+                f"{family.name:<12} {len(family)} member(s) — "
+                f"{family.description}"
+            )
+        return 0
+
+    if args.name is None:
+        print(f"error: family {args.action} needs a family name",
+              file=sys.stderr)
+        return 2
+    try:
+        family = get_family(args.name)
+        members = _family_members(args, family)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.action == "expand":
+        specs = members if members is not None else family.members()
+        if args.json:
+            print(json.dumps(
+                [
+                    {
+                        "name": spec.name,
+                        "chip": spec.fingerprint(),
+                        "spec": spec.to_dict(),
+                    }
+                    for spec in specs
+                ],
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        print(f"family {family.name!r} — {family.description}")
+        print(f"  {'member':<16} {'cores':>5} {'node':>4} "
+              f"{'decap':>5} chip")
+        for spec in specs:
+            print(
+                f"  {_member_label(spec.name):<16} {spec.n_cores:>5} "
+                f"{spec.tech_node:>4} {spec.decap_scale:>5g} "
+                f"{spec.fingerprint()[:16]}…"
+            )
+        return 0
+
+    if not args.experiments:
+        print(f"error: family {args.action} needs experiment ids",
+              file=sys.stderr)
+        return 2
+    telemetry = get_telemetry()
+    try:
+        campaign = compile_family_campaign(
+            _requested_ids(args), family, quick=args.quick, members=members
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    summary = campaign.summary()
+    if args.action == "plan" and args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"family campaign {summary['fingerprint'][:16]}…  "
+        f"({family.name}: {len(campaign)} member(s))"
+    )
+    print(f"  {'member':<16} {'cores':>5} {'requested':>9} {'unique':>7}")
+    for entry in summary["members"]:
+        plan = entry["plan"]
+        print(
+            f"  {_member_label(entry['name']):<16} "
+            f"{entry['spec']['n_cores']:>5} {plan['requested']:>9} "
+            f"{plan['unique']:>7}"
+        )
+    print(f"requested runs : {summary['requested']}")
+    print(f"unique runs    : {summary['unique']}")
+    print(f"dedup savings  : {summary['dedup_savings']} (within members; "
+          "fingerprints embed the chip identity)")
+    if args.action == "plan":
+        if args.shard:
+            try:
+                count = ShardSpec.parse(args.shard).count
+            except ReproError as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+            sizes = campaign.shard_sizes(count)
+            split = " + ".join(str(size) for size in sizes)
+            print(f"shard split    : {count}-way → {split} runs")
+        return 0
+
+    # -- run ------------------------------------------------------------
+    if args.shard:
+        from .engine import CampaignManifest
+
+        if args.cache_dir is None:
+            print(
+                "error: family run --shard needs --cache-dir (the "
+                "slice's results must be durable to be merged)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            spec = ShardSpec.parse(args.shard)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        campaign_dir = Path(args.cache_dir)
+
+        def manifest_for(member):
+            manifest = CampaignManifest(
+                campaign_dir
+                / f"manifest-{_member_label(member.name)}.json"
+            )
+            return manifest
+
+        event_log = _trace_log(args, campaign_dir)
+        if event_log is not None:
+            telemetry.enable_tracing(events=event_log)
+        try:
+            report = execute_family(
+                campaign,
+                shard=spec,
+                on_failure=args.on_failure
+                or os.environ.get("REPRO_ON_FAILURE")
+                or "raise",
+                manifest_for=manifest_for,
+                telemetry=telemetry,
+                backend=args.backend,
+            )
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        finally:
+            if event_log is not None:
+                event_log.close()
+        print(
+            f"shard {spec} of family {report.fingerprint[:16]}…: "
+            f"{report.runs} run(s) — {report.executed} executed, "
+            f"{report.replayed} replayed, {report.failed} failed"
+        )
+        for name, member_report in sorted(report.reports.items()):
+            print(
+                f"  {_member_label(name):<16} {member_report.runs:>5} "
+                f"run(s), {member_report.failed} failed"
+            )
+        if args.profile:
+            print(telemetry.report())
+        return 1 if report.failed else 0
+
+    output = Path(args.output) if args.output else None
+    event_log = _trace_log(args, output)
+    if event_log is not None:
+        telemetry.enable_tracing(events=event_log)
+    status = 0
+    family_index: list[dict] = []
+    try:
+        # Execute the compiled campaign first — sessions grouped by
+        # chip, every unique run solved exactly once — then let the
+        # drivers replay from cache to build their figures.
+        report = execute_family(
+            campaign,
+            on_failure=args.on_failure
+            or os.environ.get("REPRO_ON_FAILURE")
+            or "raise",
+            telemetry=telemetry,
+            backend=args.backend,
+        )
+        print(
+            f"executed {report.runs} run(s) across {len(campaign)} "
+            f"member(s) — {report.executed} solved, {report.replayed} "
+            f"replayed from cache"
+        )
+        print()
+        for entry in campaign.members:
+            label = _member_label(entry.name)
+            context = context_for_spec(entry.spec, quick=args.quick)
+            print(
+                f"== {entry.name} (chip {entry.chip_digest[:16]}…, "
+                f"{entry.spec.n_cores} cores) =="
+            )
+            results: dict = {}
+            for experiment_id in _requested_ids(args):
+                driver = get_experiment(experiment_id)
+                try:
+                    with telemetry.span(
+                        "family.member",
+                        member=entry.name,
+                        experiment=experiment_id,
+                    ):
+                        results[experiment_id] = driver(context)
+                except ReproError as error:
+                    print(
+                        f"error in {experiment_id} on {entry.name}: "
+                        f"{error}",
+                        file=sys.stderr,
+                    )
+                    status = 1
+            for result in results.values():
+                print(result)
+                print()
+            record = {
+                "name": entry.name,
+                "label": label,
+                "chip": entry.chip_digest,
+                "n_cores": entry.spec.n_cores,
+                "tech_node": entry.spec.tech_node,
+                "spec": entry.spec.to_dict(),
+                **_family_member_metrics(context, results),
+            }
+            if output is not None and results:
+                from .experiments.exporter import export_results
+
+                member_dir = output / label
+                export_results(
+                    list(results.values()), member_dir, telemetry
+                )
+                record["export_dir"] = label
+            family_index.append(record)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if event_log is not None:
+            event_log.close()
+
+    header = f"  {'member':<16} {'cores':>5} {'resonance':>10} " \
+             f"{'worst Vmin':>10} {'peak %p2p':>9}"
+    print(f"-- family result set ({family.name}) --")
+    print(header)
+    for record in family_index:
+        resonance = record["resonance_freq_hz"]
+        vmin = record["worst_vmin_v"]
+        peak = record["peak_p2p_pct"]
+        print(
+            f"  {record['label']:<16} {record['n_cores']:>5} "
+            f"{(f'{resonance:.3g}Hz' if resonance else '-'):>10} "
+            f"{(f'{vmin:.4g}V' if vmin else '-'):>10} "
+            f"{(f'{peak:.1f}' if peak is not None else '-'):>9}"
+        )
+    if output is not None:
+        payload = {
+            "family": family.name,
+            "fingerprint": campaign.fingerprint(),
+            "experiments": _requested_ids(args),
+            "members": family_index,
+        }
+        path = atomic_write_json(output / "family-results.json", payload)
+        print(f"family result set: {path}")
+    if args.profile:
+        print(telemetry.report())
+    return status
+
+
 def _run_merge_shards(args: argparse.Namespace) -> int:
     """``merge-shards``: union shard disk caches and manifests into one
     campaign directory."""
@@ -990,6 +1407,7 @@ def _run_fleet(args: argparse.Namespace) -> int:
             workers=args.workers,
             hosts=hosts,
             ssh_template=args.ssh_template,
+            slurm_template=args.slurm_template,
             respawn=args.respawn,
             timeout_s=args.fleet_timeout,
             telemetry=telemetry,
@@ -1113,6 +1531,27 @@ def _trace_log(args: argparse.Namespace, campaign_dir: Path | None):
     return EventLog(path)
 
 
+def _hosted_chip_specs(selector: str | None) -> list:
+    """The extra :class:`~repro.chips.ChipSpec` identities a ``serve
+    --chips`` selector names: comma-separated family names (hosting
+    every member) and/or ``family/member`` references."""
+    if not selector:
+        return []
+    from .chips import get_family
+
+    specs = []
+    for part in selector.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "/" in part:
+            family_name, _ = part.split("/", 1)
+            specs.append(get_family(family_name).member(part))
+        else:
+            specs.extend(get_family(part).members())
+    return specs
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     """The ``serve`` subcommand: run the simulation service in the
     foreground until Ctrl-C or a client's ``shutdown`` request."""
@@ -1132,6 +1571,7 @@ def _run_serve(args: argparse.Namespace) -> int:
             print(f"error: bad --slo file: {error}", file=sys.stderr)
             return 2
     try:
+        chips = _hosted_chip_specs(args.chips)
         service = SimulationService(
             context.chip,
             context.options,
@@ -1142,6 +1582,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             backend=args.backend,
             window_s=args.metrics_window,
             slo=slo_policy,
+            chips=chips,
+            max_resident_chips=args.max_resident_chips,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -1165,6 +1607,16 @@ def _run_serve(args: argparse.Namespace) -> int:
         f"hot={args.hot_entries}, executor={service.executor.name})",
         flush=True,
     )
+    if len(service.roster) > 1:
+        hosted = ", ".join(
+            entry.name for entry in service.roster.entries()
+        )
+        print(
+            f"hosting {len(service.roster)} chip identities "
+            f"(max resident {args.max_resident_chips} + default): "
+            f"{hosted}",
+            flush=True,
+        )
     if scrape_server is not None:
         print(
             f"metrics on http://{args.host}:{scrape_server.port}/metrics "
@@ -1242,7 +1694,10 @@ def _run_query(args: argparse.Namespace) -> int:
         def submit(mapping):
             with ServeClient(args.host, args.port) as client:
                 return client.simulate(
-                    mapping, tag=args.tag, retry_busy=args.retry_busy
+                    mapping,
+                    tag=args.tag,
+                    chip=args.chip,
+                    retry_busy=args.retry_busy,
                 )
 
         if args.concurrency > 1:
@@ -1374,6 +1829,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "fleet-worker":
         return _run_fleet_worker(args)
+
+    if args.command == "family":
+        return _run_family(args)
 
     if args.command == "run" and args.shard:
         return _run_shard(args)

@@ -48,7 +48,7 @@ from dataclasses import replace
 from typing import Sequence
 
 from ..errors import ConfigError, ExecutionError, SolverError
-from ..machine.chip import Chip, ChipConfig, N_CORES
+from ..machine.chip import Chip, ChipConfig
 from ..machine.runner import ChipRunner, RunOptions, RunResult
 from ..machine.workload import CurrentProgram
 from ..obs import Telemetry, get_telemetry
@@ -311,7 +311,8 @@ class SimulationSession:
         self.telemetry.increment("engine.runs_executed", n_runs)
         # One LTI superposition solve per (segment, observed core).
         self.telemetry.increment(
-            "engine.solver_calls", n_runs * self.options.segments * N_CORES
+            "engine.solver_calls",
+            n_runs * self.options.segments * self.chip.n_cores,
         )
 
     def _execute_and_cache(

@@ -14,20 +14,28 @@ from .registry import (
     ExperimentResult,
     all_experiments,
     compile_campaign,
+    compile_family_campaign,
     compile_plan,
     get_experiment,
     run_experiment,
 )
-from .common import ExperimentContext, default_context, quick_context
+from .common import (
+    ExperimentContext,
+    context_for_spec,
+    default_context,
+    quick_context,
+)
 
 __all__ = [
     "ExperimentResult",
     "all_experiments",
     "compile_campaign",
+    "compile_family_campaign",
     "compile_plan",
     "get_experiment",
     "run_experiment",
     "ExperimentContext",
+    "context_for_spec",
     "default_context",
     "quick_context",
 ]

@@ -11,8 +11,13 @@ by Figures 7a and 9, and the placement studies shared by Figures 14/15
 are each solved once per campaign no matter how many figures (or
 repeated context factories) ask for them.
 
-``default_context()`` / ``quick_context()`` are *factories*: each call
-returns a fresh :class:`ExperimentContext` with fresh
+``context_for_spec()`` is *the* context factory: it binds a declarative
+:class:`~repro.chips.ChipSpec` (the reference spec when unspecified) to
+a fidelity tier, building the member chip through the process-wide
+:func:`~repro.chips.build_chip` memo so every context over the same
+chip fingerprint shares the heavy solver artifacts.
+``default_context()`` / ``quick_context()`` are thin wrappers over it;
+each call returns a fresh :class:`ExperimentContext` with fresh
 :class:`RunOptions`, so mutating one caller's context (e.g. flipping
 ``collect_waveforms``) can no longer leak into another's.
 """
@@ -28,13 +33,19 @@ from ..analysis.sensitivity import (
     plan_delta_i_mappings,
     sweep_delta_i_mappings,
 )
+from ..chips import ChipSpec, build_chip, reference_spec
 from ..core.generator import StressmarkGenerator
 from ..engine import SimulationSession
-from ..machine.chip import Chip, reference_chip
+from ..machine.chip import Chip
 from ..machine.runner import ChipRunner, RunOptions
 from ..plan import RunPlan
 
-__all__ = ["ExperimentContext", "default_context", "quick_context"]
+__all__ = [
+    "ExperimentContext",
+    "context_for_spec",
+    "default_context",
+    "quick_context",
+]
 
 #: The resonant stimulus frequency of the reference chip (its first
 #: droop sits at ~2.6 MHz; the paper's platform showed ~2 MHz).
@@ -52,6 +63,9 @@ class ExperimentContext:
     delta_i_placements: int = 4
     misalignment_assignments: int = 6
     resonant_freq_hz: float = RESONANT_FREQ_HZ
+    #: The declarative spec this context's chip was compiled from
+    #: (``None`` for contexts built around a hand-made chip).
+    spec: ChipSpec | None = None
     #: ``"raise"`` aborts an experiment on a permanently failed run;
     #: ``"collect"`` (the CLI's ``--on-failure collect``) keeps partial
     #: sweeps — the drivers drop and trace the failed points instead.
@@ -113,46 +127,58 @@ def _shared_generator(
     )
 
 
-@lru_cache(maxsize=1)
-def _shared_chip() -> Chip:
-    """Process-wide reference chip memo (modal decomposition + response
-    library are immutable once built)."""
-    return reference_chip()
-
-
 def _env_on_failure() -> str:
     """Failure mode from ``$REPRO_ON_FAILURE`` (the ``--on-failure``
     CLI flag exports it); ``raise`` when unset."""
     return os.environ.get("REPRO_ON_FAILURE", "").strip().lower() or "raise"
 
 
-def default_context() -> ExperimentContext:
-    """A full-fidelity context (benchmark harness fidelity).
+def context_for_spec(
+    spec: ChipSpec | None = None, *, quick: bool = False
+) -> ExperimentContext:
+    """The spec-parameterized context factory.
 
-    Factory semantics: every call returns a *fresh* context with fresh
-    options; the heavyweight generator/chip artifacts are shared, and
-    run results are shared through the engine cache.
+    Binds *spec* (the reference spec when ``None``) to the requested
+    fidelity tier.  The chip is built through the process-wide
+    :func:`~repro.chips.build_chip` memo, so every context over the
+    same chip fingerprint — default or family member — shares one set
+    of heavy solver artifacts, and the default spec's contexts are
+    bit-for-bit the contexts the pre-family factories produced.
+
+    ``quick=True`` selects the reduced-cost tier for tests and smoke
+    runs: shorter EPI loops, fewer segments and sweep points.  Shapes
+    are preserved; absolute readings may shift by a quantization step.
     """
+    spec = spec if spec is not None else reference_spec()
+    if quick:
+        return ExperimentContext(
+            generator=_shared_generator(epi_repetitions=80, ipc_keep=200),
+            chip=build_chip(spec),
+            options=RunOptions(segments=4, base_samples=1536),
+            freq_points_per_decade=3,
+            delta_i_placements=2,
+            misalignment_assignments=3,
+            spec=spec,
+            on_failure=_env_on_failure(),
+        )
     return ExperimentContext(
         generator=_shared_generator(epi_repetitions=400),
-        chip=_shared_chip(),
+        chip=build_chip(spec),
         options=RunOptions(segments=8),
+        spec=spec,
         on_failure=_env_on_failure(),
     )
+
+
+def default_context() -> ExperimentContext:
+    """A full-fidelity context over the reference chip (benchmark
+    harness fidelity) — :func:`context_for_spec` with the defaults.
+    """
+    return context_for_spec()
 
 
 def quick_context() -> ExperimentContext:
-    """A reduced-cost context for tests and smoke runs: shorter EPI
-    loops, fewer segments and sweep points.  Shapes are preserved;
-    absolute readings may shift by a quantization step.  Factory
-    semantics, like :func:`default_context`.
+    """A reduced-cost context over the reference chip —
+    :func:`context_for_spec` with ``quick=True``.
     """
-    return ExperimentContext(
-        generator=_shared_generator(epi_repetitions=80, ipc_keep=200),
-        chip=_shared_chip(),
-        options=RunOptions(segments=4, base_samples=1536),
-        freq_points_per_decade=3,
-        delta_i_placements=2,
-        misalignment_assignments=3,
-        on_failure=_env_on_failure(),
-    )
+    return context_for_spec(quick=True)

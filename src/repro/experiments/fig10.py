@@ -47,7 +47,7 @@ def run(context: ExperimentContext) -> ExperimentResult:
     xs = [f"{m * 1e9:.1f}ns" for m in misalignments]
     series = {
         f"core{c} %p2p": [results[m][c] for m in misalignments]
-        for c in range(6)
+        for c in range(context.chip.n_cores)
     }
     text = render_series(
         "max misalignment", xs, series,

@@ -41,13 +41,13 @@ def plan_fig12(context: ExperimentContext) -> RunPlan:
             )
             plan.extend(
                 plan_vmin_experiment(
-                    chip, [mark.current_program()] * 6, context.options
+                    chip, [mark.current_program()] * chip.n_cores, context.options
                 )
             )
         mark = generator.max_didt(freq_hz=freq, synchronize=False)
         plan.extend(
             plan_vmin_experiment(
-                chip, [mark.current_program()] * 6, context.options
+                chip, [mark.current_program()] * chip.n_cores, context.options
             )
         )
     plan.extend(
@@ -75,7 +75,7 @@ def run(context: ExperimentContext) -> ExperimentResult:
                 freq_hz=freq, synchronize=True, n_events=count
             )
             result = run_vmin_experiment(
-                chip, [mark.current_program()] * 6, session=context.session
+                chip, [mark.current_program()] * chip.n_cores, session=context.session
             )
             margins[(count, freq)] = result.margin_frac
             rows.append(
@@ -84,7 +84,7 @@ def run(context: ExperimentContext) -> ExperimentResult:
         # The unsynchronized (∞ events) case.
         mark = generator.max_didt(freq_hz=freq, synchronize=False)
         result = run_vmin_experiment(
-            chip, [mark.current_program()] * 6, session=context.session
+            chip, [mark.current_program()] * chip.n_cores, session=context.session
         )
         margins[("inf", freq)] = result.margin_frac
         rows.append(["inf/nosync", format_freq(freq), f"{result.margin_frac * 100:.1f}%"])

@@ -15,6 +15,7 @@ import numpy as np
 from ..analysis.correlation import correlation_matrix, detect_clusters
 from ..analysis.propagation import propagation_traces
 from ..analysis.report import render_table
+from ..pdn.topology import row_cores
 from ..plan import RunPlan
 from .common import ExperimentContext
 from .registry import ExperimentResult, register, register_plan
@@ -29,25 +30,26 @@ def plan_fig13a(context: ExperimentContext) -> RunPlan:
 @register("fig13a", "Inter-core noise correlation across mappings")
 def run_fig13a(context: ExperimentContext) -> ExperimentResult:
     points = context.delta_i_points()
+    n_cores = context.chip.n_cores
     matrix = correlation_matrix(points)
     clusters = detect_clusters(matrix)
     rows = [
-        [f"core{i}"] + [f"{matrix[i, j]:.3f}" for j in range(6)]
-        for i in range(6)
+        [f"core{i}"] + [f"{matrix[i, j]:.3f}" for j in range(n_cores)]
+        for i in range(n_cores)
     ]
     text = render_table(
-        ["", *(f"core{j}" for j in range(6))], rows,
+        ["", *(f"core{j}" for j in range(n_cores))], rows,
         title="Noise correlation across workload mappings (paper Fig. 13a)",
     )
     text += f"\nclusters: {clusters[0]} and {clusters[1]}"
-    off_diagonal = matrix[~np.eye(6, dtype=bool)]
+    off_diagonal = matrix[~np.eye(n_cores, dtype=bool)]
     data = {
         "matrix": matrix,
         "clusters": clusters,
         "min_correlation": float(off_diagonal.min()),
         "all_above_0_9": bool(off_diagonal.min() > 0.9),
         "row_clusters_detected": sorted(map(tuple, clusters))
-        == [(0, 2, 4), (1, 3, 5)],
+        == sorted(row_cores(n_cores)),
     }
     return ExperimentResult("fig13a", "Inter-core noise correlation", text, data)
 
@@ -64,16 +66,18 @@ def run_fig13b(context: ExperimentContext) -> ExperimentResult:
             f"{trace.peak_droop_by_core[c] * 1e3:.2f}",
             f"{trace.time_to_10pct_by_core[c] * 1e9:.1f}",
         ]
-        for c in range(6)
+        for c in range(context.chip.n_cores)
     ]
     text = render_table(
         ["observer", "peak droop (mV)", "time to 10% of peak (ns)"], rows,
         title="ΔI step on core 0 (paper Fig. 13b, design-tool mode)",
     )
-    same_row = [trace.peak_droop_by_core[c] for c in (2, 4)]
-    cross_row = [trace.peak_droop_by_core[c] for c in (1, 3, 5)]
-    same_row_t = [trace.time_to_10pct_by_core[c] for c in (2, 4)]
-    cross_row_t = [trace.time_to_10pct_by_core[c] for c in (1, 3, 5)]
+    north, south = row_cores(context.chip.n_cores)
+    same_cores = [c for c in north if c != 0]
+    same_row = [trace.peak_droop_by_core[c] for c in same_cores]
+    cross_row = [trace.peak_droop_by_core[c] for c in south]
+    same_row_t = [trace.time_to_10pct_by_core[c] for c in same_cores]
+    cross_row_t = [trace.time_to_10pct_by_core[c] for c in south]
     data = {
         "trace": trace,
         "same_row_stronger": min(same_row) > max(cross_row),

@@ -29,7 +29,8 @@ def _compile_fig14(context: ExperimentContext):
     idle = idle_program(context.generator.target.idle_current)
     placements = (CROSS_CLUSTER, SAME_CLUSTER)
     mappings = [
-        [program if c in cores else idle for c in range(6)]
+        [program if c in cores else idle
+         for c in range(context.chip.n_cores)]
         for cores in placements
     ]
     tags: list[object] = [("fig14", cores) for cores in placements]

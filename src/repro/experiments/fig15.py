@@ -23,7 +23,8 @@ def plan_fig15(context: ExperimentContext) -> RunPlan:
         freq_hz=context.resonant_freq_hz, synchronize=True
     ).current_program()
     return plan_mapping_extremes(
-        context.chip, program, workload_counts=list(range(0, 7)),
+        context.chip, program,
+        workload_counts=list(range(0, context.chip.n_cores + 1)),
         options=context.options,
     )
 
@@ -34,7 +35,8 @@ def run(context: ExperimentContext) -> ExperimentResult:
         freq_hz=context.resonant_freq_hz, synchronize=True
     ).current_program()
     studies = mapping_extremes(
-        context.chip, program, workload_counts=list(range(0, 7)),
+        context.chip, program,
+        workload_counts=list(range(0, context.chip.n_cores + 1)),
         session=context.session,
     )
     rows = []
@@ -64,7 +66,7 @@ def run(context: ExperimentContext) -> ExperimentResult:
         "reduction_by_count": deltas,
         "mid_count_reduction": mid,
         "extremes_have_no_freedom": deltas.get(0, 0.0) == 0.0
-        and deltas.get(6, 0.0) == 0.0,
+        and deltas.get(context.chip.n_cores, 0.0) == 0.0,
         "studies": studies,
     }
     return ExperimentResult("fig15", "Mapping opportunity per workload count", text, data)

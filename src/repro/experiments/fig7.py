@@ -47,7 +47,8 @@ def run_fig7a(context: ExperimentContext) -> ExperimentResult:
         session=context.session,
     )
     series = {
-        f"core{c} %p2p": [p.p2p_by_core[c] for p in points] for c in range(6)
+        f"core{c} %p2p": [p.p2p_by_core[c] for p in points]
+        for c in range(context.chip.n_cores)
     }
     text = render_series(
         "stimulus", [format_freq(p.freq_hz) for p in points], series,

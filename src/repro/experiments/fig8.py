@@ -20,7 +20,9 @@ def plan_fig8(context: ExperimentContext) -> RunPlan:
         freq_hz=context.resonant_freq_hz, synchronize=True
     ).current_program()
     return plan_capture_trace(
-        context.chip, [program] * 6, options=context.options
+        context.chip,
+        [program] * context.chip.n_cores,
+        options=context.options,
     )
 
 
@@ -31,7 +33,7 @@ def run(context: ExperimentContext) -> ExperimentResult:
     )
     program = mark.current_program()
     trace = capture_trace(
-        context.chip, [program] * 6, node="core0",
+        context.chip, [program] * context.chip.n_cores, node="core0",
         session=context.session,
     )
     period = 1.0 / program.freq_hz

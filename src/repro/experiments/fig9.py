@@ -56,7 +56,8 @@ def run(context: ExperimentContext) -> ExperimentResult:
         synchronize=False, session=context.session,
     )
     series = {
-        f"core{c} %p2p": [p.p2p_by_core[c] for p in synced] for c in range(6)
+        f"core{c} %p2p": [p.p2p_by_core[c] for p in synced]
+        for c in range(context.chip.n_cores)
     }
     text = render_series(
         "stimulus", [format_freq(p.freq_hz) for p in synced], series,

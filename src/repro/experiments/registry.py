@@ -19,7 +19,7 @@ from typing import Callable, Sequence
 from ..errors import ExperimentError
 from ..obs import get_telemetry
 from ..plan import CampaignPlan, RunPlan
-from .common import ExperimentContext, default_context
+from .common import ExperimentContext, context_for_spec, default_context
 
 __all__ = [
     "ExperimentResult",
@@ -30,6 +30,7 @@ __all__ = [
     "run_experiment",
     "compile_plan",
     "compile_campaign",
+    "compile_family_campaign",
 ]
 
 
@@ -151,6 +152,42 @@ def compile_campaign(
     ):
         plans = [compile_plan(eid, context) for eid in experiment_ids]
         return CampaignPlan.compile(plans)
+
+
+def compile_family_campaign(
+    experiment_ids: Sequence[str],
+    family,
+    *,
+    quick: bool = False,
+    members: Sequence | None = None,
+):
+    """Compile *experiment_ids* across every member of a chip *family*
+    (a :class:`~repro.chips.ChipFamily` or a builtin family name).
+
+    Each member gets its own spec-parameterized context (same fidelity
+    tier for all members) and its own deduplicated
+    :class:`CampaignPlan`; the result is the
+    :class:`~repro.plan.FamilyCampaign` the family CLI verb plans,
+    shards and executes.  The reference member's plan is fingerprint-
+    identical to what :func:`compile_campaign` produces standalone.
+    """
+    from ..chips import get_family
+    from ..plan import FamilyCampaign
+
+    if isinstance(family, str):
+        family = get_family(family)
+
+    def plan_for(spec) -> CampaignPlan:
+        context = context_for_spec(spec, quick=quick)
+        plans = [compile_plan(eid, context) for eid in experiment_ids]
+        return CampaignPlan.compile(plans)
+
+    with get_telemetry().span(
+        "plan.compile_family",
+        family=family.name,
+        experiments=list(experiment_ids),
+    ):
+        return FamilyCampaign.compile(family, plan_for, members=members)
 
 
 def _ensure_loaded() -> None:

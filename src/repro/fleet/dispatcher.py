@@ -78,6 +78,15 @@ class FleetDispatcher:
         hosts and each local command is wrapped through the template
         (``{command}`` is the shell-quoted worker invocation).  The
         default (no template) spawns plain local subprocesses.
+    slurm_template:
+        Third transport, mutually exclusive with ``ssh_template``: a
+        Slurm launcher template like ``"srun -N1 -n1 -J {job}
+        {command}"``.  ``{command}`` (required) is the shell-quoted
+        worker invocation and ``{job}`` (optional) a per-worker job
+        name; the scheduler picks the host, so ``hosts`` does not
+        apply.  The launcher must run the command to completion in the
+        foreground (``srun``, not ``sbatch``) — the dispatcher's
+        crash/respawn monitor watches the launcher's exit status.
     respawn:
         Total budget of crash respawns across the whole campaign
         (clean exits never consume it).
@@ -103,6 +112,7 @@ class FleetDispatcher:
         workers: int = 4,
         hosts: list[str] | None = None,
         ssh_template: str | None = None,
+        slurm_template: str | None = None,
         respawn: int = 8,
         poll_s: float = 0.2,
         timeout_s: float | None = None,
@@ -116,6 +126,24 @@ class FleetDispatcher:
                 "ssh template must contain '{command}' "
                 "(and usually '{host}')"
             )
+        if slurm_template is not None:
+            if ssh_template is not None:
+                raise ConfigError(
+                    "--ssh-template and --slurm-template are mutually "
+                    "exclusive transports"
+                )
+            if "{command}" not in slurm_template:
+                raise ConfigError(
+                    "slurm template must contain '{command}' "
+                    "(and may use '{job}')"
+                )
+            try:
+                slurm_template.format(command="true", job="probe")
+            except (KeyError, IndexError) as error:
+                raise ConfigError(
+                    f"slurm template has an unknown placeholder ({error}); "
+                    "supported placeholders are {command} and {job}"
+                )
         if hosts and ssh_template is None:
             raise ConfigError("--hosts needs an --ssh-template transport")
         self.campaign = campaign
@@ -125,6 +153,7 @@ class FleetDispatcher:
         self.workers = workers
         self.hosts = list(hosts) if hosts else []
         self.ssh_template = ssh_template
+        self.slurm_template = slurm_template
         self.respawn_budget = respawn
         self.poll_s = poll_s
         self.timeout_s = timeout_s
@@ -157,6 +186,12 @@ class FleetDispatcher:
             "--worker-id", worker_id,
             "--workdir", str(workdir),
         ]
+        if self.slurm_template is not None:
+            wrapped = self.slurm_template.format(
+                command=shlex.join(command),
+                job=f"repro-{self.campaign_dir.name}-{worker_id}",
+            )
+            return shlex.split(wrapped)
         if self.ssh_template is None:
             return command
         host = self.hosts[slot % len(self.hosts)] if self.hosts else "localhost"

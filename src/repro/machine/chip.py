@@ -20,12 +20,11 @@ from ..pdn.netlist import Netlist
 from ..pdn.response import ResponseLibrary
 from ..pdn.state_space import ModalSystem, build_state_space
 from ..pdn.topology import (
-    NORTH_CORES,
-    SOUTH_CORES,
     ChipPdnParameters,
     build_chip_netlist,
     core_node,
     core_port,
+    row_cores,
 )
 from ..pdn.zec12 import reference_chip_parameters
 from ..uarch.resources import CoreConfig, default_core_config
@@ -34,7 +33,8 @@ from .variation import CoreVariation, draw_variation
 
 __all__ = ["ChipConfig", "Chip", "reference_chip", "N_CORES"]
 
-#: Core count of the modeled chip.
+#: Core count of the *reference* chip (family variants carry their own
+#: count in ``ChipConfig.pdn.n_cores`` / ``Chip.n_cores``).
 N_CORES = 6
 
 
@@ -83,7 +83,10 @@ class Chip:
     def __init__(self, config: ChipConfig, chip_id: int = 0):
         self.config = config
         self.chip_id = chip_id
-        self.variation: CoreVariation = draw_variation(config.seed, chip_id)
+        self.n_cores = config.pdn.n_cores
+        self.variation: CoreVariation = draw_variation(
+            config.seed, chip_id, n_cores=self.n_cores
+        )
         self.pdn_params = config.pdn.with_variation(
             self.variation.r_scale, self.variation.c_scale
         )
@@ -94,7 +97,7 @@ class Chip:
                 location=f"core{i}",
                 sensitivity=self.variation.skitter_sensitivity[i],
             )
-            for i in range(N_CORES)
+            for i in range(self.n_cores)
         ]
         self.unit_skitters = {
             name: SkitterMacro(config.skitter, location=name)
@@ -109,17 +112,18 @@ class Chip:
 
     @property
     def core_nodes(self) -> list[str]:
-        return [core_node(i) for i in range(N_CORES)]
+        return [core_node(i) for i in range(self.n_cores)]
 
     @property
     def core_ports(self) -> list[str]:
-        return [core_port(i) for i in range(N_CORES)]
+        return [core_port(i) for i in range(self.n_cores)]
 
     def row_of(self, core: int) -> str:
         """'north' or 'south' — which domain row the core sits in."""
-        if core in NORTH_CORES:
+        north, south = row_cores(self.n_cores)
+        if core in north:
             return "north"
-        if core in SOUTH_CORES:
+        if core in south:
             return "south"
         raise ConfigError(f"no core {core} on this chip")
 

@@ -34,7 +34,7 @@ from ..errors import ConfigError, MeasurementError
 from ..pdn.kernels import CompiledChipKernel, SampleGrid
 from ..pdn.superposition import EdgeTrain, assemble_voltage, edges_from_square_wave
 from ..rng import stream
-from .chip import N_CORES, Chip
+from .chip import Chip
 from .workload import CurrentProgram
 
 __all__ = [
@@ -261,9 +261,11 @@ class ChipRunner:
     ) -> StimulusBatch:
         """Construct the full stimulus of one run without solving it."""
         options = options or RunOptions()
-        if len(mapping) != N_CORES:
-            raise ConfigError(f"mapping must cover all {N_CORES} cores")
         chip = self.chip
+        if len(mapping) != chip.n_cores:
+            raise ConfigError(
+                f"mapping must cover all {chip.n_cores} cores"
+            )
 
         idle_amps = chip.config.core.static_power_w / chip.vnom
         baseline = dict(options.nest_currents)
@@ -317,11 +319,11 @@ class ChipRunner:
         waveforms: dict[str, tuple[np.ndarray, np.ndarray]] = {}
         sticky = [
             {"v_min": np.inf, "v_max": -np.inf, "coherent": 0.0}
-            for _ in range(N_CORES)
+            for _ in range(chip.n_cores)
         ]
         for segment, rows in zip(batch.segments, deviations):
             times = segment.times
-            for core in range(N_CORES):
+            for core in range(chip.n_cores):
                 node = core_nodes[core]
                 volts = dc_levels[node] + rows[core]
                 state = sticky[core]
@@ -339,7 +341,7 @@ class ChipRunner:
                     )
 
         measurements: list[CoreMeasurement] = []
-        for core in range(N_CORES):
+        for core in range(chip.n_cores):
             state = sticky[core]
             if not np.isfinite(state["v_min"]):  # pragma: no cover - defensive
                 raise MeasurementError(f"core {core} produced no samples")
@@ -554,12 +556,13 @@ class ChipRunner:
         window, over the whole segment.
 
         The sliding window is evaluated as dense (event × event)
-        matrices — with at most ``N_CORES × events_cap`` rising edges
+        matrices — with at most ``n_cores × events_cap`` rising edges
         per segment the quadratic form is small, and it replaces the
         per-window Python scan that used to dominate stimulus
         construction.
         """
         chip = self.chip
+        n_cores = chip.n_cores
         window = chip.config.ssn_window
         port_to_core = {port: i for i, port in enumerate(chip.core_ports)}
         t_parts: list[np.ndarray] = []
@@ -583,10 +586,10 @@ class ChipRunner:
             c_parts.append(np.full(times.size, core, dtype=np.intp))
             a_parts.append(train.deltas[rising] * impulsiveness)
         if not t_parts:
-            return [0.0] * N_CORES
+            return [0.0] * n_cores
         t = np.concatenate(t_parts)
         if t.size == 0:
-            return [0.0] * N_CORES
+            return [0.0] * n_cores
         order = np.argsort(t, kind="stable")
         t, c, a = t[order], np.concatenate(c_parts)[order], np.concatenate(a_parts)[order]
 
@@ -600,14 +603,14 @@ class ChipRunner:
         # At most one edge per source core counts within a window: the
         # delay line integrates a single traversal, it does not
         # accumulate a core's repeated events.
-        per_core = np.zeros((t.size, N_CORES))
-        for core in range(N_CORES):
+        per_core = np.zeros((t.size, n_cores))
+        for core in range(n_cores):
             cols = amps[:, c == core]
             if cols.size:
                 per_core[:, core] = cols.max(axis=1)
         weights = np.array([
-            [chip.coupling_weight(observer, core) for core in range(N_CORES)]
-            for observer in range(N_CORES)
+            [chip.coupling_weight(observer, core) for core in range(n_cores)]
+            for observer in range(n_cores)
         ])
         totals = per_core @ weights.T           # (windows, observers)
         return [float(v) for v in totals.max(axis=0)]

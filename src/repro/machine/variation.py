@@ -22,13 +22,30 @@ from dataclasses import dataclass
 from ..errors import ConfigError
 from ..rng import stream
 
-__all__ = ["CoreVariation", "draw_variation", "LAYOUT_SENSITIVITY"]
+__all__ = [
+    "CoreVariation",
+    "draw_variation",
+    "layout_sensitivity",
+    "LAYOUT_SENSITIVITY",
+]
 
 #: Deterministic layout component of skitter sensitivity per core.
 #: Cores 2 and 4 (middle/right of the north row) read slightly hotter,
 #: matching the reference measurements in the paper (max noise "in
 #: cores 2 and 4").
 LAYOUT_SENSITIVITY = (1.00, 0.97, 1.06, 0.96, 1.04, 0.95)
+
+
+def layout_sensitivity(n_cores: int) -> tuple[float, ...]:
+    """The deterministic layout-sensitivity vector for an *n_cores*
+    chip: the reference six-core pattern, tiled — neighbouring cores on
+    a bigger die repeat the same local-layout bias pattern."""
+    if n_cores < 1:
+        raise ConfigError("a chip needs at least one core")
+    return tuple(
+        LAYOUT_SENSITIVITY[i % len(LAYOUT_SENSITIVITY)]
+        for i in range(n_cores)
+    )
 
 
 @dataclass(frozen=True)
@@ -41,8 +58,10 @@ class CoreVariation:
 
     def __post_init__(self) -> None:
         lengths = {len(self.r_scale), len(self.c_scale), len(self.skitter_sensitivity)}
-        if lengths != {6}:
-            raise ConfigError("variation vectors must cover the six cores")
+        if len(lengths) != 1 or not self.r_scale:
+            raise ConfigError(
+                "variation vectors must agree and cover every core"
+            )
         for vec in (self.r_scale, self.c_scale, self.skitter_sensitivity):
             if any(v <= 0 for v in vec):
                 raise ConfigError("variation scales must be positive")
@@ -53,19 +72,22 @@ def draw_variation(
     chip_id: int = 0,
     electrical_sigma: float = 0.03,
     skitter_sigma: float = 0.02,
+    n_cores: int = 6,
 ) -> CoreVariation:
     """Draw the variation vectors for chip *chip_id* under *chip_seed*.
 
     Electrical scales are lognormal-ish around 1 (clipped to ±3σ);
     skitter sensitivity combines the layout vector with a random
-    component.
+    component.  The draw sequence is a pure function of
+    ``(chip_seed, chip_id, n_cores)`` — for the reference six-core
+    chip it is byte-identical to the historical draw.
     """
     if electrical_sigma < 0 or skitter_sigma < 0:
         raise ConfigError("variation sigmas cannot be negative")
     rng = stream(chip_seed, "variation", chip_id)
 
     def draw(sigma: float) -> list[float]:
-        raw = rng.normal(0.0, sigma, size=6)
+        raw = rng.normal(0.0, sigma, size=n_cores)
         clipped = raw.clip(-3 * sigma, 3 * sigma) if sigma > 0 else raw
         return [float(v) for v in (1.0 + clipped)]
 
@@ -73,7 +95,8 @@ def draw_variation(
     c_scale = draw(electrical_sigma)
     random_sens = draw(skitter_sigma)
     sensitivity = tuple(
-        layout * rand for layout, rand in zip(LAYOUT_SENSITIVITY, random_sens)
+        layout * rand
+        for layout, rand in zip(layout_sensitivity(n_cores), random_sens)
     )
     return CoreVariation(
         r_scale=tuple(r_scale),

@@ -24,7 +24,7 @@ from ..analysis.mapping import (
 )
 from ..engine import SimulationSession
 from ..errors import ExperimentError
-from ..machine.chip import N_CORES, Chip
+from ..machine.chip import Chip
 from ..machine.runner import RunOptions
 from ..machine.workload import CurrentProgram
 from ..plan.spec import RunPlan
@@ -79,9 +79,10 @@ class NoiseAwareScheduler:
     def study(self, n_workloads: int) -> MappingStudy:
         """The exhaustive placement study for *n_workloads*; its runs
         are served from the engine cache after the first query."""
-        if not 0 <= n_workloads <= N_CORES:
+        if not 0 <= n_workloads <= self.chip.n_cores:
             raise ExperimentError(
-                f"cannot place {n_workloads} workloads on {N_CORES} cores"
+                f"cannot place {n_workloads} workloads on "
+                f"{self.chip.n_cores} cores"
             )
         return enumerate_mappings(
             self.chip, self.program, n_workloads, self.options,
@@ -98,7 +99,7 @@ class NoiseAwareScheduler:
         including the scheduler's warm-up compiles to, fingerprint-
         identical to the runs :meth:`study` executes."""
         counts = (
-            list(range(N_CORES + 1))
+            list(range(self.chip.n_cores + 1))
             if workload_counts is None
             else workload_counts
         )
@@ -126,5 +127,5 @@ class NoiseAwareScheduler:
         series)."""
         return {
             count: self.study(count).reduction_opportunity
-            for count in range(N_CORES + 1)
+            for count in range(self.chip.n_cores + 1)
         }

@@ -61,15 +61,17 @@ class StaggerPlan:
 def plan_stagger(
     mapping: list[CurrentProgram | None],
     window_steps: int = 5,
+    n_cores: int = N_CORES,
 ) -> StaggerPlan:
     """Assign offsets to the synchronized, swing-heavy cores.
 
     Offsets are spread evenly over ``window_steps`` TOD steps (the
     Figure 10 construction); cores without synchronized bursts keep a
-    zero offset.
+    zero offset.  *n_cores* is the target chip's core count (the
+    reference chip's six when unspecified).
     """
-    if len(mapping) != N_CORES:
-        raise ExperimentError(f"mapping must cover all {N_CORES} cores")
+    if len(mapping) != n_cores:
+        raise ExperimentError(f"mapping must cover all {n_cores} cores")
     if window_steps < 1:
         raise ExperimentError("need at least one TOD step of window")
     targets = [
@@ -77,7 +79,7 @@ def plan_stagger(
         for core, program in enumerate(mapping)
         if program is not None and program.sync is not None and not program.is_steady
     ]
-    offsets = [0.0] * N_CORES
+    offsets = [0.0] * len(mapping)
     if targets:
         spread = spread_offsets(len(targets), window_steps * TOD_STEP)
         for core, offset in zip(targets, spread):
@@ -124,7 +126,7 @@ def plan_stagger_runs(
     from ..machine.runner import RunOptions as _RunOptions
     from ..plan.spec import RunPlan
 
-    plan = plan_stagger(mapping, window_steps)
+    plan = plan_stagger(mapping, window_steps, n_cores=chip.n_cores)
     run_plan = RunPlan.for_chip(chip)
     run_options = options or _RunOptions()
     run_plan.add(mapping, "stagger-baseline", run_options, figure)
@@ -142,7 +144,7 @@ def evaluate_stagger(
     """Measure the stagger plan's effect on *mapping* (both runs go
     through the engine session, so a baseline another study already
     solved is replayed from the result cache)."""
-    plan = plan_stagger(mapping, window_steps)
+    plan = plan_stagger(mapping, window_steps, n_cores=chip.n_cores)
     session = session or SimulationSession(chip, options)
     baseline, staggered = session.run_many(
         [mapping, plan.apply(mapping)],

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from ..engine import SimulationSession
 from ..errors import ExperimentError
-from ..machine.chip import N_CORES, Chip
+from ..machine.chip import Chip
 from ..machine.runner import RunOptions, RunResult
 from ..machine.workload import CurrentProgram
 
@@ -82,10 +82,11 @@ class GlobalDidtThrottle:
     ) -> float:
         """Worst-case coherent ΔI any core could observe if every
         swinging core's events aligned (the monitor's planning bound)."""
-        if len(mapping) != N_CORES:
-            raise ExperimentError(f"mapping must cover all {N_CORES} cores")
+        n_cores = self.chip.n_cores
+        if len(mapping) != n_cores:
+            raise ExperimentError(f"mapping must cover all {n_cores} cores")
         worst = 0.0
-        for observer in range(N_CORES):
+        for observer in range(n_cores):
             total = 0.0
             for core, program in enumerate(mapping):
                 if program is None or program.is_steady:

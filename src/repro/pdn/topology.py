@@ -27,14 +27,31 @@ __all__ = [
     "build_chip_netlist",
     "core_node",
     "core_port",
+    "row_cores",
     "NORTH_CORES",
     "SOUTH_CORES",
+    "MAX_CORES",
 ]
 
 #: Core ids in the north row (top of the die photo), sharing a domain.
 NORTH_CORES = (0, 2, 4)
 #: Core ids in the south row, sharing the other domain.
 SOUTH_CORES = (1, 3, 5)
+
+#: Largest core count the two-row topology generalizes to.
+MAX_CORES = 32
+
+
+def row_cores(n_cores: int) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """The two core rows of an *n_cores* chip: even core ids form the
+    north row, odd ids the south row — the rule that reproduces the
+    paper's ``{0, 2, 4}`` / ``{1, 3, 5}`` clusters on the six-core
+    reference chip and extends it to family variants."""
+    cores = range(n_cores)
+    return (
+        tuple(c for c in cores if c % 2 == 0),
+        tuple(c for c in cores if c % 2 == 1),
+    )
 
 
 def core_node(core: int) -> str:
@@ -102,10 +119,17 @@ class ChipPdnParameters:
     core_c_scale: tuple[float, ...] = field(default=(1.0,) * 6)
 
     def __post_init__(self) -> None:
-        if self.n_cores != 6:
+        if not 2 <= self.n_cores <= MAX_CORES:
             raise ConfigError(
-                "the reference topology models the six-core chip of the paper"
+                f"the two-row topology supports 2..{MAX_CORES} cores "
+                f"(got {self.n_cores}); the paper's reference chip has 6"
             )
+        # The class-default all-ones vectors are sized for the six-core
+        # reference chip; re-size that default for family variants with
+        # other core counts (any other wrong-length vector errors below).
+        for name in ("core_r_scale", "core_c_scale"):
+            if getattr(self, name) == (1.0,) * 6 and self.n_cores != 6:
+                setattr(self, name, (1.0,) * self.n_cores)
         if len(self.core_r_scale) != self.n_cores:
             raise ConfigError("core_r_scale needs one entry per core")
         if len(self.core_c_scale) != self.n_cores:
@@ -159,7 +183,8 @@ def build_chip_netlist(params: ChipPdnParameters) -> Netlist:
     net.add_inductor("l_mb", "board", "pkg", params.l_mb, esr=params.r_mb)
     net.add_capacitor("c_pkg", "pkg", params.c_pkg, esr=params.c_pkg_esr)
 
-    domains = {"dom_n": NORTH_CORES, "dom_s": SOUTH_CORES}
+    north, south = row_cores(params.n_cores)
+    domains = {"dom_n": north, "dom_s": south}
     for dom in domains:
         net.add_inductor(f"l_c4_{dom}", "pkg", dom, params.l_c4, esr=params.r_c4)
         net.add_capacitor(f"c_{dom}", dom, params.c_dom, esr=params.c_dom_esr)
@@ -173,9 +198,13 @@ def build_chip_netlist(params: ChipPdnParameters) -> Netlist:
             net.add_capacitor(f"c_core{core}", node, c, esr=params.c_core_esr)
             net.add_current_port(core_port(core), node)
 
-    # Lateral on-die grid links along each row: 0-2-4 and 1-3-5.
-    for a, b in ((0, 2), (2, 4), (1, 3), (3, 5)):
-        net.add_resistor(f"r_lat_{a}{b}", core_node(a), core_node(b), params.r_lateral)
+    # Lateral on-die grid links along each row (0-2-4 and 1-3-5 on the
+    # reference chip; consecutive same-row neighbours in general).
+    for row in (north, south):
+        for a, b in zip(row, row[1:]):
+            net.add_resistor(
+                f"r_lat_{a}{b}", core_node(a), core_node(b), params.r_lateral
+            )
 
     # Deep-trench L3 bridges the two domains.
     net.add_capacitor("c_l3", "l3", params.c_l3, esr=params.c_l3_esr)

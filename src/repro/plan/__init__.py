@@ -18,13 +18,18 @@ pipeline into **plan → dedup → shard → execute**:
 * :mod:`repro.plan.execute` — :func:`execute_plan`: run a slice
   through the engine (same cache, same fingerprints), checkpointing
   through :class:`~repro.engine.campaign.CampaignManifest` so shard
-  caches/manifests merge into a bit-identical unsharded result.
+  caches/manifests merge into a bit-identical unsharded result;
+* :mod:`repro.plan.family` — :class:`FamilyCampaign` /
+  :func:`execute_family`: the same pipeline fanned across a declarative
+  chip family (one member plan per chip fingerprint, global sharding,
+  per-chip execution sessions).
 
 See DESIGN.md §9 for the plan model, the shard partitioning function
 and the merge semantics.
 """
 
 from .execute import ExecutionReport, execute_plan, run_point_id
+from .family import FamilyCampaign, FamilyMember, FamilyReport, execute_family
 from .planner import CampaignPlan, UniqueRun, merge_plans
 from .shard import ShardSpec
 from .spec import PlannedRun, RunPlan, chip_identity
@@ -40,4 +45,8 @@ __all__ = [
     "ExecutionReport",
     "execute_plan",
     "run_point_id",
+    "FamilyCampaign",
+    "FamilyMember",
+    "FamilyReport",
+    "execute_family",
 ]

@@ -9,6 +9,14 @@ and actual execution — with single-flight coalescing of identical
 in-flight requests and bounded-queue backpressure in front of the
 engine.  See :mod:`repro.serve.server` for the tier diagram and the
 threading contract.
+
+One process can host several chip identities at once
+(:mod:`repro.serve.roster`): extra :class:`~repro.chips.ChipSpec`
+members fingerprint immediately, build lazily on their first
+execution-tier miss, and the least-recently-used cold chip is evicted
+when the resident budget fills.  Requests select a chip with their
+``chip`` field; requests without it hit the default chip exactly as in
+a single-chip service.
 """
 
 from .client import ServeClient
@@ -25,11 +33,14 @@ from .protocol import (
     read_message,
     write_message,
 )
+from .roster import ChipEntry, ChipRoster
 from .scrape import MetricsHTTPServer, start_metrics_http
 from .server import DEFAULT_PORT, NoiseServer, SimulationService, start_server
 
 __all__ = [
     "DEFAULT_PORT",
+    "ChipEntry",
+    "ChipRoster",
     "Flight",
     "HotCache",
     "MetricsHTTPServer",

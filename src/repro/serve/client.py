@@ -71,13 +71,17 @@ class ServeClient:
         options: RunOptions | dict | None = None,
         tag: object = None,
         *,
+        chip: str | None = None,
         retry_busy: int = 0,
     ) -> dict:
         """Submit one simulation request.
 
         ``mapping`` is a sequence of :class:`CurrentProgram` / ``None``
-        (or already-encoded program dicts).  ``retry_busy`` re-submits
-        up to that many times after a busy reply, sleeping the server's
+        (or already-encoded program dicts).  ``chip`` selects a hosted
+        chip identity on a multi-chip service (spec name, family label
+        or fingerprint digest); omitted, the request goes to the
+        server's default chip.  ``retry_busy`` re-submits up to that
+        many times after a busy reply, sleeping the server's
         ``retry_after_s`` hint between attempts.
         """
         payload: dict = {
@@ -89,6 +93,8 @@ class ServeClient:
                 for entry in mapping
             ],
         }
+        if chip is not None:
+            payload["chip"] = chip
         if options is not None:
             payload["options"] = (
                 _encode_options(options)

@@ -94,10 +94,17 @@ class SimRequest:
         byte-identical to :meth:`SimulationSession.fingerprint`, which
         is what lets the service answer from the engine's disk cache
         and lets batch campaigns pre-warm the service."""
+        return self.fingerprint_for(chip_identity(chip.config, chip.chip_id))
+
+    def fingerprint_for(self, identity: str) -> str:
+        """The same content address, from a chip *identity* string
+        (:func:`~repro.plan.spec.chip_identity`) — what lets the
+        multi-chip service fingerprint a request against a chip it has
+        not built yet (lazy build is only paid on a cold miss)."""
         planned = PlannedRun(
             mapping=self.mapping, tag=self.tag, options=self.options
         )
-        return planned.fingerprint(chip_identity(chip.config, chip.chip_id))
+        return planned.fingerprint(identity)
 
 
 def _require(condition: bool, message: str) -> None:
@@ -194,9 +201,15 @@ def _decode_options(payload: object, defaults: RunOptions) -> RunOptions:
 
 
 def decode_request(
-    payload: dict, defaults: RunOptions | None = None
+    payload: dict,
+    defaults: RunOptions | None = None,
+    n_cores: int = N_CORES,
 ) -> SimRequest:
-    """Validate and compile one ``simulate`` request."""
+    """Validate and compile one ``simulate`` request.
+
+    *n_cores* is the core count of the chip the request targets (the
+    reference chip's six when unspecified); short mappings pad to it.
+    """
     _require(isinstance(payload, dict), "request must be a JSON object")
     mapping_payload = payload.get("mapping")
     _require(
@@ -204,8 +217,8 @@ def decode_request(
         "request needs a 'mapping' array (one entry per core)",
     )
     _require(
-        0 < len(mapping_payload) <= N_CORES,
-        f"mapping must name 1..{N_CORES} cores "
+        0 < len(mapping_payload) <= n_cores,
+        f"mapping must name 1..{n_cores} cores "
         f"(got {len(mapping_payload)})",
     )
     mapping: list[CurrentProgram | None] = []
@@ -215,7 +228,7 @@ def decode_request(
         )
     # Short mappings pad with idle cores — the common "load one core"
     # query should not have to spell out five nulls.
-    mapping.extend([None] * (N_CORES - len(mapping)))
+    mapping.extend([None] * (n_cores - len(mapping)))
     options = _decode_options(payload.get("options"), defaults or RunOptions())
     tag = payload.get("tag", "serve")
     _require(

@@ -1,0 +1,238 @@
+"""Multi-chip hosting roster for the simulation service.
+
+One service process can host several chip identities — the default
+(always-resident) chip plus any number of declarative
+:class:`~repro.chips.ChipSpec` members, e.g. a whole chip family behind
+one endpoint.  The roster keeps chip *identity* cheap and chip *build*
+lazy:
+
+* every hosted spec gets its identity string and fingerprint digest at
+  registration time (a :meth:`~repro.chips.ChipSpec.compile`, no modal
+  decomposition), so requests against a never-built chip fingerprint
+  and answer from the hot/disk tiers without paying a build;
+* the heavy :class:`~repro.machine.chip.Chip` (modal decomposition +
+  response library + kernel) is built only when a request actually
+  misses into the execution tier, on the executor thread;
+* at most ``max_resident`` non-default chips stay built — building one
+  more evicts the least-recently-used cold chip (its warm sessions go
+  with it; its per-chip hot tier survives, replies are cheap JSON).
+
+The default chip is pinned: it is never evicted and its hot tier is the
+service's original hot tier, so a service hosting extra chips treats
+default-chip requests byte-identically to a single-chip service.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Iterable, Sequence
+
+from ..chips import ChipSpec
+from ..engine.fingerprint import content_key
+from ..errors import ConfigError
+from ..machine.chip import Chip
+from ..plan.spec import chip_identity
+from .hot_cache import HotCache
+
+__all__ = ["ChipEntry", "ChipRoster"]
+
+
+class ChipEntry:
+    """One hosted chip identity."""
+
+    __slots__ = (
+        "name", "spec", "identity", "digest", "n_cores", "hot",
+        "chip", "pinned", "last_used_s", "requests",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        identity: str,
+        n_cores: int,
+        hot: HotCache,
+        *,
+        spec: ChipSpec | None = None,
+        chip: Chip | None = None,
+        pinned: bool = False,
+    ):
+        self.name = name
+        self.spec = spec
+        self.identity = identity
+        self.digest = content_key(identity)
+        self.n_cores = n_cores
+        self.hot = hot
+        self.chip = chip
+        self.pinned = pinned
+        self.last_used_s = 0.0
+        self.requests = 0
+
+    @property
+    def resident(self) -> bool:
+        """Whether the heavy chip artifacts are currently built."""
+        return self.chip is not None
+
+    def labels(self) -> set[str]:
+        """Every name this entry answers to."""
+        labels = {self.name, self.digest}
+        if self.spec is not None:
+            labels.add(self.spec.name)
+            if "/" in self.spec.name:
+                labels.add(self.spec.name.split("/", 1)[1])
+        return labels
+
+
+class ChipRoster:
+    """The set of chip identities one service hosts.
+
+    The entry table is immutable after construction (handler threads
+    resolve against it lock-free); residency — lazy builds and LRU
+    eviction — is mutated under the roster lock, by the executor
+    thread only.
+    """
+
+    def __init__(
+        self,
+        default_chip: Chip,
+        default_hot: HotCache,
+        specs: Sequence[ChipSpec] = (),
+        *,
+        max_resident: int = 2,
+        hot_entries: int = 64,
+        default_name: str = "default",
+    ):
+        if max_resident < 1:
+            raise ConfigError(
+                f"max_resident must be >= 1 (got {max_resident})"
+            )
+        self.max_resident = max_resident
+        self._lock = threading.Lock()
+        self.builds = 0
+        self.evictions = 0
+        #: Digests evicted since the last :meth:`take_evicted` call
+        #: (the service drops the matching warm sessions).
+        self._evicted: list[str] = []
+        self.default = ChipEntry(
+            default_name,
+            chip_identity(default_chip.config, default_chip.chip_id),
+            default_chip.n_cores,
+            default_hot,
+            chip=default_chip,
+            pinned=True,
+        )
+        self._entries: list[ChipEntry] = [self.default]
+        self._by_label: dict[str, ChipEntry] = {}
+        for spec in specs:
+            entry = ChipEntry(
+                spec.name,
+                spec.identity(),
+                spec.n_cores,
+                HotCache(hot_entries),
+                spec=spec,
+            )
+            if entry.digest == self.default.digest:
+                # The default chip re-declared as a spec: alias it so
+                # both addresses serve the one pinned entry (and the
+                # one hot tier).
+                self._alias(self.default, entry.labels())
+                continue
+            if any(entry.digest == other.digest for other in self._entries):
+                raise ConfigError(
+                    f"chip {spec.name!r} duplicates an already-hosted "
+                    "chip identity"
+                )
+            self._entries.append(entry)
+            self._alias(entry, entry.labels())
+        self._alias(self.default, self.default.labels())
+
+    def _alias(self, entry: ChipEntry, labels: Iterable[str]) -> None:
+        for label in labels:
+            existing = self._by_label.setdefault(label, entry)
+            if existing is not entry:
+                raise ConfigError(
+                    f"chip label {label!r} is ambiguous between "
+                    f"{existing.name!r} and {entry.name!r}"
+                )
+
+    # -- lookup (handler threads, lock-free) ----------------------------
+    def resolve(self, selector: object) -> ChipEntry:
+        """The entry a request's ``chip`` field addresses (the default
+        entry for ``None``); raises :class:`ConfigError` with the
+        hosted names on a miss."""
+        if selector is None:
+            return self.default
+        if isinstance(selector, str) and selector in self._by_label:
+            return self._by_label[selector]
+        raise ConfigError(
+            f"unknown chip {selector!r}; hosted chips are "
+            f"{[entry.name for entry in self._entries]}"
+        )
+
+    def entries(self) -> list[ChipEntry]:
+        return list(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- residency (executor thread) ------------------------------------
+    def resident_chip(self, entry: ChipEntry) -> Chip:
+        """The built chip of *entry*, building it (and evicting the
+        LRU cold chip over budget) on first execution-tier use.
+
+        Returns the built chip; when a build evicted chips, the caller
+        learns it through :meth:`take_evicted` and must drop any warm
+        sessions bound to them.
+        """
+        with self._lock:
+            entry.last_used_s = time.monotonic()
+            entry.requests += 1
+            if entry.chip is not None:
+                return entry.chip
+            entry.chip = entry.spec.build()
+            self.builds += 1
+            self._evict_over_budget()
+            return entry.chip
+
+    def _evict_over_budget(self) -> None:
+        evictable = [
+            candidate
+            for candidate in self._entries
+            if candidate.resident and not candidate.pinned
+        ]
+        while len(evictable) > self.max_resident:
+            coldest = min(evictable, key=lambda c: c.last_used_s)
+            evictable.remove(coldest)
+            coldest.chip = None
+            self.evictions += 1
+            self._evicted.append(coldest.digest)
+
+    def take_evicted(self) -> list[str]:
+        with self._lock:
+            evicted, self._evicted = self._evicted, []
+            return evicted
+
+    # -- reporting ------------------------------------------------------
+    def stats(self) -> dict:
+        """Occupancy digest for health replies and gauges."""
+        with self._lock:
+            return {
+                "hosted": len(self._entries),
+                "resident": sum(
+                    1 for entry in self._entries if entry.resident
+                ),
+                "max_resident": self.max_resident,
+                "builds": self.builds,
+                "evictions": self.evictions,
+                "chips": [
+                    {
+                        "name": entry.name,
+                        "chip": entry.digest,
+                        "n_cores": entry.n_cores,
+                        "resident": entry.resident,
+                        "requests": entry.requests,
+                        "hot": entry.hot.stats(),
+                    }
+                    for entry in self._entries
+                ],
+            }

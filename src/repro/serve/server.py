@@ -45,6 +45,9 @@ import socketserver
 import threading
 import time
 
+from typing import Sequence
+
+from ..chips import ChipSpec
 from ..engine.cache import ResultCache, global_cache
 from ..engine.executor import Executor, make_executor
 from ..engine.fingerprint import canonical, content_key
@@ -66,6 +69,7 @@ from .protocol import (
     read_message,
     write_message,
 )
+from .roster import ChipRoster
 
 __all__ = ["SimulationService", "NoiseServer", "start_server"]
 
@@ -79,12 +83,13 @@ _STOP = object()
 class _WorkItem:
     """One admitted leader request, queued for the executor thread."""
 
-    __slots__ = ("fingerprint", "request", "flight", "admitted_s")
+    __slots__ = ("fingerprint", "request", "flight", "entry", "admitted_s")
 
-    def __init__(self, fingerprint, request, flight):
+    def __init__(self, fingerprint, request, flight, entry):
         self.fingerprint = fingerprint
         self.request = request
         self.flight = flight
+        self.entry = entry
         self.admitted_s = time.perf_counter()
 
 
@@ -137,6 +142,22 @@ class SimulationService:
     slo:
         The :class:`~repro.obs.slo.SloPolicy` the ticker evaluates
         (:func:`~repro.obs.slo.default_serve_slos` when omitted).
+    chips:
+        Extra :class:`~repro.chips.ChipSpec` identities to host next to
+        the default chip (e.g. a chip family behind one endpoint).  A
+        request selects one with its ``chip`` field (spec name, label
+        or fingerprint digest); requests without the field go to the
+        default chip, byte-identically to a single-chip service.
+        Hosted chips fingerprint immediately but build lazily — the
+        heavy solver artifacts are only paid when a request misses
+        into the execution tier.
+    max_resident_chips:
+        How many non-default chips may stay built at once; building
+        one more evicts the least-recently-used cold chip (and its
+        warm sessions — its hot tier survives).
+    chip_hot_entries:
+        Hot-tier bound of each extra hosted chip (the default chip
+        keeps ``hot_entries``).
     """
 
     def __init__(
@@ -157,6 +178,9 @@ class SimulationService:
         backend: str | None = None,
         window_s: float = 5.0,
         slo: SloPolicy | None = None,
+        chips: Sequence[ChipSpec] = (),
+        max_resident_chips: int = 2,
+        chip_hot_entries: int = 64,
     ):
         if queue_limit < 1:
             raise ConfigError(f"queue_limit must be >= 1 (got {queue_limit})")
@@ -176,13 +200,23 @@ class SimulationService:
         self.retry = retry or RetryPolicy.from_env()
         self._faults = faults
         self.hot = HotCache(hot_entries)
+        # Multi-chip roster: the default chip is entry 0 (pinned, its
+        # hot tier *is* self.hot); extra specs host lazily.
+        self.roster = ChipRoster(
+            chip,
+            self.hot,
+            chips,
+            max_resident=max_resident_chips,
+            hot_entries=chip_hot_entries,
+        )
         self.flights = SingleFlight()
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
         self.backend = resolve_backend_name(backend)
         self.telemetry = telemetry or get_telemetry()
         self._queue: queue.Queue = queue.Queue(maxsize=queue_limit)
-        self._sessions: dict[str, SimulationSession] = {}
+        # Warm sessions, keyed (chip digest, canonical options).
+        self._sessions: dict[tuple[str, str], SimulationSession] = {}
         self._metrics_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._closing = False
@@ -284,14 +318,20 @@ class SimulationService:
         start = time.perf_counter()
         self._count("serve.requests")
         try:
-            request = decode_request(payload, self.default_options)
+            entry = self.roster.resolve(payload.get("chip"))
+            request = decode_request(
+                payload, self.default_options, n_cores=entry.n_cores
+            )
         except (ProtocolError, ConfigError) as error:
             self._count("serve.bad_requests")
             return {"ok": False, "status": "bad-request", "error": str(error)}
-        fingerprint = request.fingerprint(self.chip)
+        # Fingerprint against the chip's *identity* — never its build —
+        # so requests for a cold hosted chip stay cheap until one
+        # actually misses into the execution tier.
+        fingerprint = request.fingerprint_for(entry.identity)
 
         # Tier 1: hot replay, entirely inside the handler thread.
-        hot = self.hot.get(fingerprint)
+        hot = entry.hot.get(fingerprint)
         if hot is not None:
             return self._reply(fingerprint, hot, "hot", start)
 
@@ -302,7 +342,7 @@ class SimulationService:
         # Tier 2/3 admission: coalesce onto one flight per fingerprint.
         leader, flight = self.flights.join(fingerprint)
         if leader:
-            item = _WorkItem(fingerprint, request, flight)
+            item = _WorkItem(fingerprint, request, flight, entry)
             try:
                 self._queue.put_nowait(item)
             except queue.Full:
@@ -372,6 +412,7 @@ class SimulationService:
             "sessions": len(self._sessions),
             "executor": getattr(self.executor, "name", "custom"),
             "backend": self.backend,
+            "chips": self.roster.stats(),
         }
 
     def metrics(self) -> dict:
@@ -388,6 +429,7 @@ class SimulationService:
             "slo": [status.to_dict() for status in self._slo_status],
             "window_s": self.window_s,
             "windows": len(self.series),
+            "chips": self.roster.stats(),
         }
 
     def metrics_text(self) -> dict:
@@ -443,6 +485,8 @@ class SimulationService:
             "serve.hot.entries": hot["entries"],
             "serve.hot.capacity": hot["capacity"],
             "serve.sessions.warm": len(self._sessions),
+            "serve.chips.hosted": len(self.roster),
+            "serve.chips.resident": self.roster.stats()["resident"],
             "serve.window.seconds": self.window_s,
             "serve.tier.hit.ratio": (
                 round(served_without_engine / answered, 6) if answered else 0.0
@@ -540,13 +584,14 @@ class SimulationService:
                     misses.append(item)
             if not misses:
                 return
-            # Tier 3: execute, batched per options set so distinct
-            # concurrent requests fan out over the warm pool together.
-            groups: dict[str, list[_WorkItem]] = {}
+            # Tier 3: execute, batched per (chip, options set) so
+            # distinct concurrent requests fan out over the warm pool
+            # together — one warm session per chip identity and
+            # options, exactly the grouping the plan executor uses.
+            groups: dict[tuple[str, str], list[_WorkItem]] = {}
             for item in misses:
-                groups.setdefault(
-                    canonical(item.request.options), []
-                ).append(item)
+                key = (item.entry.digest, canonical(item.request.options))
+                groups.setdefault(key, []).append(item)
             for key, items in groups.items():
                 self._execute_group(self._session_for(key, items[0]), items)
 
@@ -578,16 +623,33 @@ class SimulationService:
                 self._count("serve.executed")
                 self._settle(item, encode_result(result), "executed")
 
-    def _session_for(self, key: str, item: _WorkItem) -> SimulationSession:
-        """The warm session for one canonical options set (created on
-        first use, then reused for the lifetime of the service)."""
+    def _session_for(
+        self, key: tuple[str, str], item: _WorkItem
+    ) -> SimulationSession:
+        """The warm session for one (chip, canonical options) pair
+        (created on first use, then reused until the chip is evicted).
+
+        Runs on the executor thread: a cold hosted chip is built here
+        (the lazy-build cost lands on the first execution-tier miss),
+        and any chips the build evicted lose their warm sessions."""
         session = self._sessions.get(key)
         if session is None:
+            chip = self.roster.resident_chip(item.entry)
+            for digest in self.roster.take_evicted():
+                self._sessions = {
+                    k: s for k, s in self._sessions.items()
+                    if k[0] != digest
+                }
+                self._count("serve.chip_evictions")
+                self.telemetry.emit(
+                    "serve.chip_evicted", chip=digest,
+                    resident=self.roster.stats()["resident"],
+                )
             kwargs = {}
             if self._faults is not _UNSET:
                 kwargs["faults"] = self._faults
             session = SimulationSession(
-                self.chip,
+                chip,
                 item.request.options,
                 cache=self.cache,
                 executor=self.executor,
@@ -599,13 +661,16 @@ class SimulationService:
             )
             self._sessions[key] = session
             self._count("serve.sessions_built")
+        else:
+            # Keep the roster's LRU clock honest for resident chips.
+            self.roster.resident_chip(item.entry)
         return session
 
     def _settle(self, item: _WorkItem, payload: dict, tier: str) -> None:
         """Publish a finished computation: hot tier first, then the
         flight, then retire it — so there is no instant where a repeat
         request finds neither a hot entry nor an in-flight future."""
-        self.hot.put(item.fingerprint, payload)
+        item.entry.hot.put(item.fingerprint, payload)
         item.flight.resolve(payload, tier)
         self.flights.finish(item.flight)
 

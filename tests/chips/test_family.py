@@ -1,0 +1,121 @@
+"""Chip families: declarative sweep expansion, member naming and the
+builtin registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chips import (
+    FAMILIES,
+    ChipFamily,
+    ChipSpec,
+    build_chip,
+    get_family,
+    list_families,
+    reference_spec,
+)
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    def test_builtin_families(self):
+        assert set(FAMILIES) >= {
+            "quick", "cores", "decap", "nodes", "cores-decap"
+        }
+        assert list_families() == list(FAMILIES.values())
+
+    def test_get_family(self):
+        assert get_family("quick") is FAMILIES["quick"]
+        with pytest.raises(ConfigError, match="unknown chip family"):
+            get_family("nope")
+
+    def test_quick_family_contains_the_reference_chip(self):
+        """The CI family's middle member is the neutrality canary: the
+        same silicon as the default spec."""
+        member = get_family("quick").member("cores6")
+        assert member.fingerprint() == reference_spec().fingerprint()
+
+    def test_builtin_members_are_all_valid_and_distinct(self):
+        for family in list_families():
+            members = family.members()
+            assert len(members) == len(family)
+            digests = {spec.fingerprint() for spec in members}
+            assert len(digests) == len(members), family.name
+
+
+class TestExpansion:
+    def test_member_names_are_deterministic(self):
+        assert [spec.name for spec in get_family("quick").members()] == [
+            "quick/cores4", "quick/cores6", "quick/cores8",
+        ]
+
+    def test_cartesian_product_order(self):
+        family = get_family("cores-decap")
+        assert [spec.name for spec in family.members()] == [
+            "cores-decap/cores4-decap0.5",
+            "cores-decap/cores4-decap1",
+            "cores-decap/cores6-decap0.5",
+            "cores-decap/cores6-decap1",
+            "cores-decap/cores8-decap0.5",
+            "cores-decap/cores8-decap1",
+        ]
+        assert len(family) == 6
+
+    def test_axes_override_the_base_spec(self):
+        family = ChipFamily(
+            name="f", description="d",
+            axes=(("decap_scale", (0.5,)),),
+            base=ChipSpec(tech_node=22),
+        )
+        (member,) = family.members()
+        assert member.decap_scale == 0.5
+        assert member.tech_node == 22
+
+    def test_member_lookup_full_and_label(self):
+        family = get_family("quick")
+        assert family.member("quick/cores8") == family.member("cores8")
+        with pytest.raises(ConfigError, match="no member"):
+            family.member("cores5")
+
+
+class TestValidation:
+    def test_needs_name_and_axes(self):
+        with pytest.raises(ConfigError):
+            ChipFamily(name="", description="d", axes=(("n_cores", (4,)),))
+        with pytest.raises(ConfigError):
+            ChipFamily(name="f", description="d", axes=())
+
+    def test_rejects_unsweepable_field(self):
+        with pytest.raises(ConfigError, match="cannot sweep"):
+            ChipFamily(name="f", description="d", axes=(("name", ("a",)),))
+
+    def test_rejects_duplicate_axis(self):
+        with pytest.raises(ConfigError, match="duplicate axis"):
+            ChipFamily(
+                name="f", description="d",
+                axes=(("n_cores", (4,)), ("n_cores", (6,))),
+            )
+
+    def test_rejects_empty_or_repeated_values(self):
+        with pytest.raises(ConfigError, match="no values"):
+            ChipFamily(name="f", description="d", axes=(("n_cores", ()),))
+        with pytest.raises(ConfigError, match="repeats values"):
+            ChipFamily(
+                name="f", description="d", axes=(("n_cores", (4, 4)),)
+            )
+
+
+class TestBuildChip:
+    def test_memoized_per_spec(self):
+        spec = get_family("quick").member("cores4")
+        chip = build_chip(spec)
+        assert build_chip(spec) is chip
+        assert chip.config.pdn.n_cores == 4
+
+    def test_name_does_not_split_the_memo(self):
+        """Two specs naming the same silicon share one build — the memo
+        keys on spec equality, and name is part of equality, so this
+        documents the (acceptable) limit: same name → same object."""
+        spec = get_family("quick").member("cores4")
+        same = get_family("quick").member("cores4")
+        assert build_chip(same) is build_chip(spec)

@@ -1,0 +1,227 @@
+"""Declarative chip specs: validation, serialization round-trips, and
+the fingerprint-neutrality regression constant.
+
+The pinned digest is the load-bearing guarantee of the chip layer: the
+default spec must fingerprint to exactly the ambient reference chip,
+in this process and in any other, or every pre-family cache key, plan
+fingerprint and serve wire fingerprint silently changes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro.chips import ChipSpec, reference_spec
+from repro.chips.scaling import (
+    REFERENCE_NODE,
+    SCALING_MODELS,
+    TECH_NODES,
+    energy_factor,
+    freq_factor,
+    vdd_factor,
+)
+from repro.engine.fingerprint import canonical, chip_fingerprint, content_key
+from repro.errors import ConfigError
+from repro.machine.chip import ChipConfig, reference_chip
+
+#: The default chip's fingerprint digest — a cross-PR regression
+#: constant.  If this assertion ever fails, the change broke
+#: default-chip cache-key neutrality (every cache entry, plan
+#: fingerprint and serve wire fingerprint written before it is
+#: orphaned).  Do not update the constant without that intent.
+REFERENCE_DIGEST = (
+    "8801bcaeb928b786f823559e2ec66fa139bd02a555e29c86bb6a400b47e9e78a"
+)
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        spec = ChipSpec()
+        assert spec.n_cores == 6
+        assert spec.tech_node == REFERENCE_NODE
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": ""},
+            {"n_cores": 1},
+            {"n_cores": 33},
+            {"n_cores": 6.0},
+            {"n_cores": True},
+            {"decap_scale": 0.0},
+            {"decap_scale": -1.0},
+            {"decap_scale": 11.0},
+            {"package_l_scale": 0.0},
+            {"package_r_scale": float("nan")},
+            {"tech_node": 28},
+            {"scaling_model": "magic"},
+            {"seed": -1},
+            {"chip_id": -1},
+            {"chip_id": 0.5},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ConfigError):
+            ChipSpec(**kwargs)
+
+    def test_nan_scale_rejected(self):
+        # NaN fails the range check (not 0 < nan), never the type check.
+        with pytest.raises(ConfigError):
+            ChipSpec(decap_scale=float("nan"))
+
+
+class TestCompile:
+    def test_default_spec_compiles_to_default_config(self):
+        """The neutrality guarantee at the config layer: the compiled
+        default is canonically byte-identical to ``ChipConfig()``."""
+        assert canonical(ChipSpec().compile()) == canonical(ChipConfig())
+
+    def test_scale_knobs_are_multipliers(self):
+        base = ChipSpec().compile()
+        scaled = ChipSpec(decap_scale=0.5, package_l_scale=2.0).compile()
+        assert scaled.pdn.c_core == base.pdn.c_core * 0.5
+        assert scaled.pdn.c_l3 == base.pdn.c_l3 * 0.5
+        assert scaled.pdn.l_mb == base.pdn.l_mb * 2.0
+        assert scaled.pdn.r_mb == base.pdn.r_mb  # untouched knob
+
+    def test_tech_node_scales_vdd_clock_energy(self):
+        base = ChipSpec().compile()
+        shrunk = ChipSpec(tech_node=22).compile()
+        assert shrunk.pdn.vnom == base.pdn.vnom * vdd_factor(22)
+        assert shrunk.core.clock_hz == base.core.clock_hz * freq_factor(22)
+        assert shrunk.core.static_power_w == (
+            base.core.static_power_w * energy_factor(22)
+        )
+
+    def test_reference_node_factors_are_exactly_one(self):
+        for model in SCALING_MODELS:
+            assert vdd_factor(REFERENCE_NODE, model) == 1.0
+            assert freq_factor(REFERENCE_NODE, model) == 1.0
+            assert energy_factor(REFERENCE_NODE, model) == 1.0
+
+    def test_unknown_node_and_model_rejected(self):
+        with pytest.raises(ConfigError):
+            vdd_factor(28)
+        with pytest.raises(ConfigError):
+            vdd_factor(REFERENCE_NODE, "magic")
+
+
+class TestFingerprint:
+    def test_pinned_reference_digest(self):
+        assert reference_spec().fingerprint() == REFERENCE_DIGEST
+
+    def test_matches_built_chip_fingerprint(self):
+        spec = ChipSpec(n_cores=4)
+        assert content_key(spec.identity()) == spec.fingerprint()
+        assert spec.identity() == chip_fingerprint(spec.build())
+
+    def test_default_spec_names_the_ambient_reference_chip(self):
+        assert reference_spec().identity() == chip_fingerprint(
+            reference_chip()
+        )
+
+    def test_name_is_not_part_of_the_fingerprint(self):
+        assert (
+            ChipSpec(name="a").fingerprint()
+            == ChipSpec(name="b").fingerprint()
+        )
+
+    def test_every_knob_is_part_of_the_fingerprint(self):
+        base = ChipSpec().fingerprint()
+        for override in (
+            {"n_cores": 8},
+            {"decap_scale": 0.5},
+            {"package_l_scale": 1.5},
+            {"package_r_scale": 1.5},
+            {"tech_node": 22},
+            {"tech_node": 22, "scaling_model": "cons"},
+            {"seed": 18},
+            {"chip_id": 1},
+        ):
+            assert ChipSpec(**override).fingerprint() != base, override
+
+    def test_cross_process_stability(self):
+        """The spec → fingerprint map must be identical in a fresh
+        interpreter: fleets, shards and serve rosters in different
+        processes key the same silicon by the same digest."""
+        src = Path(repro.__file__).resolve().parents[1]
+        script = (
+            "import json\n"
+            "from repro.chips import ChipSpec, reference_spec\n"
+            "print(json.dumps([\n"
+            "    reference_spec().fingerprint(),\n"
+            "    ChipSpec(n_cores=8, decap_scale=0.5,\n"
+            "             tech_node=22).fingerprint(),\n"
+            "]))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            env={**os.environ, "PYTHONPATH": str(src)},
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        remote = json.loads(out.stdout)
+        assert remote[0] == REFERENCE_DIGEST
+        assert remote[1] == ChipSpec(
+            n_cores=8, decap_scale=0.5, tech_node=22
+        ).fingerprint()
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        spec = ChipSpec(name="fam/m", n_cores=10, decap_scale=0.75,
+                        tech_node=16, scaling_model="cons")
+        assert ChipSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError):
+            ChipSpec.from_dict({"n_cores": 6, "decap": 0.5})
+
+    def test_from_dict_rejects_non_dict(self):
+        with pytest.raises(ConfigError):
+            ChipSpec.from_dict([("n_cores", 6)])
+
+    def test_dict_is_json_safe(self):
+        payload = json.dumps(ChipSpec(n_cores=8).to_dict())
+        assert ChipSpec.from_dict(json.loads(payload)) == ChipSpec(
+            n_cores=8
+        )
+
+
+specs = st.builds(
+    ChipSpec,
+    name=st.text(min_size=1, max_size=12),
+    n_cores=st.integers(min_value=2, max_value=32),
+    decap_scale=st.floats(min_value=0.01, max_value=10.0,
+                          allow_nan=False),
+    package_l_scale=st.floats(min_value=0.01, max_value=10.0,
+                              allow_nan=False),
+    package_r_scale=st.floats(min_value=0.01, max_value=10.0,
+                              allow_nan=False),
+    tech_node=st.sampled_from(TECH_NODES),
+    scaling_model=st.sampled_from(SCALING_MODELS),
+    seed=st.integers(min_value=0, max_value=2**31),
+    chip_id=st.integers(min_value=0, max_value=64),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=specs)
+def test_round_trip_preserves_identity(spec):
+    """Any valid spec survives dict round-tripping with its equality
+    AND its fingerprint intact (floats included — ``repr`` canonical
+    form is exact)."""
+    restored = ChipSpec.from_dict(
+        json.loads(json.dumps(spec.to_dict()))
+    )
+    assert restored == spec
+    assert restored.fingerprint() == spec.fingerprint()

@@ -48,6 +48,32 @@ class TestValidation:
                 campaign, tiny_context.chip, tmp_path, hosts=["a", "b"]
             )
 
+    def test_slurm_template_needs_command_slot(self, campaign, tiny_context,
+                                               tmp_path):
+        with pytest.raises(ConfigError, match="must contain"):
+            make_dispatcher(
+                campaign, tiny_context.chip, tmp_path,
+                slurm_template="srun --ntasks=1 run-it",
+            )
+
+    def test_slurm_template_rejects_unknown_placeholder(self, campaign,
+                                                        tiny_context,
+                                                        tmp_path):
+        with pytest.raises(ConfigError, match="unknown placeholder"):
+            make_dispatcher(
+                campaign, tiny_context.chip, tmp_path,
+                slurm_template="srun --partition={queue} {command}",
+            )
+
+    def test_slurm_and_ssh_are_mutually_exclusive(self, campaign,
+                                                  tiny_context, tmp_path):
+        with pytest.raises(ConfigError, match="mutually"):
+            make_dispatcher(
+                campaign, tiny_context.chip, tmp_path,
+                ssh_template="ssh {host} {command}",
+                slurm_template="srun {command}",
+            )
+
 
 class TestSpawnCommand:
     def test_local_command_appends_worker_identity(self, campaign,
@@ -74,6 +100,39 @@ class TestSpawnCommand:
         assert second[:2] == ["ssh", "beta"]
         assert third[:2] == ["ssh", "alpha"]  # wraps around
         assert first[2:] == [
+            "worker", "cmd",
+            "--worker-id", "w0",
+            "--workdir", str(dispatcher.worker_dir("w0")),
+        ]
+
+    def test_slurm_template_wraps_with_job_name(self, campaign,
+                                                tiny_context, tmp_path):
+        """The slurm transport is a foreground launcher: the worker
+        command is substituted whole into ``{command}`` and ``{job}``
+        names the allocation after the campaign dir and worker."""
+        dispatcher = make_dispatcher(
+            campaign, tiny_context.chip, tmp_path,
+            slurm_template="srun --ntasks=1 --job-name={job} {command}",
+        )
+        command = dispatcher._spawn_command("w3", 3)
+        assert command[:2] == ["srun", "--ntasks=1"]
+        assert command[2] == (
+            f"--job-name=repro-{dispatcher.campaign_dir.name}-w3"
+        )
+        assert command[3:] == [
+            "worker", "cmd",
+            "--worker-id", "w3",
+            "--workdir", str(dispatcher.worker_dir("w3")),
+        ]
+
+    def test_slurm_template_without_job_slot(self, campaign, tiny_context,
+                                             tmp_path):
+        dispatcher = make_dispatcher(
+            campaign, tiny_context.chip, tmp_path,
+            slurm_template="srun {command}",
+        )
+        assert dispatcher._spawn_command("w0", 0) == [
+            "srun",
             "worker", "cmd",
             "--worker-id", "w0",
             "--workdir", str(dispatcher.worker_dir("w0")),
