@@ -11,7 +11,10 @@ from repro.analysis.guardband import build_policy, guardband_savings
 def _evaluate(ctx):
     policy = build_policy(ctx.delta_i_points())
     profiles = {
-        "fully utilized": {6: 1.0},
+        # Degenerate single-bucket profiles are rejected outright
+        # (GuardbandProfileError), so "fully utilized" carries an
+        # explicit zero-share low bucket.
+        "fully utilized": {5: 0.0, 6: 1.0},
         "typical server (60% busy)": {2: 0.25, 4: 0.50, 6: 0.25},
         "lightly loaded": {0: 0.30, 1: 0.40, 2: 0.20, 6: 0.10},
     }

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..errors import ExperimentError
+from ..errors import ExperimentError, GuardbandProfileError
 from .sensitivity import DeltaIMappingPoint
 
 __all__ = ["GuardbandPolicy", "guardband_savings"]
@@ -90,8 +90,29 @@ def guardband_savings(
     """Average dynamic-power saving of the policy (fraction).
 
     ``utilization_profile[k]`` is the fraction of time at most *k* cores
-    are active; fractions must sum to 1.
+    are active; fractions must sum to 1.  A profile that cannot support
+    the average — empty, a single degenerate bucket, or negative
+    occupancy — raises :class:`~repro.errors.GuardbandProfileError`
+    rather than returning a meaningless number.
     """
+    if not utilization_profile:
+        raise GuardbandProfileError(
+            "utilization profile is empty: savings are an average over "
+            "occupancy buckets, and there is nothing to average"
+        )
+    if len(utilization_profile) < 2:
+        (cores,) = utilization_profile
+        raise GuardbandProfileError(
+            f"utilization profile has a single bucket ({cores} active "
+            f"cores): a dynamic guard band needs utilization variation "
+            f"to save anything — supply at least two occupancy levels"
+        )
+    negative = {k: v for k, v in utilization_profile.items() if v < 0}
+    if negative:
+        raise GuardbandProfileError(
+            f"utilization profile has negative occupancy fractions: "
+            f"{negative}"
+        )
     total = sum(utilization_profile.values())
     if abs(total - 1.0) > 1e-6:
         raise ExperimentError("utilization profile fractions must sum to 1")

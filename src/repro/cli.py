@@ -42,6 +42,11 @@ Subcommands:
   exporting per-member artifacts plus a ``family-results.json``
   result set (resonance frequency, worst Vmin and peak noise vs.
   core count);
+* ``control`` — closed-loop studies on the stepping engine: an
+  integral-regulator gain sweep (droop/overshoot/settling vs Ki) or an
+  adversarial undervolting attack surface, both post-processing one
+  cached baseline solve and both asserting the stepping ≡ monolithic
+  bit-identity on every invocation;
 * ``table1 .. fig15`` — shorthand for ``run <id>``.
 
 Sharding: ``run --shard i/N --cache-dir DIR`` executes only the i-th
@@ -400,6 +405,77 @@ def build_parser() -> argparse.ArgumentParser:
         help="non-default chips kept built at once; building one more "
         "evicts the least-recently-used cold chip (its hot tier "
         "survives; default: 2)",
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        metavar="N",
+        default=8,
+        help="stateful control sessions (session.open) kept open at "
+        "once; each pins a solved stimulus in memory, extra opens get "
+        "a busy reply (default: 8)",
+    )
+    serve.add_argument(
+        "--session-ttl",
+        type=float,
+        metavar="SECONDS",
+        default=900.0,
+        help="idle lifetime of an open control session before it is "
+        "pruned (default: 900)",
+    )
+    control = sub.add_parser(
+        "control",
+        help="closed-loop control studies on the stepping engine: "
+        "integral-regulator gain sweeps and adversarial undervolting "
+        "attack surfaces (every invocation re-checks stepping ≡ "
+        "monolithic bit-identity)",
+    )
+    control.add_argument(
+        "study",
+        choices=("gain-sweep", "attack"),
+        help="'gain-sweep' regulates the worst-case mapping with the "
+        "integral power controller across --gains; 'attack' searches "
+        "(depth × duration × alignment) for R-Unit Vmin violations",
+    )
+    control.add_argument(
+        "--gains",
+        metavar="G1,G2,...",
+        default=None,
+        help="integral gains to sweep (default: "
+        "0.02,0.05,0.1,0.2,0.5,1.0)",
+    )
+    control.add_argument(
+        "--setpoint",
+        type=float,
+        metavar="FRAC",
+        default=0.85,
+        help="power setpoint of the integral regulator, as a fraction "
+        "of nominal full-load power (default: 0.85)",
+    )
+    control.add_argument(
+        "--depths",
+        metavar="D1,D2,...",
+        default=None,
+        help="undervolt depths in 0.5%% steps for the attack grid "
+        "(default: 5,10,15,20,25,30)",
+    )
+    control.add_argument(
+        "--durations",
+        metavar="W1,W2,...",
+        default=None,
+        help="attack pulse durations in windows (default: 1,2,4)",
+    )
+    control.add_argument(
+        "--windows",
+        type=int,
+        metavar="N",
+        default=8,
+        help="stepping windows per observation segment (default: 8)",
+    )
+    control.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full study data as JSON instead of a table",
     )
     query = sub.add_parser(
         "query",
@@ -1584,6 +1660,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             slo=slo_policy,
             chips=chips,
             max_resident_chips=args.max_resident_chips,
+            max_sessions=args.max_sessions,
+            session_ttl_s=args.session_ttl,
         )
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -1650,6 +1728,89 @@ def _run_serve(args: argparse.Namespace) -> int:
             event_log.close()
         if getattr(args, "profile", False):  # pragma: no cover
             print(telemetry.report())
+    return 0
+
+
+def _parse_number_list(text: str, kind, flag: str):
+    """A comma-separated ``--gains``/``--depths`` list as a tuple."""
+    try:
+        values = tuple(kind(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise ReproError(f"bad {flag} list {text!r}")
+    if not values:
+        raise ReproError(f"{flag} names no values")
+    return values
+
+
+def _run_control(args: argparse.Namespace) -> int:
+    """The ``control`` subcommand: closed-loop studies on the stepping
+    engine, outside the experiment registry (parameterized gains /
+    attack grids).  The nominal baseline solve goes through the normal
+    engine session — cached, fingerprint-shared with the ``ctrl-*``
+    experiments and the plan/serve paths."""
+    import json
+
+    from .control.study import (
+        CONTROL_RUN_TAG,
+        DEFAULT_DEPTHS,
+        DEFAULT_DURATIONS,
+        DEFAULT_GAINS,
+        attack_surface,
+        gain_sweep,
+    )
+    from .experiments.ctrl import attack_table, control_mapping, gain_table
+
+    context = quick_context() if args.quick else default_context()
+    mapping = control_mapping(context)
+    try:
+        baseline = context.session.run(mapping, run_tag=CONTROL_RUN_TAG)
+        if args.study == "gain-sweep":
+            gains = (
+                _parse_number_list(args.gains, float, "--gains")
+                if args.gains
+                else DEFAULT_GAINS
+            )
+            data = gain_sweep(
+                context.chip,
+                mapping,
+                context.options,
+                gains=gains,
+                setpoint=args.setpoint,
+                windows_per_segment=args.windows,
+                baseline=baseline,
+            )
+            text = gain_table(data)
+        else:
+            depths = (
+                _parse_number_list(args.depths, int, "--depths")
+                if args.depths
+                else DEFAULT_DEPTHS
+            )
+            durations = (
+                _parse_number_list(args.durations, int, "--durations")
+                if args.durations
+                else DEFAULT_DURATIONS
+            )
+            data = attack_surface(
+                context.chip,
+                mapping,
+                context.options,
+                depths=depths,
+                durations=durations,
+                windows_per_segment=args.windows,
+                baseline=baseline,
+            )
+            text = attack_table(data)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(json.dumps(data, indent=2) if args.json else text)
+    if not data["stepping_equivalent"]:
+        print(
+            "error: stepping diverged from the monolithic solve",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -1823,6 +1984,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "serve":
         return _run_serve(args)
+
+    if args.command == "control":
+        return _run_control(args)
 
     if args.command == "fleet":
         return _run_fleet(args)

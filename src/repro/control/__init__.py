@@ -1,0 +1,52 @@
+"""``repro.control`` — the closed-loop simulation subsystem.
+
+The stack, bottom-up:
+
+* :class:`~repro.pdn.kernels.SteppingSolver` (kernel layer) — windowed
+  evaluation with exact LTI state carry-over;
+* :class:`~repro.engine.stepping.SteppingSession` (engine layer) — the
+  observe/actuate window loop over one mapping run, bit-identical to
+  the monolithic solve when un-actuated;
+* :class:`Controller` implementations (this package) — the integral
+  power regulator, the paper's dynamic guard-band, and the adversarial
+  undervolter;
+* :class:`ClosedLoopRun` — the loop binding, R-Unit violation
+  accounting and summary metrics;
+* :mod:`repro.control.study` — the ``ctrl-gain`` / ``ctrl-attack``
+  experiment drivers (plan-compiled, CLI- and serve-drivable).
+
+See DESIGN.md §15 for the architecture and the state-carry invariant.
+"""
+
+from .api import Actuation, Controller, WindowObservation
+from .controllers import (
+    AdversarialUndervolter,
+    DynamicGuardbandController,
+    IntegralPowerController,
+    controller_from_spec,
+)
+from .loop import ClosedLoopRun, loop_summary
+from .study import (
+    CONTROL_RUN_TAG,
+    attack_surface,
+    gain_sweep,
+    plan_control_experiment,
+    results_identical,
+)
+
+__all__ = [
+    "Actuation",
+    "Controller",
+    "WindowObservation",
+    "IntegralPowerController",
+    "DynamicGuardbandController",
+    "AdversarialUndervolter",
+    "controller_from_spec",
+    "ClosedLoopRun",
+    "loop_summary",
+    "CONTROL_RUN_TAG",
+    "plan_control_experiment",
+    "gain_sweep",
+    "attack_surface",
+    "results_identical",
+]

@@ -1,0 +1,302 @@
+"""The three built-in controllers.
+
+* :class:`IntegralPowerController` — the integral power regulator of
+  "Power Regulation in High Performance Multicore Processors"
+  (PAPERS.md): the supply command integrates the power-tracking error,
+  ``V[k+1] = V[k] + Ki · (Pref − P[k])``, quantized to the service
+  element's 0.5 % steps.  Gain selects the classic trade: low gains
+  settle slowly, high gains overshoot and oscillate — the droop/
+  overshoot/settling-vs-gain curves the ``ctrl-gain`` study sweeps.
+* :class:`DynamicGuardbandController` — the paper's §VII-B
+  utilization-based dynamic guard-band, online: the active-core count
+  of each window is mapped through a
+  :class:`~repro.analysis.guardband.GuardbandPolicy` margin schedule
+  with exactly the quantization (floor, slack-protected) of the
+  offline :class:`~repro.mitigation.guardband.GuardbandController`.
+* :class:`AdversarialUndervolter` — a CLKscrew-style agent: a timed
+  undervolt pulse (depth × duration, optionally aligned with the
+  dI/dt-stress window) hunting for R-Unit Vmin violations.  The search
+  over (depth, duration, alignment) lives in
+  :mod:`repro.control.study`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.guardband import GuardbandPolicy
+from ..errors import ControlError
+from ..machine.chip import Chip
+from ..machine.system import VOLTAGE_STEP
+from .api import Actuation, Controller, WindowObservation
+
+__all__ = [
+    "IntegralPowerController",
+    "DynamicGuardbandController",
+    "AdversarialUndervolter",
+    "controller_from_spec",
+    "BIAS_STEP_MIN",
+    "BIAS_STEP_MAX",
+]
+
+#: The service element's safe bias range, in 0.5 % steps.
+BIAS_STEP_MIN = -60
+BIAS_STEP_MAX = 20
+
+#: Static (idle) share of the power proxy: even a fully idle window
+#: draws leakage + clock power, so the regulator can still observe a
+#: supply-dependent signal.
+STATIC_POWER_FRAC = 0.3
+
+
+def _clamp_steps(steps: int) -> int:
+    return max(BIAS_STEP_MIN, min(BIAS_STEP_MAX, steps))
+
+
+class IntegralPowerController(Controller):
+    """Integral regulator tracking a relative power setpoint.
+
+    The measured power proxy of a window is
+    ``(V̄/Vnom)² · (static + (1 − static)·utilization)`` — the V² law
+    over the observed mean supply, activity-weighted.  ``setpoint`` is
+    in the same normalized units (1.0 ≈ all cores busy at nominal), and
+    ``gain`` is the integral constant Ki in volts-of-bias per unit
+    power error per window.
+    """
+
+    kind = "integral"
+
+    def __init__(
+        self,
+        chip_vnom: float,
+        setpoint: float = 0.85,
+        gain: float = 0.1,
+    ):
+        if chip_vnom <= 0:
+            raise ControlError("nominal voltage must be positive")
+        if not 0.0 < setpoint:
+            raise ControlError(f"setpoint must be positive (got {setpoint})")
+        if gain < 0:
+            raise ControlError(f"gain must be >= 0 (got {gain})")
+        self.vnom = float(chip_vnom)
+        self.setpoint = float(setpoint)
+        self.gain = float(gain)
+        self.reset()
+
+    def reset(self) -> None:
+        self._command = 1.0        # continuous bias command
+        self._steps = 0            # last quantized actuation
+        self._errors: list[float] = []
+
+    def power_proxy(self, window: WindowObservation) -> float:
+        v_mean = sum(window.v_mean) / len(window.v_mean)
+        activity = STATIC_POWER_FRAC + (1.0 - STATIC_POWER_FRAC) * (
+            window.utilization
+        )
+        return (v_mean / self.vnom) ** 2 * activity
+
+    def observe(self, window: WindowObservation) -> Actuation | None:
+        error = self.setpoint - self.power_proxy(window)
+        self._errors.append(error)
+        # Integrate, with anti-windup at the actuator's safe range.
+        self._command += self.gain * error
+        lo = 1.0 + BIAS_STEP_MIN * VOLTAGE_STEP
+        hi = 1.0 + BIAS_STEP_MAX * VOLTAGE_STEP
+        self._command = min(max(self._command, lo), hi)
+        steps = _clamp_steps(int(round((self._command - 1.0) / VOLTAGE_STEP)))
+        if steps == self._steps:
+            return None
+        self._steps = steps
+        return Actuation(bias_steps=steps, note=f"integral ki={self.gain:g}")
+
+    def summary(self) -> dict:
+        errors = self._errors
+        return {
+            "kind": self.kind,
+            "gain": self.gain,
+            "setpoint": self.setpoint,
+            "final_command": self._command,
+            "final_steps": self._steps,
+            "mean_abs_error": (
+                float(np.mean(np.abs(errors))) if errors else 0.0
+            ),
+            "final_error": float(errors[-1]) if errors else 0.0,
+        }
+
+
+class DynamicGuardbandController(Controller):
+    """Online utilization-based guard-banding (paper §VII-B).
+
+    Mirrors the quantization of the offline
+    :meth:`~repro.mitigation.guardband.GuardbandController.bias_for`
+    walk — unused static margin minus *slack*, floored to whole 0.5 %
+    steps — but keyed on the per-window active-core count the stepping
+    engine observes, rather than a precomputed utilization trace.
+    """
+
+    kind = "guardband"
+
+    def __init__(self, policy: GuardbandPolicy, slack: float = 0.0025):
+        if slack < 0:
+            raise ControlError("slack cannot be negative")
+        self.policy = policy
+        self.slack = float(slack)
+        self._max_cores = max(policy.margin_by_active_cores)
+        self.reset()
+
+    def reset(self) -> None:
+        self._steps = 0
+        self._transitions = 0
+        self._min_headroom = float("inf")
+
+    def steps_for(self, active_cores: int) -> int:
+        """Signed bias steps when *active_cores* may execute — the
+        same floor quantization as the offline controller."""
+        k = min(int(active_cores), self._max_cores)
+        unused = self.policy.static_margin - self.policy.margin_for(k)
+        reducible = max(unused - self.slack, 0.0)
+        return -int(np.floor(reducible / VOLTAGE_STEP))
+
+    def observe(self, window: WindowObservation) -> Actuation | None:
+        steps = self.steps_for(window.n_active)
+        k = min(window.n_active, self._max_cores)
+        programmed = self.policy.static_margin + steps * VOLTAGE_STEP
+        self._min_headroom = min(
+            self._min_headroom, programmed - self.policy.margin_for(k)
+        )
+        if steps == self._steps:
+            return None
+        self._steps = steps
+        self._transitions += 1
+        return Actuation(
+            bias_steps=steps, note=f"guardband k={window.n_active}"
+        )
+
+    def summary(self) -> dict:
+        return {
+            "kind": self.kind,
+            "slack": self.slack,
+            "final_steps": self._steps,
+            "transitions": self._transitions,
+            "min_headroom": (
+                float(self._min_headroom)
+                if np.isfinite(self._min_headroom)
+                else None
+            ),
+        }
+
+
+class AdversarialUndervolter(Controller):
+    """Timed undervolt pulse hunting for Vmin violations.
+
+    Drops the supply by ``depth_steps`` 0.5 % steps for
+    ``duration_windows`` consecutive windows starting at
+    ``start_window``, then restores nominal — guard-band violation as
+    an attack, not a margin.  Alignment with the dI/dt stress (choosing
+    ``start_window`` at the deepest-droop window of a probe pass) is
+    what the ``ctrl-attack`` study searches over.
+    """
+
+    kind = "adversarial"
+
+    def __init__(
+        self,
+        depth_steps: int,
+        duration_windows: int,
+        start_window: int = 0,
+    ):
+        if depth_steps < 0:
+            raise ControlError(
+                f"depth_steps must be >= 0 (got {depth_steps})"
+            )
+        if depth_steps > -BIAS_STEP_MIN:
+            raise ControlError(
+                f"depth_steps beyond the service element's safe range "
+                f"(got {depth_steps}, max {-BIAS_STEP_MIN})"
+            )
+        if duration_windows < 1:
+            raise ControlError(
+                f"duration_windows must be >= 1 (got {duration_windows})"
+            )
+        if start_window < 0:
+            raise ControlError(
+                f"start_window must be >= 0 (got {start_window})"
+            )
+        self.depth_steps = int(depth_steps)
+        self.duration_windows = int(duration_windows)
+        self.start_window = int(start_window)
+        self.reset()
+
+    def reset(self) -> None:
+        self._steps = 0
+
+    def _steps_for_window(self, index: int) -> int:
+        attacking = (
+            self.start_window <= index
+            < self.start_window + self.duration_windows
+        )
+        return -self.depth_steps if attacking else 0
+
+    def prime(self) -> Actuation | None:
+        steps = self._steps_for_window(0)
+        if steps == self._steps:
+            return None
+        self._steps = steps
+        return Actuation(bias_steps=steps, note="attack onset")
+
+    def observe(self, window: WindowObservation) -> Actuation | None:
+        steps = self._steps_for_window(window.index + 1)
+        if steps == self._steps:
+            return None
+        self._steps = steps
+        note = "attack onset" if steps else "attack end"
+        return Actuation(bias_steps=steps, note=note)
+
+    def summary(self) -> dict:
+        return {
+            "kind": self.kind,
+            "depth_steps": self.depth_steps,
+            "duration_windows": self.duration_windows,
+            "start_window": self.start_window,
+        }
+
+
+def controller_from_spec(spec: dict, chip: Chip) -> Controller:
+    """Build a controller from its wire/CLI description.
+
+    ``spec["kind"]`` selects the class; the remaining keys are its
+    parameters.  The guard-band kind accepts a margin schedule inline
+    (``margins`` mapping active-core count → margin fraction, plus
+    ``static_margin``), so a serve client can ship a policy derived
+    elsewhere.
+    """
+    if not isinstance(spec, dict) or "kind" not in spec:
+        raise ControlError("controller spec must be a dict with a 'kind'")
+    kind = spec["kind"]
+    if kind == "integral":
+        return IntegralPowerController(
+            chip.vnom,
+            setpoint=float(spec.get("setpoint", 0.85)),
+            gain=float(spec.get("gain", 0.1)),
+        )
+    if kind == "guardband":
+        margins = spec.get("margins")
+        if not isinstance(margins, dict) or not margins:
+            raise ControlError(
+                "guardband controller spec needs a 'margins' schedule"
+            )
+        schedule = {int(k): float(v) for k, v in margins.items()}
+        static = float(spec.get("static_margin", max(schedule.values())))
+        policy = GuardbandPolicy(
+            margin_by_active_cores=schedule, static_margin=static
+        )
+        return DynamicGuardbandController(
+            policy, slack=float(spec.get("slack", 0.0025))
+        )
+    if kind == "adversarial":
+        return AdversarialUndervolter(
+            depth_steps=int(spec.get("depth_steps", 8)),
+            duration_windows=int(spec.get("duration_windows", 2)),
+            start_window=int(spec.get("start_window", 0)),
+        )
+    raise ControlError(f"unknown controller kind {kind!r}")

@@ -32,9 +32,13 @@ from .resilience import (
     guarded_call,
 )
 from .session import BACKENDS, SimulationSession, resolve_backend_name
+from .stepping import Actuation, SteppingSession, WindowObservation
 
 __all__ = [
     "SimulationSession",
+    "SteppingSession",
+    "Actuation",
+    "WindowObservation",
     "BACKENDS",
     "resolve_backend_name",
     "ResultCache",

@@ -1,0 +1,606 @@
+"""Closed-loop stepping execution: one mapping run, advanced in windows.
+
+:class:`SteppingSession` is the stateful counterpart of
+:meth:`ChipRunner.execute <repro.machine.runner.ChipRunner.execute>`:
+it builds the same :class:`~repro.machine.runner.StimulusBatch` once,
+then advances the transient solve in fixed-size sample windows.  After
+each window it emits a :class:`WindowObservation` (per-core voltage
+min/mean/max, utilization, droop events) and accepts an
+:class:`Actuation` (supply-bias change, ΔI throttle) that takes effect
+from the *next* window on — the observe/actuate cycle a closed-loop
+controller (:mod:`repro.control`) runs.
+
+**Exact continuation invariant.**  Stepping is not an approximation:
+the windowed solve carries the full LTI state between steps (see
+:class:`~repro.pdn.kernels.SteppingSolver`), so stitching the emitted
+windows back together is *bit-identical* to the monolithic solve, on
+both the ``reference`` and ``batched`` backends — and
+:meth:`SteppingSession.result` reproduces
+:meth:`ChipRunner.execute <repro.machine.runner.ChipRunner.execute>`
+byte for byte (measurements, waveforms, exports) when no actuation was
+applied.  Both facts are pinned at tolerance **zero** by the control
+test suite and the ``control-smoke`` CI job.
+
+**Actuation model.**  The PDN is linear, so a supply-bias change is a
+pure offset: observed absolute voltages shift by ``(bias − 1)·Vnom``
+while the deviation waveforms — and therefore the carried solver state
+— are untouched.  That is what makes a controller gain sweep cheap:
+:meth:`rewind` restarts the loop on the same solved waveforms.  A
+*throttle* actuation instead rewrites future ΔI edges (scales their
+deltas); samples before the first rewritten edge are unaffected (a
+ramp response is zero before its edge), so emitted windows remain the
+truth of the actuated history and the solver merely starts a new train
+epoch.
+
+Fault injection: passing a :class:`~repro.faults.FaultPlan` routes
+every *cold* window solve (one per segment per train epoch) through
+the plan with bounded retry, so the determinism suite can prove the
+partition invariant holds under injected crashes/exceptions too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError, ControlError, ExecutionError, SolverError
+from ..machine.chip import Chip
+from ..machine.runner import (
+    ChipRunner,
+    CoreMeasurement,
+    RunOptions,
+    RunResult,
+    WAVEFORM_EXTRA_NODES,
+)
+from ..machine.system import ServiceElement, VOLTAGE_STEP
+from ..machine.workload import CurrentProgram
+from ..obs import Telemetry, get_telemetry
+from ..pdn.kernels import SteppingSolver
+from ..pdn.superposition import EdgeTrain, assemble_voltage
+from .resilience import RetryPolicy, guarded_call
+from .session import resolve_backend_name
+
+__all__ = ["Actuation", "WindowObservation", "SteppingSession"]
+
+Mapping = Sequence[CurrentProgram | None]
+
+#: Default droop-event threshold, as a fraction of nominal below which
+#: an excursion counts as a droop event (3 % ≈ the static guard-band
+#: headroom the paper's Figure 15 argues about).
+DROOP_EVENT_FRAC = 0.03
+
+
+@dataclass(frozen=True)
+class Actuation:
+    """One control decision, applied before the next window is solved.
+
+    ``bias_steps`` sets the supply bias in whole 0.5 % steps of nominal
+    (negative = undervolt), through the same quantized
+    :class:`~repro.machine.system.ServiceElement` surface the Vmin
+    protocol drives.  ``throttle`` scales the ΔI of *future* edges —
+    a scalar applies to every core, a ``{core: factor}`` dict to
+    specific ones.  ``None`` fields leave the corresponding knob alone.
+    """
+
+    bias_steps: int | None = None
+    throttle: float | dict[int, float] | None = None
+    note: str = ""
+
+    @property
+    def is_noop(self) -> bool:
+        return self.bias_steps is None and self.throttle is None
+
+
+@dataclass(frozen=True)
+class WindowObservation:
+    """What a controller sees after one window of the transient solve.
+
+    Voltages are **observed** absolute values: the bias offset
+    ``(bias − 1)·Vnom`` is already applied.  ``worst_vmin`` includes the
+    per-core simultaneous-switching deepening, i.e. it is the voltage
+    the R-Unit's critical paths experience in this window.
+    """
+
+    index: int                      # global window number
+    segment: int                    # observation window (phase draw)
+    window: int                     # window number within the segment
+    t_start: float                  # first sample instant (s)
+    t_end: float                    # last sample instant (s)
+    n_samples: int
+    supply_bias: float              # multiplicative bias in effect
+    v_min: tuple[float, ...]        # per-core observed minimum (V)
+    v_mean: tuple[float, ...]       # per-core observed mean (V)
+    v_max: tuple[float, ...]        # per-core observed maximum (V)
+    worst_vmin: float               # min over cores incl. SSN deepening
+    active_cores: tuple[int, ...]   # cores with activity in the window
+    utilization: float              # len(active_cores) / n_cores
+    droop_events: int               # below-threshold excursions, all cores
+    coherent: tuple[float, ...]     # per-core coherent ΔI of the segment
+
+    @property
+    def n_active(self) -> int:
+        return len(self.active_cores)
+
+    @property
+    def worst_core(self) -> int:
+        """Core with the deepest observed minimum this window."""
+        return int(np.argmin(self.v_min))
+
+
+class _ReferenceSteppingSolver:
+    """Reference-backend twin of
+    :class:`~repro.pdn.kernels.SteppingSolver`: the same windowed
+    interface over per-edge table superposition, memoizing the full
+    per-node rows per train epoch so window slices stitch bit-identically
+    to :meth:`ChipRunner._solve`'s reference path."""
+
+    def __init__(self, library, grid, nodes: list[str]):
+        self.library = library
+        self.grid = grid
+        self.nodes = list(nodes)
+        self._epoch_key: tuple | None = None
+        self._rows: list[np.ndarray] | None = None
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.grid.times.size)
+
+    def is_warm(self, trains: list[EdgeTrain]) -> bool:
+        return (
+            self._rows is not None
+            and self._epoch_key == SteppingSolver._train_key(trains)
+        )
+
+    def solve_window(
+        self, trains: list[EdgeTrain], lo: int, hi: int
+    ) -> list[np.ndarray]:
+        key = SteppingSolver._train_key(trains)
+        if self._rows is None or self._epoch_key != key:
+            self._rows = [
+                assemble_voltage(self.library, node, trains, self.grid.times)
+                for node in self.nodes
+            ]
+            self._epoch_key = key
+        return [row[lo:hi] for row in self._rows]
+
+
+class SteppingSession:
+    """Windowed, actuated execution of one mapping run on one chip.
+
+    Parameters
+    ----------
+    chip:
+        The chip the run executes on.
+    mapping:
+        One :class:`~repro.machine.workload.CurrentProgram` (or
+        ``None`` = idle) per core — same contract as
+        :meth:`ChipRunner.run`.
+    options:
+        Run options (fresh defaults when omitted).
+    run_tag:
+        Differentiates the random phase draws, exactly as in the
+        monolithic path — the same ``(mapping, options, run_tag)``
+        triple produces the same stimulus on both paths.
+    windows_per_segment:
+        Windows each observation segment is divided into (clamped per
+        segment so no window is empty).
+    backend:
+        ``auto`` / ``reference`` / ``batched``; environment default
+        (``$REPRO_BACKEND``) when omitted, with the session-layer
+        fallback semantics (explicit ``batched`` propagates compile
+        failures, ``auto`` falls back to reference).
+    faults / retry:
+        Optional :class:`~repro.faults.FaultPlan` injected into every
+        cold window solve, absorbed by *retry* (default
+        :class:`~repro.engine.resilience.RetryPolicy`).
+    droop_threshold_frac:
+        Fraction of nominal below which an excursion counts as a droop
+        event in window observations.
+    """
+
+    def __init__(
+        self,
+        chip: Chip,
+        mapping: Mapping,
+        options: RunOptions | None = None,
+        *,
+        run_tag: object = "control",
+        windows_per_segment: int = 8,
+        backend: str | None = None,
+        telemetry: Telemetry | None = None,
+        faults=None,
+        retry: RetryPolicy | None = None,
+        droop_threshold_frac: float = DROOP_EVENT_FRAC,
+    ):
+        if windows_per_segment < 1:
+            raise ConfigError(
+                f"windows_per_segment must be >= 1 (got {windows_per_segment})"
+            )
+        self.chip = chip
+        self.telemetry = telemetry or get_telemetry()
+        self.backend = resolve_backend_name(backend)
+        self.runner = ChipRunner(chip)
+        self.options = options or RunOptions()
+        self.run_tag = run_tag
+        self.windows_per_segment = int(windows_per_segment)
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
+        self.droop_threshold_v = (1.0 - droop_threshold_frac) * chip.vnom
+
+        self.batch = self.runner.build_stimulus(mapping, self.options, run_tag)
+        self._core_nodes = chip.core_nodes
+        self._service = ServiceElement(chip)
+        self._kernel = None
+        if self.backend != "reference":
+            try:
+                with self.telemetry.time("engine.kernel.compile_seconds"):
+                    self._kernel = chip.compiled_kernel
+            except SolverError as error:
+                if self.backend == "batched":
+                    raise
+                self.telemetry.increment("engine.kernel.fallbacks")
+                self.telemetry.emit(
+                    "kernel.fallback",
+                    chip=chip.chip_id,
+                    error=f"{type(error).__name__}: {error}",
+                )
+        self.resolved_backend = (
+            "batched" if self._kernel is not None else "reference"
+        )
+
+        # Window partition: near-equal sample slices per segment, never
+        # empty (clamped when a segment has fewer samples than windows).
+        self._bounds: list[np.ndarray] = []
+        for segment in self.batch.segments:
+            n = int(segment.times.size)
+            w = max(1, min(self.windows_per_segment, n))
+            self._bounds.append(np.linspace(0, n, w + 1).astype(int))
+        self._schedule = [
+            (s, w)
+            for s in range(len(self._bounds))
+            for w in range(len(self._bounds[s]) - 1)
+        ]
+
+        # Per-segment activity index: each core's edge instants (stable
+        # under throttle, which rescales deltas only).
+        port_to_core = {port: i for i, port in enumerate(chip.core_ports)}
+        self._core_edges: list[dict[int, np.ndarray]] = [
+            {
+                port_to_core[train.port]: np.sort(train.times)
+                for train in segment.trains
+            }
+            for segment in self.batch.segments
+        ]
+
+        self._solvers: list = [None] * len(self.batch.segments)
+        self._original_trains = [
+            list(segment.trains) for segment in self.batch.segments
+        ]
+        self._original_coherent = [
+            list(segment.coherent) for segment in self.batch.segments
+        ]
+        self._reset_loop_state()
+
+    # -- loop state -----------------------------------------------------
+    def _reset_loop_state(self) -> None:
+        self._cursor = 0
+        self._trains = [list(trains) for trains in self._original_trains]
+        self._coherent = [list(c) for c in self._original_coherent]
+        self._sticky = [
+            {"v_min": np.inf, "v_max": -np.inf, "coherent": 0.0}
+            for _ in range(self.chip.n_cores)
+        ]
+        self._service.reset_voltage()
+        self._observations: list[WindowObservation] = []
+
+    def rewind(self) -> None:
+        """Restart the loop: cursor, sticky state, bias and edge trains
+        return to their initial values.  Solver state survives — an
+        un-throttled replay (e.g. the next gain of a controller sweep)
+        re-steps the already-solved waveforms at slice cost."""
+        self._reset_loop_state()
+        self.telemetry.increment("control.rewinds")
+
+    # -- introspection --------------------------------------------------
+    @property
+    def n_windows(self) -> int:
+        """Total windows across all segments."""
+        return len(self._schedule)
+
+    @property
+    def position(self) -> int:
+        """Windows already stepped."""
+        return self._cursor
+
+    @property
+    def done(self) -> bool:
+        return self._cursor >= len(self._schedule)
+
+    @property
+    def bias(self) -> float:
+        """Supply bias currently in effect (1.0 = nominal)."""
+        return self._service.bias
+
+    @property
+    def bias_steps(self) -> int:
+        return self._service._bias_steps
+
+    @property
+    def observations(self) -> list[WindowObservation]:
+        """Observations emitted since construction / the last rewind."""
+        return list(self._observations)
+
+    # -- solve plumbing -------------------------------------------------
+    def _solver(self, seg: int):
+        if self._solvers[seg] is None:
+            grid = self.batch.segments[seg].samples
+            if self._kernel is not None:
+                self._solvers[seg] = SteppingSolver(
+                    self._kernel, grid, self._core_nodes
+                )
+            else:
+                self._solvers[seg] = _ReferenceSteppingSolver(
+                    self.chip.response_library, grid, self._core_nodes
+                )
+        return self._solvers[seg]
+
+    def _is_warm(self, solver, trains: list[EdgeTrain]) -> bool:
+        if isinstance(solver, SteppingSolver):
+            return (
+                solver._block is not None
+                and solver._epoch_key == SteppingSolver._train_key(trains)
+            )
+        return solver.is_warm(trains)
+
+    def _window_rows(self, seg: int, lo: int, hi: int):
+        """Per-core deviation rows of ``samples[lo:hi]`` of *seg*,
+        routed through the fault plan (with retry) on cold epochs."""
+        solver = self._solver(seg)
+        trains = self._trains[seg]
+        if self.faults is None or self._is_warm(solver, trains):
+            return solver.solve_window(trains, lo, hi)
+        from ..faults.harness import _FaultyFn, fault_key
+
+        token = f"control.solve:{self.run_tag}:{seg}"
+        faulty = _FaultyFn(
+            self.faults,
+            lambda item: solver.solve_window(trains, lo, hi),
+            fault_key,
+        )
+        outcome = guarded_call(
+            faulty, (token,), self.retry, label=("control.solve", seg)
+        )
+        if outcome.failure is not None:
+            raise ExecutionError(
+                f"window solve for segment {seg} failed after "
+                f"{outcome.attempts} attempts",
+                [outcome.failure],
+            )
+        if outcome.attempts > 1:
+            self.telemetry.increment(
+                "control.solve.retries", outcome.attempts - 1
+            )
+        return outcome.value
+
+    # -- actuation ------------------------------------------------------
+    def _apply(self, actuation: Actuation) -> None:
+        if actuation.bias_steps is not None:
+            self._service.set_bias_steps(int(actuation.bias_steps))
+        if actuation.throttle is not None:
+            self._apply_throttle(actuation.throttle)
+        if not actuation.is_noop:
+            self.telemetry.increment("control.actuations")
+
+    def _apply_throttle(self, throttle: float | dict[int, float]) -> None:
+        """Scale the ΔI of future edges: the upcoming window's start
+        onward in the current segment, everything in later segments."""
+        if isinstance(throttle, dict):
+            factors = {int(core): float(f) for core, f in throttle.items()}
+        else:
+            factors = {
+                core: float(throttle) for core in range(self.chip.n_cores)
+            }
+        for core, factor in factors.items():
+            if not 0.0 <= factor:
+                raise ControlError(
+                    f"throttle factor must be >= 0 (core {core}: {factor})"
+                )
+        port_factor = {
+            self.chip.core_ports[core]: factor
+            for core, factor in factors.items()
+        }
+        seg0, win0 = (
+            self._schedule[self._cursor]
+            if not self.done
+            else (len(self._trains), 0)
+        )
+        for seg in range(seg0, len(self._trains)):
+            if seg == seg0:
+                lo = int(self._bounds[seg][win0])
+                t_cut = float(self.batch.segments[seg].times[lo])
+            else:
+                t_cut = -np.inf
+            changed = False
+            rewritten: list[EdgeTrain] = []
+            for train in self._trains[seg]:
+                factor = port_factor.get(train.port, 1.0)
+                mask = train.times >= t_cut
+                if factor == 1.0 or not mask.any():
+                    rewritten.append(train)
+                    continue
+                deltas = train.deltas.copy()
+                deltas[mask] = deltas[mask] * factor
+                rewritten.append(EdgeTrain(train.port, train.times, deltas))
+                changed = True
+            if changed:
+                self._trains[seg] = rewritten
+                self._coherent[seg] = self.runner._coherent_delta_i(
+                    self.batch.mapping, rewritten, self.options
+                )
+
+    # -- the loop -------------------------------------------------------
+    def step(self, actuation: Actuation | None = None) -> WindowObservation:
+        """Apply *actuation* (if any), solve the next window, fold it
+        into the sticky measurement state and return its observation."""
+        if self.done:
+            raise ControlError(
+                f"stepping past the end of the run "
+                f"({self.n_windows} windows)"
+            )
+        if actuation is not None:
+            self._apply(actuation)
+
+        seg, win = self._schedule[self._cursor]
+        lo, hi = int(self._bounds[seg][win]), int(self._bounds[seg][win + 1])
+        rows = self._window_rows(seg, lo, hi)
+        segment = self.batch.segments[seg]
+        times = segment.times
+        dc_levels = self.batch.dc_levels
+        chip = self.chip
+        bias = self._service.bias
+        offset = (bias - 1.0) * chip.vnom
+
+        v_min: list[float] = []
+        v_mean: list[float] = []
+        v_max: list[float] = []
+        worst = np.inf
+        droop_events = 0
+        t_start = float(times[lo])
+        t_end = float(times[hi - 1])
+        for core in range(chip.n_cores):
+            node = self._core_nodes[core]
+            volts = dc_levels[node] + rows[core]
+            # Sticky accumulation on nominal-supply volts: min-of-window
+            # minima equals the monolithic segment minimum bit for bit,
+            # which is what makes result() ≡ ChipRunner.execute().
+            state = self._sticky[core]
+            raw_min = float(volts.min())
+            raw_max = float(volts.max())
+            state["v_min"] = min(state["v_min"], raw_min)
+            state["v_max"] = max(state["v_max"], raw_max)
+            state["coherent"] = max(state["coherent"], self._coherent[seg][core])
+
+            observed = volts + offset if offset else volts
+            v_min.append(raw_min + offset)
+            v_max.append(raw_max + offset)
+            v_mean.append(float(volts.mean()) + offset)
+            ssn = (
+                chip.skitters[core].config.ssn_gain * self._coherent[seg][core]
+                if self.options.include_ssn
+                else 0.0
+            )
+            worst = min(worst, raw_min + offset - ssn)
+            below = observed < self.droop_threshold_v
+            if below.any():
+                droop_events += int(below[0]) + int(
+                    np.count_nonzero(below[1:] & ~below[:-1])
+                )
+
+        active = []
+        for core, program in enumerate(self.batch.mapping):
+            if program is None:
+                continue
+            if program.is_steady:
+                active.append(core)
+                continue
+            edges = self._core_edges[seg].get(core)
+            if edges is None:
+                continue
+            first = int(np.searchsorted(edges, t_start, side="left"))
+            if first < edges.size and edges[first] <= t_end:
+                active.append(core)
+
+        observation = WindowObservation(
+            index=self._cursor,
+            segment=seg,
+            window=win,
+            t_start=t_start,
+            t_end=t_end,
+            n_samples=hi - lo,
+            supply_bias=bias,
+            v_min=tuple(v_min),
+            v_mean=tuple(v_mean),
+            v_max=tuple(v_max),
+            worst_vmin=float(worst),
+            active_cores=tuple(active),
+            utilization=len(active) / chip.n_cores,
+            droop_events=droop_events,
+            coherent=tuple(self._coherent[seg]),
+        )
+        self._cursor += 1
+        self._observations.append(observation)
+        self.telemetry.increment("control.steps")
+        return observation
+
+    def run_to_completion(self) -> list[WindowObservation]:
+        """Step every remaining window without actuation."""
+        emitted = []
+        while not self.done:
+            emitted.append(self.step())
+        return emitted
+
+    # -- terminal measurement -------------------------------------------
+    def result(self) -> RunResult:
+        """The run's :class:`~repro.machine.runner.RunResult`, from the
+        accumulated sticky state (remaining windows are stepped
+        un-actuated first).
+
+        Without actuation this is byte-identical to
+        :meth:`ChipRunner.execute` of the same batch; with throttling it
+        is the result of the actuated edge history (bias never enters —
+        like the monolithic path, measurements are relative to the
+        nominal supply)."""
+        self.run_to_completion()
+        chip = self.chip
+        options = self.options
+        chip.reset_skitters()
+
+        waveforms: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        if options.collect_waveforms and self.batch.segments:
+            segment = self.batch.segments[0]
+            times = segment.times
+            rows = self._solver(0).solve_window(
+                self._trains[0], 0, int(times.size)
+            )
+            dc_levels = self.batch.dc_levels
+            for core in range(chip.n_cores):
+                node = self._core_nodes[core]
+                waveforms[node] = (times.copy(), dc_levels[node] + rows[core])
+            extra = self.runner._solve_extra(
+                replace(segment, trains=self._trains[0]), self._kernel
+            )
+            for node, deviation in zip(WAVEFORM_EXTRA_NODES, extra):
+                waveforms[node] = (times.copy(), dc_levels[node] + deviation)
+
+        measurements: list[CoreMeasurement] = []
+        for core in range(chip.n_cores):
+            state = self._sticky[core]
+            coherent_amps = state["coherent"] if options.include_ssn else 0.0
+            macro = chip.skitters[core]
+            macro.observe(state["v_min"], state["v_max"], coherent_amps)
+            reading = macro.read()
+            ssn_droop = macro.config.ssn_gain * coherent_amps
+            measurements.append(
+                CoreMeasurement(
+                    core=core,
+                    p2p_pct=reading.p2p_pct,
+                    v_min=state["v_min"] - ssn_droop,
+                    v_max=state["v_max"],
+                    coherent_delta_i=coherent_amps,
+                )
+            )
+        return RunResult(
+            measurements=measurements,
+            mapping=list(self.batch.mapping),
+            waveforms=waveforms,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SteppingSession(chip={self.chip.chip_id!r}, "
+            f"backend={self.resolved_backend}, "
+            f"windows={self.position}/{self.n_windows}, "
+            f"bias={self.bias:.3f})"
+        )

@@ -16,8 +16,10 @@ __all__ = [
     "GenerationError",
     "MeasurementError",
     "ExperimentError",
+    "GuardbandProfileError",
     "ConfigError",
     "ConcurrencyError",
+    "ControlError",
     "ExecutionError",
     "RunTimeoutError",
     "ProtocolError",
@@ -64,6 +66,18 @@ class MeasurementError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver failed or was queried for an unknown id."""
+
+
+class GuardbandProfileError(ExperimentError):
+    """A guard-band utilization profile is unusable: empty, a single
+    degenerate entry, negative occupancy, or fractions that do not sum
+    to one — savings computed from it would be meaningless."""
+
+
+class ControlError(ReproError):
+    """A closed-loop control session was misused (stepping past the end
+    of the run, actuating a finished session, unknown or expired serve
+    session id, invalid actuation)."""
 
 
 class ConcurrencyError(ReproError):

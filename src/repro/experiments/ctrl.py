@@ -1,0 +1,143 @@
+"""Closed-loop control studies (``ctrl-gain``, ``ctrl-attack``).
+
+Not a paper figure: the execution of the paper's §VII-B optimization
+opportunity (and its adversarial dual) as online controllers stepping
+the transient engine — see :mod:`repro.control.study`.  Both drivers
+plan a single nominal baseline run (shared with every other study of
+the same worst-case mapping) and post-process it through the stepping
+engine, carrying the stepping ≡ monolithic equivalence verdict in
+their exported data.
+"""
+
+from __future__ import annotations
+
+from ..analysis.report import render_table
+from ..control.study import (
+    CONTROL_RUN_TAG,
+    attack_surface,
+    gain_sweep,
+    plan_control_experiment,
+)
+from ..machine.workload import CurrentProgram
+from ..plan import RunPlan
+from .common import ExperimentContext
+from .registry import ExperimentResult, register, register_plan
+
+
+def control_mapping(context: ExperimentContext) -> list[CurrentProgram | None]:
+    """The mapping every control study regulates: the synchronized
+    max-dI/dt stressmark at the resonant frequency on all cores — the
+    worst case the guard band is provisioned for."""
+    mark = context.generator.max_didt(
+        freq_hz=context.resonant_freq_hz, synchronize=True
+    )
+    return [mark.current_program()] * context.chip.n_cores
+
+
+@register_plan("ctrl-gain")
+def plan_ctrl_gain(context: ExperimentContext) -> RunPlan:
+    return plan_control_experiment(
+        context.chip, control_mapping(context), context.options
+    )
+
+
+def gain_table(data: dict) -> str:
+    """Rendered gain-sweep rows (shared by the registered driver and
+    the ``repro-noise control`` verb — identical output both ways)."""
+    rows = [
+        [
+            f"{point['gain']:g}",
+            f"{point['droop_v'] * 1e3:.1f}",
+            f"{point['overshoot_v'] * 1e3:.1f}",
+            str(point["settling_window"]),
+            str(point["transitions"]),
+            str(point["violations"]),
+            f"{point['final_bias']:.3f}",
+        ]
+        for point in data["points"]
+    ]
+    return render_table(
+        [
+            "gain Ki",
+            "droop (mV)",
+            "overshoot (mV)",
+            "settling (win)",
+            "transitions",
+            "violations",
+            "final bias",
+        ],
+        rows,
+        title=(
+            "Integral power regulator vs gain "
+            f"(backend {data['backend']}, "
+            f"stepping≡monolithic: {data['stepping_equivalent']})"
+        ),
+    )
+
+
+def attack_table(data: dict) -> str:
+    """Rendered attack-surface rows (shared by the registered driver
+    and the ``repro-noise control`` verb)."""
+    rows = [
+        [
+            str(cell["depth_steps"]),
+            str(cell["duration_windows"]),
+            cell["alignment"],
+            str(cell["violations"]),
+            f"{cell['droop_v'] * 1e3:.1f}",
+        ]
+        for cell in data["cells"]
+    ]
+    return render_table(
+        [
+            "depth (steps)",
+            "duration (win)",
+            "alignment",
+            "violations",
+            "droop (mV)",
+        ],
+        rows,
+        title=(
+            "Undervolting attack surface "
+            f"(stress window {data['stress_window']}, "
+            f"v_fail {data['v_fail']:.3f} V, "
+            f"stepping≡monolithic: {data['stepping_equivalent']})"
+        ),
+    )
+
+
+@register("ctrl-gain", "Closed-loop integral regulator: gain sweep")
+def run_gain(context: ExperimentContext) -> ExperimentResult:
+    mapping = control_mapping(context)
+    baseline = context.session.run(mapping, run_tag=CONTROL_RUN_TAG)
+    data = gain_sweep(
+        context.chip, mapping, context.options, baseline=baseline
+    )
+    return ExperimentResult(
+        "ctrl-gain",
+        "Closed-loop integral regulator: gain sweep",
+        gain_table(data),
+        data,
+    )
+
+
+@register_plan("ctrl-attack")
+def plan_ctrl_attack(context: ExperimentContext) -> RunPlan:
+    return plan_control_experiment(
+        context.chip, control_mapping(context), context.options
+    )
+
+
+@register("ctrl-attack", "Adversarial undervolting attack surface")
+def run_attack(context: ExperimentContext) -> ExperimentResult:
+    mapping = control_mapping(context)
+    baseline = context.session.run(mapping, run_tag=CONTROL_RUN_TAG)
+    data = attack_surface(
+        context.chip, mapping, context.options, baseline=baseline
+    )
+    return ExperimentResult(
+        "ctrl-attack",
+        "Adversarial undervolting attack surface",
+        attack_table(data),
+        data,
+    )

@@ -193,7 +193,8 @@ def compile_family_campaign(
 def _ensure_loaded() -> None:
     # Import the driver modules for their registration side effects.
     from . import (  # noqa: F401
-        table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15,
+        ctrl, table1, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
+        fig15,
     )
 
 

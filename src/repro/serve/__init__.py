@@ -23,11 +23,13 @@ from .client import ServeClient
 from .coalesce import Flight, SingleFlight
 from .hot_cache import HotCache
 from .protocol import (
+    CONTROL_OPS,
     OPS,
     TIERS,
     SimRequest,
     decode_program,
     decode_request,
+    encode_observation,
     encode_program,
     encode_result,
     read_message,
@@ -36,11 +38,15 @@ from .protocol import (
 from .roster import ChipEntry, ChipRoster
 from .scrape import MetricsHTTPServer, start_metrics_http
 from .server import DEFAULT_PORT, NoiseServer, SimulationService, start_server
+from .sessions import ControlSession, ControlSessionRegistry
 
 __all__ = [
+    "CONTROL_OPS",
     "DEFAULT_PORT",
     "ChipEntry",
     "ChipRoster",
+    "ControlSession",
+    "ControlSessionRegistry",
     "Flight",
     "HotCache",
     "MetricsHTTPServer",
@@ -54,6 +60,7 @@ __all__ = [
     "start_metrics_http",
     "decode_program",
     "decode_request",
+    "encode_observation",
     "encode_program",
     "encode_result",
     "read_message",

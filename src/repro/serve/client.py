@@ -126,6 +126,63 @@ class ServeClient:
             return None
         return base64.b64decode(payload)
 
+    # -- stateful control sessions --------------------------------------
+    def session_open(
+        self,
+        mapping,
+        controller: dict,
+        options: RunOptions | dict | None = None,
+        *,
+        windows_per_segment: int = 8,
+        tag: object = None,
+        chip: str | None = None,
+        runit: bool = True,
+    ) -> dict:
+        """Open a stateful closed-loop session on the server.
+
+        ``controller`` is a :func:`~repro.control.controllers.
+        controller_from_spec` description (``{"kind": "integral",
+        "gain": 0.1, ...}``).  The reply carries the ``session`` id for
+        :meth:`session_step` / :meth:`session_close`, the window count
+        and the resolved solve backend.
+        """
+        payload: dict = {
+            "op": "session.open",
+            "mapping": [
+                encode_program(entry)
+                if isinstance(entry, CurrentProgram) or entry is None
+                else entry
+                for entry in mapping
+            ],
+            "controller": dict(controller),
+            "windows_per_segment": windows_per_segment,
+            "runit": runit,
+        }
+        if options is not None:
+            payload["options"] = (
+                _encode_options(options)
+                if isinstance(options, RunOptions)
+                else dict(options)
+            )
+        if tag is not None:
+            payload["tag"] = tag
+        if chip is not None:
+            payload["chip"] = chip
+        return self.request(payload)
+
+    def session_step(self, session: str, steps: int | str = 1) -> dict:
+        """Advance an open session by *steps* windows (``"all"`` runs
+        it to completion); the reply carries the per-window
+        observations and, once done, the loop summary."""
+        return self.request(
+            {"op": "session.step", "session": session, "steps": steps}
+        )
+
+    def session_close(self, session: str) -> dict:
+        """Close an open session; the reply carries its final loop
+        summary and step accounting."""
+        return self.request({"op": "session.close", "session": session})
+
     def health(self) -> dict:
         return self.request({"op": "health"})
 

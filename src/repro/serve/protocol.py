@@ -17,6 +17,21 @@ Request shape (``op`` defaults to ``"simulate"``)::
     {"op": "metrics"}     → telemetry snapshot (serve.* + engine.*)
     {"op": "shutdown"}    → stop the server after replying
 
+Stateful control sessions (the closed-loop engine behind the wire)::
+
+    {"op": "session.open",
+     "mapping": [...], "options": {...},   # as for simulate
+     "controller": {"kind": "integral", "gain": 0.1, ...},
+     "windows_per_segment": 8}             → {"session": id, "windows": N}
+    {"op": "session.step", "session": id, "steps": 3 | "all"}
+    {"op": "session.close", "session": id}
+
+``session.step`` replies carry the per-window observations
+(:func:`encode_observation`) and, once the loop is complete, the same
+JSON summary :class:`~repro.control.loop.ClosedLoopRun` produces
+in-process — the serve path and the CLI path are comparable object
+for object.
+
 A ``<program>`` object mirrors :class:`~repro.machine.workload.
 CurrentProgram`: ``{"name", "i_low", "i_high", "freq_hz", "duty",
 "rise_time", "sync": {"offset", "events_per_sync", "interval"}}`` with
@@ -46,11 +61,13 @@ from ..machine.workload import CurrentProgram, SyncSpec
 from ..plan.spec import PlannedRun, chip_identity
 
 __all__ = [
+    "CONTROL_OPS",
     "OPS",
     "TIERS",
     "SimRequest",
     "decode_request",
     "decode_program",
+    "encode_observation",
     "encode_program",
     "encode_result",
     "read_message",
@@ -61,7 +78,15 @@ __all__ = [
 #: verb: ``{"op": "fetch", "fingerprint": <engine cache key>}`` returns
 #: the raw disk-tier payload (base64 pickle bytes) when the service has
 #: it, so a fleet sharing a serve endpoint shares one answer space.
-OPS = ("simulate", "fetch", "health", "metrics", "metrics_text", "shutdown")
+#: The stateful-session verb family: one open closed-loop stepping
+#: session per id, stepped and closed by later requests on any
+#: connection.  All three execute on the service's single executor
+#: thread — the engine-ownership contract extends to control state.
+CONTROL_OPS = ("session.open", "session.step", "session.close")
+
+OPS = (
+    "simulate", "fetch", "health", "metrics", "metrics_text", "shutdown",
+) + CONTROL_OPS
 
 #: Tiers a simulate reply can be served from.
 TIERS = ("hot", "cache", "executed", "coalesced")
@@ -258,6 +283,30 @@ def encode_result(result: RunResult) -> dict:
             }
             for m in result.measurements
         ],
+    }
+
+
+def encode_observation(observation) -> dict:
+    """The JSON body of one stepped window (a
+    :class:`~repro.engine.stepping.WindowObservation`) — everything a
+    remote controller needs to close the loop client-side, and exactly
+    the fields the in-process loop summaries are computed from."""
+    return {
+        "index": observation.index,
+        "segment": observation.segment,
+        "window": observation.window,
+        "t_start": observation.t_start,
+        "t_end": observation.t_end,
+        "n_samples": observation.n_samples,
+        "supply_bias": observation.supply_bias,
+        "v_min": list(observation.v_min),
+        "v_mean": list(observation.v_mean),
+        "v_max": list(observation.v_max),
+        "worst_vmin": observation.worst_vmin,
+        "active_cores": list(observation.active_cores),
+        "utilization": observation.utilization,
+        "droop_events": observation.droop_events,
+        "coherent": list(observation.coherent),
     }
 
 

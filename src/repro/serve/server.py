@@ -48,14 +48,19 @@ import time
 from typing import Sequence
 
 from ..chips import ChipSpec
+from ..control.controllers import controller_from_spec
+from ..control.loop import ClosedLoopRun
+from ..control.study import CONTROL_RUN_TAG
 from ..engine.cache import ResultCache, global_cache
 from ..engine.executor import Executor, make_executor
 from ..engine.fingerprint import canonical, content_key
 from ..engine.resilience import RetryPolicy, RunFailure
 from ..engine.session import SimulationSession, resolve_backend_name
-from ..errors import ConfigError, ProtocolError, SolverError
+from ..engine.stepping import SteppingSession
+from ..errors import ConfigError, ControlError, ProtocolError, SolverError
 from ..machine.chip import Chip
 from ..machine.runner import RunOptions
+from ..measure.runit import RUnit, RUnitConfig
 from ..obs import Telemetry, get_telemetry, prometheus_text
 from ..obs.series import SERIES_CAPACITY, TelemetrySeries, series_state
 from ..obs.slo import SloPolicy, default_serve_slos
@@ -63,13 +68,16 @@ from ..plan.spec import chip_identity
 from .coalesce import Flight, SingleFlight
 from .hot_cache import HotCache
 from .protocol import (
+    CONTROL_OPS,
     OPS,
     decode_request,
+    encode_observation,
     encode_result,
     read_message,
     write_message,
 )
 from .roster import ChipRoster
+from .sessions import ControlSessionRegistry
 
 __all__ = ["SimulationService", "NoiseServer", "start_server"]
 
@@ -91,6 +99,27 @@ class _WorkItem:
         self.flight = flight
         self.entry = entry
         self.admitted_s = time.perf_counter()
+
+
+class _ControlWork:
+    """One ``session.*`` request, queued for the executor thread.
+
+    Control verbs never coalesce (each is a state transition of one
+    named session, not an idempotent lookup), so the item carries its
+    own event/reply pair instead of riding a flight.
+    """
+
+    __slots__ = ("payload", "event", "reply", "admitted_s")
+
+    def __init__(self, payload: dict):
+        self.payload = payload
+        self.event = threading.Event()
+        self.reply: dict | None = None
+        self.admitted_s = time.perf_counter()
+
+    def settle(self, reply: dict) -> None:
+        self.reply = reply
+        self.event.set()
 
 
 class SimulationService:
@@ -158,6 +187,15 @@ class SimulationService:
     chip_hot_entries:
         Hot-tier bound of each extra hosted chip (the default chip
         keeps ``hot_entries``).
+    max_sessions:
+        How many stateful control sessions (``session.open``) may stay
+        open at once.  Each pins a solved stimulus in memory, so this
+        is the residency budget of the control plane the way
+        ``max_resident_chips`` budgets the simulate plane.
+    session_ttl_s:
+        Idle lifetime of an open control session; sessions idle past
+        it are pruned (accounted as ``serve.session.expired``) on the
+        next control request.
     """
 
     def __init__(
@@ -181,6 +219,8 @@ class SimulationService:
         chips: Sequence[ChipSpec] = (),
         max_resident_chips: int = 2,
         chip_hot_entries: int = 64,
+        max_sessions: int = 8,
+        session_ttl_s: float = 900.0,
     ):
         if queue_limit < 1:
             raise ConfigError(f"queue_limit must be >= 1 (got {queue_limit})")
@@ -210,6 +250,10 @@ class SimulationService:
             hot_entries=chip_hot_entries,
         )
         self.flights = SingleFlight()
+        # Stateful control sessions (the ``session.*`` verb family).
+        self.control = ControlSessionRegistry(
+            max_sessions=max_sessions, ttl_s=session_ttl_s
+        )
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
         self.backend = resolve_backend_name(backend)
@@ -305,6 +349,8 @@ class SimulationService:
             # The transport layer owns actually stopping the server;
             # an in-process caller just gets the acknowledgement.
             return {"ok": True, "status": "ok", "stopping": True}
+        if op in CONTROL_OPS:
+            return self._control(payload)
         if op != "simulate":
             self._count("serve.bad_requests")
             return {
@@ -397,6 +443,188 @@ class SimulationService:
             "payload": base64.b64encode(raw).decode("ascii"),
         }
 
+    # -- stateful control sessions ---------------------------------------
+    def _control(self, payload: dict) -> dict:
+        """Handler-thread entry of the ``session.*`` verbs: admit onto
+        the (shared, bounded) executor queue and wait — all session
+        state, like all engine state, is touched only by the executor
+        thread."""
+        start = time.perf_counter()
+        self._count("serve.requests")
+        if self._closing:
+            self._count("serve.busy")
+            return self._busy_reply()
+        work = _ControlWork(payload)
+        try:
+            self._queue.put_nowait(work)
+        except queue.Full:
+            self._count("serve.busy")
+            return self._busy_reply()
+        if not work.event.wait(self.max_wait_s):
+            self._count("serve.wait_timeouts")
+            return {
+                "ok": False,
+                "status": "error",
+                "error": f"timed out after {self.max_wait_s:g}s waiting "
+                f"for the control executor",
+            }
+        elapsed = time.perf_counter() - start
+        with self._metrics_lock:
+            self.telemetry.observe("serve.request.seconds", elapsed)
+            self.telemetry.observe("serve.session.seconds", elapsed)
+        return dict(work.reply or {})
+
+    def _run_control(self, work: _ControlWork) -> None:
+        """Executor-thread side of one control verb."""
+        op = work.payload.get("op")
+        try:
+            with self.telemetry.span("serve.control", op=op):
+                reply = self._control_dispatch(op, work.payload)
+        except (ProtocolError, ConfigError, ControlError) as error:
+            self._count("serve.bad_requests")
+            reply = {
+                "ok": False, "status": "bad-request", "error": str(error),
+            }
+        except BaseException as error:  # noqa: BLE001 - keep serving
+            self._count("serve.control_errors")
+            reply = {
+                "ok": False,
+                "status": "error",
+                "error": f"{type(error).__name__}: {error}",
+            }
+        work.settle(reply)
+
+    def _control_dispatch(self, op: str, payload: dict) -> dict:
+        for expired in self.control.prune():
+            self._count("serve.session.expired")
+            self.telemetry.emit(
+                "serve.session_expired",
+                session=expired.session_id,
+                steps=expired.steps_served,
+            )
+        if op == "session.open":
+            return self._session_open(payload)
+        if op == "session.step":
+            return self._session_step(payload)
+        return self._session_close(payload)
+
+    def _session_open(self, payload: dict) -> dict:
+        if self.control.full:
+            self._count("serve.busy")
+            reply = self._busy_reply()
+            reply["error"] = (
+                f"control session capacity reached "
+                f"({self.control.max_sessions} open)"
+            )
+            return reply
+        entry = self.roster.resolve(payload.get("chip"))
+        request = decode_request(
+            payload, self.default_options, n_cores=entry.n_cores
+        )
+        windows = payload.get("windows_per_segment", 8)
+        if (
+            isinstance(windows, bool)
+            or not isinstance(windows, int)
+            or windows < 1
+        ):
+            raise ProtocolError(
+                "windows_per_segment must be a positive integer"
+            )
+        # Default the run tag to the control studies' tag, so a serve
+        # session's baseline fingerprint matches the CLI/plan paths.
+        tag = payload.get("tag") or CONTROL_RUN_TAG
+        chip = self.roster.resident_chip(entry)
+        controller = controller_from_spec(payload.get("controller"), chip)
+        stepping = SteppingSession(
+            chip,
+            list(request.mapping),
+            request.options,
+            run_tag=tag,
+            windows_per_segment=windows,
+            backend=self.backend,
+            telemetry=self.telemetry,
+        )
+        runit = (
+            RUnit(RUnitConfig(), chip.vnom)
+            if payload.get("runit", True)
+            else None
+        )
+        loop = ClosedLoopRun(
+            stepping, controller, runit=runit, telemetry=self.telemetry
+        )
+        session = self.control.open(loop, entry.digest, controller.kind)
+        self._count("serve.session.opened")
+        self.telemetry.emit(
+            "serve.session_opened",
+            session=session.session_id,
+            chip=entry.digest[:12],
+            controller=controller.kind,
+            windows=stepping.n_windows,
+        )
+        return {
+            "ok": True,
+            "status": "ok",
+            "session": session.session_id,
+            "chip": entry.digest,
+            "controller": controller.kind,
+            "windows": stepping.n_windows,
+            "backend": stepping.resolved_backend,
+        }
+
+    def _session_step(self, payload: dict) -> dict:
+        session = self.control.get(payload.get("session"))
+        steps = payload.get("steps", 1)
+        if steps == "all":
+            budget = None
+        elif (
+            not isinstance(steps, bool)
+            and isinstance(steps, int)
+            and steps >= 1
+        ):
+            budget = steps
+        else:
+            raise ProtocolError("steps must be a positive integer or 'all'")
+        loop = session.loop
+        observations = []
+        while not loop.session.done and (
+            budget is None or len(observations) < budget
+        ):
+            observations.append(loop.step())
+        self.control.record_steps(session, len(observations))
+        self._count("serve.session.steps", len(observations))
+        reply = {
+            "ok": True,
+            "status": "ok",
+            "session": session.session_id,
+            "observations": [
+                encode_observation(obs) for obs in observations
+            ],
+            "position": loop.session.position,
+            "windows": loop.session.n_windows,
+            "done": loop.session.done,
+        }
+        if loop.session.done:
+            reply["summary"] = loop.summary()
+        return reply
+
+    def _session_close(self, payload: dict) -> dict:
+        session = self.control.close(payload.get("session"))
+        self._count("serve.session.closed")
+        self.telemetry.emit(
+            "serve.session_closed",
+            session=session.session_id,
+            steps=session.steps_served,
+            done=session.loop.session.done,
+        )
+        return {
+            "ok": True,
+            "status": "ok",
+            "session": session.session_id,
+            "steps_served": session.steps_served,
+            "done": session.loop.session.done,
+            "summary": session.loop.summary(),
+        }
+
     # -- verbs ----------------------------------------------------------
     def health(self) -> dict:
         """Liveness + occupancy (the ``/healthz`` of this protocol)."""
@@ -413,6 +641,7 @@ class SimulationService:
             "executor": getattr(self.executor, "name", "custom"),
             "backend": self.backend,
             "chips": self.roster.stats(),
+            "control_sessions": self.control.stats(),
         }
 
     def metrics(self) -> dict:
@@ -430,6 +659,7 @@ class SimulationService:
             "window_s": self.window_s,
             "windows": len(self.series),
             "chips": self.roster.stats(),
+            "control_sessions": self.control.stats(),
         }
 
     def metrics_text(self) -> dict:
@@ -495,6 +725,10 @@ class SimulationService:
             # bursts does not read 0.
             "serve.qps": round(self.series.rate("serve.requests", k=3), 6),
         }
+        control = self.control.stats()
+        gauges["serve.control.sessions.open"] = control["open"]
+        gauges["serve.control.sessions.capacity"] = control["capacity"]
+        gauges["serve.control.steps.served"] = control["steps_served"]
         p95 = self.series.percentile("serve.request.seconds", 95, k=3)
         if p95 is not None:
             gauges["serve.request.p95.seconds"] = round(p95, 6)
@@ -548,8 +782,16 @@ class SimulationService:
             item = self._queue.get()
             if item is _STOP:
                 break
-            batch = [item]
-            while len(batch) < self.max_batch:
+            # Simulate leaders batch into one run_many; control verbs
+            # (session.open/step/close) are state transitions of named
+            # sessions and run one at a time, after the batch, still on
+            # this one thread — the engine-ownership contract.
+            batch: list[_WorkItem] = []
+            controls: list[_ControlWork] = []
+            (controls if isinstance(item, _ControlWork) else batch).append(
+                item
+            )
+            while len(batch) + len(controls) < self.max_batch:
                 try:
                     extra = self._queue.get_nowait()
                 except queue.Empty:
@@ -557,20 +799,25 @@ class SimulationService:
                 if extra is _STOP:
                     self._queue.put(_STOP)  # re-arm for the outer loop
                     break
-                batch.append(extra)
-            try:
-                self._process(batch)
-            except BaseException as error:  # noqa: BLE001 - keep serving
-                for entry in batch:
-                    if not entry.flight.done:
-                        entry.flight.reject({
-                            "ok": False,
-                            "status": "error",
-                            "error": f"{type(error).__name__}: {error}",
-                            "fingerprint": entry.fingerprint,
-                        })
-                        self.flights.finish(entry.flight)
-                self._count("serve.batch_errors")
+                (
+                    controls if isinstance(extra, _ControlWork) else batch
+                ).append(extra)
+            if batch:
+                try:
+                    self._process(batch)
+                except BaseException as error:  # noqa: BLE001 - keep serving
+                    for entry in batch:
+                        if not entry.flight.done:
+                            entry.flight.reject({
+                                "ok": False,
+                                "status": "error",
+                                "error": f"{type(error).__name__}: {error}",
+                                "fingerprint": entry.fingerprint,
+                            })
+                            self.flights.finish(entry.flight)
+                    self._count("serve.batch_errors")
+            for work in controls:
+                self._run_control(work)
 
     def _process(self, batch: list[_WorkItem]) -> None:
         with self.telemetry.span("serve.batch", requests=len(batch)):

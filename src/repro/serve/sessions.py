@@ -1,0 +1,191 @@
+"""Server-side control sessions: the state behind ``session.*`` verbs.
+
+One :class:`ControlSession` wraps one
+:class:`~repro.control.loop.ClosedLoopRun` (a controller bound to a
+stepping engine session) and lives across requests — possibly across
+connections — until it is closed or idles past its TTL.  The
+:class:`ControlSessionRegistry` bounds how many may stay open at once:
+every open session pins a solved stimulus (the stepping session's
+full-horizon waveform block) in memory, so the bound is the residency
+budget of the control plane the way ``max_resident_chips`` is the
+residency budget of the simulate plane.
+
+Threading contract (inherited from the server): session *mutations* —
+open, step, close, prune — happen only on the service's single
+executor thread, which also owns the engine.  Handler threads read
+:meth:`ControlSessionRegistry.stats` for health/metrics replies, so the
+registry table itself is lock-guarded; the per-session counters it
+reports are plain ints (atomic enough for monitoring reads).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from ..control.loop import ClosedLoopRun
+from ..errors import ConfigError, ControlError
+
+__all__ = ["ControlSession", "ControlSessionRegistry"]
+
+
+class ControlSession:
+    """One open closed-loop session and its accounting."""
+
+    __slots__ = (
+        "session_id",
+        "loop",
+        "chip_digest",
+        "controller_kind",
+        "created_s",
+        "last_used_s",
+        "steps_served",
+    )
+
+    def __init__(
+        self,
+        session_id: str,
+        loop: ClosedLoopRun,
+        chip_digest: str,
+        controller_kind: str,
+        now: float,
+    ):
+        self.session_id = session_id
+        self.loop = loop
+        self.chip_digest = chip_digest
+        self.controller_kind = controller_kind
+        self.created_s = now
+        self.last_used_s = now
+        self.steps_served = 0
+
+    def touch(self, now: float) -> None:
+        self.last_used_s = now
+
+    def residency(self, now: float) -> dict:
+        """This session's line in the health reply: who it is, how far
+        along it is, and how long it has been holding its stimulus."""
+        stepping = self.loop.session
+        return {
+            "session": self.session_id,
+            "chip": self.chip_digest[:12],
+            "controller": self.controller_kind,
+            "position": stepping.position,
+            "windows": stepping.n_windows,
+            "done": stepping.done,
+            "steps_served": self.steps_served,
+            "violations": self.loop.violations,
+            "age_s": round(now - self.created_s, 3),
+            "idle_s": round(now - self.last_used_s, 3),
+        }
+
+
+class ControlSessionRegistry:
+    """Bounded, TTL-pruned table of open control sessions."""
+
+    def __init__(self, max_sessions: int = 8, ttl_s: float = 900.0):
+        if max_sessions < 1:
+            raise ConfigError(
+                f"max_sessions must be >= 1 (got {max_sessions})"
+            )
+        if ttl_s <= 0:
+            raise ConfigError(f"ttl_s must be > 0 (got {ttl_s})")
+        self.max_sessions = max_sessions
+        self.ttl_s = float(ttl_s)
+        self._lock = threading.Lock()
+        self._sessions: dict[str, ControlSession] = {}
+        self._serial = 0
+        self._opened = 0
+        self._closed = 0
+        self._expired = 0
+        self._steps = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    @property
+    def full(self) -> bool:
+        with self._lock:
+            return len(self._sessions) >= self.max_sessions
+
+    def open(
+        self,
+        loop: ClosedLoopRun,
+        chip_digest: str,
+        controller_kind: str,
+        now: float | None = None,
+    ) -> ControlSession:
+        """Register a new session (ids are a monotone serial — the
+        registry never recycles one, so a stale client fails with
+        "unknown session", not someone else's loop)."""
+        now = time.time() if now is None else now
+        with self._lock:
+            if len(self._sessions) >= self.max_sessions:
+                raise ControlError(
+                    f"control session capacity reached "
+                    f"({self.max_sessions} open)"
+                )
+            self._serial += 1
+            session_id = f"cs-{self._serial:06d}"
+            session = ControlSession(
+                session_id, loop, chip_digest, controller_kind, now
+            )
+            self._sessions[session_id] = session
+            self._opened += 1
+        return session
+
+    def get(self, session_id: object, now: float | None = None) -> ControlSession:
+        with self._lock:
+            session = self._sessions.get(session_id)  # type: ignore[arg-type]
+        if session is None:
+            raise ControlError(f"unknown control session {session_id!r}")
+        session.touch(time.time() if now is None else now)
+        return session
+
+    def record_steps(self, session: ControlSession, count: int) -> None:
+        session.steps_served += count
+        with self._lock:
+            self._steps += count
+
+    def close(self, session_id: object) -> ControlSession:
+        with self._lock:
+            session = self._sessions.pop(session_id, None)  # type: ignore[arg-type]
+            if session is not None:
+                self._closed += 1
+        if session is None:
+            raise ControlError(f"unknown control session {session_id!r}")
+        return session
+
+    def prune(self, now: float | None = None) -> list[ControlSession]:
+        """Drop sessions idle past the TTL; returns what was dropped
+        (the caller owns the telemetry for each)."""
+        now = time.time() if now is None else now
+        with self._lock:
+            expired = [
+                session
+                for session in self._sessions.values()
+                if now - session.last_used_s > self.ttl_s
+            ]
+            for session in expired:
+                del self._sessions[session.session_id]
+            self._expired += len(expired)
+        return expired
+
+    def stats(self, now: float | None = None) -> dict:
+        """Occupancy + per-session residency, for health/metrics."""
+        now = time.time() if now is None else now
+        with self._lock:
+            sessions = list(self._sessions.values())
+            opened, closed, expired, steps = (
+                self._opened, self._closed, self._expired, self._steps,
+            )
+        return {
+            "open": len(sessions),
+            "capacity": self.max_sessions,
+            "ttl_s": self.ttl_s,
+            "opened": opened,
+            "closed": closed,
+            "expired": expired,
+            "steps_served": steps,
+            "residency": [session.residency(now) for session in sessions],
+        }

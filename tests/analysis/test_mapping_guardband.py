@@ -7,7 +7,7 @@ import pytest
 from repro.analysis.guardband import GuardbandPolicy, build_policy, guardband_savings
 from repro.analysis.mapping import enumerate_mappings, mapping_extremes
 from repro.analysis.sensitivity import DeltaIMappingPoint
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, GuardbandProfileError
 from repro.machine.runner import RunOptions
 from repro.machine.workload import CurrentProgram, SyncSpec
 
@@ -114,7 +114,27 @@ class TestGuardbandPolicy:
 
     def test_savings_zero_at_full_utilization(self):
         policy = build_policy(self.make_points())
-        assert guardband_savings(policy, {6: 1.0}) == pytest.approx(0.0)
+        profile = {5: 0.0, 6: 1.0}  # all time at full load
+        assert guardband_savings(policy, profile) == pytest.approx(0.0)
+
+    def test_empty_profile_raises_named_error(self):
+        policy = build_policy(self.make_points())
+        with pytest.raises(GuardbandProfileError):
+            guardband_savings(policy, {})
+
+    def test_single_entry_profile_raises_named_error(self):
+        policy = build_policy(self.make_points())
+        with pytest.raises(GuardbandProfileError):
+            guardband_savings(policy, {6: 1.0})
+
+    def test_negative_share_raises_named_error(self):
+        policy = build_policy(self.make_points())
+        with pytest.raises(GuardbandProfileError):
+            guardband_savings(policy, {1: -0.5, 6: 1.5})
+
+    def test_profile_error_is_an_experiment_error(self):
+        # Callers catching the historical ExperimentError keep working.
+        assert issubclass(GuardbandProfileError, ExperimentError)
 
     def test_savings_grow_with_idleness(self):
         policy = build_policy(self.make_points())

@@ -1,0 +1,72 @@
+"""Control subsystem fixtures: a cheap resonant stepping mapping and
+synthetic window observations for controller unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.stepping import WindowObservation
+from repro.machine.runner import RunOptions
+from repro.machine.workload import CurrentProgram, SyncSpec
+
+
+def control_program(i_high: float = 20.0) -> CurrentProgram:
+    """A moderate synchronized resonant stressmark: loud enough to
+    droop visibly, quiet enough that the nominal supply stays above
+    the R-Unit's v_fail (so violations mark *actuation*, not the
+    stimulus itself)."""
+    return CurrentProgram(
+        "ctl",
+        i_low=14.0,
+        i_high=i_high,
+        freq_hz=2.6e6,
+        rise_time=11e-9,
+        sync=SyncSpec(),
+    )
+
+
+@pytest.fixture(scope="module")
+def loop_mapping():
+    return [control_program()] * 6
+
+
+@pytest.fixture(scope="module")
+def loop_options():
+    return RunOptions(segments=2, base_samples=512)
+
+
+def make_observation(
+    index: int = 0,
+    *,
+    vnom: float = 1.0,
+    bias: float = 1.0,
+    v_mean=None,
+    v_min=None,
+    v_max=None,
+    worst: float | None = None,
+    active=tuple(range(6)),
+    droop_events: int = 0,
+    n_cores: int = 6,
+) -> WindowObservation:
+    """A synthetic observation with sensible defaults (all cores busy
+    at *bias*·*vnom* with a ±20 mV ripple)."""
+    v_mean = tuple(v_mean if v_mean is not None else [vnom * bias] * n_cores)
+    v_min = tuple(v_min if v_min is not None else [v - 0.02 for v in v_mean])
+    v_max = tuple(v_max if v_max is not None else [v + 0.02 for v in v_mean])
+    return WindowObservation(
+        index=index,
+        segment=0,
+        window=index,
+        t_start=index * 1e-6,
+        t_end=(index + 1) * 1e-6,
+        n_samples=64,
+        supply_bias=bias,
+        v_min=v_min,
+        v_mean=v_mean,
+        v_max=v_max,
+        worst_vmin=worst if worst is not None else min(v_min),
+        active_cores=tuple(active),
+        utilization=len(active) / n_cores,
+        droop_events=droop_events,
+        coherent=(0.0,) * n_cores,
+    )

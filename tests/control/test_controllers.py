@@ -1,0 +1,172 @@
+"""Controller unit tests over synthetic window observations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.guardband import GuardbandPolicy
+from repro.control.controllers import (
+    BIAS_STEP_MAX,
+    BIAS_STEP_MIN,
+    AdversarialUndervolter,
+    DynamicGuardbandController,
+    IntegralPowerController,
+    controller_from_spec,
+)
+from repro.errors import ControlError
+from repro.machine.system import VOLTAGE_STEP
+
+from .conftest import make_observation
+
+
+class TestIntegralPowerController:
+    def test_lowers_bias_when_power_exceeds_setpoint(self):
+        controller = IntegralPowerController(1.0, setpoint=0.5, gain=0.5)
+        # All cores busy at nominal: proxy = 1.0 > setpoint.
+        actuation = controller.observe(make_observation())
+        assert actuation is not None
+        assert actuation.bias_steps < 0
+
+    def test_silent_when_quantized_command_unchanged(self):
+        controller = IntegralPowerController(1.0, setpoint=0.85, gain=1e-4)
+        # A tiny gain cannot move the command a whole 0.5 % step.
+        assert controller.observe(make_observation()) is None
+
+    def test_command_clamps_to_service_range(self):
+        controller = IntegralPowerController(1.0, setpoint=0.01, gain=100.0)
+        window = make_observation()
+        actuation = controller.observe(window)
+        assert actuation.bias_steps == BIAS_STEP_MIN
+        # Anti-windup: the integrator must not keep diving past the
+        # actuator range, so recovery starts immediately.
+        controller.observe(window)
+        assert controller.summary()["final_steps"] >= BIAS_STEP_MIN
+
+    def test_summary_tracks_errors(self):
+        controller = IntegralPowerController(1.0, setpoint=0.5, gain=0.1)
+        controller.observe(make_observation())
+        summary = controller.summary()
+        assert summary["kind"] == "integral"
+        assert summary["mean_abs_error"] > 0
+        assert summary["final_error"] == pytest.approx(0.5 - 1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ControlError):
+            IntegralPowerController(0.0)
+        with pytest.raises(ControlError):
+            IntegralPowerController(1.0, setpoint=-1.0)
+        with pytest.raises(ControlError):
+            IntegralPowerController(1.0, gain=-0.1)
+
+
+def margin_policy() -> GuardbandPolicy:
+    margins = {k: 0.01 + 0.01 * k for k in range(7)}
+    return GuardbandPolicy(
+        margin_by_active_cores=margins, static_margin=margins[6]
+    )
+
+
+class TestDynamicGuardbandController:
+    def test_quantization_matches_offline_controller(self, chip):
+        from repro.mitigation.guardband import GuardbandController
+
+        policy = margin_policy()
+        online = DynamicGuardbandController(policy, slack=0.0025)
+        offline = GuardbandController(chip, policy, slack=0.0025)
+        for k in range(7):
+            assert 1.0 + online.steps_for(k) * VOLTAGE_STEP == (
+                pytest.approx(offline.bias_for(k))
+            )
+
+    def test_full_load_keeps_nominal(self):
+        controller = DynamicGuardbandController(margin_policy())
+        assert controller.observe(make_observation()) is None
+        assert controller.steps_for(6) == 0
+
+    def test_idle_window_undervolts_and_transitions_count(self):
+        controller = DynamicGuardbandController(margin_policy())
+        idle = make_observation(active=(0,))
+        actuation = controller.observe(idle)
+        assert actuation is not None and actuation.bias_steps < 0
+        assert controller.observe(idle) is None  # steady: no re-issue
+        busy = make_observation(index=1)
+        assert controller.observe(busy).bias_steps == 0
+        summary = controller.summary()
+        assert summary["transitions"] == 2
+        # The programmed margin never dips below the schedule's need.
+        assert summary["min_headroom"] >= 0.0
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ControlError):
+            DynamicGuardbandController(margin_policy(), slack=-1e-3)
+
+
+class TestAdversarialUndervolter:
+    def test_pulse_shape(self):
+        agent = AdversarialUndervolter(
+            depth_steps=10, duration_windows=2, start_window=1
+        )
+        assert agent.prime() is None  # attack not at window 0
+        onset = agent.observe(make_observation(index=0))
+        assert onset.bias_steps == -10
+        assert agent.observe(make_observation(index=1)) is None  # held
+        release = agent.observe(make_observation(index=2))
+        assert release.bias_steps == 0
+
+    def test_window_zero_attack_primes(self):
+        agent = AdversarialUndervolter(depth_steps=5, duration_windows=1)
+        assert agent.prime().bias_steps == -5
+
+    def test_parameter_validation(self):
+        with pytest.raises(ControlError):
+            AdversarialUndervolter(depth_steps=-1, duration_windows=1)
+        with pytest.raises(ControlError):
+            AdversarialUndervolter(
+                depth_steps=-BIAS_STEP_MIN + 1, duration_windows=1
+            )
+        with pytest.raises(ControlError):
+            AdversarialUndervolter(depth_steps=5, duration_windows=0)
+        with pytest.raises(ControlError):
+            AdversarialUndervolter(
+                depth_steps=5, duration_windows=1, start_window=-1
+            )
+
+
+class TestControllerFromSpec:
+    def test_integral(self, chip):
+        controller = controller_from_spec(
+            {"kind": "integral", "gain": 0.3, "setpoint": 0.7}, chip
+        )
+        assert controller.kind == "integral"
+        assert controller.gain == 0.3
+        assert controller.setpoint == 0.7
+
+    def test_guardband_with_inline_margins(self, chip):
+        controller = controller_from_spec(
+            {
+                "kind": "guardband",
+                "margins": {"0": 0.01, "3": 0.03, "6": 0.07},
+            },
+            chip,
+        )
+        assert controller.kind == "guardband"
+        assert controller.policy.static_margin == 0.07
+
+    def test_adversarial(self, chip):
+        controller = controller_from_spec(
+            {"kind": "adversarial", "depth_steps": 12}, chip
+        )
+        assert controller.kind == "adversarial"
+        assert controller.depth_steps == 12
+
+    def test_malformed_specs_rejected(self, chip):
+        with pytest.raises(ControlError):
+            controller_from_spec(None, chip)
+        with pytest.raises(ControlError):
+            controller_from_spec({"kind": "pid"}, chip)
+        with pytest.raises(ControlError):
+            controller_from_spec({"kind": "guardband"}, chip)
+
+    def test_bias_step_bounds_are_consistent(self):
+        assert BIAS_STEP_MIN < 0 < BIAS_STEP_MAX

@@ -1,0 +1,157 @@
+"""Stepping engine: exact continuation and actuation semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.control.study import results_identical
+from repro.engine import SimulationSession
+from repro.engine.cache import ResultCache
+from repro.engine.stepping import Actuation, SteppingSession
+from repro.errors import ConfigError, ControlError
+from repro.machine.system import VOLTAGE_STEP
+
+BACKENDS = ("reference", "batched")
+
+
+def monolithic(chip, mapping, options, backend):
+    session = SimulationSession(
+        chip, options, cache=ResultCache(cache_dir=None), backend=backend
+    )
+    return session.run(mapping, run_tag="control")
+
+
+class TestExactContinuation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stepping_equals_monolithic(
+        self, chip, loop_mapping, loop_options, backend
+    ):
+        stepping = SteppingSession(
+            chip,
+            loop_mapping,
+            loop_options,
+            windows_per_segment=5,
+            backend=backend,
+        )
+        assert stepping.resolved_backend == backend
+        observations = stepping.run_to_completion()
+        assert len(observations) == stepping.n_windows
+        baseline = monolithic(chip, loop_mapping, loop_options, backend)
+        assert results_identical(stepping.result(), baseline)
+
+    def test_rewind_replays_bitwise(self, chip, loop_mapping, loop_options):
+        stepping = SteppingSession(
+            chip, loop_mapping, loop_options, windows_per_segment=4
+        )
+        first = stepping.run_to_completion()
+        stepping.rewind()
+        second = stepping.run_to_completion()
+        assert first == second
+
+    def test_windows_tile_each_segment(
+        self, chip, loop_mapping, loop_options
+    ):
+        stepping = SteppingSession(
+            chip, loop_mapping, loop_options, windows_per_segment=6
+        )
+        observations = stepping.run_to_completion()
+        assert [obs.index for obs in observations] == list(
+            range(stepping.n_windows)
+        )
+        per_segment: dict[int, int] = {}
+        for obs in observations:
+            assert obs.n_samples > 0
+            assert obs.t_start <= obs.t_end
+            per_segment[obs.segment] = (
+                per_segment.get(obs.segment, 0) + obs.n_samples
+            )
+        for seg, segment in enumerate(stepping.batch.segments):
+            assert per_segment[seg] == segment.times.size
+
+    def test_step_past_completion_raises(
+        self, chip, loop_mapping, loop_options
+    ):
+        stepping = SteppingSession(
+            chip, loop_mapping, loop_options, windows_per_segment=2
+        )
+        stepping.run_to_completion()
+        with pytest.raises(ControlError):
+            stepping.step()
+
+    def test_invalid_window_count_rejected(
+        self, chip, loop_mapping, loop_options
+    ):
+        with pytest.raises(ConfigError):
+            SteppingSession(
+                chip, loop_mapping, loop_options, windows_per_segment=0
+            )
+
+
+class TestActuation:
+    def test_bias_is_a_pure_offset(self, chip, loop_mapping, loop_options):
+        plain = SteppingSession(
+            chip, loop_mapping, loop_options, windows_per_segment=4
+        )
+        biased = SteppingSession(
+            chip, loop_mapping, loop_options, windows_per_segment=4
+        )
+        steps = -10
+        offset = steps * VOLTAGE_STEP * chip.vnom
+        reference = plain.run_to_completion()
+        first = biased.step(Actuation(bias_steps=steps))
+        assert first.supply_bias == 1.0 + steps * VOLTAGE_STEP
+        assert first.v_min == tuple(
+            v + offset for v in reference[0].v_min
+        )
+        assert first.v_max == tuple(
+            v + offset for v in reference[0].v_max
+        )
+
+    def test_bias_beyond_service_range_rejected(
+        self, chip, loop_mapping, loop_options
+    ):
+        stepping = SteppingSession(
+            chip, loop_mapping, loop_options, windows_per_segment=2
+        )
+        with pytest.raises(ConfigError):
+            stepping.step(Actuation(bias_steps=-100))
+
+    def test_throttle_shrinks_later_droop(
+        self, chip, loop_mapping, loop_options
+    ):
+        plain = SteppingSession(
+            chip, loop_mapping, loop_options, windows_per_segment=4
+        )
+        throttled = SteppingSession(
+            chip, loop_mapping, loop_options, windows_per_segment=4
+        )
+        reference = plain.run_to_completion()
+        throttled.step(Actuation(throttle=0.2))
+        rest = throttled.run_to_completion()
+        assert min(obs.worst_vmin for obs in rest) > min(
+            obs.worst_vmin for obs in reference[1:]
+        )
+
+    def test_rewind_after_throttle_restores_equivalence(
+        self, chip, loop_mapping, loop_options
+    ):
+        stepping = SteppingSession(
+            chip, loop_mapping, loop_options, windows_per_segment=4
+        )
+        stepping.step(Actuation(throttle={0: 0.5, 3: 0.25}))
+        stepping.run_to_completion()
+        stepping.rewind()
+        stepping.run_to_completion()
+        baseline = monolithic(
+            chip, loop_mapping, loop_options, stepping.resolved_backend
+        )
+        assert results_identical(stepping.result(), baseline)
+
+    def test_negative_throttle_rejected(
+        self, chip, loop_mapping, loop_options
+    ):
+        stepping = SteppingSession(
+            chip, loop_mapping, loop_options, windows_per_segment=2
+        )
+        with pytest.raises(ControlError):
+            stepping.step(Actuation(throttle=-0.5))

@@ -13,6 +13,7 @@ from repro.experiments.registry import (
 EXPECTED_IDS = {
     "table1", "fig7a", "fig7b", "fig8", "fig9", "fig10",
     "fig11a", "fig11b", "fig12", "fig13a", "fig13b", "fig14", "fig15",
+    "ctrl-gain", "ctrl-attack",
 }
 
 
